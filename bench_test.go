@@ -1,0 +1,388 @@
+// Benchmarks: one per reproduction experiment (the tables and figures in
+// EXPERIMENTS.md regenerate through the same code), plus the ablations
+// DESIGN.md calls out and micro-benchmarks of the hot substrates.
+//
+//	go test -bench=. -benchmem
+package rds_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/causal"
+	"github.com/responsible-data-science/rds/internal/experiments"
+	"github.com/responsible-data-science/rds/internal/fairness"
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/privacy"
+	"github.com/responsible-data-science/rds/internal/procmine"
+	"github.com/responsible-data-science/rds/internal/provenance"
+	"github.com/responsible-data-science/rds/internal/rng"
+	"github.com/responsible-data-science/rds/internal/stream"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+// benchExperiment runs one registered experiment per iteration at Quick
+// scale; failures fail the benchmark rather than silently skewing it.
+func benchExperiment(b *testing.B, run func(experiments.Scale) (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Fairness(b *testing.B)        { benchExperiment(b, experiments.E1FairnessMitigation) }
+func BenchmarkE2Redlining(b *testing.B)       { benchExperiment(b, experiments.E2Redlining) }
+func BenchmarkE3MultipleTesting(b *testing.B) { benchExperiment(b, experiments.E3MultipleTesting) }
+func BenchmarkE4Simpson(b *testing.B)         { benchExperiment(b, experiments.E4Simpson) }
+func BenchmarkE5Coverage(b *testing.B)        { benchExperiment(b, experiments.E5Coverage) }
+func BenchmarkE6PrivacyBudget(b *testing.B)   { benchExperiment(b, experiments.E6PrivacyBudget) }
+func BenchmarkE7Anonymity(b *testing.B)       { benchExperiment(b, experiments.E7Anonymity) }
+func BenchmarkE8Transparency(b *testing.B)    { benchExperiment(b, experiments.E8Transparency) }
+func BenchmarkE9Causal(b *testing.B)          { benchExperiment(b, experiments.E9Causal) }
+func BenchmarkE10InternetMinute(b *testing.B) { benchExperiment(b, experiments.E10InternetMinute) }
+func BenchmarkE11Governance(b *testing.B)     { benchExperiment(b, experiments.E11Governance) }
+func BenchmarkE12Provenance(b *testing.B)     { benchExperiment(b, experiments.E12Provenance) }
+
+// --- Ablations (design choices DESIGN.md commits to) ---
+
+// Ablation: the three fairness mitigations at fixed bias.
+func BenchmarkAblationMitigation(b *testing.B) {
+	f, err := synth.Credit(synth.CreditConfig{N: 4000, Bias: 1.0, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := f.MustCol("group").Strings()
+	y := f.MustCol("approved").Floats()
+	base, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := ml.PredictProbaAll(base, ds.X)
+
+	b.Run("reweigh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w, err := fairness.Reweigh(y, groups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			weighted := ds.Clone()
+			weighted.Weights = w
+			if _, err := ml.TrainLogistic(weighted, ml.LogisticConfig{Epochs: 30}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("massage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			labels, _, err := fairness.Massage(y, groups, probs, "B", "A")
+			if err != nil {
+				b.Fatal(err)
+			}
+			msDS := ds.Clone()
+			msDS.Y = labels
+			if _, err := ml.TrainLogistic(msDS, ml.LogisticConfig{Epochs: 30}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("threshold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			th, err := fairness.OptimizeThresholds(y, probs, groups, "B", "A", fairness.DemographicParity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			th.Apply(probs, groups)
+		}
+	})
+	b.Run("di-repair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fairness.RepairDisparateImpact(ds, groups, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: Laplace vs Gaussian mechanism at matched (eps, delta).
+func BenchmarkAblationDPMechanism(b *testing.B) {
+	src := rng.New(7)
+	for _, mech := range []string{"laplace", "gaussian"} {
+		b.Run(mech, func(b *testing.B) {
+			// A fresh single-query budget per iteration: delta composition
+			// caps how much one accountant can hold, and both arms pay the
+			// same construction cost.
+			for i := 0; i < b.N; i++ {
+				bud, err := privacy.NewBudget(1.1, 1e-4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mech == "laplace" {
+					_, err = privacy.LaplaceMechanism(bud, "l", 100, 1, 1.0, src)
+				} else {
+					_, err = privacy.GaussianMechanism(bud, "g", 100, 1, 1.0, 1e-5, src)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: matching caliper width (cost and match count move together).
+func BenchmarkAblationCaliper(b *testing.B) {
+	f, err := synth.AdCampaign(synth.AdCampaignConfig{N: 10000, Confounding: 1.0, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	study, err := causal.StudyFromFrame(f, "exposed", "converted", "base_p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := causal.PropensityScores(study)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, caliper := range []float64{0.01, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("caliper=%.2f", caliper), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := causal.PSMatchWithScores(study, ps, causal.MatchingConfig{
+					Caliper: caliper, WithReplacement: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: Mondrian k (partitioning cost vs k).
+func BenchmarkAblationMondrianK(b *testing.B) {
+	f, err := synth.Hospital(synth.HospitalConfig{N: 3000, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 10, 50} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := privacy.Anonymize(f, privacy.AnonymizeConfig{
+					K: k, QuasiIdentifiers: []string{"age", "sex", "zip"},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot substrates ---
+
+func BenchmarkStreamGenerator(b *testing.B) {
+	gen, err := stream.NewGenerator(stream.GeneratorConfig{RateScale: 1.0, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Next()
+	}
+}
+
+func BenchmarkSpaceSavingObserve(b *testing.B) {
+	s, err := stream.NewSpaceSaving(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := rng.NewZipf(100000, 1.2)
+	src := rng.New(15)
+	items := make([]uint64, 65536)
+	for i := range items {
+		items[i] = uint64(z.Draw(src))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(items[i&65535])
+	}
+}
+
+func BenchmarkLogisticTrain(b *testing.B) {
+	f, err := synth.Credit(synth.CreditConfig{N: 5000, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeTrain(b *testing.B) {
+	f, err := synth.Credit(synth.CreditConfig{N: 2000, Seed: 19})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainTree(ds, ml.TreeConfig{MaxDepth: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameGroupBy(b *testing.B) {
+	f, err := synth.Hospital(synth.HospitalConfig{N: 10000, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.GroupBy("diagnosis", "sex"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashFrame(b *testing.B) {
+	f, err := synth.Credit(synth.CreditConfig{N: 5000, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := provenance.HashFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAuditAppend(b *testing.B) {
+	log := provenance.NewAuditLog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log.Append("bench", "event", "subject", "details")
+	}
+}
+
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	key, err := privacy.GeneratePaillier(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Pub.EncryptInt64(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFairnessEvaluate(b *testing.B) {
+	f, err := synth.Credit(synth.CreditConfig{N: 10000, Bias: 0.5, Seed: 25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := f.MustCol("approved").Floats()
+	groups := f.MustCol("group").Strings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fairness.Evaluate(y, y, groups, "B", "A"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContinualCounter(b *testing.B) {
+	bud, err := privacy.NewBudget(1.0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := privacy.NewContinualCounter(bud, "bench", 1.0, 40, rng.New(29))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Increment(1); err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Count()
+	}
+}
+
+func BenchmarkSparseVectorQuery(b *testing.B) {
+	bud, err := privacy.NewBudget(1e9, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv, err := privacy.NewSparseVector(bud, "bench", 1e12, 1, 1.0, 1, rng.New(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Query(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessDiscovery(b *testing.B) {
+	log, err := procmine.Generate(procmine.GeneratorConfig{Cases: 2000, Seed: 33})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := procmine.Discover(log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessConformance(b *testing.B) {
+	log, err := procmine.Generate(procmine.GeneratorConfig{Cases: 2000, Seed: 35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := procmine.NormativeDFG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := procmine.CheckConformance(ref, log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	f, err := synth.Credit(synth.CreditConfig{N: 2000, Seed: 27})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := f.CSVString()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := frame.ReadCSVString(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

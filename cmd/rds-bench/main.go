@@ -1,0 +1,63 @@
+// Command rds-bench regenerates the reproduction experiments (E1-E12 in
+// DESIGN.md) and prints their tables and figures.
+//
+// Usage:
+//
+//	rds-bench                 # run everything at full scale
+//	rds-bench -run E3,E6      # selected experiments
+//	rds-bench -quick          # reduced workloads (CI smoke run)
+//	rds-bench -list           # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/experiments"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiment ids (e.g. E1,E9) or 'all'")
+	quick := flag.Bool("quick", false, "reduced workloads")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, entry := range experiments.Registry() {
+			res, err := entry.Run(experiments.Quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", entry.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-4s %s\n", res.ID, res.Title)
+		}
+		return
+	}
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	var ids []string
+	for _, id := range strings.Split(*runList, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	start := time.Now()
+	results, err := experiments.Run(ids, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Printf("================================================================\n")
+		fmt.Printf("%s — %s\n", r.ID, r.Title)
+		fmt.Printf("================================================================\n")
+		fmt.Println(r.Output)
+	}
+	fmt.Printf("ran %d experiments in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,28 @@
+// Package rds is a Go toolkit for responsible data science, reproducing
+// the research program of van der Aalst, Bichler and Heinzl,
+// "Responsible Data Science" (BISE 59(5), 2017): data-science pipelines
+// that guarantee Fairness, Accuracy, Confidentiality and Transparency
+// (FACT) by design.
+//
+// The library lives under internal/ (this repository is a self-contained
+// reproduction; promote packages out of internal/ to reuse them):
+//
+//   - internal/core        — the FACT-guarded pipeline and audit
+//   - internal/fairness    — Q1: metrics, proxy detection, mitigation
+//   - internal/stats       — Q2: tests, intervals, multiple-testing, Simpson
+//   - internal/privacy     — Q3: DP budget, k-anonymity, pseudonyms, Paillier
+//   - internal/explain     — Q4: surrogates, importances, counterfactuals
+//   - internal/provenance  — Q4: lineage, tamper-evident audit log, cards
+//   - internal/causal      — RCT vs observational estimators
+//   - internal/policy      — GDPR consent/purpose/retention + FACT policy
+//   - internal/ml          — models, metrics, splits (from scratch)
+//   - internal/frame       — columnar dataframe + CSV
+//   - internal/stream      — the Internet-Minute event substrate
+//   - internal/synth       — bias-knob dataset generators
+//   - internal/experiments — the E1-E12 reproduction harness
+//
+// Binaries: cmd/rds-audit (FACT audit over a CSV), cmd/rds-bench
+// (regenerate every experiment). Runnable walkthroughs are under
+// examples/. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-vs-measured results.
+package rds

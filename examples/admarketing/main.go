@@ -1,0 +1,87 @@
+// Ad marketing: reproduce the Gordon et al. (2016) comparison the paper
+// cites — how far do observational estimators land from the randomized-
+// controlled-trial gold standard when ad exposure is self-selected?
+//
+//	go run ./examples/admarketing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/responsible-data-science/rds/internal/causal"
+	"github.com/responsible-data-science/rds/internal/report"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+func main() {
+	const trueLift = 0.03
+
+	// Gold standard: the RCT.
+	rctFrame, err := synth.AdCampaign(synth.AdCampaignConfig{
+		N: 60000, TrueLift: trueLift, Randomized: true, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rct, err := causal.StudyFromFrame(rctFrame, "exposed", "converted", "base_p")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rctEst, err := causal.NaiveDifference(rct)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Ad-effect estimates (true lift = %.3f)", trueLift),
+		"confounding", "method", "estimate", "error")
+	tbl.AddRow("rct", "difference-in-means", rctEst.ATE, rctEst.ATE-trueLift)
+
+	for _, confounding := range []float64{0.5, 1.0, 2.0} {
+		obsFrame, err := synth.AdCampaign(synth.AdCampaignConfig{
+			N: 60000, TrueLift: trueLift, Confounding: confounding, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		obs, err := causal.StudyFromFrame(obsFrame, "exposed", "converted", "base_p")
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive, err := causal.NaiveDifference(obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psm, err := causal.PSMatch(obs, causal.MatchingConfig{Caliper: 0.05, WithReplacement: true, NumMatches: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipw, err := causal.IPW(obs, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aipw, err := causal.AIPW(obs, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%.1f", confounding)
+		tbl.AddRow(label, "naive", naive.ATE, naive.ATE-trueLift)
+		tbl.AddRow(label, "ps-match", psm.ATE, psm.ATE-trueLift)
+		tbl.AddRow(label, "ipw", ipw.ATE, ipw.ATE-trueLift)
+		tbl.AddRow(label, "aipw", aipw.ATE, aipw.ATE-trueLift)
+
+		// Diagnostics: how imbalanced were the arms?
+		balance, err := causal.CovariateBalance(obs, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("confounding %.1f: worst covariate |SMD| before adjustment = %.3f\n",
+			confounding, causal.MaxAbsSMD(balance))
+	}
+	fmt.Println()
+	fmt.Print(tbl.Render())
+	fmt.Println("\nReading: the naive estimate inflates with confounding; corrections")
+	fmt.Println("shrink the gap but (as Gordon et al. found) do not always erase it —")
+	fmt.Println("only the RCT recovers the truth by construction.")
+}

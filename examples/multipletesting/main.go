@@ -1,0 +1,77 @@
+// Multiple testing: the paper's Q2 warning made concrete. One response
+// variable, many junk predictors — something will "explain" the response
+// by accident unless the analysis corrects for the number of hypotheses.
+//
+//	go run ./examples/multipletesting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/responsible-data-science/rds/internal/report"
+	"github.com/responsible-data-science/rds/internal/stats"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+func main() {
+	// 2 genuinely predictive columns hidden among 100.
+	data, err := synth.JunkPredictors(synth.JunkPredictorsConfig{
+		N: 600, Predictors: 100, Signal: 2, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp := data.MustCol("response").Floats()
+
+	// Test every predictor against the response; record everything in a
+	// ledger (the discipline the pipeline enforces).
+	var ledger stats.HypothesisLedger
+	for _, name := range data.Names() {
+		if name == "response" {
+			continue
+		}
+		col := data.MustCol(name).Floats()
+		var pos, neg []float64
+		for i, r := range resp {
+			if r == 1 {
+				pos = append(pos, col[i])
+			} else {
+				neg = append(neg, col[i])
+			}
+		}
+		res, err := stats.WelchTTest(pos, neg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ledger.Record(name, res.PValue)
+	}
+
+	tbl := report.NewTable("Significant predictors at alpha=0.05 (2 real, 98 junk)",
+		"method", "discoveries", "true_positives", "false_positives")
+	for _, method := range []stats.Correction{
+		stats.NoCorrection, stats.Bonferroni, stats.Holm,
+		stats.BenjaminiHochberg, stats.BenjaminiYekutieli,
+	} {
+		decisions, err := ledger.Decide(method, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var hits, truePos, falsePos int
+		for _, d := range decisions {
+			if !d.Rejected {
+				continue
+			}
+			hits++
+			if d.Name == "p000" || d.Name == "p001" {
+				truePos++
+			} else {
+				falsePos++
+			}
+		}
+		tbl.AddRow(method.String(), hits, truePos, falsePos)
+	}
+	fmt.Print(tbl.Render())
+	fmt.Println("\nReading: raw testing 'discovers' junk predictors; family-wise and")
+	fmt.Println("FDR corrections keep the real signals while discarding the accidents.")
+}

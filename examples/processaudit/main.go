@@ -1,0 +1,86 @@
+// Process audit: responsible process mining ("data science in action", the
+// paper's own field). Discover the real process from an event log, check
+// conformance against the normative model, find bottlenecks — then share
+// the findings responsibly: pseudonymized case ids per recipient and
+// differentially private activity counts.
+//
+//	go run ./examples/processaudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/responsible-data-science/rds/internal/privacy"
+	"github.com/responsible-data-science/rds/internal/procmine"
+	"github.com/responsible-data-science/rds/internal/report"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func main() {
+	// An order-to-cash log with 6% of cases skipping the mandatory
+	// credit check and a planted pick->ship bottleneck.
+	eventLog, err := procmine.Generate(procmine.GeneratorConfig{
+		Cases: 5000, DeviationRate: 0.06, ReworkRate: 0.12, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Event log: %d cases, %d events\n\n", len(eventLog.Traces), eventLog.NumEvents())
+
+	// 1. Discovery.
+	dfg, err := procmine.Discover(eventLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Discovered directly-follows graph (top relations):")
+	fmt.Print(dfg.Render())
+
+	// 2. Variants.
+	fmt.Println("\nTrace variants:")
+	for _, v := range procmine.Variants(eventLog) {
+		fmt.Printf("  %5d x %s\n", v.Count, v.Variant)
+	}
+
+	// 3. Conformance against the normative model.
+	conf, err := procmine.CheckConformance(procmine.NormativeDFG(), eventLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nConformance vs normative model: fitness %.4f, %d deviant cases\n",
+		conf.Fitness, len(conf.DeviantCases))
+	for rel, n := range conf.Deviations {
+		fmt.Printf("  deviation %-32s x%d\n", rel, n)
+	}
+
+	// 4. Bottlenecks.
+	tbl := report.NewTable("\nBottlenecks (slowest hand-overs)", "from", "to", "mean_wait", "count")
+	for _, bn := range dfg.Bottlenecks(3) {
+		tbl.AddRow(bn.From, bn.To, bn.MeanWait.String(), bn.Count)
+	}
+	fmt.Print(tbl.Render())
+
+	// 5. Responsible sharing.
+	pseud, err := privacy.NewPseudonymizer([]byte("process-audit-master-key-01234567"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	auditorView := procmine.Pseudonymize(eventLog, pseud, "auditor")
+	regulatorView := procmine.Pseudonymize(eventLog, pseud, "regulator")
+	fmt.Printf("\nCase %q appears to the auditor as %s\n", eventLog.Traces[0].CaseID, auditorView.Traces[0].CaseID)
+	fmt.Printf("                 and to the regulator as %s (unlinkable)\n", regulatorView.Traces[0].CaseID)
+
+	budget, err := privacy.NewBudget(1.0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := procmine.PrivateActivityCounts(budget, eventLog, 1.0, 8, rng.New(22))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDP activity counts (eps=1.0, case-level sensitivity):")
+	for _, a := range []string{procmine.ActReceive, procmine.ActCredit, procmine.ActPick,
+		procmine.ActShip, procmine.ActInvoice, procmine.ActPay} {
+		fmt.Printf("  %-18s %10.0f\n", a, counts[a])
+	}
+}

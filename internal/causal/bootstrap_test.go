@@ -1,0 +1,58 @@
+package causal
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestBootstrapATECoversTruth(t *testing.T) {
+	s := rctStudy(t, 20000, 31)
+	src := rng.New(31)
+	iv, err := BootstrapATE(s, NaiveDifference, 100, 0.95, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(trueLift) {
+		t.Fatalf("RCT bootstrap CI [%v, %v] misses truth %v", iv.Lower, iv.Upper, trueLift)
+	}
+	if !iv.Contains(iv.Estimate.ATE) {
+		t.Fatal("point estimate outside its own interval")
+	}
+	if iv.Upper-iv.Lower <= 0 {
+		t.Fatal("degenerate interval")
+	}
+	if iv.Resamples < 50 {
+		t.Fatalf("only %d resamples succeeded", iv.Resamples)
+	}
+}
+
+func TestBootstrapATEConfoundedNaiveExcludesTruth(t *testing.T) {
+	// Under strong confounding, the naive estimator's interval should be
+	// tight around the *wrong* value — confidently wrong, which is the
+	// paper's warning about unquantified bias. The truth lies outside.
+	s := observationalStudy(t, 30000, 2.0, 33)
+	src := rng.New(33)
+	iv, err := BootstrapATE(s, NaiveDifference, 100, 0.95, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Contains(trueLift) {
+		t.Fatalf("confounded naive CI [%v, %v] contains the truth — confounding too weak?", iv.Lower, iv.Upper)
+	}
+}
+
+func TestBootstrapATEValidation(t *testing.T) {
+	s := rctStudy(t, 2000, 35)
+	src := rng.New(1)
+	if _, err := BootstrapATE(s, NaiveDifference, 5, 0.95, src); err == nil {
+		t.Fatal("too few resamples accepted")
+	}
+	if _, err := BootstrapATE(s, NaiveDifference, 50, 1.5, src); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	bad := &Study{}
+	if _, err := BootstrapATE(bad, NaiveDifference, 50, 0.95, src); err == nil {
+		t.Fatal("invalid study accepted")
+	}
+}

@@ -1,0 +1,277 @@
+package causal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+const trueLift = 0.03
+
+func observationalStudy(t *testing.T, n int, confounding float64, seed uint64) *Study {
+	t.Helper()
+	f, err := synth.AdCampaign(synth.AdCampaignConfig{
+		N: n, TrueLift: trueLift, Confounding: confounding, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base_p is a latent diagnostic column a real analyst would not have.
+	s, err := StudyFromFrame(f, "exposed", "converted", "base_p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rctStudy(t *testing.T, n int, seed uint64) *Study {
+	t.Helper()
+	f, err := synth.AdCampaign(synth.AdCampaignConfig{
+		N: n, TrueLift: trueLift, Randomized: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := StudyFromFrame(f, "exposed", "converted", "base_p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRCTNaiveRecoversTruth(t *testing.T) {
+	s := rctStudy(t, 80000, 1)
+	est, err := NaiveDifference(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.ATE-trueLift) > 0.008 {
+		t.Fatalf("RCT naive ATE = %v, want ~%v", est.ATE, trueLift)
+	}
+}
+
+func TestObservationalNaiveIsBiased(t *testing.T) {
+	s := observationalStudy(t, 80000, 2.0, 2)
+	est, err := NaiveDifference(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ATE < trueLift+0.02 {
+		t.Fatalf("confounded naive ATE = %v, expected inflated above %v", est.ATE, trueLift+0.02)
+	}
+}
+
+func TestAdjustedEstimatorsShrinkBias(t *testing.T) {
+	// Moderate confounding: decent overlap, every estimator should beat
+	// the naive difference. (Extreme confounding is tested separately —
+	// there matching becomes unstable, which is the Gordon et al. point.)
+	s := observationalStudy(t, 40000, 1.0, 3)
+	naive, err := NaiveDifference(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveBias := math.Abs(naive.ATE - trueLift)
+
+	psm, err := PSMatch(s, MatchingConfig{Caliper: 0.05, WithReplacement: true, NumMatches: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipw, err := IPW(s, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aipw, err := AIPW(s, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := Stratify(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []Estimate{psm, ipw, aipw, strat} {
+		bias := math.Abs(est.ATE - trueLift)
+		if bias >= naiveBias {
+			t.Errorf("%s bias %v did not improve on naive %v (ATE %v)", est.Method, bias, naiveBias, est.ATE)
+		}
+	}
+}
+
+func TestExtremeConfoundingPSMUnstableButAIPWHolds(t *testing.T) {
+	// Under thin overlap (strong self-selection), matching reuses a
+	// handful of high-propensity controls and its error varies wildly
+	// across samples, while the doubly robust estimator stays near the
+	// truth. This is the observational-vs-RCT gap the paper cites.
+	var psmWorst, aipwWorst float64
+	for _, seed := range []uint64{3, 4, 5} {
+		s := observationalStudy(t, 40000, 2.0, seed)
+		psm, err := PSMatch(s, MatchingConfig{Caliper: 0.05, WithReplacement: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aipw, err := AIPW(s, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psmWorst = math.Max(psmWorst, math.Abs(psm.ATE-trueLift))
+		aipwWorst = math.Max(aipwWorst, math.Abs(aipw.ATE-trueLift))
+	}
+	if aipwWorst > 0.015 {
+		t.Fatalf("AIPW worst-case error %v too large even at strong confounding", aipwWorst)
+	}
+	if psmWorst < aipwWorst {
+		t.Fatalf("expected matching (worst %v) to be less stable than AIPW (worst %v)", psmWorst, aipwWorst)
+	}
+}
+
+func TestPSMatchUsesCaliper(t *testing.T) {
+	s := observationalStudy(t, 20000, 2.0, 5)
+	wide, err := PSMatch(s, MatchingConfig{Caliper: 0.5, WithReplacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := PSMatch(s, MatchingConfig{Caliper: 0.001, WithReplacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Used > wide.Used {
+		t.Fatalf("tighter caliper used more units: %d > %d", tight.Used, wide.Used)
+	}
+}
+
+func TestPSMatchWithoutReplacement(t *testing.T) {
+	s := observationalStudy(t, 10000, 1.0, 7)
+	est, err := PSMatch(s, MatchingConfig{Caliper: 0.1, WithReplacement: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without replacement each control is used at most once, so matches
+	// cannot exceed the number of controls.
+	var controls int
+	for _, tr := range s.Treatment {
+		if tr == 0 {
+			controls++
+		}
+	}
+	if est.Used > controls {
+		t.Fatalf("used %d matches with only %d controls", est.Used, controls)
+	}
+}
+
+func TestIPWClipValidation(t *testing.T) {
+	s := observationalStudy(t, 5000, 1.0, 9)
+	if _, err := IPW(s, 0.7); err == nil {
+		t.Fatal("clip >= 0.5 accepted")
+	}
+	if _, err := AIPW(s, -0.1); err == nil {
+		t.Fatal("negative clip accepted")
+	}
+}
+
+func TestStratifyValidation(t *testing.T) {
+	s := observationalStudy(t, 5000, 1.0, 11)
+	if _, err := Stratify(s, 1); err == nil {
+		t.Fatal("single stratum accepted")
+	}
+}
+
+func TestCovariateBalanceDetectsConfounding(t *testing.T) {
+	s := observationalStudy(t, 30000, 2.0, 13)
+	rows, err := CovariateBalance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activity drives exposure: its SMD must be large pre-adjustment.
+	var activitySMD float64
+	for _, r := range rows {
+		if r.Feature == "activity" {
+			activitySMD = r.SMD
+		}
+	}
+	if activitySMD < 0.3 {
+		t.Fatalf("activity SMD = %v, expected strong imbalance", activitySMD)
+	}
+	if MaxAbsSMD(rows) < 0.3 {
+		t.Fatalf("max SMD = %v", MaxAbsSMD(rows))
+	}
+}
+
+func TestCovariateBalanceIPWWeightsImprove(t *testing.T) {
+	s := observationalStudy(t, 30000, 1.0, 15)
+	ps, err := PropensityScores(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, s.N())
+	for i, tr := range s.Treatment {
+		p := math.Min(0.99, math.Max(0.01, ps[i]))
+		if tr == 1 {
+			w[i] = 1 / p
+		} else {
+			w[i] = 1 / (1 - p)
+		}
+	}
+	before, err := CovariateBalance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := CovariateBalance(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsSMD(after) >= MaxAbsSMD(before) {
+		t.Fatalf("IPW weights did not improve balance: %v -> %v", MaxAbsSMD(before), MaxAbsSMD(after))
+	}
+	if MaxAbsSMD(after) > 0.1 {
+		t.Fatalf("post-weighting imbalance still %v", MaxAbsSMD(after))
+	}
+}
+
+func TestRCTBalanceAlreadyGood(t *testing.T) {
+	s := rctStudy(t, 30000, 17)
+	rows, err := CovariateBalance(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsSMD(rows) > 0.05 {
+		t.Fatalf("RCT covariates imbalanced: %v", MaxAbsSMD(rows))
+	}
+}
+
+func TestStudyValidate(t *testing.T) {
+	bad := &Study{
+		X:         [][]float64{{1}},
+		Features:  []string{"x"},
+		Treatment: []float64{1},
+		Outcome:   []float64{1},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("single-arm study accepted")
+	}
+	bad2 := &Study{
+		X:         [][]float64{{1}, {2}},
+		Features:  []string{"x"},
+		Treatment: []float64{1, 2},
+		Outcome:   []float64{1, 0},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("non-binary treatment accepted")
+	}
+	empty := &Study{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty study accepted")
+	}
+}
+
+func TestStudyFromFrameValidation(t *testing.T) {
+	f, err := synth.AdCampaign(synth.AdCampaignConfig{N: 100, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StudyFromFrame(f, "activity", "converted"); err == nil {
+		t.Fatal("non-binary treatment column accepted")
+	}
+	if _, err := StudyFromFrame(f, "ghost", "converted"); err == nil {
+		t.Fatal("unknown treatment accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package causal
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/ml"
+)
+
+// StudyFromFrame builds a Study from a frame: treatment and outcome name
+// binary columns, covariates are every remaining column except those in
+// exclude (string covariates are one-hot encoded via ml.FromFrame).
+func StudyFromFrame(f *frame.Frame, treatment, outcome string, exclude ...string) (*Study, error) {
+	tcol, err := f.Col(treatment)
+	if err != nil {
+		return nil, err
+	}
+	// Reuse ml.FromFrame for covariate encoding: target = outcome,
+	// excluding the treatment column and the caller's exclusions.
+	ds, err := ml.FromFrame(f, outcome, append([]string{treatment}, exclude...)...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{
+		X:        ds.X,
+		Features: ds.Features,
+		Outcome:  ds.Y,
+	}
+	s.Treatment = make([]float64, f.NumRows())
+	for i := 0; i < f.NumRows(); i++ {
+		if tcol.IsNull(i) {
+			return nil, fmt.Errorf("causal: treatment %q null at row %d", treatment, i)
+		}
+		v := tcol.Float(i)
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("causal: treatment %q not binary at row %d: %v", treatment, i, v)
+		}
+		s.Treatment[i] = v
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

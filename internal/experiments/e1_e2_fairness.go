@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/responsible-data-science/rds/internal/fairness"
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/report"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+// E1FairnessMitigation reproduces the paper's Q1 claim: models trained on
+// biased labels are unfair even with the sensitive attribute omitted, and
+// mitigation restores fairness at a measurable accuracy cost. It sweeps
+// the bias knob and reports disparate impact and accuracy for no
+// mitigation vs reweighing vs massaging vs per-group thresholds vs
+// disparate-impact repair.
+func E1FairnessMitigation(scale Scale) (*Result, error) {
+	n := scale.pick(4000, 20000)
+	tbl := report.NewTable(
+		"E1: fairness under injected label bias (protected B vs reference A)",
+		"bias", "mitigation", "disparate_impact", "eq_opp_diff", "accuracy")
+	headline := map[string]float64{}
+	for _, bias := range []float64{0, 0.4, 0.8, 1.2} {
+		f, err := synth.Credit(synth.CreditConfig{N: n, Bias: bias, Seed: 11})
+		if err != nil {
+			return nil, err
+		}
+		ds, err := ml.FromFrame(f, "approved", "group")
+		if err != nil {
+			return nil, err
+		}
+		groups := f.MustCol("group").Strings()
+		y := f.MustCol("approved").Floats()
+
+		base, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 40})
+		if err != nil {
+			return nil, err
+		}
+		probs := ml.PredictProbaAll(base, ds.X)
+
+		evaluate := func(name string, preds []float64) error {
+			rep, err := fairness.Evaluate(y, preds, groups, "B", "A")
+			if err != nil {
+				return err
+			}
+			acc, err := ml.Accuracy(y, preds)
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(bias, name, rep.DisparateImpact, rep.EqualOpportunityDifference, acc)
+			headline[fmt.Sprintf("bias%.1f/%s/di", bias, name)] = rep.DisparateImpact
+			headline[fmt.Sprintf("bias%.1f/%s/acc", bias, name)] = acc
+			return nil
+		}
+
+		if err := evaluate("none", ml.PredictAll(base, ds.X)); err != nil {
+			return nil, err
+		}
+
+		w, err := fairness.Reweigh(y, groups)
+		if err != nil {
+			return nil, err
+		}
+		weighted := ds.Clone()
+		weighted.Weights = w
+		rw, err := ml.TrainLogistic(weighted, ml.LogisticConfig{Epochs: 40})
+		if err != nil {
+			return nil, err
+		}
+		if err := evaluate("reweigh", ml.PredictAll(rw, ds.X)); err != nil {
+			return nil, err
+		}
+
+		massaged, _, err := fairness.Massage(y, groups, probs, "B", "A")
+		if err != nil {
+			return nil, err
+		}
+		msDS := ds.Clone()
+		msDS.Y = massaged
+		ms, err := ml.TrainLogistic(msDS, ml.LogisticConfig{Epochs: 40})
+		if err != nil {
+			return nil, err
+		}
+		if err := evaluate("massage", ml.PredictAll(ms, ds.X)); err != nil {
+			return nil, err
+		}
+
+		th, err := fairness.OptimizeThresholds(y, probs, groups, "B", "A", fairness.DemographicParity)
+		if err != nil {
+			return nil, err
+		}
+		if err := evaluate("threshold", th.Apply(probs, groups)); err != nil {
+			return nil, err
+		}
+
+		repaired, err := fairness.RepairDisparateImpact(ds, groups, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := ml.TrainLogistic(repaired, ml.LogisticConfig{Epochs: 40})
+		if err != nil {
+			return nil, err
+		}
+		if err := evaluate("di-repair", ml.PredictAll(rp, repaired.X)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		ID:       "E1",
+		Title:    "Fairness: bias knob vs mitigation (Q1)",
+		Output:   tbl.Render(),
+		Headline: headline,
+	}, nil
+}
+
+// E2Redlining reproduces the paper's proxy warning: dropping the
+// sensitive column leaves most of the disparity because proxies
+// (neighborhood) re-encode it; the proxy detector must rank the planted
+// proxies on top.
+func E2Redlining(scale Scale) (*Result, error) {
+	n := scale.pick(4000, 20000)
+	f, err := synth.Credit(synth.CreditConfig{N: n, Bias: 1.0, ProxyStrength: 0.85, Seed: 13})
+	if err != nil {
+		return nil, err
+	}
+	groups := f.MustCol("group").Strings()
+	y := f.MustCol("approved").Floats()
+
+	var b strings.Builder
+	tbl := report.NewTable("E2: disparate impact of the model under three feature sets",
+		"features", "disparate_impact", "accuracy")
+	headline := map[string]float64{}
+
+	run := func(name string, ds *ml.Dataset) error {
+		m, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 40})
+		if err != nil {
+			return err
+		}
+		preds := ml.PredictAll(m, ds.X)
+		rep, err := fairness.Evaluate(y, preds, groups, "B", "A")
+		if err != nil {
+			return err
+		}
+		acc, err := ml.Accuracy(y, preds)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(name, rep.DisparateImpact, acc)
+		headline[name+"/di"] = rep.DisparateImpact
+		return nil
+	}
+
+	// (a) group included (what a careless pipeline does).
+	withGroup, err := ml.FromFrame(f, "approved")
+	if err != nil {
+		return nil, err
+	}
+	if err := run("all+group", withGroup); err != nil {
+		return nil, err
+	}
+	// (b) group dropped, proxies remain: the redlining case.
+	noGroup, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		return nil, err
+	}
+	if err := run("drop-group", noGroup); err != nil {
+		return nil, err
+	}
+	// (c) group and the neighborhood proxy dropped.
+	noProxy, err := ml.FromFrame(f, "approved", "group", "neighborhood")
+	if err != nil {
+		return nil, err
+	}
+	if err := run("drop-group+proxy", noProxy); err != nil {
+		return nil, err
+	}
+	b.WriteString(tbl.Render())
+
+	scores, err := fairness.DetectProxies(noGroup, groups, "B")
+	if err != nil {
+		return nil, err
+	}
+	ptbl := report.NewTable("\nE2: proxy detector ranking (top 6)",
+		"rank", "feature", "association", "single_feature_power")
+	neighborhoodInTop3 := 0.0
+	for i, s := range scores {
+		if i < 6 {
+			ptbl.AddRow(i+1, s.Feature, s.Association, s.PredictivePower)
+		}
+		if i < 3 && strings.HasPrefix(s.Feature, "neighborhood") {
+			neighborhoodInTop3 = 1
+		}
+	}
+	headline["proxy_top3_is_neighborhood"] = neighborhoodInTop3
+	b.WriteString(ptbl.Render())
+
+	// Residual disparity after dropping the sensitive column.
+	headline["residual_fraction"] = residualFraction(headline["all+group/di"], headline["drop-group/di"])
+	return &Result{
+		ID:       "E2",
+		Title:    "Redlining: omitting the sensitive attribute is not enough (Q1)",
+		Output:   b.String(),
+		Headline: headline,
+	}, nil
+}
+
+// residualFraction measures how much of the disparity (1 - DI) survives
+// dropping the sensitive column.
+func residualFraction(withDI, withoutDI float64) float64 {
+	gapWith := 1 - withDI
+	gapWithout := 1 - withoutDI
+	if gapWith <= 0 {
+		return 0
+	}
+	return math.Max(0, gapWithout/gapWith)
+}

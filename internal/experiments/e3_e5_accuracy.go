@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/report"
+	"github.com/responsible-data-science/rds/internal/rng"
+	"github.com/responsible-data-science/rds/internal/stats"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+// E3MultipleTesting reproduces the paper's Q2 claim: "if enough hypotheses
+// are tested, one will eventually be true for the sample data used". It
+// measures the family-wise error rate of raw testing vs Bonferroni/Holm
+// and the false-discovery rate of BH across predictor counts, under the
+// global null.
+func E3MultipleTesting(scale Scale) (*Result, error) {
+	trials := scale.pick(40, 200)
+	nObs := 200
+	tbl := report.NewTable(
+		"E3: family-wise error under the global null (alpha=0.05)",
+		"predictors", "raw_fwer", "theory_1-0.95^p", "bonferroni_fwer", "holm_fwer", "bh_fwer")
+	headline := map[string]float64{}
+	src := rng.New(17)
+	for _, p := range []int{20, 50, 100} {
+		var rawFW, bonfFW, holmFW, bhFW int
+		for trial := 0; trial < trials; trial++ {
+			f, err := synth.JunkPredictors(synth.JunkPredictorsConfig{
+				N: nObs, Predictors: p, Signal: 0, Seed: src.Uint64() | 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp := f.MustCol("response").Floats()
+			ps := make([]float64, 0, p)
+			for _, name := range f.Names() {
+				if name == "response" {
+					continue
+				}
+				col := f.MustCol(name).Floats()
+				var pos, neg []float64
+				for i, r := range resp {
+					if r == 1 {
+						pos = append(pos, col[i])
+					} else {
+						neg = append(neg, col[i])
+					}
+				}
+				res, err := stats.WelchTTest(pos, neg)
+				if err != nil {
+					return nil, err
+				}
+				ps = append(ps, res.PValue)
+			}
+			anyReject := func(method stats.Correction) bool {
+				rej, err := stats.Reject(ps, method, 0.05)
+				if err != nil {
+					return false
+				}
+				for _, r := range rej {
+					if r {
+						return true
+					}
+				}
+				return false
+			}
+			if anyReject(stats.NoCorrection) {
+				rawFW++
+			}
+			if anyReject(stats.Bonferroni) {
+				bonfFW++
+			}
+			if anyReject(stats.Holm) {
+				holmFW++
+			}
+			if anyReject(stats.BenjaminiHochberg) {
+				bhFW++
+			}
+		}
+		tf := float64(trials)
+		theory := 1 - pow(0.95, p)
+		tbl.AddRow(p, float64(rawFW)/tf, theory, float64(bonfFW)/tf, float64(holmFW)/tf, float64(bhFW)/tf)
+		headline[fmt.Sprintf("p%d/raw", p)] = float64(rawFW) / tf
+		headline[fmt.Sprintf("p%d/bonferroni", p)] = float64(bonfFW) / tf
+	}
+	return &Result{
+		ID:       "E3",
+		Title:    "Multiple testing: junk predictors 'explain' the response (Q2)",
+		Output:   tbl.Render(),
+		Headline: headline,
+	}, nil
+}
+
+func pow(b float64, e int) float64 {
+	out := 1.0
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// E4Simpson reproduces the paper's Simpson's-paradox example: a planted
+// reversal must be detected, and null/consistent datasets must not
+// trigger false alarms.
+func E4Simpson(scale Scale) (*Result, error) {
+	n := scale.pick(3000, 20000)
+	trials := scale.pick(10, 40)
+	var b strings.Builder
+
+	// The planted paradox, shown once in full.
+	f, err := synth.Admissions(synth.AdmissionsConfig{N: n, Seed: 19})
+	if err != nil {
+		return nil, err
+	}
+	results, err := stats.SimpsonScan(f, "grp", "admitted", []string{"dept"})
+	if err != nil {
+		return nil, err
+	}
+	r := results[0]
+	tbl := report.NewTable("E4: admissions dataset (planted reversal)",
+		"stratum", "n", "rate_grp1", "rate_grp0", "direction")
+	tbl.AddRow("ALL", r.Aggregate.N, r.Aggregate.TreatedRate, r.Aggregate.ControlRate, r.Aggregate.Direction.String())
+	for _, s := range r.Strata {
+		tbl.AddRow(s.Group, s.N, s.TreatedRate, s.ControlRate, s.Direction.String())
+	}
+	b.WriteString(tbl.Render())
+	fmt.Fprintf(&b, "reversal detected: %v\n\n", r.Reversed)
+
+	// Detection accuracy across seeds: planted data vs null data.
+	var truePos, falsePos int
+	src := rng.New(23)
+	for trial := 0; trial < trials; trial++ {
+		planted, err := synth.Admissions(synth.AdmissionsConfig{N: n, Seed: src.Uint64() | 1})
+		if err != nil {
+			return nil, err
+		}
+		res, err := stats.SimpsonScan(planted, "grp", "admitted", []string{"dept"})
+		if err != nil {
+			return nil, err
+		}
+		if res[0].Reversed {
+			truePos++
+		}
+		// Null: shuffle the department column so it no longer confounds.
+		dept := planted.MustCol("dept").Strings()
+		src.Shuffle(len(dept), func(i, j int) { dept[i], dept[j] = dept[j], dept[i] })
+		nullFrame, err := planted.WithColumn(frameString("dept", dept))
+		if err != nil {
+			return nil, err
+		}
+		nres, err := stats.SimpsonScan(nullFrame, "grp", "admitted", []string{"dept"})
+		if err != nil {
+			return nil, err
+		}
+		if nres[0].Reversed {
+			falsePos++
+		}
+	}
+	tf := float64(trials)
+	dtbl := report.NewTable("E4: detector accuracy over seeds",
+		"condition", "trials", "reversals_flagged", "rate")
+	dtbl.AddRow("planted paradox", trials, truePos, float64(truePos)/tf)
+	dtbl.AddRow("shuffled null", trials, falsePos, float64(falsePos)/tf)
+	b.WriteString(dtbl.Render())
+
+	return &Result{
+		ID:     "E4",
+		Title:  "Simpson's paradox detection (Q2)",
+		Output: b.String(),
+		Headline: map[string]float64{
+			"recall":          float64(truePos) / tf,
+			"false_positives": float64(falsePos) / tf,
+		},
+	}, nil
+}
+
+// E5Coverage reproduces the paper's demand that answers carry accuracy
+// meta-information: the 95% intervals the toolkit attaches must actually
+// cover 95% of the time, and must shrink as 1/sqrt(n).
+func E5Coverage(scale Scale) (*Result, error) {
+	trials := scale.pick(300, 2000)
+	src := rng.New(29)
+	tbl := report.NewTable("E5: 95% CI empirical coverage and width",
+		"n", "wilson_coverage", "wilson_width", "tmean_coverage", "tmean_width")
+	headline := map[string]float64{}
+	const trueP = 0.3
+	const trueMu = 10.0
+	for _, n := range []int{100, 400, 1600, 6400} {
+		var wCover, mCover int
+		var wWidth, mWidth float64
+		for trial := 0; trial < trials; trial++ {
+			successes := src.Binomial(n, trueP)
+			wi, err := stats.WilsonCI(successes, n, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			if wi.Contains(trueP) {
+				wCover++
+			}
+			wWidth += wi.Width()
+
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = src.Normal(trueMu, 3)
+			}
+			mi, err := stats.MeanCI(xs, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			if mi.Contains(trueMu) {
+				mCover++
+			}
+			mWidth += mi.Width()
+		}
+		tf := float64(trials)
+		tbl.AddRow(n, float64(wCover)/tf, wWidth/tf, float64(mCover)/tf, mWidth/tf)
+		headline[fmt.Sprintf("n%d/wilson_cov", n)] = float64(wCover) / tf
+		headline[fmt.Sprintf("n%d/wilson_width", n)] = wWidth / tf
+	}
+
+	// Model-accuracy intervals: the pipeline's own accuracy CI covers the
+	// true generalization accuracy.
+	f, err := synth.Credit(synth.CreditConfig{N: scale.pick(4000, 10000), Seed: 31})
+	if err != nil {
+		return nil, err
+	}
+	ds, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := ml.TrainTestSplit(ds, 0.5, src)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ml.TrainLogistic(train, ml.LogisticConfig{Epochs: 40})
+	if err != nil {
+		return nil, err
+	}
+	acc, err := ml.Accuracy(test.Y, ml.PredictAll(m, test.X))
+	if err != nil {
+		return nil, err
+	}
+	ci, err := stats.WilsonCI(int(acc*float64(test.N())), test.N(), 0.95)
+	if err != nil {
+		return nil, err
+	}
+	out := tbl.Render() + fmt.Sprintf("\nmodel accuracy %.4f with 95%% CI [%.4f, %.4f] on n=%d held-out rows\n",
+		acc, ci.Lower, ci.Upper, test.N())
+	return &Result{
+		ID:       "E5",
+		Title:    "Accuracy meta-information: CI coverage (Q2)",
+		Output:   out,
+		Headline: headline,
+	}, nil
+}

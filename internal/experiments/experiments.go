@@ -1,0 +1,105 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md's experiment index (E1-E12), each
+// regenerating the table/figure derived from the paper's claims. The
+// functions are shared by cmd/rds-bench (human-readable output) and the
+// top-level benchmark suite (performance measurement).
+//
+// Every experiment accepts a Scale: Quick runs a reduced workload for CI
+// and benchmarks; Full runs the sizes EXPERIMENTS.md reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects the workload size.
+type Scale int
+
+// Workload scales.
+const (
+	// Quick is a reduced workload for benchmarks and smoke runs.
+	Quick Scale = iota
+	// Full is the workload EXPERIMENTS.md reports.
+	Full
+)
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f int) int {
+	if s == Quick {
+		return q
+	}
+	return f
+}
+
+// Result is one experiment's rendered output plus headline numbers that
+// tests and EXPERIMENTS.md assertions can inspect programmatically.
+type Result struct {
+	ID       string
+	Title    string
+	Output   string             // rendered tables/series
+	Headline map[string]float64 // named headline numbers
+}
+
+// Runner executes one experiment.
+type Runner func(scale Scale) (*Result, error)
+
+// Registry maps experiment IDs to runners, in ID order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E1", E1FairnessMitigation},
+		{"E2", E2Redlining},
+		{"E3", E3MultipleTesting},
+		{"E4", E4Simpson},
+		{"E5", E5Coverage},
+		{"E6", E6PrivacyBudget},
+		{"E7", E7Anonymity},
+		{"E8", E8Transparency},
+		{"E9", E9Causal},
+		{"E10", E10InternetMinute},
+		{"E11", E11Governance},
+		{"E12", E12Provenance},
+	}
+}
+
+// Run executes the named experiments ("all" or empty = every one) and
+// returns their results in order.
+func Run(ids []string, scale Scale) ([]*Result, error) {
+	want := map[string]bool{}
+	all := len(ids) == 0
+	for _, id := range ids {
+		if strings.EqualFold(id, "all") {
+			all = true
+			continue
+		}
+		want[strings.ToUpper(id)] = true
+	}
+	var out []*Result
+	for _, entry := range Registry() {
+		if !all && !want[entry.ID] {
+			continue
+		}
+		delete(want, entry.ID)
+		res, err := entry.Run(scale)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", entry.ID, err)
+		}
+		out = append(out, res)
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("experiments: unknown ids %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}

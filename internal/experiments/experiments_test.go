@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment at
+// Quick scale and sanity-checks the shape claims from DESIGN.md's
+// success criteria. This is the repository's end-to-end regression net:
+// if a substrate drifts, the experiment that depends on it fails here.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	results, err := Run(nil, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("ran %d experiments, want 12", len(results))
+	}
+	for _, r := range results {
+		if r.Output == "" {
+			t.Errorf("%s produced no output", r.ID)
+		}
+		if len(r.Headline) == 0 {
+			t.Errorf("%s produced no headline numbers", r.ID)
+		}
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	results, err := Run([]string{"e4", "E5"}, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "E4" || results[1].ID != "E5" {
+		t.Fatalf("selection wrong: %v", results)
+	}
+	if _, err := Run([]string{"E99"}, Quick); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestE1Shapes(t *testing.T) {
+	r, err := E1FairnessMitigation(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bias raises unfairness: DI at bias=1.2 well below DI at bias=0.
+	if r.Headline["bias1.2/none/di"] >= r.Headline["bias0.0/none/di"]-0.1 {
+		t.Fatalf("bias knob shape wrong: %v vs %v",
+			r.Headline["bias1.2/none/di"], r.Headline["bias0.0/none/di"])
+	}
+	// Every mitigation improves DI at the highest bias.
+	base := r.Headline["bias1.2/none/di"]
+	for _, m := range []string{"reweigh", "massage", "threshold", "di-repair"} {
+		if r.Headline["bias1.2/"+m+"/di"] <= base {
+			t.Errorf("%s did not improve DI: %v <= %v", m, r.Headline["bias1.2/"+m+"/di"], base)
+		}
+	}
+	// Threshold optimization reaches four-fifths.
+	if r.Headline["bias1.2/threshold/di"] < 0.75 {
+		t.Errorf("threshold DI = %v", r.Headline["bias1.2/threshold/di"])
+	}
+}
+
+func TestE2Shapes(t *testing.T) {
+	r, err := E2Redlining(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Headline["proxy_top3_is_neighborhood"] != 1 {
+		t.Error("planted proxy not in detector top-3")
+	}
+	// Most of the disparity survives dropping the sensitive column.
+	if r.Headline["residual_fraction"] < 0.5 {
+		t.Errorf("residual disparity fraction = %v, want >= 0.5 (redlining)", r.Headline["residual_fraction"])
+	}
+	// Dropping the proxy too must recover some fairness.
+	if r.Headline["drop-group+proxy/di"] <= r.Headline["drop-group/di"] {
+		t.Errorf("dropping proxy did not improve DI: %v vs %v",
+			r.Headline["drop-group+proxy/di"], r.Headline["drop-group/di"])
+	}
+}
+
+func TestE3Shapes(t *testing.T) {
+	r, err := E3MultipleTesting(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw FWER grows toward 1 with predictor count; Bonferroni stays ~5%.
+	if r.Headline["p100/raw"] < 0.8 {
+		t.Errorf("raw FWER at p=100 is %v, want near 1", r.Headline["p100/raw"])
+	}
+	if r.Headline["p100/bonferroni"] > 0.2 {
+		t.Errorf("Bonferroni FWER at p=100 is %v, want ~0.05", r.Headline["p100/bonferroni"])
+	}
+	if r.Headline["p20/raw"] >= r.Headline["p100/raw"]+0.05 {
+		t.Errorf("raw FWER not increasing in p: %v vs %v", r.Headline["p20/raw"], r.Headline["p100/raw"])
+	}
+}
+
+func TestE4Shapes(t *testing.T) {
+	r, err := E4Simpson(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Headline["recall"] < 0.9 {
+		t.Errorf("Simpson recall = %v", r.Headline["recall"])
+	}
+	if r.Headline["false_positives"] > 0.1 {
+		t.Errorf("Simpson false positives = %v", r.Headline["false_positives"])
+	}
+}
+
+func TestE5Shapes(t *testing.T) {
+	r, err := E5Coverage(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"n100", "n1600"} {
+		cov := r.Headline[n+"/wilson_cov"]
+		if cov < 0.90 || cov > 0.99 {
+			t.Errorf("%s coverage = %v", n, cov)
+		}
+	}
+	// Width shrinks roughly as 1/sqrt(n): n x16 => width /4.
+	ratio := r.Headline["n100/wilson_width"] / r.Headline["n1600/wilson_width"]
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("width ratio for 16x n = %v, want ~4", ratio)
+	}
+}
+
+func TestE6Shapes(t *testing.T) {
+	r, err := E6PrivacyBudget(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error monotone decreasing in eps.
+	if r.Headline["eps0.01/err"] <= r.Headline["eps1.00/err"] {
+		t.Errorf("error not decreasing in eps: %v vs %v",
+			r.Headline["eps0.01/err"], r.Headline["eps1.00/err"])
+	}
+	if r.Headline["granted"] != 3 {
+		t.Errorf("budget granted %v queries, want 3", r.Headline["granted"])
+	}
+}
+
+func TestE7Shapes(t *testing.T) {
+	r, err := E7Anonymity(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss grows with k; risk falls with k.
+	if r.Headline["k25/loss"] <= r.Headline["k2/loss"] {
+		t.Errorf("loss not increasing in k: %v vs %v", r.Headline["k2/loss"], r.Headline["k25/loss"])
+	}
+	if r.Headline["k25/risk"] >= r.Headline["k1/risk"]/5 {
+		t.Errorf("risk did not collapse: %v -> %v", r.Headline["k1/risk"], r.Headline["k25/risk"])
+	}
+	if r.Headline["k25/risk"] > 1.0/25+1e-9 {
+		t.Errorf("k=25 risk %v above 1/k", r.Headline["k25/risk"])
+	}
+	if r.Headline["paillier_exact"] != 1 {
+		t.Error("Paillier sum not exact")
+	}
+	if r.Headline["pseudonym_collisions"] != 0 {
+		t.Error("cross-domain pseudonym collisions")
+	}
+}
+
+func TestE8Shapes(t *testing.T) {
+	r, err := E8Transparency(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fidelity grows with surrogate depth and is substantial by depth 4.
+	if r.Headline["depth4/fidelity"] < 0.75 {
+		t.Errorf("depth-4 fidelity = %v", r.Headline["depth4/fidelity"])
+	}
+	if r.Headline["depth6/fidelity"] < 0.8 {
+		t.Errorf("depth-6 fidelity = %v", r.Headline["depth6/fidelity"])
+	}
+	if r.Headline["depth2/fidelity"] > r.Headline["depth6/fidelity"]+0.02 {
+		t.Errorf("fidelity not improving with depth: %v vs %v",
+			r.Headline["depth2/fidelity"], r.Headline["depth6/fidelity"])
+	}
+	if !strings.Contains(r.Output, "permutation importance") {
+		t.Error("importance table missing")
+	}
+}
+
+func TestE9Shapes(t *testing.T) {
+	r, err := E9Causal(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const truth = 0.03
+	// RCT nails it.
+	if d := r.Headline["rct/naive"] - truth; d > 0.01 || d < -0.01 {
+		t.Errorf("RCT estimate off: %v", r.Headline["rct/naive"])
+	}
+	// Naive bias grows with confounding.
+	if r.Headline["conf2.0/naive"] <= r.Headline["conf0.5/naive"] {
+		t.Errorf("naive bias not growing: %v vs %v",
+			r.Headline["conf0.5/naive"], r.Headline["conf2.0/naive"])
+	}
+	// AIPW lands closer than naive at every confounding level.
+	for _, c := range []string{"conf0.5", "conf1.0", "conf2.0"} {
+		naiveErr := abs(r.Headline[c+"/naive"] - truth)
+		aipwErr := abs(r.Headline[c+"/aipw"] - truth)
+		if aipwErr >= naiveErr {
+			t.Errorf("%s: AIPW error %v not below naive %v", c, aipwErr, naiveErr)
+		}
+	}
+	// IPW weighting repairs balance.
+	if r.Headline["smd_after"] >= r.Headline["smd_before"] {
+		t.Errorf("weighting did not improve balance")
+	}
+}
+
+func TestE10Shapes(t *testing.T) {
+	r, err := E10InternetMinute(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Headline["worst_rate_error"] > 0.05 {
+		t.Errorf("worst rate error = %v, want <= 5%%", r.Headline["worst_rate_error"])
+	}
+	if r.Headline["throughput_meps"] < 0.2 {
+		t.Errorf("throughput = %vM events/s", r.Headline["throughput_meps"])
+	}
+}
+
+func TestE11Shapes(t *testing.T) {
+	r, err := E11Governance(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Headline["denied"] != r.Headline["expected"] {
+		t.Errorf("denied %v != expected %v", r.Headline["denied"], r.Headline["expected"])
+	}
+	if r.Headline["graded_red"] != 1 {
+		t.Error("biased pipeline not graded red")
+	}
+	if r.Headline["overhead"] > 3 {
+		t.Errorf("guard overhead = %vx", r.Headline["overhead"])
+	}
+}
+
+func TestE12Shapes(t *testing.T) {
+	r, err := E12Provenance(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Headline["tamper_caught"] != r.Headline["tamper_total"] {
+		t.Errorf("caught %v of %v tamperings", r.Headline["tamper_caught"], r.Headline["tamper_total"])
+	}
+	if r.Headline["lineage_nodes"] != 7 { // load + 5 transforms + model
+		t.Errorf("lineage nodes = %v, want 7", r.Headline["lineage_nodes"])
+	}
+}

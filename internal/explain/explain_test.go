@@ -1,0 +1,240 @@
+package explain
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// plantedData has a strong feature (x0), a weak one (x1) and pure noise
+// (x2): y = 1 iff 2*x0 + 0.3*x1 > 0.
+func plantedData(n int, seed uint64) *ml.Dataset {
+	src := rng.New(seed)
+	d := &ml.Dataset{Features: []string{"x0", "x1", "x2"}}
+	for i := 0; i < n; i++ {
+		x0 := src.Norm()
+		x1 := src.Norm()
+		x2 := src.Norm()
+		y := 0.0
+		if 2*x0+0.3*x1 > 0 {
+			y = 1
+		}
+		d.X = append(d.X, []float64{x0, x1, x2})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func trainModel(t *testing.T, d *ml.Dataset) ml.Classifier {
+	t.Helper()
+	m, err := ml.TrainLogistic(d, ml.LogisticConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPermutationImportanceRanking(t *testing.T) {
+	d := plantedData(2000, 1)
+	model := trainModel(t, d)
+	src := rng.New(2)
+	imp, err := PermutationImportance(model, d, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("got %d importances", len(imp))
+	}
+	if imp[0].Feature != "x0" {
+		t.Fatalf("top feature = %q, want x0 (full: %+v)", imp[0].Feature, imp)
+	}
+	// Noise feature must have near-zero importance.
+	for _, im := range imp {
+		if im.Feature == "x2" && math.Abs(im.Drop) > 0.02 {
+			t.Fatalf("noise feature importance = %v", im.Drop)
+		}
+	}
+	if imp[0].Drop < 0.1 {
+		t.Fatalf("strong feature importance = %v", imp[0].Drop)
+	}
+}
+
+func TestPermutationImportanceErrors(t *testing.T) {
+	d := plantedData(5, 3)
+	model := trainModel(t, plantedData(100, 3))
+	if _, err := PermutationImportance(model, d, 3, rng.New(1)); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+	if _, err := PermutationImportance(model, plantedData(100, 4), 0, rng.New(1)); err == nil {
+		t.Fatal("zero repeats accepted")
+	}
+}
+
+func TestPartialDependenceMonotone(t *testing.T) {
+	d := plantedData(1000, 5)
+	model := trainModel(t, d)
+	pd, err := PartialDependence(model, d, "x0", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd) != 9 {
+		t.Fatalf("grid = %d", len(pd))
+	}
+	// P(y=1) must rise with x0.
+	if pd[0].MeanProb >= pd[8].MeanProb {
+		t.Fatalf("PD not increasing: %v -> %v", pd[0].MeanProb, pd[8].MeanProb)
+	}
+	for i := 1; i < len(pd); i++ {
+		if pd[i].Value <= pd[i-1].Value {
+			t.Fatal("grid values not increasing")
+		}
+	}
+	// Noise feature: flat profile.
+	pdNoise, err := PartialDependence(model, d, "x2", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := pdNoise[8].MeanProb - pdNoise[0].MeanProb
+	if math.Abs(spread) > 0.05 {
+		t.Fatalf("noise PD spread = %v", spread)
+	}
+}
+
+func TestPartialDependenceErrors(t *testing.T) {
+	d := plantedData(100, 7)
+	model := trainModel(t, d)
+	if _, err := PartialDependence(model, d, "ghost", 5); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	if _, err := PartialDependence(model, d, "x0", 1); err == nil {
+		t.Fatal("single grid point accepted")
+	}
+	constant := &ml.Dataset{
+		X:        [][]float64{{1}, {1}, {1}},
+		Y:        []float64{0, 1, 0},
+		Features: []string{"c"},
+	}
+	if _, err := PartialDependence(model, constant, "c", 5); err == nil {
+		t.Fatal("constant feature accepted")
+	}
+}
+
+func TestSurrogateFidelity(t *testing.T) {
+	d := plantedData(2000, 9)
+	blackBox, err := ml.TrainEnsemble(d, ml.EnsembleConfig{NumTrees: 20, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur, err := FitSurrogate(blackBox, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sur.Fidelity < 0.85 {
+		t.Fatalf("surrogate fidelity = %v", sur.Fidelity)
+	}
+	rules := sur.Rules()
+	if len(rules) == 0 {
+		t.Fatal("no rules extracted")
+	}
+	// The surrogate of this model must split on x0 at the root.
+	if sur.Tree.Root.IsLeaf() || sur.Tree.Features[sur.Tree.Root.Feature] != "x0" {
+		t.Fatalf("surrogate root feature wrong")
+	}
+	// Deeper surrogate is at least as faithful.
+	deep, err := FitSurrogate(blackBox, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Fidelity < sur.Fidelity-1e-9 {
+		t.Fatalf("deeper surrogate less faithful: %v < %v", deep.Fidelity, sur.Fidelity)
+	}
+}
+
+func TestExplainLocalIdentifiesDriver(t *testing.T) {
+	d := plantedData(1500, 11)
+	model := trainModel(t, d)
+	x := []float64{0.1, 0.0, 0.0} // near the boundary
+	exp, err := ExplainLocal(model, d, x, 500, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := exp.TopFeatures(1)
+	if top[0] != "x0" {
+		t.Fatalf("local top feature = %q, want x0 (weights %v)", top[0], exp.Weights)
+	}
+	// Weight signs: x0 positive, and |w(x0)| >> |w(x2)|.
+	if exp.Weights[0] <= 0 {
+		t.Fatalf("x0 local weight = %v, want positive", exp.Weights[0])
+	}
+	if math.Abs(exp.Weights[0]) < 5*math.Abs(exp.Weights[2]) {
+		t.Fatalf("x0 weight %v not dominant over noise %v", exp.Weights[0], exp.Weights[2])
+	}
+	if exp.BaseProb < 0 || exp.BaseProb > 1 {
+		t.Fatalf("base prob = %v", exp.BaseProb)
+	}
+}
+
+func TestExplainLocalErrors(t *testing.T) {
+	d := plantedData(200, 13)
+	model := trainModel(t, d)
+	if _, err := ExplainLocal(model, d, []float64{1}, 500, rng.New(1)); err == nil {
+		t.Fatal("wrong-width instance accepted")
+	}
+	if _, err := ExplainLocal(model, d, []float64{0, 0, 0}, 10, rng.New(1)); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}
+
+func TestFindCounterfactualFlipsDecision(t *testing.T) {
+	d := plantedData(1000, 15)
+	model := trainModel(t, d)
+	x := []float64{-2, 0, 0} // firmly rejected
+	if ml.Predict(model, x) != 0 {
+		t.Fatal("test instance not rejected")
+	}
+	cf, err := FindCounterfactual(model, d, x, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.NewProb < 0.5 {
+		t.Fatalf("counterfactual prob = %v", cf.NewProb)
+	}
+	if cf.NumEdits > 2 {
+		t.Fatalf("edits = %d", cf.NumEdits)
+	}
+	// It should edit x0, the decisive feature.
+	if _, ok := cf.Changed["x0"]; !ok {
+		t.Fatalf("counterfactual changed %v, want x0", cf.Changed)
+	}
+}
+
+func TestFindCounterfactualRespectsImmutable(t *testing.T) {
+	d := plantedData(1000, 17)
+	model := trainModel(t, d)
+	x := []float64{-2, -3, 0}
+	// With both informative features frozen, no flip is possible.
+	_, err := FindCounterfactual(model, d, x, 1, 3, []string{"x0", "x1"})
+	if err == nil {
+		t.Fatal("flip claimed with decisive features frozen")
+	}
+}
+
+func TestFindCounterfactualValidation(t *testing.T) {
+	d := plantedData(100, 19)
+	model := trainModel(t, d)
+	x := []float64{0, 0, 0}
+	if _, err := FindCounterfactual(model, d, x, 0.5, 2, nil); err == nil {
+		t.Fatal("non-binary desired accepted")
+	}
+	if _, err := FindCounterfactual(model, d, x, 1, 0, nil); err == nil {
+		t.Fatal("zero maxEdits accepted")
+	}
+	if _, err := FindCounterfactual(model, d, x, 1, 2, []string{"ghost"}); err == nil {
+		t.Fatal("unknown immutable accepted")
+	}
+	if _, err := FindCounterfactual(model, d, []float64{1}, 1, 2, nil); err == nil {
+		t.Fatal("wrong-width instance accepted")
+	}
+}

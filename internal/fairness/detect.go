@@ -1,0 +1,189 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/stats"
+)
+
+// ProxyScore ranks how strongly one feature encodes the sensitive
+// attribute.
+type ProxyScore struct {
+	Feature string
+	// Association in [0,1]: |point-biserial correlation| between the
+	// feature and protected-group membership (Spearman-based, so monotone
+	// nonlinear encodings are caught too).
+	Association float64
+	// PredictivePower is the accuracy above chance of predicting group
+	// membership from this single feature with a depth-2 tree, rescaled
+	// to [0,1]. High values mean the feature alone re-identifies the
+	// group — dropping the sensitive column will not help (redlining).
+	PredictivePower float64
+}
+
+// DetectProxies ranks every feature of the dataset by how well it encodes
+// membership in the protected group. The paper's warning is precise:
+// omitting the sensitive attribute does not prevent discrimination when
+// proxies remain. groups must align with the dataset rows.
+func DetectProxies(d *ml.Dataset, groups []string, protected string) ([]ProxyScore, error) {
+	if len(groups) != d.N() {
+		return nil, fmt.Errorf("fairness: DetectProxies needs one group label per row")
+	}
+	if d.N() < 10 {
+		return nil, fmt.Errorf("fairness: DetectProxies needs >=10 rows, got %d", d.N())
+	}
+	member := make([]float64, d.N())
+	var anyMember bool
+	for i, g := range groups {
+		if g == protected {
+			member[i] = 1
+			anyMember = true
+		}
+	}
+	if !anyMember {
+		return nil, fmt.Errorf("fairness: no rows in protected group %q", protected)
+	}
+	scores := make([]ProxyScore, 0, d.D())
+	for j, name := range d.Features {
+		col := d.Column(j)
+		assoc := math.Abs(stats.SpearmanCorrelation(col, member))
+		if math.IsNaN(assoc) {
+			assoc = 0 // constant feature
+		}
+		power, err := singleFeaturePower(col, member)
+		if err != nil {
+			return nil, fmt.Errorf("fairness: proxy power for %q: %w", name, err)
+		}
+		scores = append(scores, ProxyScore{Feature: name, Association: assoc, PredictivePower: power})
+	}
+	sort.SliceStable(scores, func(a, b int) bool {
+		sa := math.Max(scores[a].Association, scores[a].PredictivePower)
+		sb := math.Max(scores[b].Association, scores[b].PredictivePower)
+		return sa > sb
+	})
+	return scores, nil
+}
+
+// singleFeaturePower trains a depth-2 tree from one feature to group
+// membership and reports accuracy rescaled above the majority-class rate:
+// 0 = no better than always guessing the majority, 1 = perfect.
+func singleFeaturePower(col, member []float64) (float64, error) {
+	d := &ml.Dataset{Features: []string{"f"}}
+	d.X = make([][]float64, len(col))
+	for i, v := range col {
+		d.X[i] = []float64{v}
+	}
+	d.Y = member
+	var pos float64
+	for _, m := range member {
+		pos += m
+	}
+	majority := math.Max(pos, float64(len(member))-pos) / float64(len(member))
+	tree, err := ml.TrainTree(d, ml.TreeConfig{MaxDepth: 2, MinLeaf: 5})
+	if err != nil {
+		return 0, err
+	}
+	acc, err := ml.Accuracy(member, ml.PredictAll(tree, d.X))
+	if err != nil {
+		return 0, err
+	}
+	if majority >= 1 {
+		return 0, nil
+	}
+	power := (acc - majority) / (1 - majority)
+	if power < 0 {
+		power = 0
+	}
+	return power, nil
+}
+
+// SituationTestResult is the outcome of k-NN situation testing for one
+// audited individual.
+type SituationTestResult struct {
+	Row  int
+	Diff float64 // positive-decision rate of reference-group neighbours minus own-group neighbours
+}
+
+// SituationTesting implements k-NN situation testing (Luong et al.): for
+// each protected-group member with an unfavourable decision, compare the
+// decision rate among its k nearest neighbours from the protected group
+// versus the k nearest from the reference group. A large positive Diff
+// means similar reference-group individuals fare better — individual
+// evidence of discrimination. Returns results for audited rows with
+// Diff >= threshold, sorted by Diff descending.
+func SituationTesting(d *ml.Dataset, yPred []float64, groups []string, protected, reference string, k int, threshold float64) ([]SituationTestResult, error) {
+	if len(yPred) != d.N() || len(groups) != d.N() {
+		return nil, fmt.Errorf("fairness: SituationTesting length mismatch")
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("fairness: SituationTesting threshold %v out of [0,1]", threshold)
+	}
+	var protIdx, refIdx []int
+	for i, g := range groups {
+		switch g {
+		case protected:
+			protIdx = append(protIdx, i)
+		case reference:
+			refIdx = append(refIdx, i)
+		}
+	}
+	if k <= 0 || k > len(protIdx)-1 || k > len(refIdx) {
+		return nil, fmt.Errorf("fairness: SituationTesting k=%d infeasible (protected=%d reference=%d)", k, len(protIdx), len(refIdx))
+	}
+	var out []SituationTestResult
+	for _, i := range protIdx {
+		if yPred[i] != 0 {
+			continue // only audit unfavourable decisions
+		}
+		ownRate := neighborRate(d, yPred, i, protIdx, k, true)
+		refRate := neighborRate(d, yPred, i, refIdx, k, false)
+		diff := refRate - ownRate
+		if diff >= threshold {
+			out = append(out, SituationTestResult{Row: i, Diff: diff})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Diff > out[b].Diff })
+	return out, nil
+}
+
+// neighborRate returns the mean prediction among the k nearest rows to
+// row i drawn from candidates (excluding i itself when excludeSelf).
+func neighborRate(d *ml.Dataset, yPred []float64, i int, candidates []int, k int, excludeSelf bool) float64 {
+	type pair struct {
+		dist float64
+		idx  int
+	}
+	ds := make([]pair, 0, len(candidates))
+	for _, c := range candidates {
+		if excludeSelf && c == i {
+			continue
+		}
+		ds = append(ds, pair{euclidean(d.X[i], d.X[c]), c})
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].dist != ds[b].dist {
+			return ds[a].dist < ds[b].dist
+		}
+		return ds[a].idx < ds[b].idx
+	})
+	if k > len(ds) {
+		k = len(ds)
+	}
+	var sum float64
+	for j := 0; j < k; j++ {
+		sum += yPred[ds[j].idx]
+	}
+	return sum / float64(k)
+}
+
+func euclidean(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

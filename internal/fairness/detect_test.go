@@ -1,0 +1,146 @@
+package fairness
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/rng"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+func TestDetectProxiesRanksPlantedProxy(t *testing.T) {
+	f, err := synth.Credit(synth.CreditConfig{N: 6000, ProxyStrength: 0.9, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := f.MustCol("group").Strings()
+	scores, err := DetectProxies(ds, groups, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != ds.D() {
+		t.Fatalf("scores = %d, features = %d", len(scores), ds.D())
+	}
+	// The top proxies must be neighborhood dummies (the planted redline).
+	topIsNeighborhood := false
+	for _, s := range scores[:3] {
+		if len(s.Feature) >= 12 && s.Feature[:12] == "neighborhood" {
+			topIsNeighborhood = true
+		}
+	}
+	if !topIsNeighborhood {
+		t.Fatalf("top-3 proxies %v do not include neighborhood", []string{scores[0].Feature, scores[1].Feature, scores[2].Feature})
+	}
+	// debt_ratio is independent of group: must score near the bottom.
+	for i, s := range scores {
+		if s.Feature == "debt_ratio" && i < len(scores)/2 {
+			t.Fatalf("independent feature debt_ratio ranked %d with assoc %v", i, s.Association)
+		}
+	}
+}
+
+func TestDetectProxiesErrors(t *testing.T) {
+	d := &ml.Dataset{X: [][]float64{{1}}, Y: []float64{0}, Features: []string{"x"}}
+	if _, err := DetectProxies(d, []string{"a"}, "a"); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+	big := &ml.Dataset{Features: []string{"x"}}
+	for i := 0; i < 20; i++ {
+		big.X = append(big.X, []float64{float64(i)})
+		big.Y = append(big.Y, 0)
+	}
+	groups := make([]string, 20)
+	for i := range groups {
+		groups[i] = "a"
+	}
+	if _, err := DetectProxies(big, groups, "notpresent"); err == nil {
+		t.Fatal("absent protected group accepted")
+	}
+	if _, err := DetectProxies(big, groups[:5], "a"); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSituationTestingFindsPlantedDiscrimination(t *testing.T) {
+	// Two identical sub-populations; protected members with the same
+	// features get rejected while reference members are accepted.
+	src := rng.New(19)
+	d := &ml.Dataset{Features: []string{"x1", "x2"}}
+	var groups []string
+	var pred []float64
+	for i := 0; i < 300; i++ {
+		x1 := src.Normal(0, 1)
+		x2 := src.Normal(0, 1)
+		d.X = append(d.X, []float64{x1, x2})
+		d.Y = append(d.Y, 0)
+		if i%2 == 0 {
+			groups = append(groups, "B")
+			pred = append(pred, 0) // protected always rejected
+		} else {
+			groups = append(groups, "A")
+			pred = append(pred, 1) // reference always accepted
+		}
+	}
+	results, err := SituationTesting(d, pred, groups, "B", "A", 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every audited protected member should be flagged with diff 1.
+	if len(results) != 150 {
+		t.Fatalf("flagged %d of 150 discriminated individuals", len(results))
+	}
+	if results[0].Diff != 1 {
+		t.Fatalf("top diff = %v", results[0].Diff)
+	}
+}
+
+func TestSituationTestingCleanDecisions(t *testing.T) {
+	// Decisions depend only on x (threshold rule), same for both groups:
+	// no individual should be flagged at a high threshold.
+	src := rng.New(23)
+	d := &ml.Dataset{Features: []string{"x"}}
+	var groups []string
+	var pred []float64
+	for i := 0; i < 400; i++ {
+		x := src.Normal(0, 1)
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 0)
+		g := "A"
+		if i%2 == 0 {
+			g = "B"
+		}
+		groups = append(groups, g)
+		if x > 0 {
+			pred = append(pred, 1)
+		} else {
+			pred = append(pred, 0)
+		}
+	}
+	results, err := SituationTesting(d, pred, groups, "B", "A", 7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of boundary cases may trip; the bulk must be clean.
+	if len(results) > 10 {
+		t.Fatalf("%d false positives on clean decisions", len(results))
+	}
+}
+
+func TestSituationTestingErrors(t *testing.T) {
+	d := &ml.Dataset{X: [][]float64{{1}, {2}}, Y: []float64{0, 0}, Features: []string{"x"}}
+	groups := []string{"B", "A"}
+	pred := []float64{0, 1}
+	if _, err := SituationTesting(d, pred, groups, "B", "A", 5, 0.5); err == nil {
+		t.Fatal("infeasible k accepted")
+	}
+	if _, err := SituationTesting(d, pred, groups, "B", "A", 1, 2); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	if _, err := SituationTesting(d, pred[:1], groups, "B", "A", 1, 0.5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

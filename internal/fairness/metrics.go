@@ -1,0 +1,192 @@
+// Package fairness implements FACT Q1: "data science without prejudice —
+// how to avoid unfair conclusions even if they are true?"
+//
+// It provides three layers:
+//
+//   - Measurement: group fairness metrics (statistical parity, disparate
+//     impact, equal opportunity, equalized odds, predictive parity,
+//     per-group calibration) and individual-fairness consistency.
+//   - Detection: proxy/redlining discovery (features that encode the
+//     sensitive attribute even after it is dropped — the paper's warning
+//     that "even if sensitive attributes are omitted, members of certain
+//     groups may still be systematically rejected") and situation testing.
+//   - Mitigation: reweighing and massaging (pre-processing), disparate
+//     impact repair (feature transformation), and reject-option /
+//     per-group threshold optimization (post-processing).
+//
+// Conventions: the protected group and reference group are identified by
+// their string labels; predictions and labels are 0/1 with 1 the
+// favourable outcome (e.g. loan approved).
+package fairness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/responsible-data-science/rds/internal/ml"
+)
+
+// GroupStats summarizes outcomes within one group.
+type GroupStats struct {
+	Group        string
+	N            int
+	BaseRate     float64 // P(y=1), from true labels
+	PositiveRate float64 // P(yhat=1)
+	TPR          float64 // recall within the group
+	FPR          float64
+	Precision    float64
+}
+
+// Report compares a protected group against a reference group on the
+// standard group-fairness metrics.
+type Report struct {
+	Protected GroupStats
+	Reference GroupStats
+
+	// StatisticalParityDifference is P(yhat=1|protected) - P(yhat=1|reference).
+	// 0 is parity; negative values disadvantage the protected group.
+	StatisticalParityDifference float64
+	// DisparateImpact is the ratio P(yhat=1|protected) / P(yhat=1|reference).
+	// The EEOC "four-fifths rule" flags values below 0.8.
+	DisparateImpact float64
+	// EqualOpportunityDifference is TPR(protected) - TPR(reference).
+	EqualOpportunityDifference float64
+	// EqualizedOddsDifference is max(|dTPR|, |dFPR|).
+	EqualizedOddsDifference float64
+	// PredictiveParityDifference is precision(protected) - precision(reference).
+	PredictiveParityDifference float64
+}
+
+// FourFifths reports whether the disparate-impact ratio passes the
+// four-fifths rule.
+func (r Report) FourFifths() bool { return r.DisparateImpact >= 0.8 }
+
+// Evaluate computes the group-fairness report for hard predictions yPred
+// against true labels yTrue, with groups naming each row's group
+// membership. Labels and predictions must be 0/1.
+func Evaluate(yTrue, yPred []float64, groups []string, protected, reference string) (Report, error) {
+	if len(yTrue) != len(yPred) || len(yTrue) != len(groups) {
+		return Report{}, fmt.Errorf("fairness: length mismatch: %d labels, %d predictions, %d groups",
+			len(yTrue), len(yPred), len(groups))
+	}
+	prot, err := groupStats(yTrue, yPred, groups, protected)
+	if err != nil {
+		return Report{}, err
+	}
+	ref, err := groupStats(yTrue, yPred, groups, reference)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{Protected: prot, Reference: ref}
+	r.StatisticalParityDifference = prot.PositiveRate - ref.PositiveRate
+	if ref.PositiveRate > 0 {
+		r.DisparateImpact = prot.PositiveRate / ref.PositiveRate
+	} else if prot.PositiveRate == 0 {
+		r.DisparateImpact = 1 // nobody gets the favourable outcome anywhere
+	} else {
+		r.DisparateImpact = math.Inf(1)
+	}
+	r.EqualOpportunityDifference = prot.TPR - ref.TPR
+	r.EqualizedOddsDifference = math.Max(math.Abs(prot.TPR-ref.TPR), math.Abs(prot.FPR-ref.FPR))
+	r.PredictiveParityDifference = prot.Precision - ref.Precision
+	return r, nil
+}
+
+func groupStats(yTrue, yPred []float64, groups []string, name string) (GroupStats, error) {
+	var gt, gp []float64
+	for i, g := range groups {
+		if g != name {
+			continue
+		}
+		gt = append(gt, yTrue[i])
+		gp = append(gp, yPred[i])
+	}
+	if len(gt) == 0 {
+		return GroupStats{}, fmt.Errorf("fairness: group %q has no rows", name)
+	}
+	cm, err := ml.Confusion(gt, gp)
+	if err != nil {
+		return GroupStats{}, fmt.Errorf("fairness: group %q: %w", name, err)
+	}
+	var base float64
+	for _, y := range gt {
+		base += y
+	}
+	return GroupStats{
+		Group:        name,
+		N:            len(gt),
+		BaseRate:     base / float64(len(gt)),
+		PositiveRate: cm.PositiveRate(),
+		TPR:          cm.Recall(),
+		FPR:          cm.FalsePositiveRate(),
+		Precision:    cm.Precision(),
+	}, nil
+}
+
+// CalibrationGap returns the absolute difference in expected calibration
+// error between the two groups, given probabilistic predictions. Per-group
+// calibration is the fairness notion under which a score means the same
+// thing regardless of group membership.
+func CalibrationGap(yTrue, probs []float64, groups []string, protected, reference string, bins int) (float64, error) {
+	if len(yTrue) != len(probs) || len(yTrue) != len(groups) {
+		return 0, fmt.Errorf("fairness: CalibrationGap length mismatch")
+	}
+	ece := func(name string) (float64, error) {
+		var gt, gp []float64
+		for i, g := range groups {
+			if g == name {
+				gt = append(gt, yTrue[i])
+				gp = append(gp, probs[i])
+			}
+		}
+		if len(gt) == 0 {
+			return 0, fmt.Errorf("fairness: group %q has no rows", name)
+		}
+		return ml.ExpectedCalibrationError(gt, gp, bins)
+	}
+	a, err := ece(protected)
+	if err != nil {
+		return 0, err
+	}
+	b, err := ece(reference)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(a - b), nil
+}
+
+// Consistency measures individual fairness as 1 - mean |yhat_i - mean
+// yhat of the k nearest neighbours of i| over the feature space (Zemel et
+// al.'s consistency score). 1 means identical treatment of similar
+// individuals. The neighbour search excludes the point itself.
+func Consistency(d *ml.Dataset, yPred []float64, k int) (float64, error) {
+	if len(yPred) != d.N() {
+		return 0, fmt.Errorf("fairness: Consistency needs one prediction per row")
+	}
+	if k <= 0 || k >= d.N() {
+		return 0, fmt.Errorf("fairness: Consistency k=%d out of range [1,%d)", k, d.N())
+	}
+	// Reuse KNN with k+1 neighbours (the nearest is the point itself).
+	knn, err := ml.TrainKNN(d, k+1)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i, x := range d.X {
+		nb := knn.Neighbors(x)
+		var sum float64
+		count := 0
+		for _, j := range nb {
+			if j == i {
+				continue
+			}
+			sum += yPred[j]
+			count++
+			if count == k {
+				break
+			}
+		}
+		total += math.Abs(yPred[i] - sum/float64(count))
+	}
+	return 1 - total/float64(d.N()), nil
+}

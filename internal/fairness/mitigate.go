@@ -1,0 +1,321 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/responsible-data-science/rds/internal/ml"
+)
+
+// Reweigh computes Kamiran-Calders instance weights that make group
+// membership statistically independent of the label in the weighted
+// training distribution: w(g, y) = P(g)P(y) / P(g, y). Training any
+// weight-aware model on the returned weights removes statistical
+// dependence between group and label without touching features or labels.
+func Reweigh(y []float64, groups []string) ([]float64, error) {
+	n := len(y)
+	if n == 0 || len(groups) != n {
+		return nil, fmt.Errorf("fairness: Reweigh needs equal-length non-empty labels and groups")
+	}
+	countG := map[string]float64{}
+	countY := map[float64]float64{}
+	countGY := map[string]float64{}
+	for i, g := range groups {
+		if y[i] != 0 && y[i] != 1 {
+			return nil, fmt.Errorf("fairness: Reweigh labels must be 0/1, row %d is %v", i, y[i])
+		}
+		countG[g]++
+		countY[y[i]]++
+		countGY[key(g, y[i])]++
+	}
+	w := make([]float64, n)
+	nf := float64(n)
+	for i, g := range groups {
+		joint := countGY[key(g, y[i])]
+		w[i] = (countG[g] / nf) * (countY[y[i]] / nf) / (joint / nf)
+	}
+	return w, nil
+}
+
+func key(g string, y float64) string {
+	if y == 1 {
+		return g + "\x1f1"
+	}
+	return g + "\x1f0"
+}
+
+// Massage implements Kamiran-Calders "massaging": it flips the labels of
+// the protected group's most promising rejected candidates to 1 and the
+// reference group's least promising accepted candidates to 0, in equal
+// numbers M, where M is the smallest number of swaps that equalizes
+// positive label rates. The ranker scores candidates (higher = more
+// deserving of the favourable outcome). Returns the modified labels and M.
+func Massage(y []float64, groups []string, scores []float64, protected, reference string) ([]float64, int, error) {
+	n := len(y)
+	if len(groups) != n || len(scores) != n || n == 0 {
+		return nil, 0, fmt.Errorf("fairness: Massage needs equal-length non-empty inputs")
+	}
+	var protIdx, refIdx []int
+	var protPos, refPos float64
+	for i, g := range groups {
+		if y[i] != 0 && y[i] != 1 {
+			return nil, 0, fmt.Errorf("fairness: Massage labels must be 0/1, row %d is %v", i, y[i])
+		}
+		switch g {
+		case protected:
+			protIdx = append(protIdx, i)
+			protPos += y[i]
+		case reference:
+			refIdx = append(refIdx, i)
+			refPos += y[i]
+		}
+	}
+	if len(protIdx) == 0 || len(refIdx) == 0 {
+		return nil, 0, fmt.Errorf("fairness: Massage needs rows in both groups")
+	}
+	out := append([]float64(nil), y...)
+	np, nr := float64(len(protIdx)), float64(len(refIdx))
+	if protPos/np >= refPos/nr {
+		return out, 0, nil // protected group already at or above parity
+	}
+	// Promotion candidates: protected rejected, highest score first.
+	var promote []int
+	for _, i := range protIdx {
+		if y[i] == 0 {
+			promote = append(promote, i)
+		}
+	}
+	sort.SliceStable(promote, func(a, b int) bool { return scores[promote[a]] > scores[promote[b]] })
+	// Demotion candidates: reference accepted, lowest score first.
+	var demote []int
+	for _, i := range refIdx {
+		if y[i] == 1 {
+			demote = append(demote, i)
+		}
+	}
+	sort.SliceStable(demote, func(a, b int) bool { return scores[demote[a]] < scores[demote[b]] })
+
+	m := 0
+	pPos, rPos := protPos, refPos
+	for m < len(promote) && m < len(demote) {
+		if pPos/np >= rPos/nr {
+			break
+		}
+		out[promote[m]] = 1
+		out[demote[m]] = 0
+		pPos++
+		rPos--
+		m++
+	}
+	return out, m, nil
+}
+
+// RepairDisparateImpact transforms numeric features so that each group's
+// marginal feature distribution matches the overall median distribution
+// (Feldman et al.'s geometric repair with amount lambda in [0,1]; 1 = full
+// repair). It removes proxy information carried by feature *distributions*
+// while preserving within-group rank order. Returns a repaired copy.
+func RepairDisparateImpact(d *ml.Dataset, groups []string, lambda float64) (*ml.Dataset, error) {
+	if len(groups) != d.N() {
+		return nil, fmt.Errorf("fairness: RepairDisparateImpact needs one group per row")
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("fairness: repair amount %v out of [0,1]", lambda)
+	}
+	out := d.Clone()
+	byGroup := map[string][]int{}
+	for i, g := range groups {
+		byGroup[g] = append(byGroup[g], i)
+	}
+	groupNames := make([]string, 0, len(byGroup))
+	for g := range byGroup {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	for j := 0; j < d.D(); j++ {
+		col := d.Column(j)
+		// Per-group sorted values for quantile lookup.
+		sorted := map[string][]float64{}
+		for g, idx := range byGroup {
+			vals := make([]float64, len(idx))
+			for k, i := range idx {
+				vals[k] = col[i]
+			}
+			sort.Float64s(vals)
+			sorted[g] = vals
+		}
+		for _, g := range groupNames {
+			idx := byGroup[g]
+			own := sorted[g]
+			for _, i := range idx {
+				// Rank of this value within its own group.
+				q := quantileOf(own, col[i])
+				// Median of all groups' q-quantiles (the "repaired" value).
+				target := medianQuantile(sorted, groupNames, q)
+				out.X[i][j] = (1-lambda)*col[i] + lambda*target
+			}
+		}
+	}
+	return out, nil
+}
+
+func quantileOf(sorted []float64, v float64) float64 {
+	// Fraction of values strictly below v, midpoint for ties.
+	lo := sort.SearchFloat64s(sorted, v)
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	if len(sorted) <= 1 {
+		return 0.5
+	}
+	mid := (float64(lo) + float64(hi)) / 2
+	return mid / float64(len(sorted))
+}
+
+func medianQuantile(sorted map[string][]float64, groups []string, q float64) float64 {
+	vals := make([]float64, 0, len(groups))
+	for _, g := range groups {
+		vals = append(vals, quantileValue(sorted[g], q))
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+func quantileValue(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(sorted) {
+		hi = len(sorted) - 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GroupThresholds holds per-group decision thresholds chosen by
+// OptimizeThresholds.
+type GroupThresholds struct {
+	Thresholds map[string]float64
+	Default    float64
+}
+
+// Apply converts probabilities into decisions using each row's group
+// threshold.
+func (gt GroupThresholds) Apply(probs []float64, groups []string) []float64 {
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		th, ok := gt.Thresholds[groups[i]]
+		if !ok {
+			th = gt.Default
+		}
+		if p >= th {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ParityGoal selects which fairness criterion OptimizeThresholds targets.
+type ParityGoal int
+
+const (
+	// DemographicParity equalizes positive rates across groups.
+	DemographicParity ParityGoal = iota
+	// EqualOpportunity equalizes true-positive rates across groups.
+	EqualOpportunity
+)
+
+// OptimizeThresholds searches per-group thresholds so that the protected
+// group's rate (positive rate or TPR, per goal) matches the reference
+// group's rate under the reference group's default 0.5 threshold. It is
+// the classical post-processing mitigation: the model is untouched and
+// only the decision rule changes.
+func OptimizeThresholds(yTrue, probs []float64, groups []string, protected, reference string, goal ParityGoal) (GroupThresholds, error) {
+	n := len(yTrue)
+	if len(probs) != n || len(groups) != n || n == 0 {
+		return GroupThresholds{}, fmt.Errorf("fairness: OptimizeThresholds needs equal-length non-empty inputs")
+	}
+	refRate, err := rateAtThreshold(yTrue, probs, groups, reference, 0.5, goal)
+	if err != nil {
+		return GroupThresholds{}, err
+	}
+	// Scan candidate thresholds for the protected group.
+	best := 0.5
+	bestGap := math.Inf(1)
+	for t := 0.01; t <= 0.99; t += 0.01 {
+		r, err := rateAtThreshold(yTrue, probs, groups, protected, t, goal)
+		if err != nil {
+			return GroupThresholds{}, err
+		}
+		if gap := math.Abs(r - refRate); gap < bestGap {
+			bestGap = gap
+			best = t
+		}
+	}
+	return GroupThresholds{
+		Thresholds: map[string]float64{protected: best, reference: 0.5},
+		Default:    0.5,
+	}, nil
+}
+
+func rateAtThreshold(yTrue, probs []float64, groups []string, group string, t float64, goal ParityGoal) (float64, error) {
+	var pos, den float64
+	for i, g := range groups {
+		if g != group {
+			continue
+		}
+		switch goal {
+		case DemographicParity:
+			den++
+			if probs[i] >= t {
+				pos++
+			}
+		case EqualOpportunity:
+			if yTrue[i] == 1 {
+				den++
+				if probs[i] >= t {
+					pos++
+				}
+			}
+		}
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("fairness: group %q has no qualifying rows", group)
+	}
+	return pos / den, nil
+}
+
+// RejectOptionClassify implements reject-option post-processing (Kamiran
+// et al.): inside the low-confidence band |p - 0.5| <= margin, protected-
+// group members receive the favourable outcome and reference-group members
+// the unfavourable one; outside the band the model's decision stands.
+func RejectOptionClassify(probs []float64, groups []string, protected string, margin float64) ([]float64, error) {
+	if len(probs) != len(groups) {
+		return nil, fmt.Errorf("fairness: RejectOptionClassify length mismatch")
+	}
+	if margin < 0 || margin > 0.5 {
+		return nil, fmt.Errorf("fairness: margin %v out of [0,0.5]", margin)
+	}
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		inBand := math.Abs(p-0.5) <= margin
+		switch {
+		case inBand && groups[i] == protected:
+			out[i] = 1
+		case inBand:
+			out[i] = 0
+		case p >= 0.5:
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,384 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/rng"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+// biasedCredit returns a biased credit dataset split into features,
+// labels, and group labels.
+func biasedCredit(t *testing.T, n int, bias float64, seed uint64) (*ml.Dataset, []string, *frame.Frame) {
+	t.Helper()
+	f, err := synth.Credit(synth.CreditConfig{N: n, Bias: bias, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ml.FromFrame(f, "approved", "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := f.MustCol("group").Strings()
+	return ds, groups, f
+}
+
+func TestReweighBalancesGroupLabelDependence(t *testing.T) {
+	_, groups, f := biasedCredit(t, 5000, 1.0, 3)
+	y := f.MustCol("approved").Floats()
+	w, err := Reweigh(y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted positive rates must be equal across groups.
+	rate := func(g string) float64 {
+		var pos, tot float64
+		for i := range y {
+			if groups[i] != g {
+				continue
+			}
+			tot += w[i]
+			pos += w[i] * y[i]
+		}
+		return pos / tot
+	}
+	if math.Abs(rate("A")-rate("B")) > 1e-9 {
+		t.Fatalf("weighted rates differ: A=%v B=%v", rate("A"), rate("B"))
+	}
+	// Total weight is preserved (sum w = n).
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if math.Abs(total-float64(len(y))) > 1e-6 {
+		t.Fatalf("total weight = %v, want %v", total, len(y))
+	}
+}
+
+// Property: reweighing always equalizes weighted base rates, for any
+// random assignment of labels and two groups.
+func TestReweighParityProperty(t *testing.T) {
+	check := func(labels []bool, groupBits []bool) bool {
+		n := len(labels)
+		if len(groupBits) < n {
+			n = len(groupBits)
+		}
+		if n < 4 {
+			return true
+		}
+		y := make([]float64, n)
+		groups := make([]string, n)
+		cells := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if labels[i] {
+				y[i] = 1
+			}
+			groups[i] = "A"
+			if groupBits[i] {
+				groups[i] = "B"
+			}
+			cells[fmt.Sprintf("%s%v", groups[i], labels[i])] = true
+		}
+		// Reweighing equalizes rates only when every (group,label) cell is
+		// populated; with an empty cell the group's weighted rate is pinned
+		// at 0 or 1. Skip those degenerate inputs.
+		if len(cells) < 4 {
+			return true
+		}
+		w, err := Reweigh(y, groups)
+		if err != nil {
+			return false
+		}
+		rate := func(g string) float64 {
+			var pos, tot float64
+			for i := range y {
+				if groups[i] == g {
+					tot += w[i]
+					pos += w[i] * y[i]
+				}
+			}
+			return pos / tot
+		}
+		return math.Abs(rate("A")-rate("B")) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReweighErrors(t *testing.T) {
+	if _, err := Reweigh(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Reweigh([]float64{2}, []string{"a"}); err == nil {
+		t.Fatal("non-binary label accepted")
+	}
+}
+
+func TestReweighReducesModelBias(t *testing.T) {
+	ds, groups, f := biasedCredit(t, 8000, 1.2, 5)
+	y := f.MustCol("approved").Floats()
+
+	baseModel, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePred := ml.PredictAll(baseModel, ds.X)
+	baseRep, err := Evaluate(y, basePred, groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := Reweigh(y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := ds.Clone()
+	weighted.Weights = w
+	fairModel, err := ml.TrainLogistic(weighted, ml.LogisticConfig{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fairPred := ml.PredictAll(fairModel, ds.X)
+	fairRep, err := Evaluate(y, fairPred, groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fairRep.DisparateImpact <= baseRep.DisparateImpact {
+		t.Fatalf("reweighing did not improve DI: %v -> %v", baseRep.DisparateImpact, fairRep.DisparateImpact)
+	}
+}
+
+func TestMassageEqualizesLabelRates(t *testing.T) {
+	_, groups, f := biasedCredit(t, 4000, 1.0, 7)
+	y := f.MustCol("approved").Floats()
+	// Score = income as a crude ranker.
+	scores := f.MustCol("income").Floats()
+	out, m, err := Massage(y, groups, scores, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == 0 {
+		t.Fatal("no swaps performed on biased data")
+	}
+	rate := func(ys []float64, g string) float64 {
+		var pos, tot float64
+		for i := range ys {
+			if groups[i] == g {
+				tot++
+				pos += ys[i]
+			}
+		}
+		return pos / tot
+	}
+	before := rate(y, "A") - rate(y, "B")
+	after := rate(out, "A") - rate(out, "B")
+	if math.Abs(after) > math.Abs(before)/4 {
+		t.Fatalf("massaging left gap %v (was %v)", after, before)
+	}
+	// Total positives preserved (swap semantics).
+	var sumBefore, sumAfter float64
+	for i := range y {
+		sumBefore += y[i]
+		sumAfter += out[i]
+	}
+	if sumBefore != sumAfter {
+		t.Fatalf("massaging changed total positives: %v -> %v", sumBefore, sumAfter)
+	}
+	// Input labels untouched.
+	orig := f.MustCol("approved").Floats()
+	for i := range y {
+		if y[i] != orig[i] {
+			t.Fatal("Massage mutated input labels")
+		}
+	}
+}
+
+func TestMassageAlreadyFair(t *testing.T) {
+	y := []float64{1, 0, 1, 0}
+	groups := []string{"A", "A", "B", "B"}
+	scores := []float64{1, 2, 3, 4}
+	out, m, err := Massage(y, groups, scores, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0 {
+		t.Fatalf("swaps on fair data: %d", m)
+	}
+	for i := range y {
+		if out[i] != y[i] {
+			t.Fatal("labels changed on fair data")
+		}
+	}
+}
+
+func TestMassageErrors(t *testing.T) {
+	if _, _, err := Massage([]float64{1}, []string{"a"}, []float64{1, 2}, "a", "b"); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Massage([]float64{1, 0}, []string{"a", "a"}, []float64{1, 2}, "b", "a"); err == nil {
+		t.Fatal("missing group accepted")
+	}
+}
+
+func TestRepairDisparateImpactFullRepair(t *testing.T) {
+	// Two groups with shifted feature distributions; full repair must
+	// equalize group means (approximately, via quantile alignment).
+	src := rng.New(9)
+	d := &ml.Dataset{Features: []string{"x"}}
+	var groups []string
+	for i := 0; i < 1000; i++ {
+		g := "A"
+		mu := 10.0
+		if i%2 == 0 {
+			g = "B"
+			mu = 20.0
+		}
+		d.X = append(d.X, []float64{src.Normal(mu, 2)})
+		d.Y = append(d.Y, 0)
+		groups = append(groups, g)
+	}
+	repaired, err := RepairDisparateImpact(d, groups, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(ds *ml.Dataset, g string) float64 {
+		var sum, n float64
+		for i := range ds.X {
+			if groups[i] == g {
+				sum += ds.X[i][0]
+				n++
+			}
+		}
+		return sum / n
+	}
+	gapBefore := math.Abs(meanOf(d, "A") - meanOf(d, "B"))
+	gapAfter := math.Abs(meanOf(repaired, "A") - meanOf(repaired, "B"))
+	if gapAfter > gapBefore/20 {
+		t.Fatalf("full repair left mean gap %v (was %v)", gapAfter, gapBefore)
+	}
+	// Rank order within groups preserved.
+	var aIdx []int
+	for i, g := range groups {
+		if g == "A" {
+			aIdx = append(aIdx, i)
+		}
+	}
+	for k := 1; k < len(aIdx); k++ {
+		i, j := aIdx[k-1], aIdx[k]
+		if (d.X[i][0] < d.X[j][0]) != (repaired.X[i][0] < repaired.X[j][0]) {
+			// Ties can flip; only flag clear inversions.
+			if math.Abs(d.X[i][0]-d.X[j][0]) > 1e-9 && math.Abs(repaired.X[i][0]-repaired.X[j][0]) > 1e-9 {
+				t.Fatal("repair broke within-group rank order")
+			}
+		}
+	}
+}
+
+func TestRepairLambdaZeroIsIdentity(t *testing.T) {
+	d := &ml.Dataset{
+		X:        [][]float64{{1}, {2}, {3}, {4}},
+		Y:        []float64{0, 0, 0, 0},
+		Features: []string{"x"},
+	}
+	groups := []string{"A", "B", "A", "B"}
+	out, err := RepairDisparateImpact(d, groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.X {
+		if out.X[i][0] != d.X[i][0] {
+			t.Fatal("lambda=0 changed data")
+		}
+	}
+	if _, err := RepairDisparateImpact(d, groups, 2); err == nil {
+		t.Fatal("lambda > 1 accepted")
+	}
+}
+
+func TestOptimizeThresholdsDemographicParity(t *testing.T) {
+	ds, groups, f := biasedCredit(t, 6000, 1.0, 11)
+	y := f.MustCol("approved").Floats()
+	model, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := ml.PredictProbaAll(model, ds.X)
+
+	baseRep, err := Evaluate(y, ml.PredictAll(model, ds.X), groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := OptimizeThresholds(y, probs, groups, "B", "A", DemographicParity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := th.Apply(probs, groups)
+	adjRep, err := Evaluate(y, adjusted, groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(adjRep.StatisticalParityDifference) > math.Abs(baseRep.StatisticalParityDifference)/2 {
+		t.Fatalf("threshold optimization SPD %v -> %v", baseRep.StatisticalParityDifference, adjRep.StatisticalParityDifference)
+	}
+	// Protected threshold must be below the default to admit more B's.
+	if th.Thresholds["B"] >= 0.5 {
+		t.Fatalf("protected threshold = %v, want < 0.5", th.Thresholds["B"])
+	}
+}
+
+func TestOptimizeThresholdsEqualOpportunity(t *testing.T) {
+	ds, groups, f := biasedCredit(t, 6000, 1.0, 13)
+	y := f.MustCol("approved").Floats()
+	model, err := ml.TrainLogistic(ds, ml.LogisticConfig{Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := ml.PredictProbaAll(model, ds.X)
+	th, err := OptimizeThresholds(y, probs, groups, "B", "A", EqualOpportunity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := th.Apply(probs, groups)
+	rep, err := Evaluate(y, adjusted, groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.EqualOpportunityDifference) > 0.08 {
+		t.Fatalf("EOD after optimization = %v", rep.EqualOpportunityDifference)
+	}
+}
+
+func TestGroupThresholdsApplyDefault(t *testing.T) {
+	gt := GroupThresholds{Thresholds: map[string]float64{"B": 0.3}, Default: 0.5}
+	out := gt.Apply([]float64{0.4, 0.4}, []string{"B", "C"})
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("Apply = %v", out)
+	}
+}
+
+func TestRejectOptionClassify(t *testing.T) {
+	probs := []float64{0.45, 0.45, 0.9, 0.1, 0.55, 0.55}
+	groups := []string{"B", "A", "A", "B", "B", "A"}
+	out, err := RejectOptionClassify(probs, groups, "B", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 1, 0, 1, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("row %d = %v, want %v (full %v)", i, out[i], want[i], out)
+		}
+	}
+	if _, err := RejectOptionClassify(probs, groups[:2], "B", 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RejectOptionClassify(probs, groups, "B", 0.9); err == nil {
+		t.Fatal("margin > 0.5 accepted")
+	}
+}

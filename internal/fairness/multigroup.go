@@ -1,0 +1,92 @@
+package fairness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MultiReport evaluates fairness across an arbitrary number of groups,
+// the situation real sensitive attributes (ethnicity, age bands,
+// intersections) present. Each group is compared against the most
+// favoured group, following the usual regulatory framing.
+type MultiReport struct {
+	// Groups in descending positive-rate order; Groups[0] is the most
+	// favoured (the implicit reference).
+	Groups []GroupStats
+	// MinDisparateImpact is the worst group's positive rate over the most
+	// favoured group's — the number the four-fifths rule applies to when
+	// more than two groups exist.
+	MinDisparateImpact float64
+	// MaxEqualizedOdds is the largest pairwise equalized-odds difference.
+	MaxEqualizedOdds float64
+}
+
+// EvaluateAll computes fairness statistics for every distinct group in
+// groups. At least two groups must be present.
+func EvaluateAll(yTrue, yPred []float64, groups []string) (*MultiReport, error) {
+	if len(yTrue) != len(yPred) || len(yTrue) != len(groups) {
+		return nil, fmt.Errorf("fairness: EvaluateAll length mismatch")
+	}
+	distinct := map[string]bool{}
+	for _, g := range groups {
+		distinct[g] = true
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("fairness: EvaluateAll needs >= 2 groups, got %d", len(distinct))
+	}
+	names := make([]string, 0, len(distinct))
+	for g := range distinct {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	stats := make([]GroupStats, 0, len(names))
+	for _, g := range names {
+		s, err := groupStats(yTrue, yPred, groups, g)
+		if err != nil {
+			return nil, err
+		}
+		stats = append(stats, s)
+	}
+	sort.SliceStable(stats, func(a, b int) bool {
+		return stats[a].PositiveRate > stats[b].PositiveRate
+	})
+	rep := &MultiReport{Groups: stats}
+	best := stats[0].PositiveRate
+	worst := stats[len(stats)-1].PositiveRate
+	if best > 0 {
+		rep.MinDisparateImpact = worst / best
+	} else {
+		rep.MinDisparateImpact = 1
+	}
+	for i := 0; i < len(stats); i++ {
+		for j := i + 1; j < len(stats); j++ {
+			eo := pairEqualizedOdds(stats[i], stats[j])
+			if eo > rep.MaxEqualizedOdds {
+				rep.MaxEqualizedOdds = eo
+			}
+		}
+	}
+	return rep, nil
+}
+
+func pairEqualizedOdds(a, b GroupStats) float64 {
+	dTPR := math.Abs(a.TPR - b.TPR)
+	dFPR := math.Abs(a.FPR - b.FPR)
+	// NaNs (degenerate groups) should not dominate: treat as 0 so they
+	// surface through the group stats instead.
+	if math.IsNaN(dTPR) {
+		dTPR = 0
+	}
+	if math.IsNaN(dFPR) {
+		dFPR = 0
+	}
+	return math.Max(dTPR, dFPR)
+}
+
+// FourFifths reports whether every group passes the four-fifths rule
+// against the most favoured group.
+func (m *MultiReport) FourFifths() bool { return m.MinDisparateImpact >= 0.8 }
+
+// WorstGroup returns the group with the lowest positive rate.
+func (m *MultiReport) WorstGroup() GroupStats { return m.Groups[len(m.Groups)-1] }

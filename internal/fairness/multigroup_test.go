@@ -1,0 +1,93 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateAllThreeGroups(t *testing.T) {
+	var yTrue, yPred []float64
+	var groups []string
+	add := func(g string, y, p float64, n int) {
+		for i := 0; i < n; i++ {
+			yTrue = append(yTrue, y)
+			yPred = append(yPred, p)
+			groups = append(groups, g)
+		}
+	}
+	// Positive rates: a = 0.6, b = 0.5, c = 0.3.
+	add("a", 1, 1, 6)
+	add("a", 0, 0, 4)
+	add("b", 1, 1, 5)
+	add("b", 0, 0, 5)
+	add("c", 1, 1, 3)
+	add("c", 0, 0, 7)
+	rep, err := EvaluateAll(yTrue, yPred, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 3 {
+		t.Fatalf("groups = %d", len(rep.Groups))
+	}
+	if rep.Groups[0].Group != "a" || rep.WorstGroup().Group != "c" {
+		t.Fatalf("ordering wrong: %v / %v", rep.Groups[0].Group, rep.WorstGroup().Group)
+	}
+	if math.Abs(rep.MinDisparateImpact-0.5) > 1e-12 { // 0.3/0.6
+		t.Fatalf("min DI = %v, want 0.5", rep.MinDisparateImpact)
+	}
+	if rep.FourFifths() {
+		t.Fatal("0.5 passed four-fifths")
+	}
+}
+
+func TestEvaluateAllEqualGroups(t *testing.T) {
+	yTrue := []float64{1, 0, 1, 0, 1, 0}
+	yPred := []float64{1, 0, 1, 0, 1, 0}
+	groups := []string{"x", "x", "y", "y", "z", "z"}
+	rep, err := EvaluateAll(yTrue, yPred, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FourFifths() {
+		t.Fatal("equal groups failed four-fifths")
+	}
+	if rep.MaxEqualizedOdds > 1e-12 {
+		t.Fatalf("max EO = %v", rep.MaxEqualizedOdds)
+	}
+}
+
+func TestEvaluateAllEqualizedOddsWorstPair(t *testing.T) {
+	var yTrue, yPred []float64
+	var groups []string
+	add := func(g string, y, p float64, n int) {
+		for i := 0; i < n; i++ {
+			yTrue = append(yTrue, y)
+			yPred = append(yPred, p)
+			groups = append(groups, g)
+		}
+	}
+	// Group a: TPR 1.0; group b: TPR 0.5; group c: TPR 0.0. All FPR 0.
+	add("a", 1, 1, 4)
+	add("a", 0, 0, 4)
+	add("b", 1, 1, 2)
+	add("b", 1, 0, 2)
+	add("b", 0, 0, 4)
+	add("c", 1, 0, 4)
+	add("c", 0, 0, 4)
+	rep, err := EvaluateAll(yTrue, yPred, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MaxEqualizedOdds-1.0) > 1e-12 {
+		t.Fatalf("max EO = %v, want 1.0 (a vs c)", rep.MaxEqualizedOdds)
+	}
+}
+
+func TestEvaluateAllValidation(t *testing.T) {
+	if _, err := EvaluateAll([]float64{1}, []float64{1}, []string{"only"}); err == nil {
+		t.Fatal("single group accepted")
+	}
+	if _, err := EvaluateAll([]float64{1}, []float64{1, 0}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses CSV data with a header row into a Frame, inferring column
+// types. Empty cells become nulls. Type inference scans the whole column
+// and picks the narrowest of: Int64, Float64, Bool, String — the same
+// ordering a database loader would use.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("frame: csv has no header row")
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]*Series, len(header))
+	for j, name := range header {
+		raw := make([]string, len(rows))
+		for i, rec := range rows {
+			if j >= len(rec) {
+				return nil, fmt.Errorf("frame: csv row %d has %d fields, header has %d", i+2, len(rec), len(header))
+			}
+			raw[i] = rec[j]
+		}
+		cols[j] = inferSeries(strings.TrimSpace(name), raw)
+	}
+	return New(cols...)
+}
+
+// ReadCSVString is ReadCSV over an in-memory string.
+func ReadCSVString(s string) (*Frame, error) {
+	return ReadCSV(strings.NewReader(s))
+}
+
+func inferSeries(name string, raw []string) *Series {
+	isInt, isFloat, isBool := true, true, true
+	for _, v := range raw {
+		if v == "" {
+			continue
+		}
+		if isInt {
+			if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+				isInt = false
+			}
+		}
+		if isFloat {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				isFloat = false
+			}
+		}
+		if isBool {
+			if _, err := strconv.ParseBool(v); err != nil {
+				isBool = false
+			}
+		}
+	}
+	switch {
+	case isInt:
+		s := &Series{name: name, dtype: Int64, ints: make([]int64, len(raw))}
+		for i, v := range raw {
+			if v == "" {
+				s.SetNull(i)
+				continue
+			}
+			s.ints[i], _ = strconv.ParseInt(v, 10, 64)
+		}
+		return s
+	case isFloat:
+		s := &Series{name: name, dtype: Float64, floats: make([]float64, len(raw))}
+		for i, v := range raw {
+			if v == "" {
+				s.SetNull(i)
+				continue
+			}
+			s.floats[i], _ = strconv.ParseFloat(v, 64)
+		}
+		return s
+	case isBool:
+		s := &Series{name: name, dtype: Bool, bools: make([]bool, len(raw))}
+		for i, v := range raw {
+			if v == "" {
+				s.SetNull(i)
+				continue
+			}
+			s.bools[i], _ = strconv.ParseBool(v)
+		}
+		return s
+	default:
+		s := &Series{name: name, dtype: String, strings: make([]string, len(raw))}
+		for i, v := range raw {
+			if v == "" {
+				s.SetNull(i)
+				continue
+			}
+			s.strings[i] = v
+		}
+		return s
+	}
+}
+
+// WriteCSV serializes the frame as CSV with a header row; nulls render as
+// empty cells, making WriteCSV/ReadCSV a lossless round trip for frames
+// whose string columns contain no empty strings.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.Names()); err != nil {
+		return fmt.Errorf("frame: writing csv header: %w", err)
+	}
+	rec := make([]string, f.NumCols())
+	for r := 0; r < f.NumRows(); r++ {
+		for j, c := range f.cols {
+			rec[j] = c.FormatValue(r)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("frame: writing csv row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVString renders the frame as a CSV string.
+func (f *Frame) CSVString() (string, error) {
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,158 @@
+package frame
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadCSVTypeInference(t *testing.T) {
+	f, err := ReadCSVString("id,score,flag,label\n1,0.5,true,x\n2,1.5,false,y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := map[string]DType{"id": Int64, "score": Float64, "flag": Bool, "label": String}
+	for name, dt := range wantTypes {
+		if got := f.MustCol(name).DType(); got != dt {
+			t.Errorf("column %q inferred %s, want %s", name, got, dt)
+		}
+	}
+	if f.MustCol("id").Int(1) != 2 || f.MustCol("score").Float(1) != 1.5 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadCSVIntsPreferredOverFloats(t *testing.T) {
+	f, err := ReadCSVString("a\n1\n2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MustCol("a").DType() != Int64 {
+		t.Fatalf("all-int column inferred %s", f.MustCol("a").DType())
+	}
+}
+
+func TestReadCSVMixedBecomesString(t *testing.T) {
+	f, err := ReadCSVString("a\n1\nx\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MustCol("a").DType() != String {
+		t.Fatalf("mixed column inferred %s", f.MustCol("a").DType())
+	}
+}
+
+func TestReadCSVNulls(t *testing.T) {
+	f, err := ReadCSVString("a,b\n1,\n,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.MustCol("b").IsNull(0) || !f.MustCol("a").IsNull(1) {
+		t.Fatal("empty cells not null")
+	}
+	if f.MustCol("a").Int(0) != 1 {
+		t.Fatal("non-null value wrong")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSVString(""); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+}
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	f, err := ReadCSVString("a,b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 0 || f.NumCols() != 2 {
+		t.Fatalf("header-only shape %dx%d", f.NumRows(), f.NumCols())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := MustNew(
+		NewString("name", []string{"ann", "bob"}),
+		NewInt64("age", []int64{30, 41}),
+		NewFloat64("score", []float64{0.75, -1.25}),
+		NewBool("ok", []bool{true, false}),
+	)
+	s, err := f.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSVString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(g) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", f, g)
+	}
+}
+
+func TestCSVRoundTripNulls(t *testing.T) {
+	s := NewFloat64("v", []float64{1, 2})
+	s.SetNull(1)
+	f := MustNew(s, NewInt64("k", []int64{7, 8}))
+	text, err := f.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSVString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.MustCol("v").IsNull(1) {
+		t.Fatal("null lost in round trip")
+	}
+	if g.MustCol("k").Int(1) != 8 {
+		t.Fatal("value lost in round trip")
+	}
+}
+
+// Property: any frame of int64 values survives a CSV round trip intact.
+func TestCSVRoundTripProperty(t *testing.T) {
+	check := func(a, b []int64) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		f := MustNew(NewInt64("a", a), NewInt64("b", b))
+		text, err := f.CSVString()
+		if err != nil {
+			return false
+		}
+		g, err := ReadCSVString(text)
+		if err != nil {
+			return false
+		}
+		if len(a) == 0 {
+			return g.NumRows() == 0
+		}
+		return f.Equal(g)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVRaggedRow(t *testing.T) {
+	// encoding/csv itself rejects ragged rows; ensure error propagates.
+	if _, err := ReadCSVString("a,b\n1\n"); err == nil {
+		t.Fatal("ragged csv accepted")
+	}
+}
+
+func TestWriteCSVHeaderMatchesNames(t *testing.T) {
+	f := sample()
+	s, err := f.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(s, "\n", 2)[0]
+	if first != "name,age,score,member" {
+		t.Fatalf("header = %q", first)
+	}
+}

@@ -1,0 +1,290 @@
+package frame
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Frame {
+	return MustNew(
+		NewString("name", []string{"ann", "bob", "cee", "dan"}),
+		NewInt64("age", []int64{30, 41, 25, 33}),
+		NewFloat64("score", []float64{0.7, 0.4, 0.9, 0.5}),
+		NewBool("member", []bool{true, false, true, true}),
+	)
+}
+
+func TestNewRejectsDuplicateNames(t *testing.T) {
+	_, err := New(NewInt64("a", []int64{1}), NewInt64("a", []int64{2}))
+	if err == nil {
+		t.Fatal("duplicate column names accepted")
+	}
+}
+
+func TestNewRejectsLengthMismatch(t *testing.T) {
+	_, err := New(NewInt64("a", []int64{1, 2}), NewInt64("b", []int64{1}))
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestNewRejectsEmptyName(t *testing.T) {
+	_, err := New(NewInt64("", []int64{1}))
+	if err == nil {
+		t.Fatal("empty column name accepted")
+	}
+}
+
+func TestShape(t *testing.T) {
+	f := sample()
+	if f.NumRows() != 4 || f.NumCols() != 4 {
+		t.Fatalf("shape = %dx%d, want 4x4", f.NumRows(), f.NumCols())
+	}
+	want := []string{"name", "age", "score", "member"}
+	got := f.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v", got)
+		}
+	}
+}
+
+func TestColAccess(t *testing.T) {
+	f := sample()
+	age := f.MustCol("age")
+	if age.Int(1) != 41 {
+		t.Fatalf("age[1] = %d", age.Int(1))
+	}
+	if age.Float(2) != 25 {
+		t.Fatalf("age widening failed: %v", age.Float(2))
+	}
+	if _, err := f.Col("missing"); err == nil {
+		t.Fatal("missing column lookup succeeded")
+	}
+	if !strings.Contains(f.MustCol("name").Str(0), "ann") {
+		t.Fatal("string access failed")
+	}
+	if !f.MustCol("member").Boolv(0) {
+		t.Fatal("bool access failed")
+	}
+}
+
+func TestSelectAndDrop(t *testing.T) {
+	f := sample()
+	sel, err := f.Select("score", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumCols() != 2 || sel.Names()[0] != "score" {
+		t.Fatalf("Select order wrong: %v", sel.Names())
+	}
+	dropped, err := f.Drop("member", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.NumCols() != 2 || dropped.Has("member") {
+		t.Fatalf("Drop failed: %v", dropped.Names())
+	}
+	if _, err := f.Drop("nope"); err == nil {
+		t.Fatal("Drop of unknown column succeeded")
+	}
+}
+
+func TestWithColumnAppendAndReplace(t *testing.T) {
+	f := sample()
+	g, err := f.WithColumn(NewFloat64("bonus", []float64{1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCols() != 5 {
+		t.Fatal("append failed")
+	}
+	// Original is untouched (immutability).
+	if f.NumCols() != 4 {
+		t.Fatal("WithColumn mutated receiver")
+	}
+	h, err := g.WithColumn(NewFloat64("bonus", []float64{9, 9, 9, 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumCols() != 5 || h.MustCol("bonus").Float(0) != 9 {
+		t.Fatal("replace failed")
+	}
+	if _, err := f.WithColumn(NewFloat64("x", []float64{1})); err == nil {
+		t.Fatal("length mismatch accepted by WithColumn")
+	}
+}
+
+func TestTakeAndSlice(t *testing.T) {
+	f := sample()
+	g := f.Take([]int{3, 1, 1})
+	if g.NumRows() != 3 || g.MustCol("name").Str(0) != "dan" || g.MustCol("name").Str(2) != "bob" {
+		t.Fatalf("Take wrong: %v", g.MustCol("name").Strings())
+	}
+	s := f.Slice(1, 3)
+	if s.NumRows() != 2 || s.MustCol("name").Str(0) != "bob" {
+		t.Fatal("Slice wrong")
+	}
+	h := f.Head(2)
+	if h.NumRows() != 2 {
+		t.Fatal("Head wrong")
+	}
+	if f.Head(100).NumRows() != 4 {
+		t.Fatal("Head over-length wrong")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := sample()
+	age := f.MustCol("age")
+	g := f.Filter(func(i int) bool { return age.Int(i) >= 30 })
+	if g.NumRows() != 3 {
+		t.Fatalf("Filter rows = %d, want 3", g.NumRows())
+	}
+	eq, err := f.FilterEq("name", "cee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.NumRows() != 1 || eq.MustCol("age").Int(0) != 25 {
+		t.Fatal("FilterEq wrong")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	f := sample()
+	asc, err := f.SortBy("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.MustCol("age").Int(0) != 25 || asc.MustCol("age").Int(3) != 41 {
+		t.Fatalf("ascending sort wrong: %v", asc.MustCol("age").Strings())
+	}
+	desc, err := f.SortBy("-score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.MustCol("score").Float(0) != 0.9 {
+		t.Fatal("descending sort wrong")
+	}
+	multi, err := f.SortBy("member", "-age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// member=false first (bob), then members by age descending: dan, ann, cee.
+	want := []string{"bob", "dan", "ann", "cee"}
+	for i, w := range want {
+		if multi.MustCol("name").Str(i) != w {
+			t.Fatalf("multi-key sort = %v, want %v", multi.MustCol("name").Strings(), want)
+		}
+	}
+}
+
+func TestSortNullsFirst(t *testing.T) {
+	s := NewInt64("v", []int64{5, 0, 3})
+	s.SetNull(1)
+	f := MustNew(s)
+	sorted, err := f.SortBy("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorted.MustCol("v").IsNull(0) {
+		t.Fatal("null did not sort first")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	f := sample()
+	g, err := f.Append(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 8 {
+		t.Fatalf("Append rows = %d", g.NumRows())
+	}
+	if g.MustCol("name").Str(4) != "ann" {
+		t.Fatal("Append content wrong")
+	}
+	bad := MustNew(NewInt64("other", []int64{1}))
+	if _, err := f.Append(bad); err == nil {
+		t.Fatal("Append with schema mismatch succeeded")
+	}
+}
+
+func TestAppendPreservesNulls(t *testing.T) {
+	s := NewFloat64("v", []float64{1, 2})
+	s.SetNull(0)
+	a := MustNew(s)
+	b := MustNew(NewFloat64("v", []float64{3, 4}))
+	g, err := a.Append(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.MustCol("v").IsNull(0) || g.MustCol("v").IsNull(2) {
+		t.Fatal("null mask lost in Append")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !sample().Equal(sample()) {
+		t.Fatal("identical frames not Equal")
+	}
+	other := sample().Take([]int{0, 1, 2})
+	if sample().Equal(other) {
+		t.Fatal("different frames Equal")
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	s := NewFloat64("v", []float64{1, 2, 3})
+	s.SetNull(1)
+	if s.NullCount() != 1 {
+		t.Fatal("NullCount wrong")
+	}
+	if !math.IsNaN(s.Float(1)) {
+		t.Fatal("null Float not NaN")
+	}
+	if s.FormatValue(1) != "" {
+		t.Fatal("null FormatValue not empty")
+	}
+	if s.Value(1) != nil {
+		t.Fatal("null Value not nil")
+	}
+	taken := s.Take([]int{1, 0})
+	if !taken.IsNull(0) || taken.IsNull(1) {
+		t.Fatal("Take lost null mask")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	s := NewString("g", []string{"b", "a", "b", "c", "a"})
+	got := s.Levels()
+	want := []string{"b", "a", "c"}
+	if len(got) != 3 {
+		t.Fatalf("Levels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Levels order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSeriesMap(t *testing.T) {
+	s := NewFloat64("v", []float64{1, 4, 9})
+	s.SetNull(2)
+	m := s.Map("sqrt_v", math.Sqrt)
+	if m.Name() != "sqrt_v" || m.Float(1) != 2 {
+		t.Fatal("Map wrong")
+	}
+	if !m.IsNull(2) {
+		t.Fatal("Map dropped null")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "Frame[4 rows x 4 cols]") || !strings.Contains(out, "ann") {
+		t.Fatalf("String() = %q", out)
+	}
+}

@@ -1,0 +1,190 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GroupBy partitions the frame by the rendered values of the named columns
+// and returns the groups in deterministic (sorted key) order. Determinism
+// matters for provenance: the same input must always hash to the same
+// grouped output.
+func (f *Frame) GroupBy(names ...string) ([]Group, error) {
+	cols := make([]*Series, len(names))
+	for i, n := range names {
+		c, err := f.Col(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	byKey := map[string][]int{}
+	keyVals := map[string][]string{}
+	for r := 0; r < f.NumRows(); r++ {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			if c.IsNull(r) {
+				parts[i] = "\x00null"
+			} else {
+				parts[i] = c.FormatValue(r)
+			}
+		}
+		k := strings.Join(parts, "\x1f")
+		byKey[k] = append(byKey[k], r)
+		keyVals[k] = parts
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group, len(keys))
+	for i, k := range keys {
+		out[i] = Group{Keys: keyVals[k], Rows: f.Take(byKey[k])}
+	}
+	return out, nil
+}
+
+// Group is one partition of a GroupBy: the key values (one per grouping
+// column) and the subframe of matching rows.
+type Group struct {
+	Keys []string
+	Rows *Frame
+}
+
+// Agg describes one aggregation over a numeric column.
+type Agg struct {
+	Col string // input column
+	Op  AggOp  // aggregation operator
+	As  string // output column name; defaults to op_col
+}
+
+// AggOp enumerates supported aggregation operators.
+type AggOp int
+
+const (
+	// AggCount counts non-null rows.
+	AggCount AggOp = iota
+	// AggSum sums non-null values.
+	AggSum
+	// AggMean averages non-null values.
+	AggMean
+	// AggMin takes the minimum of non-null values.
+	AggMin
+	// AggMax takes the maximum of non-null values.
+	AggMax
+)
+
+// String returns the operator's name.
+func (op AggOp) String() string {
+	switch op {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMean:
+		return "mean"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggOp(%d)", int(op))
+}
+
+// Aggregate groups by the key columns and computes one row per group with
+// the requested aggregations. The result has the key columns (as strings)
+// followed by one float64 column per aggregation.
+func (f *Frame) Aggregate(keys []string, aggs []Agg) (*Frame, error) {
+	groups, err := f.GroupBy(keys...)
+	if err != nil {
+		return nil, err
+	}
+	keyCols := make([][]string, len(keys))
+	aggCols := make([][]float64, len(aggs))
+	for i := range aggCols {
+		aggCols[i] = make([]float64, 0, len(groups))
+	}
+	for i := range keyCols {
+		keyCols[i] = make([]string, 0, len(groups))
+	}
+	for _, g := range groups {
+		for i := range keys {
+			keyCols[i] = append(keyCols[i], g.Keys[i])
+		}
+		for i, a := range aggs {
+			v, err := aggregateColumn(g.Rows, a)
+			if err != nil {
+				return nil, err
+			}
+			aggCols[i] = append(aggCols[i], v)
+		}
+	}
+	cols := make([]*Series, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		cols = append(cols, NewString(k, keyCols[i]))
+	}
+	for i, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Op.String() + "_" + a.Col
+		}
+		cols = append(cols, NewFloat64(name, aggCols[i]))
+	}
+	return New(cols...)
+}
+
+func aggregateColumn(g *Frame, a Agg) (float64, error) {
+	s, err := g.Col(a.Col)
+	if err != nil {
+		return 0, err
+	}
+	if a.Op == AggCount {
+		return float64(s.Len() - s.NullCount()), nil
+	}
+	if s.DType() != Float64 && s.DType() != Int64 {
+		return 0, fmt.Errorf("frame: aggregate %s on non-numeric column %q", a.Op, a.Col)
+	}
+	var (
+		sum  float64
+		n    int
+		minV = math.Inf(1)
+		maxV = math.Inf(-1)
+	)
+	for i := 0; i < s.Len(); i++ {
+		if s.IsNull(i) {
+			continue
+		}
+		v := s.Float(i)
+		sum += v
+		n++
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	switch a.Op {
+	case AggSum:
+		return sum, nil
+	case AggMean:
+		if n == 0 {
+			return math.NaN(), nil
+		}
+		return sum / float64(n), nil
+	case AggMin:
+		if n == 0 {
+			return math.NaN(), nil
+		}
+		return minV, nil
+	case AggMax:
+		if n == 0 {
+			return math.NaN(), nil
+		}
+		return maxV, nil
+	}
+	return 0, fmt.Errorf("frame: unknown aggregation %v", a.Op)
+}

@@ -1,0 +1,240 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func deptFrame() *Frame {
+	return MustNew(
+		NewString("dept", []string{"eng", "ops", "eng", "ops", "eng"}),
+		NewString("site", []string{"a", "a", "b", "b", "a"}),
+		NewFloat64("pay", []float64{10, 20, 30, 40, 50}),
+	)
+}
+
+func TestGroupBySingleKey(t *testing.T) {
+	groups, err := deptFrame().GroupBy("dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Deterministic sorted key order: eng before ops.
+	if groups[0].Keys[0] != "eng" || groups[0].Rows.NumRows() != 3 {
+		t.Fatalf("first group %v with %d rows", groups[0].Keys, groups[0].Rows.NumRows())
+	}
+	if groups[1].Keys[0] != "ops" || groups[1].Rows.NumRows() != 2 {
+		t.Fatalf("second group %v", groups[1].Keys)
+	}
+}
+
+func TestGroupByMultiKey(t *testing.T) {
+	groups, err := deptFrame().GroupBy("dept", "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d, want 4", len(groups))
+	}
+}
+
+func TestGroupByUnknownColumn(t *testing.T) {
+	if _, err := deptFrame().GroupBy("nope"); err == nil {
+		t.Fatal("unknown group key accepted")
+	}
+}
+
+func TestGroupByNullKey(t *testing.T) {
+	s := NewString("g", []string{"x", "y", "x"})
+	s.SetNull(1)
+	f := MustNew(s, NewFloat64("v", []float64{1, 2, 3}))
+	groups, err := f.GroupBy("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("null key grouping produced %d groups", len(groups))
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	out, err := deptFrame().Aggregate([]string{"dept"}, []Agg{
+		{Col: "pay", Op: AggMean},
+		{Col: "pay", Op: AggSum, As: "total"},
+		{Col: "pay", Op: AggCount},
+		{Col: "pay", Op: AggMin},
+		{Col: "pay", Op: AggMax},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("aggregate rows = %d", out.NumRows())
+	}
+	// eng: pays 10,30,50.
+	if got := out.MustCol("mean_pay").Float(0); got != 30 {
+		t.Errorf("eng mean = %v", got)
+	}
+	if got := out.MustCol("total").Float(0); got != 90 {
+		t.Errorf("eng total = %v", got)
+	}
+	if got := out.MustCol("count_pay").Float(0); got != 3 {
+		t.Errorf("eng count = %v", got)
+	}
+	if got := out.MustCol("min_pay").Float(0); got != 10 {
+		t.Errorf("eng min = %v", got)
+	}
+	if got := out.MustCol("max_pay").Float(0); got != 50 {
+		t.Errorf("eng max = %v", got)
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	v := NewFloat64("v", []float64{1, 100, 3})
+	v.SetNull(1)
+	f := MustNew(NewString("g", []string{"a", "a", "a"}), v)
+	out, err := f.Aggregate([]string{"g"}, []Agg{{Col: "v", Op: AggMean}, {Col: "v", Op: AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.MustCol("mean_v").Float(0); got != 2 {
+		t.Fatalf("mean with null = %v, want 2", got)
+	}
+	if got := out.MustCol("count_v").Float(0); got != 2 {
+		t.Fatalf("count with null = %v, want 2", got)
+	}
+}
+
+func TestAggregateEmptyGroupStats(t *testing.T) {
+	v := NewFloat64("v", []float64{1})
+	v.SetNull(0)
+	f := MustNew(NewString("g", []string{"a"}), v)
+	out, err := f.Aggregate([]string{"g"}, []Agg{{Col: "v", Op: AggMean}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.MustCol("mean_v").Float(0)) {
+		t.Fatal("mean of all-null group should be NaN")
+	}
+}
+
+func TestAggregateNonNumeric(t *testing.T) {
+	f := deptFrame()
+	if _, err := f.Aggregate([]string{"dept"}, []Agg{{Col: "site", Op: AggSum}}); err == nil {
+		t.Fatal("sum over string column accepted")
+	}
+	// Count over strings is fine.
+	out, err := f.Aggregate([]string{"dept"}, []Agg{{Col: "site", Op: AggCount}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MustCol("count_site").Float(0) != 3 {
+		t.Fatal("count over string wrong")
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	left := MustNew(
+		NewString("id", []string{"a", "b", "c"}),
+		NewFloat64("x", []float64{1, 2, 3}),
+	)
+	right := MustNew(
+		NewString("id", []string{"b", "c", "d"}),
+		NewFloat64("y", []float64{20, 30, 40}),
+	)
+	out, err := left.Join(right, "id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("inner join rows = %d", out.NumRows())
+	}
+	if out.MustCol("id").Str(0) != "b" || out.MustCol("y").Float(0) != 20 {
+		t.Fatal("inner join content wrong")
+	}
+}
+
+func TestJoinLeft(t *testing.T) {
+	left := MustNew(
+		NewString("id", []string{"a", "b"}),
+		NewFloat64("x", []float64{1, 2}),
+	)
+	right := MustNew(
+		NewString("id", []string{"b"}),
+		NewFloat64("y", []float64{20}),
+	)
+	out, err := left.Join(right, "id", LeftJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("left join rows = %d", out.NumRows())
+	}
+	if !out.MustCol("y").IsNull(0) {
+		t.Fatal("unmatched left row should have null y")
+	}
+	if out.MustCol("y").Float(1) != 20 {
+		t.Fatal("matched row wrong")
+	}
+}
+
+func TestJoinDuplicateRightKeysFanOut(t *testing.T) {
+	left := MustNew(NewString("id", []string{"a"}), NewFloat64("x", []float64{1}))
+	right := MustNew(NewString("id", []string{"a", "a"}), NewFloat64("y", []float64{10, 11}))
+	out, err := left.Join(right, "id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("fan-out rows = %d, want 2", out.NumRows())
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	left := MustNew(NewString("id", []string{"a"}), NewFloat64("v", []float64{1}))
+	right := MustNew(NewString("id", []string{"a"}), NewFloat64("v", []float64{2}))
+	out, err := left.Join(right, "id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has("v_right") {
+		t.Fatalf("collision not suffixed: %v", out.Names())
+	}
+	if out.MustCol("v").Float(0) != 1 || out.MustCol("v_right").Float(0) != 2 {
+		t.Fatal("collision values wrong")
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	lid := NewString("id", []string{"a", "b"})
+	lid.SetNull(0)
+	left := MustNew(lid, NewFloat64("x", []float64{1, 2}))
+	rid := NewString("id", []string{"a", "b"})
+	rid.SetNull(0)
+	right := MustNew(rid, NewFloat64("y", []float64{10, 20}))
+	out, err := left.Join(right, "id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 || out.MustCol("id").Str(0) != "b" {
+		t.Fatalf("null keys matched: %d rows", out.NumRows())
+	}
+}
+
+func TestJoinKeyDTypeMismatch(t *testing.T) {
+	left := MustNew(NewString("id", []string{"1"}))
+	right := MustNew(NewInt64("id", []int64{1}))
+	if _, err := left.Join(right, "id", InnerJoin); err == nil {
+		t.Fatal("dtype mismatch join accepted")
+	}
+}
+
+func TestJoinMissingKey(t *testing.T) {
+	left := MustNew(NewString("id", []string{"1"}))
+	right := MustNew(NewString("other", []string{"1"}))
+	if _, err := left.Join(right, "id", InnerJoin); err == nil {
+		t.Fatal("missing right key accepted")
+	}
+}

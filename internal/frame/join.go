@@ -1,0 +1,124 @@
+package frame
+
+import (
+	"fmt"
+)
+
+// JoinKind selects the join semantics.
+type JoinKind int
+
+const (
+	// InnerJoin keeps rows with matches on both sides.
+	InnerJoin JoinKind = iota
+	// LeftJoin keeps all left rows; unmatched right columns become null.
+	LeftJoin
+)
+
+// Join performs a hash equi-join of f (left) and g (right) on the named key
+// column, which must exist on both sides with the same dtype. Right-side
+// columns whose names collide with left-side columns (other than the key)
+// are suffixed with "_right". Null keys never match, mirroring SQL.
+func (f *Frame) Join(g *Frame, on string, kind JoinKind) (*Frame, error) {
+	lk, err := f.Col(on)
+	if err != nil {
+		return nil, fmt.Errorf("frame: join left: %w", err)
+	}
+	rk, err := g.Col(on)
+	if err != nil {
+		return nil, fmt.Errorf("frame: join right: %w", err)
+	}
+	if lk.DType() != rk.DType() {
+		return nil, fmt.Errorf("frame: join key %q dtype mismatch: %s vs %s", on, lk.DType(), rk.DType())
+	}
+
+	// Build hash table over the right side.
+	rIndex := map[string][]int{}
+	for i := 0; i < g.NumRows(); i++ {
+		if rk.IsNull(i) {
+			continue
+		}
+		k := rk.FormatValue(i)
+		rIndex[k] = append(rIndex[k], i)
+	}
+
+	var leftIdx, rightIdx []int // rightIdx[i] == -1 marks a null-extended row
+	for i := 0; i < f.NumRows(); i++ {
+		if lk.IsNull(i) {
+			if kind == LeftJoin {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, -1)
+			}
+			continue
+		}
+		matches := rIndex[lk.FormatValue(i)]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, -1)
+			}
+			continue
+		}
+		for _, j := range matches {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, j)
+		}
+	}
+
+	out := &Frame{byName: map[string]int{}}
+	for _, c := range f.cols {
+		if err := out.addColumn(c.Take(leftIdx)); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range g.cols {
+		if c.Name() == on {
+			continue
+		}
+		name := c.Name()
+		if out.Has(name) {
+			name += "_right"
+		}
+		col := takeWithNulls(c, rightIdx).Rename(name)
+		if err := out.addColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// takeWithNulls is Take where index -1 yields a null row.
+func takeWithNulls(s *Series, idx []int) *Series {
+	safe := make([]int, len(idx))
+	var nullRows []int
+	for j, i := range idx {
+		if i < 0 {
+			safe[j] = 0 // placeholder; will be nulled
+			nullRows = append(nullRows, j)
+		} else {
+			safe[j] = i
+		}
+	}
+	if s.Len() == 0 {
+		// Right side empty: synthesize an all-null column of the right size.
+		c := &Series{name: s.name, dtype: s.dtype}
+		switch s.dtype {
+		case Float64:
+			c.floats = make([]float64, len(idx))
+		case Int64:
+			c.ints = make([]int64, len(idx))
+		case String:
+			c.strings = make([]string, len(idx))
+		case Bool:
+			c.bools = make([]bool, len(idx))
+		}
+		for j := range idx {
+			c.SetNull(j)
+		}
+		return c
+	}
+	c := s.Take(safe)
+	for _, j := range nullRows {
+		c.SetNull(j)
+	}
+	return c
+}

@@ -1,0 +1,133 @@
+package frame
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: SortBy returns a permutation of the rows with non-decreasing
+// keys.
+func TestSortByPermutationProperty(t *testing.T) {
+	check := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		f := MustNew(NewInt64("v", vals))
+		sorted, err := f.SortBy("v")
+		if err != nil {
+			return false
+		}
+		if sorted.NumRows() != len(vals) {
+			return false
+		}
+		col := sorted.MustCol("v")
+		var got []int64
+		for i := 0; i < col.Len(); i++ {
+			got = append(got, col.Int(i))
+			if i > 0 && got[i] < got[i-1] {
+				return false
+			}
+		}
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: descending sort is the reverse of ascending sort's values.
+func TestSortByDescendingProperty(t *testing.T) {
+	check := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		f := MustNew(NewInt64("v", vals))
+		asc, err1 := f.SortBy("v")
+		desc, err2 := f.SortBy("-v")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		n := len(vals)
+		for i := 0; i < n; i++ {
+			if asc.MustCol("v").Int(i) != desc.MustCol("v").Int(n-1-i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an inner self-join on a unique key returns exactly the
+// original rows.
+func TestSelfJoinIdentityProperty(t *testing.T) {
+	check := func(n uint8) bool {
+		rows := int(n%50) + 1
+		ids := make([]string, rows)
+		vals := make([]float64, rows)
+		for i := range ids {
+			ids[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+			vals[i] = float64(i)
+		}
+		f := MustNew(NewString("id", ids), NewFloat64("v", vals))
+		j, err := f.Join(f, "id", InnerJoin)
+		if err != nil {
+			return false
+		}
+		if j.NumRows() != rows {
+			return false
+		}
+		// Every value pairs with itself.
+		for i := 0; i < rows; i++ {
+			if j.MustCol("v").Float(i) != j.MustCol("v_right").Float(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Aggregate group counts sum to the row count.
+func TestAggregateCountProperty(t *testing.T) {
+	check := func(groupBits []bool) bool {
+		if len(groupBits) == 0 {
+			return true
+		}
+		g := make([]string, len(groupBits))
+		v := make([]float64, len(groupBits))
+		for i, b := range groupBits {
+			if b {
+				g[i] = "x"
+			} else {
+				g[i] = "y"
+			}
+			v[i] = 1
+		}
+		f := MustNew(NewString("g", g), NewFloat64("v", v))
+		agg, err := f.Aggregate([]string{"g"}, []Agg{{Col: "v", Op: AggCount}})
+		if err != nil {
+			return false
+		}
+		var total float64
+		for i := 0; i < agg.NumRows(); i++ {
+			total += agg.MustCol("count_v").Float(i)
+		}
+		return total == float64(len(groupBits))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package frame implements a small columnar dataframe: typed series with
+// null masks, a Frame of named columns, a CSV codec, and the relational
+// operations (select, filter, sort, group-by, join) that the rest of the
+// toolkit builds pipelines from.
+//
+// Design notes. Columns are value types over plain slices so that
+// vectorized passes (metrics, mitigators, DP aggregations) iterate flat
+// memory. All mutating operations return new frames; pipeline stages never
+// alias, which keeps provenance hashes meaningful (FACT Q4). Nulls are
+// tracked with an explicit bitmap rather than sentinel values so that
+// statistics code can distinguish "zero" from "missing" — conflating the
+// two is one of the silent accuracy bugs the paper warns about (FACT Q2).
+package frame
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// DType identifies the element type of a Series.
+type DType int
+
+const (
+	// Float64 is a 64-bit floating point column.
+	Float64 DType = iota
+	// Int64 is a 64-bit integer column.
+	Int64
+	// String is a UTF-8 string column.
+	String
+	// Bool is a boolean column.
+	Bool
+)
+
+// String returns the human-readable name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Series is a named, typed column with an optional null mask.
+// Exactly one of the payload slices is non-nil, matching DType.
+type Series struct {
+	name    string
+	dtype   DType
+	floats  []float64
+	ints    []int64
+	strings []string
+	bools   []bool
+	// nulls[i] == true means row i is missing. nil means "no nulls".
+	nulls []bool
+}
+
+// NewFloat64 constructs a float64 series. The slice is copied.
+func NewFloat64(name string, values []float64) *Series {
+	return &Series{name: name, dtype: Float64, floats: append([]float64(nil), values...)}
+}
+
+// NewInt64 constructs an int64 series. The slice is copied.
+func NewInt64(name string, values []int64) *Series {
+	return &Series{name: name, dtype: Int64, ints: append([]int64(nil), values...)}
+}
+
+// NewString constructs a string series. The slice is copied.
+func NewString(name string, values []string) *Series {
+	return &Series{name: name, dtype: String, strings: append([]string(nil), values...)}
+}
+
+// NewBool constructs a bool series. The slice is copied.
+func NewBool(name string, values []bool) *Series {
+	return &Series{name: name, dtype: Bool, bools: append([]bool(nil), values...)}
+}
+
+// Name returns the column name.
+func (s *Series) Name() string { return s.name }
+
+// DType returns the column element type.
+func (s *Series) DType() DType { return s.dtype }
+
+// Len returns the number of rows.
+func (s *Series) Len() int {
+	switch s.dtype {
+	case Float64:
+		return len(s.floats)
+	case Int64:
+		return len(s.ints)
+	case String:
+		return len(s.strings)
+	case Bool:
+		return len(s.bools)
+	}
+	return 0
+}
+
+// Rename returns a copy of the series under a new name.
+func (s *Series) Rename(name string) *Series {
+	c := s.clone()
+	c.name = name
+	return c
+}
+
+func (s *Series) clone() *Series {
+	c := &Series{name: s.name, dtype: s.dtype}
+	c.floats = append([]float64(nil), s.floats...)
+	c.ints = append([]int64(nil), s.ints...)
+	c.strings = append([]string(nil), s.strings...)
+	c.bools = append([]bool(nil), s.bools...)
+	if s.nulls != nil {
+		c.nulls = append([]bool(nil), s.nulls...)
+	}
+	return c
+}
+
+// SetNull marks row i as missing.
+func (s *Series) SetNull(i int) {
+	if s.nulls == nil {
+		s.nulls = make([]bool, s.Len())
+	}
+	s.nulls[i] = true
+}
+
+// IsNull reports whether row i is missing.
+func (s *Series) IsNull(i int) bool {
+	return s.nulls != nil && s.nulls[i]
+}
+
+// NullCount returns the number of missing rows.
+func (s *Series) NullCount() int {
+	n := 0
+	for _, b := range s.nulls {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Float returns the float64 value at row i. Int64 columns are widened;
+// other dtypes panic. Null rows return NaN.
+func (s *Series) Float(i int) float64 {
+	if s.IsNull(i) {
+		return math.NaN()
+	}
+	switch s.dtype {
+	case Float64:
+		return s.floats[i]
+	case Int64:
+		return float64(s.ints[i])
+	default:
+		panic(fmt.Sprintf("frame: Float on %s column %q", s.dtype, s.name))
+	}
+}
+
+// Int returns the int64 value at row i. Panics for non-integer columns or
+// null rows.
+func (s *Series) Int(i int) int64 {
+	if s.IsNull(i) {
+		panic(fmt.Sprintf("frame: Int on null row %d of %q", i, s.name))
+	}
+	if s.dtype != Int64 {
+		panic(fmt.Sprintf("frame: Int on %s column %q", s.dtype, s.name))
+	}
+	return s.ints[i]
+}
+
+// Str returns the string value at row i. Panics for non-string columns.
+// Null rows return "".
+func (s *Series) Str(i int) string {
+	if s.IsNull(i) {
+		return ""
+	}
+	if s.dtype != String {
+		panic(fmt.Sprintf("frame: Str on %s column %q", s.dtype, s.name))
+	}
+	return s.strings[i]
+}
+
+// Boolv returns the bool value at row i. Panics for non-bool columns. Null
+// rows return false.
+func (s *Series) Boolv(i int) bool {
+	if s.IsNull(i) {
+		return false
+	}
+	if s.dtype != Bool {
+		panic(fmt.Sprintf("frame: Boolv on %s column %q", s.dtype, s.name))
+	}
+	return s.bools[i]
+}
+
+// Value returns the value at row i as an interface, or nil for null rows.
+func (s *Series) Value(i int) any {
+	if s.IsNull(i) {
+		return nil
+	}
+	switch s.dtype {
+	case Float64:
+		return s.floats[i]
+	case Int64:
+		return s.ints[i]
+	case String:
+		return s.strings[i]
+	case Bool:
+		return s.bools[i]
+	}
+	return nil
+}
+
+// FormatValue renders row i as a string, using "" for nulls (CSV style).
+func (s *Series) FormatValue(i int) string {
+	if s.IsNull(i) {
+		return ""
+	}
+	switch s.dtype {
+	case Float64:
+		return strconv.FormatFloat(s.floats[i], 'g', -1, 64)
+	case Int64:
+		return strconv.FormatInt(s.ints[i], 10)
+	case String:
+		return s.strings[i]
+	case Bool:
+		return strconv.FormatBool(s.bools[i])
+	}
+	return ""
+}
+
+// Floats returns a copy of the column as float64s (Int64 columns widened),
+// with nulls as NaN. Panics for String/Bool columns.
+func (s *Series) Floats() []float64 {
+	out := make([]float64, s.Len())
+	for i := range out {
+		out[i] = s.Float(i)
+	}
+	return out
+}
+
+// Strings returns a copy of the column rendered as strings.
+func (s *Series) Strings() []string {
+	out := make([]string, s.Len())
+	for i := range out {
+		out[i] = s.FormatValue(i)
+	}
+	return out
+}
+
+// Take returns a new series containing the rows at the given indices, in
+// order. Indices may repeat. Panics on out-of-range indices.
+func (s *Series) Take(idx []int) *Series {
+	c := &Series{name: s.name, dtype: s.dtype}
+	switch s.dtype {
+	case Float64:
+		c.floats = make([]float64, len(idx))
+		for j, i := range idx {
+			c.floats[j] = s.floats[i]
+		}
+	case Int64:
+		c.ints = make([]int64, len(idx))
+		for j, i := range idx {
+			c.ints[j] = s.ints[i]
+		}
+	case String:
+		c.strings = make([]string, len(idx))
+		for j, i := range idx {
+			c.strings[j] = s.strings[i]
+		}
+	case Bool:
+		c.bools = make([]bool, len(idx))
+		for j, i := range idx {
+			c.bools[j] = s.bools[i]
+		}
+	}
+	if s.nulls != nil {
+		c.nulls = make([]bool, len(idx))
+		for j, i := range idx {
+			c.nulls[j] = s.nulls[i]
+		}
+	}
+	return c
+}
+
+// Slice returns rows [lo, hi) as a new series.
+func (s *Series) Slice(lo, hi int) *Series {
+	if lo < 0 || hi < lo || hi > s.Len() {
+		panic(fmt.Sprintf("frame: Slice[%d:%d) out of range for %q (len %d)", lo, hi, s.name, s.Len()))
+	}
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return s.Take(idx)
+}
+
+// Equal reports whether two series have the same name, dtype, length,
+// null mask, and values. Float comparison uses exact equality with NaN==NaN.
+func (s *Series) Equal(o *Series) bool {
+	if s.name != o.name || s.dtype != o.dtype || s.Len() != o.Len() {
+		return false
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.IsNull(i) != o.IsNull(i) {
+			return false
+		}
+		if s.IsNull(i) {
+			continue
+		}
+		switch s.dtype {
+		case Float64:
+			a, b := s.floats[i], o.floats[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		case Int64:
+			if s.ints[i] != o.ints[i] {
+				return false
+			}
+		case String:
+			if s.strings[i] != o.strings[i] {
+				return false
+			}
+		case Bool:
+			if s.bools[i] != o.bools[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Levels returns the distinct non-null values of the column rendered as
+// strings, in first-appearance order. Used for categorical handling
+// (sensitive groups, one-hot encoding).
+func (s *Series) Levels() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i < s.Len(); i++ {
+		if s.IsNull(i) {
+			continue
+		}
+		v := s.FormatValue(i)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Map returns a new float64 series with fn applied to every non-null row of
+// a numeric column; null rows stay null.
+func (s *Series) Map(name string, fn func(float64) float64) *Series {
+	out := &Series{name: name, dtype: Float64, floats: make([]float64, s.Len())}
+	for i := 0; i < s.Len(); i++ {
+		if s.IsNull(i) {
+			out.SetNull(i)
+			continue
+		}
+		out.floats[i] = fn(s.Float(i))
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package frame
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// ValueCount is one level of a categorical column with its frequency.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// ValueCounts tabulates the rendered values of a column, most frequent
+// first (ties by value). Nulls are excluded.
+func (f *Frame) ValueCounts(col string) ([]ValueCount, error) {
+	s, err := f.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for i := 0; i < s.Len(); i++ {
+		if s.IsNull(i) {
+			continue
+		}
+		counts[s.FormatValue(i)]++
+	}
+	out := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	return out, nil
+}
+
+// ImputeStrategy selects how ImputeNulls fills missing values.
+type ImputeStrategy int
+
+const (
+	// ImputeMean fills numeric nulls with the column mean.
+	ImputeMean ImputeStrategy = iota
+	// ImputeMedian fills numeric nulls with the column median.
+	ImputeMedian
+	// ImputeMode fills nulls (any dtype) with the most frequent value.
+	ImputeMode
+)
+
+// ImputeNulls returns a copy of the frame with the named column's nulls
+// filled per the strategy. Numeric strategies require a numeric column;
+// a fully-null column is an error (there is nothing to impute from).
+func (f *Frame) ImputeNulls(col string, strategy ImputeStrategy) (*Frame, error) {
+	s, err := f.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	if s.NullCount() == 0 {
+		return f, nil
+	}
+	if s.NullCount() == s.Len() {
+		return nil, fmt.Errorf("frame: column %q is entirely null", col)
+	}
+	switch strategy {
+	case ImputeMean, ImputeMedian:
+		if s.DType() != Float64 && s.DType() != Int64 {
+			return nil, fmt.Errorf("frame: %q imputation needs a numeric column, %q is %s",
+				map[ImputeStrategy]string{ImputeMean: "mean", ImputeMedian: "median"}[strategy], col, s.DType())
+		}
+		var vals []float64
+		for i := 0; i < s.Len(); i++ {
+			if !s.IsNull(i) {
+				vals = append(vals, s.Float(i))
+			}
+		}
+		var fill float64
+		if strategy == ImputeMean {
+			var sum float64
+			for _, v := range vals {
+				sum += v
+			}
+			fill = sum / float64(len(vals))
+		} else {
+			sort.Float64s(vals)
+			m := len(vals)
+			if m%2 == 1 {
+				fill = vals[m/2]
+			} else {
+				fill = (vals[m/2-1] + vals[m/2]) / 2
+			}
+		}
+		out := make([]float64, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			if s.IsNull(i) {
+				out[i] = fill
+			} else {
+				out[i] = s.Float(i)
+			}
+		}
+		return f.WithColumn(NewFloat64(col, out))
+	case ImputeMode:
+		counts, err := f.ValueCounts(col)
+		if err != nil {
+			return nil, err
+		}
+		mode := counts[0].Value
+		switch s.DType() {
+		case String:
+			out := make([]string, s.Len())
+			for i := 0; i < s.Len(); i++ {
+				if s.IsNull(i) {
+					out[i] = mode
+				} else {
+					out[i] = s.Str(i)
+				}
+			}
+			return f.WithColumn(NewString(col, out))
+		default:
+			// Re-parse via CSV semantics is overkill; numeric/bool modes
+			// go through the string rendering of levels.
+			out := make([]string, s.Len())
+			for i := 0; i < s.Len(); i++ {
+				if s.IsNull(i) {
+					out[i] = mode
+				} else {
+					out[i] = s.FormatValue(i)
+				}
+			}
+			return f.WithColumn(inferSeries(col, out))
+		}
+	}
+	return nil, fmt.Errorf("frame: unknown impute strategy %d", int(strategy))
+}
+
+// DropNulls returns the rows where none of the named columns (all
+// columns when names is empty) is null.
+func (f *Frame) DropNulls(names ...string) (*Frame, error) {
+	cols := make([]*Series, 0, len(names))
+	if len(names) == 0 {
+		cols = append(cols, f.cols...)
+	} else {
+		for _, n := range names {
+			c, err := f.Col(n)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+		}
+	}
+	return f.Filter(func(i int) bool {
+		for _, c := range cols {
+			if c.IsNull(i) {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// Sample returns k rows drawn uniformly without replacement.
+func (f *Frame) Sample(k int, src *rng.Source) (*Frame, error) {
+	if k < 0 || k > f.NumRows() {
+		return nil, fmt.Errorf("frame: cannot sample %d of %d rows", k, f.NumRows())
+	}
+	return f.Take(src.SampleWithoutReplacement(f.NumRows(), k)), nil
+}
+
+// Shuffle returns the frame with rows in a random order.
+func (f *Frame) Shuffle(src *rng.Source) *Frame {
+	return f.Take(src.Perm(f.NumRows()))
+}

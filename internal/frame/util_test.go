@@ -1,0 +1,180 @@
+package frame
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestValueCounts(t *testing.T) {
+	f := MustNew(NewString("g", []string{"b", "a", "b", "c", "b", "a"}))
+	counts, err := f.ValueCounts("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("levels = %d", len(counts))
+	}
+	if counts[0].Value != "b" || counts[0].Count != 3 {
+		t.Fatalf("top = %+v", counts[0])
+	}
+	// Ties break by value: a before c.
+	if counts[1].Value != "a" || counts[2].Value != "c" {
+		t.Fatalf("tie order wrong: %+v", counts)
+	}
+	if _, err := f.ValueCounts("ghost"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestValueCountsSkipsNulls(t *testing.T) {
+	s := NewString("g", []string{"a", "b", "a"})
+	s.SetNull(1)
+	f := MustNew(s)
+	counts, err := f.ValueCounts("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 1 || counts[0].Count != 2 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestImputeMeanAndMedian(t *testing.T) {
+	s := NewFloat64("v", []float64{1, 0, 3, 100})
+	s.SetNull(1)
+	f := MustNew(s)
+	meanImp, err := f.ImputeNulls("v", ImputeMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0 + 3 + 100) / 3
+	if got := meanImp.MustCol("v").Float(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean imputed %v, want %v", got, want)
+	}
+	medImp, err := f.ImputeNulls("v", ImputeMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := medImp.MustCol("v").Float(1); got != 3 {
+		t.Fatalf("median imputed %v, want 3", got)
+	}
+	// Original untouched; no remaining nulls in output.
+	if !f.MustCol("v").IsNull(1) {
+		t.Fatal("input mutated")
+	}
+	if meanImp.MustCol("v").NullCount() != 0 {
+		t.Fatal("nulls remain")
+	}
+}
+
+func TestImputeMode(t *testing.T) {
+	s := NewString("g", []string{"x", "", "y", "x"})
+	s.SetNull(1)
+	f := MustNew(s)
+	out, err := f.ImputeNulls("g", ImputeMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MustCol("g").Str(1) != "x" {
+		t.Fatalf("mode imputed %q", out.MustCol("g").Str(1))
+	}
+	// Mode over an int column keeps it numeric.
+	iv := NewInt64("k", []int64{7, 0, 7})
+	iv.SetNull(1)
+	g := MustNew(iv)
+	out, err = g.ImputeNulls("k", ImputeMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MustCol("k").DType() != Int64 || out.MustCol("k").Int(1) != 7 {
+		t.Fatalf("int mode imputation: %s %v", out.MustCol("k").DType(), out.MustCol("k").FormatValue(1))
+	}
+}
+
+func TestImputeEdgeCases(t *testing.T) {
+	s := NewFloat64("v", []float64{1, 2})
+	f := MustNew(s)
+	// No nulls: same frame returned.
+	out, err := f.ImputeNulls("v", ImputeMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != f {
+		t.Fatal("null-free imputation did not short-circuit")
+	}
+	// Entirely null column.
+	allNull := NewFloat64("v", []float64{1, 2})
+	allNull.SetNull(0)
+	allNull.SetNull(1)
+	g := MustNew(allNull)
+	if _, err := g.ImputeNulls("v", ImputeMean); err == nil {
+		t.Fatal("all-null imputation accepted")
+	}
+	// Mean over string column.
+	h := MustNew(NewString("s", []string{"a", ""}))
+	h.MustCol("s").SetNull(1)
+	if _, err := h.ImputeNulls("s", ImputeMean); err == nil {
+		t.Fatal("mean over strings accepted")
+	}
+}
+
+func TestDropNulls(t *testing.T) {
+	a := NewFloat64("a", []float64{1, 2, 3})
+	a.SetNull(0)
+	b := NewFloat64("b", []float64{4, 5, 6})
+	b.SetNull(2)
+	f := MustNew(a, b)
+	all, err := f.DropNulls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 1 || all.MustCol("a").Float(0) != 2 {
+		t.Fatalf("DropNulls() rows = %d", all.NumRows())
+	}
+	onlyA, err := f.DropNulls("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onlyA.NumRows() != 2 {
+		t.Fatalf("DropNulls(a) rows = %d", onlyA.NumRows())
+	}
+	if _, err := f.DropNulls("ghost"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestSampleAndShuffle(t *testing.T) {
+	f := MustNew(NewInt64("v", []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}))
+	src := rng.New(3)
+	s, err := f.Sample(4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 4 {
+		t.Fatalf("sample rows = %d", s.NumRows())
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 4; i++ {
+		v := s.MustCol("v").Int(i)
+		if seen[v] {
+			t.Fatal("sample with replacement")
+		}
+		seen[v] = true
+	}
+	if _, err := f.Sample(11, src); err == nil {
+		t.Fatal("oversample accepted")
+	}
+	sh := f.Shuffle(src)
+	if sh.NumRows() != 10 {
+		t.Fatal("shuffle changed length")
+	}
+	var sum int64
+	for i := 0; i < 10; i++ {
+		sum += sh.MustCol("v").Int(i)
+	}
+	if sum != 45 {
+		t.Fatal("shuffle lost rows")
+	}
+}

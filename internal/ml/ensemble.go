@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// Ensemble is a bagged collection of deep CART trees trained on bootstrap
+// resamples with feature bagging. In the transparency experiments it plays
+// the paper's "deep learning black box": a model whose individual decision
+// cannot be rationalized by reading its parameters, which is exactly what
+// the explain package's surrogates are then asked to approximate.
+type Ensemble struct {
+	Trees    []*Tree
+	Features []string
+}
+
+// EnsembleConfig holds bagging hyperparameters.
+type EnsembleConfig struct {
+	NumTrees int    // default 25
+	MaxDepth int    // per-tree depth (default 8)
+	MinLeaf  int    // per-tree minimum leaf size (default 2)
+	Seed     uint64 // bootstrap seed (default 1)
+}
+
+func (c EnsembleConfig) withDefaults() EnsembleConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 25
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TrainEnsemble fits a bagged tree ensemble.
+func TrainEnsemble(d *Dataset, cfg EnsembleConfig) (*Ensemble, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("ml: TrainEnsemble on empty dataset")
+	}
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	e := &Ensemble{Features: append([]string(nil), d.Features...)}
+	n := d.N()
+	for t := 0; t < cfg.NumTrees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = src.Intn(n)
+		}
+		boot := d.Subset(idx)
+		tree, err := TrainTree(boot, TreeConfig{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf})
+		if err != nil {
+			return nil, fmt.Errorf("ml: ensemble tree %d: %w", t, err)
+		}
+		e.Trees = append(e.Trees, tree)
+	}
+	return e, nil
+}
+
+// PredictProba averages the member trees' probabilities.
+func (e *Ensemble) PredictProba(x []float64) float64 {
+	var sum float64
+	for _, t := range e.Trees {
+		sum += t.PredictProba(x)
+	}
+	return sum / float64(len(e.Trees))
+}
+
+// Size returns the total number of leaves across all member trees — a
+// crude complexity measure used to quantify "unreadability" in the
+// transparency experiment.
+func (e *Ensemble) Size() int {
+	var n int
+	for _, t := range e.Trees {
+		n += t.LeafCount()
+	}
+	return n
+}

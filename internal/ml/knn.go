@@ -1,0 +1,78 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour binary classifier over Euclidean distance.
+// It is used both as a baseline model and by the fairness package's
+// individual-consistency metric ("similar individuals should receive
+// similar decisions").
+type KNN struct {
+	K int
+	X [][]float64
+	Y []float64
+}
+
+// TrainKNN stores the training set (lazily evaluated model). k must be
+// positive and no larger than the training-set size.
+func TrainKNN(d *Dataset, k int) (*KNN, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 || k > d.N() {
+		return nil, fmt.Errorf("ml: TrainKNN k=%d out of range [1,%d]", k, d.N())
+	}
+	m := &KNN{K: k}
+	m.X = make([][]float64, d.N())
+	for i, row := range d.X {
+		m.X[i] = append([]float64(nil), row...)
+	}
+	m.Y = append([]float64(nil), d.Y...)
+	return m, nil
+}
+
+// Neighbors returns the indices of the k nearest training rows to x,
+// closest first (deterministic tie-break by index).
+func (m *KNN) Neighbors(x []float64) []int {
+	type pair struct {
+		d float64
+		i int
+	}
+	ds := make([]pair, len(m.X))
+	for i, row := range m.X {
+		ds[i] = pair{euclidean(x, row), i}
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].d != ds[b].d {
+			return ds[a].d < ds[b].d
+		}
+		return ds[a].i < ds[b].i
+	})
+	out := make([]int, m.K)
+	for j := 0; j < m.K; j++ {
+		out[j] = ds[j].i
+	}
+	return out
+}
+
+// PredictProba returns the fraction of positive labels among the k nearest
+// neighbours.
+func (m *KNN) PredictProba(x []float64) float64 {
+	var pos float64
+	for _, i := range m.Neighbors(x) {
+		pos += m.Y[i]
+	}
+	return pos / float64(m.K)
+}
+
+func euclidean(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

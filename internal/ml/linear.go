@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is an ordinary-least-squares (optionally ridge) regression
+// model fit by solving the normal equations.
+type LinearModel struct {
+	Weights  []float64
+	Bias     float64
+	Features []string
+}
+
+// TrainLinear fits y = Xw + b by (weighted) least squares with an optional
+// ridge penalty l2 >= 0 on the weights (not the intercept).
+func TrainLinear(d *Dataset, l2 float64) (*LinearModel, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("ml: TrainLinear on empty dataset")
+	}
+	if l2 < 0 {
+		return nil, fmt.Errorf("ml: negative ridge penalty %v", l2)
+	}
+	dim := d.D() + 1 // augmented with intercept column
+	// Normal equations: (A^T W A + l2 I') w = A^T W y.
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	aty := make([]float64, dim)
+	row := make([]float64, dim)
+	for i, x := range d.X {
+		w := d.Weight(i)
+		if w == 0 {
+			continue
+		}
+		copy(row, x)
+		row[dim-1] = 1 // intercept
+		for a := 0; a < dim; a++ {
+			va := row[a] * w
+			aty[a] += va * d.Y[i]
+			for b := a; b < dim; b++ {
+				ata[a][b] += va * row[b]
+			}
+		}
+	}
+	for a := 0; a < dim; a++ {
+		for b := 0; b < a; b++ {
+			ata[a][b] = ata[b][a]
+		}
+	}
+	for a := 0; a < dim-1; a++ { // no penalty on intercept
+		ata[a][a] += l2
+	}
+	sol, err := solveLinearSystem(ata, aty)
+	if err != nil {
+		return nil, fmt.Errorf("ml: TrainLinear: %w (features collinear? add ridge)", err)
+	}
+	return &LinearModel{
+		Weights:  sol[:dim-1],
+		Bias:     sol[dim-1],
+		Features: append([]string(nil), d.Features...),
+	}, nil
+}
+
+// Predict returns the fitted value for x.
+func (m *LinearModel) Predict(x []float64) float64 {
+	v := m.Bias
+	for j, w := range m.Weights {
+		v += w * x[j]
+	}
+	return v
+}
+
+// PredictAllRows returns fitted values for all rows.
+func (m *LinearModel) PredictAllRows(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// RSquared returns the coefficient of determination on the given data.
+func (m *LinearModel) RSquared(d *Dataset) float64 {
+	if d.N() == 0 {
+		return math.NaN()
+	}
+	var meanY float64
+	for _, y := range d.Y {
+		meanY += y
+	}
+	meanY /= float64(d.N())
+	var ssRes, ssTot float64
+	for i, x := range d.X {
+		r := d.Y[i] - m.Predict(x)
+		ssRes += r * r
+		t := d.Y[i] - meanY
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// solveLinearSystem solves Ax=b by Gaussian elimination with partial
+// pivoting. A and b are mutated. Returns an error on (near-)singularity.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("singular matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}

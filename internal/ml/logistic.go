@@ -1,0 +1,172 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// Classifier is a binary probabilistic classifier. PredictProba returns
+// P(y=1 | x). Implementations must be deterministic once trained.
+type Classifier interface {
+	PredictProba(x []float64) float64
+}
+
+// Predict thresholds a classifier's probability at 0.5.
+func Predict(c Classifier, x []float64) float64 {
+	if c.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictAll returns hard 0/1 predictions for every row.
+func PredictAll(c Classifier, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = Predict(c, x)
+	}
+	return out
+}
+
+// PredictProbaAll returns P(y=1|x) for every row.
+func PredictProbaAll(c Classifier, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = c.PredictProba(x)
+	}
+	return out
+}
+
+// LogisticConfig holds the hyperparameters of logistic-regression training.
+type LogisticConfig struct {
+	LearningRate float64 // SGD step size (default 0.1)
+	Epochs       int     // passes over the data (default 100)
+	L2           float64 // ridge penalty (default 0)
+	BatchSize    int     // minibatch size (default 32)
+	Seed         uint64  // shuffling seed (default 1)
+}
+
+func (c LogisticConfig) withDefaults() LogisticConfig {
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Logistic is a trained logistic-regression model.
+type Logistic struct {
+	Weights  []float64 // per-feature coefficients
+	Bias     float64
+	Features []string
+}
+
+// Sigmoid is the logistic link function.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// TrainLogistic fits binary logistic regression by minibatch SGD with
+// optional L2 regularization and per-sample weights. Targets must be 0/1.
+func TrainLogistic(d *Dataset, cfg LogisticConfig) (*Logistic, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("ml: TrainLogistic on empty dataset")
+	}
+	for i, y := range d.Y {
+		if y != 0 && y != 1 {
+			return nil, fmt.Errorf("ml: TrainLogistic target must be 0/1, row %d is %v", i, y)
+		}
+	}
+	cfg = cfg.withDefaults()
+	// Standardize internally for SGD stability on raw feature scales,
+	// then fold the affine transform back into the returned weights so the
+	// model predicts over the caller's original feature space.
+	std := FitStandardizer(d)
+	d = std.Transform(d)
+	dim := d.D()
+	m := &Logistic{Weights: make([]float64, dim), Features: append([]string(nil), d.Features...)}
+	src := rng.New(cfg.Seed)
+	idx := make([]int, d.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	gw := make([]float64, dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		src.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		// Decaying step size stabilizes late epochs.
+		lr := cfg.LearningRate / (1 + 0.01*float64(epoch))
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for j := range gw {
+				gw[j] = 0
+			}
+			gb := 0.0
+			var batchW float64
+			for _, i := range idx[start:end] {
+				w := d.Weight(i)
+				if w == 0 {
+					continue
+				}
+				p := m.PredictProba(d.X[i])
+				err := (p - d.Y[i]) * w
+				for j, xj := range d.X[i] {
+					gw[j] += err * xj
+				}
+				gb += err
+				batchW += w
+			}
+			if batchW == 0 {
+				continue
+			}
+			for j := range m.Weights {
+				m.Weights[j] -= lr * (gw[j]/batchW + cfg.L2*m.Weights[j])
+			}
+			m.Bias -= lr * gb / batchW
+		}
+	}
+	// Un-standardize: w'_j = w_j / s_j, b' = b - sum_j w_j m_j / s_j.
+	for j := range m.Weights {
+		m.Bias -= m.Weights[j] * std.Mean[j] / std.Scale[j]
+		m.Weights[j] /= std.Scale[j]
+	}
+	return m, nil
+}
+
+// PredictProba returns P(y=1 | x).
+func (m *Logistic) PredictProba(x []float64) float64 {
+	z := m.Bias
+	for j, w := range m.Weights {
+		z += w * x[j]
+	}
+	return Sigmoid(z)
+}
+
+// Coefficients returns a copy of feature-name → coefficient, the model's
+// native transparency artifact.
+func (m *Logistic) Coefficients() map[string]float64 {
+	out := make(map[string]float64, len(m.Weights))
+	for j, f := range m.Features {
+		out[f] = m.Weights[j]
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConfusionMatrix summarizes binary classification outcomes.
+type ConfusionMatrix struct {
+	TP, FP, TN, FN float64
+}
+
+// Confusion computes the confusion matrix from true labels and hard 0/1
+// predictions.
+func Confusion(yTrue, yPred []float64) (ConfusionMatrix, error) {
+	if len(yTrue) != len(yPred) {
+		return ConfusionMatrix{}, fmt.Errorf("ml: Confusion length mismatch %d vs %d", len(yTrue), len(yPred))
+	}
+	var cm ConfusionMatrix
+	for i := range yTrue {
+		switch {
+		case yTrue[i] == 1 && yPred[i] == 1:
+			cm.TP++
+		case yTrue[i] == 0 && yPred[i] == 1:
+			cm.FP++
+		case yTrue[i] == 0 && yPred[i] == 0:
+			cm.TN++
+		case yTrue[i] == 1 && yPred[i] == 0:
+			cm.FN++
+		default:
+			return ConfusionMatrix{}, fmt.Errorf("ml: non-binary label/prediction at %d: %v/%v", i, yTrue[i], yPred[i])
+		}
+	}
+	return cm, nil
+}
+
+// Accuracy is (TP+TN)/total.
+func (cm ConfusionMatrix) Accuracy() float64 {
+	total := cm.TP + cm.FP + cm.TN + cm.FN
+	if total == 0 {
+		return math.NaN()
+	}
+	return (cm.TP + cm.TN) / total
+}
+
+// Precision is TP/(TP+FP), NaN when nothing was predicted positive.
+func (cm ConfusionMatrix) Precision() float64 {
+	if cm.TP+cm.FP == 0 {
+		return math.NaN()
+	}
+	return cm.TP / (cm.TP + cm.FP)
+}
+
+// Recall is TP/(TP+FN) (the true-positive rate), NaN with no positives.
+func (cm ConfusionMatrix) Recall() float64 {
+	if cm.TP+cm.FN == 0 {
+		return math.NaN()
+	}
+	return cm.TP / (cm.TP + cm.FN)
+}
+
+// FalsePositiveRate is FP/(FP+TN), NaN with no negatives.
+func (cm ConfusionMatrix) FalsePositiveRate() float64 {
+	if cm.FP+cm.TN == 0 {
+		return math.NaN()
+	}
+	return cm.FP / (cm.FP + cm.TN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (cm ConfusionMatrix) F1() float64 {
+	p, r := cm.Precision(), cm.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// PositiveRate is the fraction predicted positive — the quantity group
+// fairness metrics compare across groups.
+func (cm ConfusionMatrix) PositiveRate() float64 {
+	total := cm.TP + cm.FP + cm.TN + cm.FN
+	if total == 0 {
+		return math.NaN()
+	}
+	return (cm.TP + cm.FP) / total
+}
+
+// Accuracy is a convenience wrapper over Confusion().Accuracy().
+func Accuracy(yTrue, yPred []float64) (float64, error) {
+	cm, err := Confusion(yTrue, yPred)
+	if err != nil {
+		return 0, err
+	}
+	return cm.Accuracy(), nil
+}
+
+// AUC computes the area under the ROC curve from scores, using the
+// rank-statistic (Mann-Whitney) formulation with midrank tie handling.
+func AUC(yTrue, scores []float64) (float64, error) {
+	if len(yTrue) != len(scores) {
+		return 0, fmt.Errorf("ml: AUC length mismatch %d vs %d", len(yTrue), len(scores))
+	}
+	var nPos, nNeg float64
+	for _, y := range yTrue {
+		switch y {
+		case 1:
+			nPos++
+		case 0:
+			nNeg++
+		default:
+			return 0, fmt.Errorf("ml: AUC labels must be 0/1, got %v", y)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("ml: AUC needs both classes (pos=%v neg=%v)", nPos, nNeg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Midranks.
+	ranks := make([]float64, len(scores))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var rankSum float64
+	for i, y := range yTrue {
+		if y == 1 {
+			rankSum += ranks[i]
+		}
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg), nil
+}
+
+// LogLoss computes the cross-entropy of probabilistic predictions, with
+// probabilities clipped away from {0,1} to keep the loss finite.
+func LogLoss(yTrue, probs []float64) (float64, error) {
+	if len(yTrue) != len(probs) {
+		return 0, fmt.Errorf("ml: LogLoss length mismatch")
+	}
+	if len(yTrue) == 0 {
+		return 0, fmt.Errorf("ml: LogLoss on empty input")
+	}
+	const eps = 1e-12
+	var sum float64
+	for i, y := range yTrue {
+		p := math.Min(1-eps, math.Max(eps, probs[i]))
+		if y == 1 {
+			sum -= math.Log(p)
+		} else {
+			sum -= math.Log(1 - p)
+		}
+	}
+	return sum / float64(len(yTrue)), nil
+}
+
+// BrierScore is the mean squared error of probabilistic predictions.
+func BrierScore(yTrue, probs []float64) (float64, error) {
+	if len(yTrue) != len(probs) {
+		return 0, fmt.Errorf("ml: BrierScore length mismatch")
+	}
+	if len(yTrue) == 0 {
+		return 0, fmt.Errorf("ml: BrierScore on empty input")
+	}
+	var sum float64
+	for i := range yTrue {
+		d := probs[i] - yTrue[i]
+		sum += d * d
+	}
+	return sum / float64(len(yTrue)), nil
+}
+
+// CalibrationBin is one bucket of a reliability diagram.
+type CalibrationBin struct {
+	Lower, Upper  float64 // predicted-probability range
+	MeanPredicted float64
+	ObservedRate  float64
+	Count         int
+}
+
+// CalibrationCurve buckets predictions into equal-width bins and reports
+// predicted vs. observed rates — the reliability diagram behind "answers
+// with a guaranteed level of accuracy" (Q2) and per-group calibration
+// fairness (Q1).
+func CalibrationCurve(yTrue, probs []float64, bins int) ([]CalibrationBin, error) {
+	if len(yTrue) != len(probs) {
+		return nil, fmt.Errorf("ml: CalibrationCurve length mismatch")
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("ml: CalibrationCurve needs positive bins")
+	}
+	out := make([]CalibrationBin, bins)
+	for b := range out {
+		out[b].Lower = float64(b) / float64(bins)
+		out[b].Upper = float64(b+1) / float64(bins)
+	}
+	sums := make([]float64, bins)
+	obs := make([]float64, bins)
+	for i, p := range probs {
+		b := int(p * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[b].Count++
+		sums[b] += p
+		obs[b] += yTrue[i]
+	}
+	for b := range out {
+		if out[b].Count > 0 {
+			out[b].MeanPredicted = sums[b] / float64(out[b].Count)
+			out[b].ObservedRate = obs[b] / float64(out[b].Count)
+		} else {
+			out[b].MeanPredicted = math.NaN()
+			out[b].ObservedRate = math.NaN()
+		}
+	}
+	return out, nil
+}
+
+// ExpectedCalibrationError is the count-weighted mean |predicted-observed|
+// over the reliability bins.
+func ExpectedCalibrationError(yTrue, probs []float64, bins int) (float64, error) {
+	curve, err := CalibrationCurve(yTrue, probs, bins)
+	if err != nil {
+		return 0, err
+	}
+	var total, weighted float64
+	for _, b := range curve {
+		if b.Count == 0 {
+			continue
+		}
+		weighted += float64(b.Count) * math.Abs(b.MeanPredicted-b.ObservedRate)
+		total += float64(b.Count)
+	}
+	if total == 0 {
+		return math.NaN(), nil
+	}
+	return weighted / total, nil
+}

@@ -1,0 +1,296 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestConfusionAndDerivedMetrics(t *testing.T) {
+	yTrue := []float64{1, 1, 1, 1, 0, 0, 0, 0, 0, 0}
+	yPred := []float64{1, 1, 1, 0, 1, 0, 0, 0, 0, 0}
+	cm, err := Confusion(yTrue, yPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.TP != 3 || cm.FN != 1 || cm.FP != 1 || cm.TN != 5 {
+		t.Fatalf("confusion = %+v", cm)
+	}
+	if math.Abs(cm.Accuracy()-0.8) > 1e-12 {
+		t.Errorf("accuracy = %v", cm.Accuracy())
+	}
+	if math.Abs(cm.Precision()-0.75) > 1e-12 {
+		t.Errorf("precision = %v", cm.Precision())
+	}
+	if math.Abs(cm.Recall()-0.75) > 1e-12 {
+		t.Errorf("recall = %v", cm.Recall())
+	}
+	if math.Abs(cm.F1()-0.75) > 1e-12 {
+		t.Errorf("f1 = %v", cm.F1())
+	}
+	if math.Abs(cm.FalsePositiveRate()-1.0/6) > 1e-12 {
+		t.Errorf("fpr = %v", cm.FalsePositiveRate())
+	}
+	if math.Abs(cm.PositiveRate()-0.4) > 1e-12 {
+		t.Errorf("positive rate = %v", cm.PositiveRate())
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := Confusion([]float64{1}, []float64{1, 0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Confusion([]float64{2}, []float64{1}); err == nil {
+		t.Fatal("non-binary label accepted")
+	}
+}
+
+func TestConfusionDegenerateNaNs(t *testing.T) {
+	cm, err := Confusion([]float64{0, 0}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(cm.Precision()) || !math.IsNaN(cm.Recall()) {
+		t.Fatal("degenerate precision/recall should be NaN")
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	yTrue := []float64{0, 0, 1, 1}
+	perfect := []float64{0.1, 0.2, 0.8, 0.9}
+	auc, err := AUC(yTrue, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+	inverted := []float64{0.9, 0.8, 0.2, 0.1}
+	auc, _ = AUC(yTrue, inverted)
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %v", auc)
+	}
+	constant := []float64{0.5, 0.5, 0.5, 0.5}
+	auc, _ = AUC(yTrue, constant)
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("constant-score AUC = %v (ties should midrank)", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	src := rng.New(31)
+	n := 5000
+	yTrue := make([]float64, n)
+	scores := make([]float64, n)
+	for i := range yTrue {
+		if src.Bernoulli(0.5) {
+			yTrue[i] = 1
+		}
+		scores[i] = src.Float64()
+	}
+	auc, err := AUC(yTrue, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC = %v", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1, 1}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("single-class AUC accepted")
+	}
+	if _, err := AUC([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := AUC([]float64{0.5}, []float64{0.5}); err == nil {
+		t.Fatal("non-binary label accepted")
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Perfect confident predictions give ~0 loss.
+	ll, err := LogLoss([]float64{1, 0}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll > 1e-10 {
+		t.Fatalf("perfect log loss = %v", ll)
+	}
+	// p=0.5 everywhere gives log 2.
+	ll, _ = LogLoss([]float64{1, 0, 1}, []float64{0.5, 0.5, 0.5})
+	if math.Abs(ll-math.Log(2)) > 1e-12 {
+		t.Fatalf("uniform log loss = %v", ll)
+	}
+	// Confident wrong answers are heavily penalized but finite.
+	ll, _ = LogLoss([]float64{1}, []float64{0})
+	if math.IsInf(ll, 0) || ll < 10 {
+		t.Fatalf("clipped log loss = %v", ll)
+	}
+	if _, err := LogLoss(nil, nil); err == nil {
+		t.Fatal("empty log loss accepted")
+	}
+}
+
+func TestBrierScore(t *testing.T) {
+	bs, err := BrierScore([]float64{1, 0}, []float64{0.8, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.2*0.2 + 0.3*0.3) / 2
+	if math.Abs(bs-want) > 1e-12 {
+		t.Fatalf("brier = %v, want %v", bs, want)
+	}
+}
+
+func TestCalibrationCurve(t *testing.T) {
+	// Predictions match observed frequencies perfectly.
+	var yTrue, probs []float64
+	for i := 0; i < 100; i++ {
+		probs = append(probs, 0.25)
+		if i < 25 {
+			yTrue = append(yTrue, 1)
+		} else {
+			yTrue = append(yTrue, 0)
+		}
+	}
+	curve, err := CalibrationCurve(yTrue, probs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[1].Count != 100 {
+		t.Fatalf("bin occupancy wrong: %+v", curve)
+	}
+	if math.Abs(curve[1].ObservedRate-0.25) > 1e-12 {
+		t.Fatalf("observed rate = %v", curve[1].ObservedRate)
+	}
+	ece, err := ExpectedCalibrationError(yTrue, probs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 1e-12 {
+		t.Fatalf("perfectly calibrated ECE = %v", ece)
+	}
+}
+
+func TestCalibrationCurveEdges(t *testing.T) {
+	// p=1.0 must land in the last bin, not out of range.
+	curve, err := CalibrationCurve([]float64{1}, []float64{1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[9].Count != 1 {
+		t.Fatal("p=1 not in last bin")
+	}
+	if _, err := CalibrationCurve([]float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestExpectedCalibrationErrorDetectsMiscalibration(t *testing.T) {
+	var yTrue, probs []float64
+	for i := 0; i < 100; i++ {
+		probs = append(probs, 0.9) // overconfident
+		if i < 50 {
+			yTrue = append(yTrue, 1)
+		} else {
+			yTrue = append(yTrue, 0)
+		}
+	}
+	ece, err := ExpectedCalibrationError(yTrue, probs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.4) > 1e-9 {
+		t.Fatalf("ECE = %v, want 0.4", ece)
+	}
+}
+
+func TestSplitBasics(t *testing.T) {
+	d := linearlySeparable(100, 33)
+	src := rng.New(1)
+	train, test, err := TrainTestSplit(d, 0.25, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N()+test.N() != 100 || test.N() != 25 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	if _, _, err := TrainTestSplit(d, 0, src); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, _, err := TrainTestSplit(d, 1, src); err == nil {
+		t.Fatal("unit fraction accepted")
+	}
+}
+
+func TestStratifiedSplitKeepsRatio(t *testing.T) {
+	// 10% positive rate.
+	d := &Dataset{Features: []string{"x"}}
+	for i := 0; i < 200; i++ {
+		y := 0.0
+		if i%10 == 0 {
+			y = 1
+		}
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, y)
+	}
+	src := rng.New(2)
+	train, test, err := StratifiedSplit(d, 0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := func(ds *Dataset) float64 {
+		var p float64
+		for _, y := range ds.Y {
+			p += y
+		}
+		return p / float64(ds.N())
+	}
+	if math.Abs(rate(train)-0.1) > 0.02 || math.Abs(rate(test)-0.1) > 0.02 {
+		t.Fatalf("stratified rates train=%v test=%v", rate(train), rate(test))
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	d := linearlySeparable(103, 35)
+	src := rng.New(3)
+	folds, err := KFold(d, 5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range folds {
+		total += f[1].N()
+		if f[0].N()+f[1].N() != 103 {
+			t.Fatal("fold does not partition")
+		}
+	}
+	if total != 103 {
+		t.Fatalf("test folds cover %d rows, want 103", total)
+	}
+	if _, err := KFold(d, 1, src); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestCrossValidateAccuracy(t *testing.T) {
+	d := linearlySeparable(400, 37)
+	src := rng.New(4)
+	accs, err := CrossValidateAccuracy(d, 4, src, func(train *Dataset) (Classifier, error) {
+		return TrainLogistic(train, LogisticConfig{Epochs: 40})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 4 {
+		t.Fatalf("folds = %d", len(accs))
+	}
+	for _, a := range accs {
+		if a < 0.85 {
+			t.Fatalf("fold accuracy = %v", a)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// linearlySeparable builds a 2-feature dataset where y = 1 iff
+// x0 + x1 > 0, with a margin controlled by gap.
+func linearlySeparable(n int, seed uint64) *Dataset {
+	src := rng.New(seed)
+	d := &Dataset{Features: []string{"x0", "x1"}}
+	for i := 0; i < n; i++ {
+		x0 := src.Normal(0, 1)
+		x1 := src.Normal(0, 1)
+		y := 0.0
+		if x0+x1 > 0 {
+			y = 1
+		}
+		d.X = append(d.X, []float64{x0, x1})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// noisyNonlinear builds an XOR-ish dataset a linear model cannot fit.
+func noisyNonlinear(n int, seed uint64) *Dataset {
+	src := rng.New(seed)
+	d := &Dataset{Features: []string{"x0", "x1"}}
+	for i := 0; i < n; i++ {
+		x0 := src.Float64()*2 - 1
+		x1 := src.Float64()*2 - 1
+		y := 0.0
+		if (x0 > 0) != (x1 > 0) {
+			y = 1
+		}
+		d.X = append(d.X, []float64{x0, x1})
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func accuracyOn(t *testing.T, c Classifier, d *Dataset) float64 {
+	t.Helper()
+	acc, err := Accuracy(d.Y, PredictAll(c, d.X))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestLogisticLearnsSeparableData(t *testing.T) {
+	train := linearlySeparable(800, 1)
+	test := linearlySeparable(400, 2)
+	m, err := TrainLogistic(train, LogisticConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOn(t, m, test); acc < 0.95 {
+		t.Fatalf("logistic accuracy = %v on separable data", acc)
+	}
+	// The learned direction must be positive on both features.
+	if m.Weights[0] <= 0 || m.Weights[1] <= 0 {
+		t.Fatalf("learned weights wrong sign: %v", m.Weights)
+	}
+	coefs := m.Coefficients()
+	if coefs["x0"] != m.Weights[0] {
+		t.Fatal("Coefficients map wrong")
+	}
+}
+
+func TestLogisticRejectsBadTargets(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}}, Y: []float64{2}, Features: []string{"x"}}
+	if _, err := TrainLogistic(d, LogisticConfig{}); err == nil {
+		t.Fatal("non-binary target accepted")
+	}
+	if _, err := TrainLogistic(&Dataset{Features: []string{"x"}}, LogisticConfig{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestLogisticSampleWeights(t *testing.T) {
+	// Duplicate-by-weight equivalence: weighting a row by 3 should move
+	// the decision boundary like including it 3 times.
+	base := linearlySeparable(200, 3)
+	weighted := base.Clone()
+	weighted.Weights = make([]float64, weighted.N())
+	for i := range weighted.Weights {
+		weighted.Weights[i] = 1
+		if weighted.Y[i] == 1 {
+			weighted.Weights[i] = 5 // overweight positives
+		}
+	}
+	m0, err := TrainLogistic(base, LogisticConfig{Epochs: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := TrainLogistic(weighted, LogisticConfig{Epochs: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overweighting positives should raise predicted probabilities on
+	// average.
+	var p0, p1 float64
+	for _, x := range base.X {
+		p0 += m0.PredictProba(x)
+		p1 += m1.PredictProba(x)
+	}
+	if p1 <= p0 {
+		t.Fatalf("positive overweighting lowered mean probability: %v vs %v", p1/200, p0/200)
+	}
+}
+
+func TestLogisticDeterministic(t *testing.T) {
+	d := linearlySeparable(300, 5)
+	m1, _ := TrainLogistic(d, LogisticConfig{Seed: 9})
+	m2, _ := TrainLogistic(d, LogisticConfig{Seed: 9})
+	for j := range m1.Weights {
+		if m1.Weights[j] != m2.Weights[j] {
+			t.Fatal("training not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", s)
+	}
+	if Sigmoid(100) <= 0.999 || Sigmoid(-100) >= 0.001 {
+		t.Fatal("sigmoid saturation wrong")
+	}
+	// Numerical stability in both tails.
+	if math.IsNaN(Sigmoid(-1000)) || math.IsNaN(Sigmoid(1000)) {
+		t.Fatal("sigmoid overflow")
+	}
+}
+
+func TestLinearRecoversCoefficients(t *testing.T) {
+	src := rng.New(11)
+	d := &Dataset{Features: []string{"a", "b"}}
+	for i := 0; i < 500; i++ {
+		a := src.Normal(0, 1)
+		b := src.Normal(0, 1)
+		y := 3*a - 2*b + 5 + src.Normal(0, 0.01)
+		d.X = append(d.X, []float64{a, b})
+		d.Y = append(d.Y, y)
+	}
+	m, err := TrainLinear(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 0.01 || math.Abs(m.Weights[1]+2) > 0.01 || math.Abs(m.Bias-5) > 0.01 {
+		t.Fatalf("OLS recovered w=%v b=%v", m.Weights, m.Bias)
+	}
+	if r2 := m.RSquared(d); r2 < 0.999 {
+		t.Fatalf("R^2 = %v", r2)
+	}
+}
+
+func TestLinearCollinearNeedsRidge(t *testing.T) {
+	d := &Dataset{Features: []string{"a", "b"}}
+	for i := 0; i < 50; i++ {
+		v := float64(i)
+		d.X = append(d.X, []float64{v, 2 * v}) // perfectly collinear
+		d.Y = append(d.Y, v)
+	}
+	if _, err := TrainLinear(d, 0); err == nil {
+		t.Fatal("singular system solved without ridge")
+	}
+	if _, err := TrainLinear(d, 0.1); err != nil {
+		t.Fatalf("ridge failed on collinear data: %v", err)
+	}
+}
+
+func TestLinearWeighted(t *testing.T) {
+	// Two populations with different slopes; weighting one to zero should
+	// recover the other's slope.
+	d := &Dataset{Features: []string{"x"}}
+	var w []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 10
+		d.X = append(d.X, []float64{v})
+		d.Y = append(d.Y, 2*v) // slope 2 population
+		w = append(w, 1)
+		d.X = append(d.X, []float64{v})
+		d.Y = append(d.Y, 5*v) // slope 5 population
+		w = append(w, 0)
+	}
+	d.Weights = w
+	m, err := TrainLinear(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 1e-6 {
+		t.Fatalf("weighted OLS slope = %v, want 2", m.Weights[0])
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := TrainLinear(&Dataset{Features: []string{"x"}}, 0); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	d := &Dataset{X: [][]float64{{1}}, Y: []float64{1}, Features: []string{"x"}}
+	if _, err := TrainLinear(d, -1); err == nil {
+		t.Fatal("negative ridge accepted")
+	}
+}
+
+func TestTreeLearnsNonlinear(t *testing.T) {
+	train := noisyNonlinear(1000, 13)
+	test := noisyNonlinear(400, 14)
+	tree, err := TrainTree(train, TreeConfig{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOn(t, tree, test); acc < 0.9 {
+		t.Fatalf("tree accuracy on XOR = %v", acc)
+	}
+	// A linear model cannot fit XOR: tree must beat it clearly.
+	lin, err := TrainLogistic(train, LogisticConfig{Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linAcc := accuracyOn(t, lin, test); linAcc > 0.7 {
+		t.Fatalf("logistic fit XOR too well (%v) — test data broken?", linAcc)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	train := noisyNonlinear(500, 15)
+	for _, depth := range []int{1, 2, 4} {
+		tree, err := TrainTree(train, TreeConfig{MaxDepth: depth, MinLeaf: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Depth() > depth {
+			t.Fatalf("tree depth %d exceeds max %d", tree.Depth(), depth)
+		}
+	}
+}
+
+func TestTreePureNodeStops(t *testing.T) {
+	d := &Dataset{
+		X:        [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}},
+		Y:        []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+		Features: []string{"x"},
+	}
+	tree, err := TrainTree(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() || tree.Root.Prob != 1 {
+		t.Fatal("pure dataset should give single leaf with prob 1")
+	}
+}
+
+func TestTreeRules(t *testing.T) {
+	train := linearlySeparable(300, 17)
+	tree, err := TrainTree(train, TreeConfig{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules()
+	if len(rules) != tree.LeafCount() {
+		t.Fatalf("%d rules for %d leaves", len(rules), tree.LeafCount())
+	}
+	for _, r := range rules {
+		if len(r) == 0 {
+			t.Fatal("empty rule")
+		}
+	}
+}
+
+func TestTreeWeightsShiftSplits(t *testing.T) {
+	// All-weight-on-positives should drive leaf probabilities up.
+	d := noisyNonlinear(400, 19)
+	w := make([]float64, d.N())
+	for i := range w {
+		if d.Y[i] == 1 {
+			w[i] = 10
+		} else {
+			w[i] = 0.1
+		}
+	}
+	dw := d.Clone()
+	dw.Weights = w
+	t0, err := TrainTree(d, TreeConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := TrainTree(dw, TreeConfig{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p0, p1 float64
+	for _, x := range d.X {
+		p0 += t0.PredictProba(x)
+		p1 += t1.PredictProba(x)
+	}
+	if p1 <= p0 {
+		t.Fatal("positive weighting did not raise tree probabilities")
+	}
+}
+
+func TestGaussianNB(t *testing.T) {
+	train := linearlySeparable(1000, 21)
+	test := linearlySeparable(400, 22)
+	m, err := TrainGaussianNB(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOn(t, m, test); acc < 0.9 {
+		t.Fatalf("NB accuracy = %v", acc)
+	}
+	if m.Prior1 < 0.4 || m.Prior1 > 0.6 {
+		t.Fatalf("prior = %v", m.Prior1)
+	}
+}
+
+func TestGaussianNBSingleClassError(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1, 1}, Features: []string{"x"}}
+	if _, err := TrainGaussianNB(d); err == nil {
+		t.Fatal("single-class NB accepted")
+	}
+}
+
+func TestKNN(t *testing.T) {
+	train := noisyNonlinear(800, 23)
+	test := noisyNonlinear(300, 24)
+	m, err := TrainKNN(train, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOn(t, m, test); acc < 0.9 {
+		t.Fatalf("kNN accuracy on XOR = %v", acc)
+	}
+}
+
+func TestKNNNeighborsOrdering(t *testing.T) {
+	d := &Dataset{
+		X:        [][]float64{{0}, {1}, {2}, {10}},
+		Y:        []float64{0, 1, 0, 1},
+		Features: []string{"x"},
+	}
+	m, err := TrainKNN(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := m.Neighbors([]float64{0.9})
+	if nb[0] != 1 || nb[1] != 0 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}}, Y: []float64{1}, Features: []string{"x"}}
+	if _, err := TrainKNN(d, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := TrainKNN(d, 2); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestEnsembleBeatsSingleStumpOnXOR(t *testing.T) {
+	train := noisyNonlinear(800, 25)
+	test := noisyNonlinear(300, 26)
+	e, err := TrainEnsemble(train, EnsembleConfig{NumTrees: 15, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracyOn(t, e, test); acc < 0.9 {
+		t.Fatalf("ensemble accuracy = %v", acc)
+	}
+	if e.Size() <= len(e.Trees) {
+		t.Fatal("ensemble suspiciously small")
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	d := noisyNonlinear(200, 27)
+	e1, _ := TrainEnsemble(d, EnsembleConfig{NumTrees: 5, Seed: 3})
+	e2, _ := TrainEnsemble(d, EnsembleConfig{NumTrees: 5, Seed: 3})
+	x := []float64{0.2, -0.4}
+	if e1.PredictProba(x) != e2.PredictProba(x) {
+		t.Fatal("ensemble not deterministic")
+	}
+}

@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussianNB is a Gaussian naive Bayes binary classifier: features are
+// modeled as independent normals within each class.
+type GaussianNB struct {
+	Prior1   float64 // P(y=1)
+	Mean     [2][]float64
+	Variance [2][]float64
+	Features []string
+}
+
+// TrainGaussianNB fits class-conditional feature means/variances with
+// per-sample weights. Variances are floored at a small epsilon to keep
+// degenerate (constant) features from producing infinite likelihoods.
+func TrainGaussianNB(d *Dataset) (*GaussianNB, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("ml: TrainGaussianNB on empty dataset")
+	}
+	dim := d.D()
+	m := &GaussianNB{Features: append([]string(nil), d.Features...)}
+	var wClass [2]float64
+	for c := 0; c < 2; c++ {
+		m.Mean[c] = make([]float64, dim)
+		m.Variance[c] = make([]float64, dim)
+	}
+	for i, row := range d.X {
+		y := int(d.Y[i])
+		if d.Y[i] != 0 && d.Y[i] != 1 {
+			return nil, fmt.Errorf("ml: TrainGaussianNB target must be 0/1, row %d is %v", i, d.Y[i])
+		}
+		w := d.Weight(i)
+		wClass[y] += w
+		for j, v := range row {
+			m.Mean[y][j] += w * v
+		}
+	}
+	if wClass[0] == 0 || wClass[1] == 0 {
+		return nil, fmt.Errorf("ml: TrainGaussianNB needs both classes present")
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.Mean[c] {
+			m.Mean[c][j] /= wClass[c]
+		}
+	}
+	for i, row := range d.X {
+		y := int(d.Y[i])
+		w := d.Weight(i)
+		for j, v := range row {
+			dlt := v - m.Mean[y][j]
+			m.Variance[y][j] += w * dlt * dlt
+		}
+	}
+	const varFloor = 1e-9
+	for c := 0; c < 2; c++ {
+		for j := range m.Variance[c] {
+			m.Variance[c][j] = m.Variance[c][j]/wClass[c] + varFloor
+		}
+	}
+	m.Prior1 = wClass[1] / (wClass[0] + wClass[1])
+	return m, nil
+}
+
+// PredictProba returns P(y=1 | x) via Bayes' rule in log space.
+func (m *GaussianNB) PredictProba(x []float64) float64 {
+	log1 := math.Log(m.Prior1)
+	log0 := math.Log(1 - m.Prior1)
+	for j, v := range x {
+		log1 += logNormPDF(v, m.Mean[1][j], m.Variance[1][j])
+		log0 += logNormPDF(v, m.Mean[0][j], m.Variance[0][j])
+	}
+	// Normalize stably.
+	maxLog := math.Max(log0, log1)
+	p1 := math.Exp(log1 - maxLog)
+	p0 := math.Exp(log0 - maxLog)
+	return p1 / (p0 + p1)
+}
+
+func logNormPDF(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5*(math.Log(2*math.Pi*variance)) - d*d/(2*variance)
+}

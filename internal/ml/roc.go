@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64
+	FPR       float64
+}
+
+// ROCCurve computes the ROC operating points of a scored binary
+// classifier, one per distinct score (descending), plus the (0,0)
+// endpoint. The trapezoidal area under the returned curve equals AUC.
+func ROCCurve(yTrue, scores []float64) ([]ROCPoint, error) {
+	if len(yTrue) != len(scores) {
+		return nil, fmt.Errorf("ml: ROCCurve length mismatch %d vs %d", len(yTrue), len(scores))
+	}
+	var nPos, nNeg float64
+	for _, y := range yTrue {
+		switch y {
+		case 1:
+			nPos++
+		case 0:
+			nNeg++
+		default:
+			return nil, fmt.Errorf("ml: ROCCurve labels must be 0/1, got %v", y)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, fmt.Errorf("ml: ROCCurve needs both classes")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	points := []ROCPoint{{Threshold: scores[idx[0]] + 1, TPR: 0, FPR: 0}}
+	var tp, fp float64
+	i := 0
+	for i < len(idx) {
+		// Process all rows tied at this score together.
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if yTrue[idx[i]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{Threshold: s, TPR: tp / nPos, FPR: fp / nNeg})
+	}
+	return points, nil
+}
+
+// AUCFromCurve integrates a ROC curve with the trapezoid rule.
+func AUCFromCurve(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// BestYoudenThreshold returns the threshold maximizing TPR - FPR
+// (Youden's J), a standard operating-point choice.
+func BestYoudenThreshold(points []ROCPoint) (ROCPoint, error) {
+	if len(points) == 0 {
+		return ROCPoint{}, fmt.Errorf("ml: empty ROC curve")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TPR-p.FPR > best.TPR-best.FPR {
+			best = p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestROCCurveEndpoints(t *testing.T) {
+	yTrue := []float64{0, 0, 1, 1}
+	scores := []float64{0.1, 0.4, 0.35, 0.8}
+	curve, err := ROCCurve(yTrue, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Fatalf("curve does not start at origin: %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("curve does not end at (1,1): %+v", last)
+	}
+	// Monotone non-decreasing in both axes.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TPR < curve[i-1].TPR || curve[i].FPR < curve[i-1].FPR {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+	}
+}
+
+func TestROCCurveAreaMatchesAUC(t *testing.T) {
+	src := rng.New(61)
+	n := 2000
+	yTrue := make([]float64, n)
+	scores := make([]float64, n)
+	for i := range yTrue {
+		if src.Bernoulli(0.4) {
+			yTrue[i] = 1
+			scores[i] = src.Normal(1, 1)
+		} else {
+			scores[i] = src.Normal(0, 1)
+		}
+	}
+	curve, err := ROCCurve(yTrue, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := AUCFromCurve(curve)
+	auc, err := AUC(yTrue, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(area-auc) > 1e-9 {
+		t.Fatalf("trapezoid area %v != rank AUC %v", area, auc)
+	}
+}
+
+func TestROCCurveTies(t *testing.T) {
+	// All scores identical: the curve is the diagonal (one step), and
+	// AUC is 0.5.
+	yTrue := []float64{1, 0, 1, 0}
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	curve, err := ROCCurve(yTrue, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("tied curve has %d points, want 2", len(curve))
+	}
+	if a := AUCFromCurve(curve); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", a)
+	}
+}
+
+func TestROCCurveErrors(t *testing.T) {
+	if _, err := ROCCurve([]float64{1, 1}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("single-class accepted")
+	}
+	if _, err := ROCCurve([]float64{1}, []float64{0.5, 0.1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ROCCurve([]float64{2}, []float64{0.5}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestBestYoudenThreshold(t *testing.T) {
+	yTrue := []float64{0, 0, 0, 1, 1, 1}
+	scores := []float64{0.1, 0.2, 0.3, 0.7, 0.8, 0.9}
+	curve, err := ROCCurve(yTrue, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestYoudenThreshold(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect separation: best point has TPR 1, FPR 0.
+	if best.TPR != 1 || best.FPR != 0 {
+		t.Fatalf("best point %+v", best)
+	}
+	if _, err := BestYoudenThreshold(nil); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// TrainTestSplit partitions the dataset into train and test subsets with
+// the given test fraction, shuffled by src.
+func TrainTestSplit(d *Dataset, testFraction float64, src *rng.Source) (train, test *Dataset, err error) {
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, nil, fmt.Errorf("ml: testFraction must be in (0,1), got %v", testFraction)
+	}
+	n := d.N()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("ml: cannot split %d rows", n)
+	}
+	perm := src.Perm(n)
+	nTest := int(float64(n) * testFraction)
+	if nTest == 0 {
+		nTest = 1
+	}
+	if nTest == n {
+		nTest = n - 1
+	}
+	return d.Subset(perm[nTest:]), d.Subset(perm[:nTest]), nil
+}
+
+// StratifiedSplit splits while preserving the 0/1 label ratio in both
+// parts, which keeps small-minority datasets (the fairness workloads)
+// from producing single-class test sets.
+func StratifiedSplit(d *Dataset, testFraction float64, src *rng.Source) (train, test *Dataset, err error) {
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, nil, fmt.Errorf("ml: testFraction must be in (0,1), got %v", testFraction)
+	}
+	var pos, neg []int
+	for i, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) < 2 || len(neg) < 2 {
+		return nil, nil, fmt.Errorf("ml: StratifiedSplit needs >=2 rows of each class (pos=%d neg=%d)", len(pos), len(neg))
+	}
+	var trainIdx, testIdx []int
+	for _, class := range [][]int{pos, neg} {
+		src.Shuffle(len(class), func(a, b int) { class[a], class[b] = class[b], class[a] })
+		k := int(float64(len(class)) * testFraction)
+		if k == 0 {
+			k = 1
+		}
+		if k == len(class) {
+			k = len(class) - 1
+		}
+		testIdx = append(testIdx, class[:k]...)
+		trainIdx = append(trainIdx, class[k:]...)
+	}
+	return d.Subset(trainIdx), d.Subset(testIdx), nil
+}
+
+// KFold yields k cross-validation folds as (train, test) pairs, shuffled
+// by src. Every row appears in exactly one test fold.
+func KFold(d *Dataset, k int, src *rng.Source) ([][2]*Dataset, error) {
+	n := d.N()
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: KFold k=%d out of range [2,%d]", k, n)
+	}
+	perm := src.Perm(n)
+	folds := make([][2]*Dataset, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		testIdx := perm[lo:hi]
+		trainIdx := make([]int, 0, n-(hi-lo))
+		trainIdx = append(trainIdx, perm[:lo]...)
+		trainIdx = append(trainIdx, perm[hi:]...)
+		folds[f] = [2]*Dataset{d.Subset(trainIdx), d.Subset(testIdx)}
+	}
+	return folds, nil
+}
+
+// CrossValidateAccuracy trains with the supplied constructor on each fold
+// and returns the per-fold test accuracies. The constructor receives the
+// training fold; returning an error aborts the whole evaluation.
+func CrossValidateAccuracy(d *Dataset, k int, src *rng.Source, train func(*Dataset) (Classifier, error)) ([]float64, error) {
+	folds, err := KFold(d, k, src)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]float64, len(folds))
+	for i, fold := range folds {
+		model, err := train(fold[0])
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d training: %w", i, err)
+		}
+		acc, err := Accuracy(fold[1].Y, PredictAll(model, fold[1].X))
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = acc
+	}
+	return accs, nil
+}

@@ -1,0 +1,261 @@
+// Package policy implements the governance layer of Sections 3-4 of the
+// paper: GDPR-style consent and purpose limitation, data-subject rights
+// (access and erasure), retention limits, and a declarative FACT policy
+// that states the thresholds a pipeline must meet per dimension. The
+// paper's closing question — "How can FACT elements be embedded in our
+// requirements?" — is answered operationally: a FACTPolicy is a
+// requirements artifact that the core package evaluates mechanically.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Purpose names a processing purpose (GDPR purpose limitation).
+type Purpose string
+
+// Common purposes used by the examples.
+const (
+	PurposeResearch  Purpose = "research"
+	PurposeBilling   Purpose = "billing"
+	PurposeMarketing Purpose = "marketing"
+	PurposeCare      Purpose = "care"
+)
+
+// ConsentLedger tracks, per data subject, which purposes they have
+// consented to. It is the source of truth access control consults.
+// Safe for concurrent use.
+type ConsentLedger struct {
+	mu       sync.RWMutex
+	consents map[string]map[Purpose]time.Time // subject -> purpose -> granted at
+	erased   map[string]time.Time             // subjects whose data must be gone
+	clock    func() time.Time
+}
+
+// NewConsentLedger creates an empty ledger.
+func NewConsentLedger() *ConsentLedger {
+	return &ConsentLedger{
+		consents: map[string]map[Purpose]time.Time{},
+		erased:   map[string]time.Time{},
+		clock:    time.Now,
+	}
+}
+
+// SetClock overrides the timestamp source (tests).
+func (l *ConsentLedger) SetClock(clock func() time.Time) { l.clock = clock }
+
+// Grant records consent by subject for purpose.
+func (l *ConsentLedger) Grant(subject string, purpose Purpose) error {
+	if subject == "" {
+		return fmt.Errorf("policy: empty subject")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, gone := l.erased[subject]; gone {
+		return fmt.Errorf("policy: subject %q has exercised erasure; re-onboarding required", subject)
+	}
+	m, ok := l.consents[subject]
+	if !ok {
+		m = map[Purpose]time.Time{}
+		l.consents[subject] = m
+	}
+	m[purpose] = l.clock()
+	return nil
+}
+
+// Revoke withdraws consent for one purpose.
+func (l *ConsentLedger) Revoke(subject string, purpose Purpose) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.consents[subject], purpose)
+}
+
+// HasConsent reports whether the subject currently consents to purpose.
+func (l *ConsentLedger) HasConsent(subject string, purpose Purpose) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if _, gone := l.erased[subject]; gone {
+		return false
+	}
+	_, ok := l.consents[subject][purpose]
+	return ok
+}
+
+// Erase records a data-subject erasure request (GDPR art. 17): all
+// consents vanish and the subject is flagged so downstream stores can be
+// purged. Idempotent.
+func (l *ConsentLedger) Erase(subject string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.consents, subject)
+	if _, already := l.erased[subject]; !already {
+		l.erased[subject] = l.clock()
+	}
+}
+
+// Erased returns the subjects with pending erasure obligations.
+func (l *ConsentLedger) Erased() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.erased))
+	for s := range l.erased {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AccessReport answers a data-subject access request (GDPR art. 15): the
+// purposes the subject has consented to, with timestamps.
+func (l *ConsentLedger) AccessReport(subject string) string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Access report for %s\n", subject)
+	if _, gone := l.erased[subject]; gone {
+		fmt.Fprintf(&b, "  erasure requested at %s\n", l.erased[subject].UTC().Format(time.RFC3339))
+		return b.String()
+	}
+	m := l.consents[subject]
+	if len(m) == 0 {
+		b.WriteString("  no active consents\n")
+		return b.String()
+	}
+	purposes := make([]string, 0, len(m))
+	for p := range m {
+		purposes = append(purposes, string(p))
+	}
+	sort.Strings(purposes)
+	for _, p := range purposes {
+		fmt.Fprintf(&b, "  %s: granted %s\n", p, m[Purpose(p)].UTC().Format(time.RFC3339))
+	}
+	return b.String()
+}
+
+// AccessDecision is the outcome of a purpose-based access check.
+type AccessDecision struct {
+	Allowed []string // subjects whose rows may be processed
+	Denied  []string // subjects excluded (no consent or erased)
+}
+
+// FilterByConsent partitions subjects by whether they consent to purpose.
+// Pipelines call this before touching rows, so purpose limitation is
+// enforced structurally rather than by convention.
+func (l *ConsentLedger) FilterByConsent(subjects []string, purpose Purpose) AccessDecision {
+	var d AccessDecision
+	for _, s := range subjects {
+		if l.HasConsent(s, purpose) {
+			d.Allowed = append(d.Allowed, s)
+		} else {
+			d.Denied = append(d.Denied, s)
+		}
+	}
+	return d
+}
+
+// RetentionPolicy bounds how long records may be kept per purpose.
+type RetentionPolicy struct {
+	MaxAge map[Purpose]time.Duration
+}
+
+// Expired reports whether a record collected at `collected` for `purpose`
+// must be deleted as of `now`. Purposes with no rule never expire.
+func (r *RetentionPolicy) Expired(purpose Purpose, collected, now time.Time) bool {
+	if r == nil || r.MaxAge == nil {
+		return false
+	}
+	maxAge, ok := r.MaxAge[purpose]
+	if !ok {
+		return false
+	}
+	return now.Sub(collected) > maxAge
+}
+
+// FACTPolicy is the declarative FACT requirements artifact: per-dimension
+// thresholds a pipeline must satisfy. Zero values mean "not required".
+type FACTPolicy struct {
+	// Fairness.
+	MinDisparateImpact float64 // e.g. 0.8 (four-fifths rule)
+	MaxEqOppDifference float64 // e.g. 0.1
+	// Accuracy.
+	RequireIntervals    bool   // point estimates must carry CIs
+	MaxUncorrectedTests int    // hypothesis count above which correction is mandatory
+	Correction          string // required correction ("holm", "benjamini-hochberg", ...)
+	// Confidentiality.
+	MaxEpsilon    float64 // total privacy budget ceiling
+	MinKAnonymity int     // published micro-data must satisfy k
+	// Transparency.
+	RequireLineage       bool
+	RequireModelCard     bool
+	MinSurrogateFidelity float64 // explanation fidelity floor
+	// Governance.
+	RequiredPurpose Purpose // purpose rows must be consented to
+}
+
+// Validate sanity-checks threshold ranges.
+func (p *FACTPolicy) Validate() error {
+	if p.MinDisparateImpact < 0 || p.MinDisparateImpact > 1 {
+		return fmt.Errorf("policy: MinDisparateImpact %v out of [0,1]", p.MinDisparateImpact)
+	}
+	if p.MaxEqOppDifference < 0 || p.MaxEqOppDifference > 1 {
+		return fmt.Errorf("policy: MaxEqOppDifference %v out of [0,1]", p.MaxEqOppDifference)
+	}
+	if p.MaxEpsilon < 0 {
+		return fmt.Errorf("policy: MaxEpsilon %v negative", p.MaxEpsilon)
+	}
+	if p.MinKAnonymity < 0 {
+		return fmt.Errorf("policy: MinKAnonymity %d negative", p.MinKAnonymity)
+	}
+	if p.MinSurrogateFidelity < 0 || p.MinSurrogateFidelity > 1 {
+		return fmt.Errorf("policy: MinSurrogateFidelity %v out of [0,1]", p.MinSurrogateFidelity)
+	}
+	if p.MaxUncorrectedTests < 0 {
+		return fmt.Errorf("policy: MaxUncorrectedTests %d negative", p.MaxUncorrectedTests)
+	}
+	return nil
+}
+
+// Grade is a traffic-light compliance verdict.
+type Grade int
+
+// Grades, worst to best.
+const (
+	Red Grade = iota
+	Amber
+	Green
+)
+
+// String renders the grade.
+func (g Grade) String() string {
+	switch g {
+	case Red:
+		return "RED"
+	case Amber:
+		return "AMBER"
+	case Green:
+		return "GREEN"
+	}
+	return fmt.Sprintf("Grade(%d)", int(g))
+}
+
+// Finding is one policy-evaluation observation.
+type Finding struct {
+	Dimension string // "fairness" | "accuracy" | "confidentiality" | "transparency" | "governance"
+	Grade     Grade
+	Message   string
+}
+
+// WorstGrade folds findings into an overall verdict (Green when empty).
+func WorstGrade(findings []Finding) Grade {
+	worst := Green
+	for _, f := range findings {
+		if f.Grade < worst {
+			worst = f.Grade
+		}
+	}
+	return worst
+}

@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConsentGrantRevoke(t *testing.T) {
+	l := NewConsentLedger()
+	if err := l.Grant("alice", PurposeResearch); err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasConsent("alice", PurposeResearch) {
+		t.Fatal("granted consent not found")
+	}
+	if l.HasConsent("alice", PurposeMarketing) {
+		t.Fatal("unconsented purpose allowed")
+	}
+	if l.HasConsent("bob", PurposeResearch) {
+		t.Fatal("unknown subject has consent")
+	}
+	l.Revoke("alice", PurposeResearch)
+	if l.HasConsent("alice", PurposeResearch) {
+		t.Fatal("revoked consent still active")
+	}
+	if err := l.Grant("", PurposeResearch); err == nil {
+		t.Fatal("empty subject accepted")
+	}
+}
+
+func TestErasure(t *testing.T) {
+	l := NewConsentLedger()
+	l.Grant("carol", PurposeBilling)
+	l.Erase("carol")
+	if l.HasConsent("carol", PurposeBilling) {
+		t.Fatal("erased subject retains consent")
+	}
+	if err := l.Grant("carol", PurposeBilling); err == nil {
+		t.Fatal("re-grant after erasure accepted silently")
+	}
+	erased := l.Erased()
+	if len(erased) != 1 || erased[0] != "carol" {
+		t.Fatalf("erased = %v", erased)
+	}
+	// Idempotent.
+	l.Erase("carol")
+	if len(l.Erased()) != 1 {
+		t.Fatal("double erase duplicated")
+	}
+}
+
+func TestAccessReport(t *testing.T) {
+	l := NewConsentLedger()
+	fixed := time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { return fixed })
+	l.Grant("dave", PurposeResearch)
+	l.Grant("dave", PurposeCare)
+	rep := l.AccessReport("dave")
+	for _, want := range []string{"dave", "research", "care", "2026-06-01T12:00:00Z"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Purposes sorted.
+	if strings.Index(rep, "care") > strings.Index(rep, "research") {
+		t.Fatal("report not sorted")
+	}
+	if !strings.Contains(l.AccessReport("nobody"), "no active consents") {
+		t.Fatal("unknown subject report wrong")
+	}
+	l.Erase("dave")
+	if !strings.Contains(l.AccessReport("dave"), "erasure requested") {
+		t.Fatal("erased subject report wrong")
+	}
+}
+
+func TestFilterByConsent(t *testing.T) {
+	l := NewConsentLedger()
+	l.Grant("a", PurposeResearch)
+	l.Grant("b", PurposeMarketing)
+	l.Grant("c", PurposeResearch)
+	l.Erase("c")
+	d := l.FilterByConsent([]string{"a", "b", "c", "d"}, PurposeResearch)
+	if len(d.Allowed) != 1 || d.Allowed[0] != "a" {
+		t.Fatalf("allowed = %v", d.Allowed)
+	}
+	if len(d.Denied) != 3 {
+		t.Fatalf("denied = %v", d.Denied)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	r := &RetentionPolicy{MaxAge: map[Purpose]time.Duration{
+		PurposeMarketing: 30 * 24 * time.Hour,
+	}}
+	collected := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if r.Expired(PurposeMarketing, collected, collected.Add(29*24*time.Hour)) {
+		t.Fatal("fresh record expired")
+	}
+	if !r.Expired(PurposeMarketing, collected, collected.Add(31*24*time.Hour)) {
+		t.Fatal("stale record not expired")
+	}
+	// Unruled purpose never expires.
+	if r.Expired(PurposeResearch, collected, collected.Add(10*365*24*time.Hour)) {
+		t.Fatal("unruled purpose expired")
+	}
+	var nilPolicy *RetentionPolicy
+	if nilPolicy.Expired(PurposeResearch, collected, collected) {
+		t.Fatal("nil policy expired something")
+	}
+}
+
+func TestFACTPolicyValidate(t *testing.T) {
+	good := &FACTPolicy{
+		MinDisparateImpact:   0.8,
+		MaxEqOppDifference:   0.1,
+		MaxEpsilon:           1.0,
+		MinKAnonymity:        5,
+		MinSurrogateFidelity: 0.85,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []FACTPolicy{
+		{MinDisparateImpact: 1.5},
+		{MaxEqOppDifference: -0.1},
+		{MaxEpsilon: -1},
+		{MinKAnonymity: -2},
+		{MinSurrogateFidelity: 2},
+		{MaxUncorrectedTests: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d validated", i)
+		}
+	}
+}
+
+func TestGrades(t *testing.T) {
+	if Green.String() != "GREEN" || Amber.String() != "AMBER" || Red.String() != "RED" {
+		t.Fatal("grade strings wrong")
+	}
+	findings := []Finding{
+		{Dimension: "fairness", Grade: Green},
+		{Dimension: "accuracy", Grade: Amber},
+		{Dimension: "privacy", Grade: Green},
+	}
+	if WorstGrade(findings) != Amber {
+		t.Fatal("worst grade wrong")
+	}
+	findings = append(findings, Finding{Dimension: "transparency", Grade: Red})
+	if WorstGrade(findings) != Red {
+		t.Fatal("red not dominating")
+	}
+	if WorstGrade(nil) != Green {
+		t.Fatal("empty findings not green")
+	}
+}
+
+func TestConsentConcurrency(t *testing.T) {
+	l := NewConsentLedger()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			l.Grant("x", PurposeResearch)
+			l.Revoke("x", PurposeResearch)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		l.HasConsent("x", PurposeResearch)
+		l.FilterByConsent([]string{"x"}, PurposeResearch)
+	}
+	<-done
+}

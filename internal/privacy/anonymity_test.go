@@ -1,0 +1,242 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+func hospitalFrame(t *testing.T, n int) *frame.Frame {
+	t.Helper()
+	f, err := synth.Hospital(synth.HospitalConfig{N: n, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAnonymizeEnforcesK(t *testing.T) {
+	f := hospitalFrame(t, 1000)
+	qis := []string{"age", "sex", "zip"}
+	for _, k := range []int{2, 5, 10, 25} {
+		res, err := Anonymize(f, AnonymizeConfig{K: k, QuasiIdentifiers: qis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MinClassSize < k {
+			t.Fatalf("k=%d: min class %d", k, res.MinClassSize)
+		}
+		minClass, ok, err := VerifyKAnonymity(res.Data, qis, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("k=%d: verification failed with min class %d", k, minClass)
+		}
+		// Non-QI columns untouched.
+		if !res.Data.MustCol("charges").Equal(f.MustCol("charges")) {
+			t.Fatal("non-QI column modified")
+		}
+		if res.Data.NumRows() != f.NumRows() {
+			t.Fatal("row count changed")
+		}
+	}
+}
+
+func TestAnonymizeInformationLossMonotone(t *testing.T) {
+	f := hospitalFrame(t, 2000)
+	qis := []string{"age", "sex", "zip"}
+	var losses []float64
+	for _, k := range []int{2, 10, 50, 200} {
+		res, err := Anonymize(f, AnonymizeConfig{K: k, QuasiIdentifiers: qis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, res.InformationLoss)
+		if res.InformationLoss < 0 || res.InformationLoss > 1 {
+			t.Fatalf("loss out of range: %v", res.InformationLoss)
+		}
+	}
+	for i := 1; i < len(losses); i++ {
+		if losses[i] < losses[i-1]-1e-9 {
+			t.Fatalf("information loss not monotone in k: %v", losses)
+		}
+	}
+}
+
+func TestAnonymizeReducesReidentificationRisk(t *testing.T) {
+	f := hospitalFrame(t, 1500)
+	qis := []string{"age", "sex", "zip"}
+	before, err := ReidentificationRisk(f, qis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anonymize(f, AnonymizeConfig{K: 10, QuasiIdentifiers: qis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ReidentificationRisk(res.Data, qis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > 0.1 {
+		t.Fatalf("post-anonymization risk = %v, want <= 1/k", after)
+	}
+	if after >= before {
+		t.Fatalf("risk did not fall: %v -> %v", before, after)
+	}
+}
+
+func TestAnonymizeGeneralizationFormats(t *testing.T) {
+	f := frame.MustNew(
+		frame.NewInt64("age", []int64{20, 30, 40, 50}),
+		frame.NewString("sex", []string{"F", "M", "F", "M"}),
+		frame.NewString("diag", []string{"a", "b", "c", "d"}),
+	)
+	res, err := Anonymize(f, AnonymizeConfig{K: 4, QuasiIdentifiers: []string{"age", "sex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	age := res.Data.MustCol("age")
+	if age.Str(0) != "[20-50]" {
+		t.Fatalf("age generalization = %q", age.Str(0))
+	}
+	sex := res.Data.MustCol("sex")
+	if sex.Str(0) != "{F,M}" {
+		t.Fatalf("sex generalization = %q", sex.Str(0))
+	}
+}
+
+func TestAnonymizeValidation(t *testing.T) {
+	f := hospitalFrame(t, 100)
+	if _, err := Anonymize(f, AnonymizeConfig{K: 1, QuasiIdentifiers: []string{"age"}}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Anonymize(f, AnonymizeConfig{K: 2}); err == nil {
+		t.Fatal("no QIs accepted")
+	}
+	if _, err := Anonymize(f, AnonymizeConfig{K: 101, QuasiIdentifiers: []string{"age"}}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := Anonymize(f, AnonymizeConfig{K: 2, QuasiIdentifiers: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown QI accepted")
+	}
+	withNull := frame.NewInt64("age", []int64{1, 2, 3})
+	withNull.SetNull(0)
+	g := frame.MustNew(withNull)
+	if _, err := Anonymize(g, AnonymizeConfig{K: 2, QuasiIdentifiers: []string{"age"}}); err == nil {
+		t.Fatal("null QI accepted")
+	}
+}
+
+func TestLDiversity(t *testing.T) {
+	f := frame.MustNew(
+		frame.NewString("qi", []string{"x", "x", "x", "y", "y", "y"}),
+		frame.NewString("diag", []string{"a", "b", "c", "a", "a", "a"}),
+	)
+	l, err := LDiversity(f, []string{"qi"}, "diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class x has 3 distinct, class y has 1: min is 1.
+	if l != 1 {
+		t.Fatalf("l = %d, want 1", l)
+	}
+	if _, err := LDiversity(f, []string{"qi"}, "ghost"); err == nil {
+		t.Fatal("unknown sensitive accepted")
+	}
+}
+
+func TestTCloseness(t *testing.T) {
+	// Class x matches the global distribution; class y is all "a".
+	f := frame.MustNew(
+		frame.NewString("qi", []string{"x", "x", "y", "y"}),
+		frame.NewString("diag", []string{"a", "b", "a", "a"}),
+	)
+	tc, err := TCloseness(f, []string{"qi"}, "diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global: a=0.75, b=0.25. Class y: a=1. TV = (|1-0.75| + |0-0.25|)/2 = 0.25.
+	if tc < 0.24 || tc > 0.26 {
+		t.Fatalf("t-closeness = %v, want 0.25", tc)
+	}
+}
+
+func TestTClosenessUniform(t *testing.T) {
+	f := frame.MustNew(
+		frame.NewString("qi", []string{"x", "x", "y", "y"}),
+		frame.NewString("diag", []string{"a", "b", "a", "b"}),
+	)
+	tc, err := TCloseness(f, []string{"qi"}, "diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc > 1e-9 {
+		t.Fatalf("uniform classes t = %v, want 0", tc)
+	}
+}
+
+func TestReidentificationRiskAllUnique(t *testing.T) {
+	f := frame.MustNew(frame.NewString("id", []string{"a", "b", "c"}))
+	risk, err := ReidentificationRisk(f, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk != 1 {
+		t.Fatalf("all-unique risk = %v, want 1", risk)
+	}
+}
+
+func TestPseudonymizerDeterministicAndDomainSeparated(t *testing.T) {
+	p, err := NewPseudonymizer([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := p.Pseudonym("research", "patient-42")
+	a2 := p.Pseudonym("research", "patient-42")
+	if a1 != a2 {
+		t.Fatal("pseudonym not deterministic")
+	}
+	b := p.Pseudonym("billing", "patient-42")
+	if a1 == b {
+		t.Fatal("pseudonyms linkable across domains")
+	}
+	other := p.Pseudonym("research", "patient-43")
+	if a1 == other {
+		t.Fatal("distinct ids collide")
+	}
+	if len(a1) != 32 || strings.ToLower(a1) != a1 {
+		t.Fatalf("pseudonym format %q", a1)
+	}
+}
+
+func TestPseudonymizerLinkableOnlyWithKey(t *testing.T) {
+	p, _ := NewPseudonymizer([]byte("0123456789abcdef"))
+	a := p.Pseudonym("research", "id-7")
+	b := p.Pseudonym("billing", "id-7")
+	if !p.Linkable("research", a, "billing", b, "id-7") {
+		t.Fatal("key holder cannot re-link")
+	}
+	if p.Linkable("research", a, "billing", b, "id-8") {
+		t.Fatal("wrong candidate linked")
+	}
+	// A different master key cannot reproduce the pseudonyms.
+	q, _ := NewPseudonymizer([]byte("fedcba9876543210"))
+	if q.Pseudonym("research", "id-7") == a {
+		t.Fatal("different keys produce identical pseudonyms")
+	}
+}
+
+func TestPseudonymizerColumnAndValidation(t *testing.T) {
+	if _, err := NewPseudonymizer([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+	p, _ := NewPseudonymizer([]byte("0123456789abcdef"))
+	col := p.PseudonymizeColumn("d", []string{"a", "b", "a"})
+	if col[0] != col[2] || col[0] == col[1] {
+		t.Fatal("column pseudonymization inconsistent")
+	}
+}

@@ -1,0 +1,297 @@
+// Package privacy implements FACT Q3: "data science that ensures
+// confidentiality — how to answer questions without revealing secrets?"
+//
+// Three complementary mechanisms, mirroring the paper's prescription:
+//
+//   - Differential privacy under a strict, enforced privacy budget
+//     (the paper: "techniques that work under a strict privacy budget"):
+//     Laplace/Gaussian/exponential mechanisms and budget-accounted
+//     private aggregates.
+//   - Syntactic anonymization for data publishing: k-anonymity via
+//     Mondrian generalization, with l-diversity and t-closeness checks
+//     and a re-identification risk estimate.
+//   - Cryptographic protection for data in use: HMAC-based polymorphic
+//     pseudonymization (recipient-specific, unlinkable pseudonyms) and
+//     Paillier additively homomorphic encryption standing in for the
+//     polymorphic encryption the paper cites, enabling aggregation over
+//     ciphertexts.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// Budget is a privacy-budget accountant enforcing sequential composition:
+// every differentially private release spends epsilon (and optionally
+// delta), and once the budget is exhausted further queries are refused
+// rather than silently degraded. This hard refusal is the point — the
+// paper's pipeline must not leak "just one more query" past its promise.
+// Budget is safe for concurrent use.
+type Budget struct {
+	mu           sync.Mutex
+	totalEps     float64
+	totalDelta   float64
+	spentEps     float64
+	spentDelta   float64
+	spendEntries []SpendEntry
+}
+
+// SpendEntry records one budget expenditure for the audit trail.
+type SpendEntry struct {
+	Label string
+	Eps   float64
+	Delta float64
+}
+
+// ErrBudgetExhausted is returned (wrapped) when a spend would exceed the
+// budget.
+var ErrBudgetExhausted = fmt.Errorf("privacy: budget exhausted")
+
+// NewBudget creates an accountant with the given total epsilon and delta.
+func NewBudget(eps, delta float64) (*Budget, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("privacy: total epsilon must be positive and finite, got %v", eps)
+	}
+	if delta < 0 || delta >= 1 {
+		return nil, fmt.Errorf("privacy: total delta must be in [0,1), got %v", delta)
+	}
+	return &Budget{totalEps: eps, totalDelta: delta}, nil
+}
+
+// Spend reserves (eps, delta) from the budget, recording label in the
+// audit trail. It fails with ErrBudgetExhausted if the remaining budget is
+// insufficient, without partial spending.
+func (b *Budget) Spend(label string, eps, delta float64) error {
+	if eps <= 0 || math.IsNaN(eps) {
+		return fmt.Errorf("privacy: spend epsilon must be positive, got %v", eps)
+	}
+	if delta < 0 {
+		return fmt.Errorf("privacy: spend delta must be non-negative, got %v", delta)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	const tol = 1e-12
+	if b.spentEps+eps > b.totalEps+tol || b.spentDelta+delta > b.totalDelta+tol {
+		return fmt.Errorf("%w: requested eps=%v delta=%v, remaining eps=%v delta=%v (%s)",
+			ErrBudgetExhausted, eps, delta, b.totalEps-b.spentEps, b.totalDelta-b.spentDelta, label)
+	}
+	b.spentEps += eps
+	b.spentDelta += delta
+	b.spendEntries = append(b.spendEntries, SpendEntry{Label: label, Eps: eps, Delta: delta})
+	return nil
+}
+
+// Remaining returns the unspent (epsilon, delta).
+func (b *Budget) Remaining() (eps, delta float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totalEps - b.spentEps, b.totalDelta - b.spentDelta
+}
+
+// Spent returns the consumed (epsilon, delta).
+func (b *Budget) Spent() (eps, delta float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spentEps, b.spentDelta
+}
+
+// Trail returns a copy of the expenditure audit trail.
+func (b *Budget) Trail() []SpendEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]SpendEntry(nil), b.spendEntries...)
+}
+
+// LaplaceMechanism releases value + Laplace(sensitivity/eps) noise,
+// charging eps to the budget. sensitivity is the query's L1 sensitivity.
+func LaplaceMechanism(b *Budget, label string, value, sensitivity, eps float64, src *rng.Source) (float64, error) {
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("privacy: sensitivity must be positive, got %v", sensitivity)
+	}
+	if err := b.Spend(label, eps, 0); err != nil {
+		return 0, err
+	}
+	return value + src.Laplace(0, sensitivity/eps), nil
+}
+
+// GaussianMechanism releases value + N(0, sigma^2) noise calibrated for
+// (eps, delta)-DP with the classic analytic bound
+// sigma = sensitivity * sqrt(2 ln(1.25/delta)) / eps (valid for eps <= 1).
+func GaussianMechanism(b *Budget, label string, value, sensitivity, eps, delta float64, src *rng.Source) (float64, error) {
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("privacy: sensitivity must be positive, got %v", sensitivity)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("privacy: Gaussian mechanism needs delta in (0,1), got %v", delta)
+	}
+	if eps <= 0 || eps > 1 {
+		return 0, fmt.Errorf("privacy: classic Gaussian mechanism bound needs eps in (0,1], got %v", eps)
+	}
+	if err := b.Spend(label, eps, delta); err != nil {
+		return 0, err
+	}
+	sigma := sensitivity * math.Sqrt(2*math.Log(1.25/delta)) / eps
+	return value + src.Normal(0, sigma), nil
+}
+
+// ExponentialMechanism selects one of the candidates with probability
+// proportional to exp(eps * score / (2 * sensitivity)), the standard
+// utility-based selection mechanism. Returns the chosen index.
+func ExponentialMechanism(b *Budget, label string, scores []float64, sensitivity, eps float64, src *rng.Source) (int, error) {
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("privacy: exponential mechanism needs candidates")
+	}
+	if sensitivity <= 0 {
+		return 0, fmt.Errorf("privacy: sensitivity must be positive, got %v", sensitivity)
+	}
+	if err := b.Spend(label, eps, 0); err != nil {
+		return 0, err
+	}
+	// Normalize in log space for stability.
+	maxScore := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	weights := make([]float64, len(scores))
+	for i, s := range scores {
+		weights[i] = math.Exp(eps * (s - maxScore) / (2 * sensitivity))
+	}
+	return src.Categorical(weights), nil
+}
+
+// RandomizedResponse releases a bit with plausible deniability: the true
+// bit is kept with probability e^eps/(1+e^eps), flipped otherwise. The
+// same accountant semantics apply. Returns the released bit.
+func RandomizedResponse(b *Budget, label string, truth bool, eps float64, src *rng.Source) (bool, error) {
+	if err := b.Spend(label, eps, 0); err != nil {
+		return false, err
+	}
+	keep := math.Exp(eps) / (1 + math.Exp(eps))
+	if src.Bernoulli(keep) {
+		return truth, nil
+	}
+	return !truth, nil
+}
+
+// RandomizedResponseEstimate debiases an observed positive rate from
+// randomized responses collected at the given eps.
+func RandomizedResponseEstimate(observedRate, eps float64) float64 {
+	p := math.Exp(eps) / (1 + math.Exp(eps))
+	return (observedRate + p - 1) / (2*p - 1)
+}
+
+// PrivateCount releases a noisy count of rows matching pred.
+// Count queries have sensitivity 1.
+func PrivateCount(b *Budget, label string, n int, eps float64, src *rng.Source) (float64, error) {
+	return LaplaceMechanism(b, label, float64(n), 1, eps, src)
+}
+
+// PrivateSum releases a noisy sum of values clamped to [lo, hi]; clamping
+// bounds the sensitivity at max(|lo|, |hi|). The clamp is applied here so
+// callers cannot accidentally submit unbounded-sensitivity data.
+func PrivateSum(b *Budget, label string, values []float64, lo, hi, eps float64, src *rng.Source) (float64, error) {
+	if lo >= hi {
+		return 0, fmt.Errorf("privacy: PrivateSum needs lo < hi, got [%v,%v]", lo, hi)
+	}
+	var sum float64
+	for _, v := range values {
+		sum += clampF(v, lo, hi)
+	}
+	sensitivity := math.Max(math.Abs(lo), math.Abs(hi))
+	return LaplaceMechanism(b, label, sum, sensitivity, eps, src)
+}
+
+// PrivateMean releases a noisy mean of values clamped to [lo, hi], using
+// half the epsilon for the sum and half for the count, then dividing.
+// For n == 0 an error is returned (a DP mean of nothing reveals nothing
+// but a division by zero).
+func PrivateMean(b *Budget, label string, values []float64, lo, hi, eps float64, src *rng.Source) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("privacy: PrivateMean of empty slice")
+	}
+	if lo >= hi {
+		return 0, fmt.Errorf("privacy: PrivateMean needs lo < hi, got [%v,%v]", lo, hi)
+	}
+	sum, err := PrivateSum(b, label+"/sum", values, lo, hi, eps/2, src)
+	if err != nil {
+		return 0, err
+	}
+	count, err := PrivateCount(b, label+"/count", len(values), eps/2, src)
+	if err != nil {
+		return 0, err
+	}
+	if count < 1 {
+		count = 1
+	}
+	return clampF(sum/count, lo, hi), nil
+}
+
+// PrivateHistogram releases a noisy count per category. A single row
+// changes exactly one bucket, so by parallel composition the whole
+// histogram costs one eps (charged once).
+func PrivateHistogram(b *Budget, label string, counts map[string]int, eps float64, src *rng.Source) (map[string]float64, error) {
+	if err := b.Spend(label, eps, 0); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(counts))
+	for k, v := range counts {
+		noisy := float64(v) + src.Laplace(0, 1/eps)
+		if noisy < 0 {
+			noisy = 0
+		}
+		out[k] = noisy
+	}
+	return out, nil
+}
+
+// PrivateQuantile estimates the q-quantile of values within [lo, hi] via
+// the exponential mechanism over candidate split points (the standard
+// Smith mechanism on a discretized domain with `grid` candidates).
+func PrivateQuantile(b *Budget, label string, values []float64, q, lo, hi, eps float64, grid int, src *rng.Source) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("privacy: quantile q=%v out of [0,1]", q)
+	}
+	if lo >= hi {
+		return 0, fmt.Errorf("privacy: PrivateQuantile needs lo < hi")
+	}
+	if grid < 2 {
+		return 0, fmt.Errorf("privacy: PrivateQuantile needs grid >= 2")
+	}
+	n := len(values)
+	target := q * float64(n)
+	candidates := make([]float64, grid)
+	scores := make([]float64, grid)
+	for g := 0; g < grid; g++ {
+		c := lo + (hi-lo)*float64(g)/float64(grid-1)
+		candidates[g] = c
+		var below float64
+		for _, v := range values {
+			if clampF(v, lo, hi) <= c {
+				below++
+			}
+		}
+		// Utility: negative distance between rank and target rank.
+		scores[g] = -math.Abs(below - target)
+	}
+	idx, err := ExponentialMechanism(b, label, scores, 1, eps, src)
+	if err != nil {
+		return 0, err
+	}
+	return candidates[idx], nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

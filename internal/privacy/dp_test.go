@@ -1,0 +1,350 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func newBudget(t *testing.T, eps, delta float64) *Budget {
+	t.Helper()
+	b, err := NewBudget(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b := newBudget(t, 1.0, 1e-5)
+	if err := b.Spend("q1", 0.4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend("q2", 0.4, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	eps, delta := b.Remaining()
+	if math.Abs(eps-0.2) > 1e-12 || delta != 0 {
+		t.Fatalf("remaining = (%v, %v)", eps, delta)
+	}
+	// Overspend must fail and not partially deduct.
+	if err := b.Spend("q3", 0.3, 0); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overspend error = %v", err)
+	}
+	eps, _ = b.Remaining()
+	if math.Abs(eps-0.2) > 1e-12 {
+		t.Fatalf("failed spend deducted budget: %v", eps)
+	}
+	// Exact exhaustion is allowed.
+	if err := b.Spend("q4", 0.2, 0); err != nil {
+		t.Fatalf("exact spend refused: %v", err)
+	}
+	trail := b.Trail()
+	if len(trail) != 3 || trail[0].Label != "q1" {
+		t.Fatalf("trail = %+v", trail)
+	}
+}
+
+func TestBudgetDeltaExhaustion(t *testing.T) {
+	b := newBudget(t, 10, 1e-6)
+	if err := b.Spend("d", 0.1, 1e-5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("delta overspend error = %v", err)
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	if _, err := NewBudget(0, 0); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	if _, err := NewBudget(1, 1); err == nil {
+		t.Fatal("delta=1 accepted")
+	}
+	b := newBudget(t, 1, 0)
+	if err := b.Spend("x", -0.1, 0); err == nil {
+		t.Fatal("negative spend accepted")
+	}
+	if err := b.Spend("x", 0.1, -1); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}
+
+func TestBudgetConcurrentSpendNeverOverdraws(t *testing.T) {
+	b := newBudget(t, 1.0, 0)
+	var wg sync.WaitGroup
+	granted := make(chan struct{}, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Spend("c", 0.05, 0) == nil {
+				granted <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	count := 0
+	for range granted {
+		count++
+	}
+	if count != 20 {
+		t.Fatalf("granted %d spends of 0.05 from budget 1.0, want exactly 20", count)
+	}
+}
+
+func TestLaplaceMechanismNoiseScale(t *testing.T) {
+	src := rng.New(1)
+	const trials = 20000
+	for _, eps := range []float64{0.1, 1.0} {
+		b := newBudget(t, float64(trials)*eps+1, 0)
+		var errSum float64
+		for i := 0; i < trials; i++ {
+			v, err := LaplaceMechanism(b, "m", 100, 1, eps, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errSum += math.Abs(v - 100)
+		}
+		got := errSum / trials
+		want := 1 / eps // E|Laplace(b)| = b = sensitivity/eps
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("eps=%v mean |error| = %v, want ~%v", eps, got, want)
+		}
+	}
+}
+
+func TestLaplaceMechanismChargesBudget(t *testing.T) {
+	b := newBudget(t, 0.5, 0)
+	src := rng.New(2)
+	if _, err := LaplaceMechanism(b, "a", 1, 1, 0.5, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LaplaceMechanism(b, "b", 1, 1, 0.5, src); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second query error = %v", err)
+	}
+}
+
+func TestLaplaceMechanismValidation(t *testing.T) {
+	b := newBudget(t, 1, 0)
+	if _, err := LaplaceMechanism(b, "x", 1, 0, 0.1, rng.New(1)); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+}
+
+func TestGaussianMechanism(t *testing.T) {
+	src := rng.New(3)
+	const trials = 5000
+	eps, delta := 0.5, 1e-5
+	b := newBudget(t, float64(trials)*eps+1, float64(trials)*delta*2)
+	sigma := math.Sqrt(2*math.Log(1.25/delta)) / eps
+	var sumSq float64
+	for i := 0; i < trials; i++ {
+		v, err := GaussianMechanism(b, "g", 0, 1, eps, delta, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSq += v * v
+	}
+	got := math.Sqrt(sumSq / trials)
+	if math.Abs(got-sigma)/sigma > 0.05 {
+		t.Fatalf("empirical sigma = %v, want %v", got, sigma)
+	}
+}
+
+func TestGaussianMechanismValidation(t *testing.T) {
+	b := newBudget(t, 10, 0.5)
+	src := rng.New(1)
+	if _, err := GaussianMechanism(b, "x", 0, 1, 2.0, 1e-5, src); err == nil {
+		t.Fatal("eps > 1 accepted by classic bound")
+	}
+	if _, err := GaussianMechanism(b, "x", 0, 1, 0.5, 0, src); err == nil {
+		t.Fatal("delta = 0 accepted")
+	}
+}
+
+func TestExponentialMechanismPrefersHighScores(t *testing.T) {
+	src := rng.New(5)
+	scores := []float64{0, 0, 10, 0}
+	b := newBudget(t, 1e6, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 2000; i++ {
+		idx, err := ExponentialMechanism(b, "e", scores, 1, 2.0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if counts[2] < 1900 {
+		t.Fatalf("high-score candidate chosen %d/2000", counts[2])
+	}
+}
+
+func TestExponentialMechanismLowEpsNearUniform(t *testing.T) {
+	src := rng.New(6)
+	scores := []float64{0, 1}
+	b := newBudget(t, 1e6, 0)
+	counts := make([]int, 2)
+	for i := 0; i < 10000; i++ {
+		idx, err := ExponentialMechanism(b, "e", scores, 1, 0.01, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio > 1.2 || ratio < 0.85 {
+		t.Fatalf("eps->0 should be near uniform, ratio = %v", ratio)
+	}
+}
+
+func TestRandomizedResponse(t *testing.T) {
+	src := rng.New(7)
+	const n = 50000
+	eps := 1.0
+	b := newBudget(t, float64(n)*eps+1, 0)
+	trueRate := 0.3
+	var observed float64
+	for i := 0; i < n; i++ {
+		truth := src.Bernoulli(trueRate)
+		resp, err := RandomizedResponse(b, "rr", truth, eps, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp {
+			observed++
+		}
+	}
+	est := RandomizedResponseEstimate(observed/n, eps)
+	if math.Abs(est-trueRate) > 0.02 {
+		t.Fatalf("debiased estimate = %v, want ~%v", est, trueRate)
+	}
+}
+
+func TestPrivateCountAndSum(t *testing.T) {
+	src := rng.New(9)
+	b := newBudget(t, 10, 0)
+	c, err := PrivateCount(b, "count", 1000, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1000) > 20 {
+		t.Fatalf("private count = %v", c)
+	}
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = 10
+	}
+	s, err := PrivateSum(b, "sum", values, 0, 20, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-5000) > 300 {
+		t.Fatalf("private sum = %v", s)
+	}
+	// Clamping: one wild value must not blow up the release.
+	values[0] = 1e9
+	s2, err := PrivateSum(b, "sum2", values, 0, 20, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 > 6000 {
+		t.Fatalf("clamping failed: %v", s2)
+	}
+	if _, err := PrivateSum(b, "bad", values, 5, 5, 1, src); err == nil {
+		t.Fatal("lo >= hi accepted")
+	}
+}
+
+func TestPrivateMeanAccuracyVsEps(t *testing.T) {
+	src := rng.New(11)
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = src.Normal(50, 10)
+	}
+	meanAbsErr := func(eps float64) float64 {
+		var total float64
+		const reps = 200
+		b := newBudget(t, float64(reps)*eps+1, 0)
+		for r := 0; r < reps; r++ {
+			m, err := PrivateMean(b, "mean", values, 0, 100, eps, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += math.Abs(m - 50)
+		}
+		return total / reps
+	}
+	lo := meanAbsErr(0.05)
+	hi := meanAbsErr(5.0)
+	if lo <= hi {
+		t.Fatalf("error did not shrink with eps: eps=0.05 -> %v, eps=5 -> %v", lo, hi)
+	}
+	if hi > 1.0 {
+		t.Fatalf("high-eps mean too noisy: %v", hi)
+	}
+}
+
+func TestPrivateMeanEmpty(t *testing.T) {
+	b := newBudget(t, 1, 0)
+	if _, err := PrivateMean(b, "m", nil, 0, 1, 0.5, rng.New(1)); err == nil {
+		t.Fatal("empty mean accepted")
+	}
+}
+
+func TestPrivateHistogram(t *testing.T) {
+	src := rng.New(13)
+	b := newBudget(t, 1.0, 0)
+	counts := map[string]int{"a": 500, "b": 300, "c": 10}
+	h, err := PrivateHistogram(b, "hist", counts, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h["a"]-500) > 30 || math.Abs(h["b"]-300) > 30 {
+		t.Fatalf("histogram too noisy: %v", h)
+	}
+	for k, v := range h {
+		if v < 0 {
+			t.Fatalf("negative released count for %s: %v", k, v)
+		}
+	}
+	// Parallel composition: whole histogram cost one eps.
+	eps, _ := b.Remaining()
+	if eps != 0 {
+		t.Fatalf("remaining = %v, want 0", eps)
+	}
+	if _, err := PrivateHistogram(b, "again", counts, 0.5, src); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatal("exhausted histogram succeeded")
+	}
+}
+
+func TestPrivateQuantile(t *testing.T) {
+	src := rng.New(15)
+	values := make([]float64, 2000)
+	for i := range values {
+		values[i] = float64(i) / 20 // uniform 0..100
+	}
+	b := newBudget(t, 100, 0)
+	med, err := PrivateQuantile(b, "median", values, 0.5, 0, 100, 2.0, 200, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-50) > 5 {
+		t.Fatalf("private median = %v, want ~50", med)
+	}
+	q9, err := PrivateQuantile(b, "p90", values, 0.9, 0, 100, 2.0, 200, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q9-90) > 5 {
+		t.Fatalf("private p90 = %v, want ~90", q9)
+	}
+	if _, err := PrivateQuantile(b, "bad", values, 1.5, 0, 100, 1, 100, src); err == nil {
+		t.Fatal("q > 1 accepted")
+	}
+	if _, err := PrivateQuantile(b, "bad", values, 0.5, 0, 100, 1, 1, src); err == nil {
+		t.Fatal("grid < 2 accepted")
+	}
+}

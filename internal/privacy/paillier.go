@@ -1,0 +1,169 @@
+package privacy
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+)
+
+// Paillier implements the Paillier additively homomorphic cryptosystem:
+// Enc(a) * Enc(b) mod n^2 = Enc(a+b). It stands in for the "polymorphic
+// encryption" the paper cites as the security-side answer to Q3: an
+// aggregator can sum encrypted values (hospital charges, salaries, votes)
+// without ever decrypting an individual record; only the key holder
+// decrypts the total.
+//
+// The implementation uses the standard simplification g = n+1, which
+// makes encryption Enc(m) = (1 + m*n) * r^n mod n^2.
+
+// PaillierPublicKey encrypts and operates on ciphertexts.
+type PaillierPublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n^2, cached
+}
+
+// PaillierPrivateKey decrypts.
+type PaillierPrivateKey struct {
+	Pub    *PaillierPublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
+}
+
+// GeneratePaillier creates a key pair with the given modulus size in bits
+// (>= 256; use >= 2048 for real deployments, smaller for tests).
+func GeneratePaillier(bits int) (*PaillierPrivateKey, error) {
+	if bits < 256 {
+		return nil, fmt.Errorf("privacy: Paillier modulus must be >= 256 bits, got %d", bits)
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: generating prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: generating prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+		n2 := new(big.Int).Mul(n, n)
+		pub := &PaillierPublicKey{N: n, N2: n2}
+		// mu = (L(g^lambda mod n^2))^-1 mod n with g = n+1:
+		// g^lambda mod n^2 = 1 + lambda*n (binomial), so L(..) = lambda.
+		mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+		if mu == nil {
+			continue // gcd(lambda, n) != 1; retry with new primes
+		}
+		return &PaillierPrivateKey{Pub: pub, lambda: lambda, mu: mu}, nil
+	}
+	return nil, fmt.Errorf("privacy: failed to generate valid Paillier keys")
+}
+
+// Encrypt encrypts a non-negative integer m < N.
+func (pk *PaillierPublicKey) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("privacy: plaintext out of [0, N)")
+	}
+	// Random r in [1, N) with gcd(r, N) = 1.
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("privacy: sampling randomness: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	// c = (1 + m*n) * r^n mod n^2.
+	c := new(big.Int).Mul(m, pk.N)
+	c.Add(c, big.NewInt(1))
+	c.Mod(c, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return c, nil
+}
+
+// EncryptInt64 encrypts a non-negative int64.
+func (pk *PaillierPublicKey) EncryptInt64(m int64) (*big.Int, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("privacy: EncryptInt64 needs non-negative value, got %d", m)
+	}
+	return pk.Encrypt(big.NewInt(m))
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(c1,c2)) = m1 + m2 mod N.
+func (pk *PaillierPublicKey) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// AddPlain homomorphically adds a plaintext constant to a ciphertext.
+func (pk *PaillierPublicKey) AddPlain(c *big.Int, m *big.Int) *big.Int {
+	// c * g^m = c * (1 + m*n) mod n^2.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+	out := new(big.Int).Mul(c, gm)
+	return out.Mod(out, pk.N2)
+}
+
+// MulPlain homomorphically multiplies the plaintext by a constant k:
+// Dec(MulPlain(c, k)) = k*m mod N.
+func (pk *PaillierPublicKey) MulPlain(c *big.Int, k *big.Int) *big.Int {
+	return new(big.Int).Exp(c, k, pk.N2)
+}
+
+// Rerandomize refreshes a ciphertext so the new ciphertext is unlinkable
+// to the old one while decrypting identically — the "polymorphic"
+// property used when forwarding encrypted records between parties.
+func (pk *PaillierPublicKey) Rerandomize(c *big.Int) (*big.Int, error) {
+	zero, err := pk.Encrypt(big.NewInt(0))
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(c, zero), nil
+}
+
+// Decrypt recovers the plaintext: L(c^lambda mod n^2) * mu mod n,
+// where L(x) = (x-1)/n.
+func (sk *PaillierPrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.Pub.N2) >= 0 {
+		return nil, fmt.Errorf("privacy: ciphertext out of range")
+	}
+	x := new(big.Int).Exp(c, sk.lambda, sk.Pub.N2)
+	x.Sub(x, big.NewInt(1))
+	x.Div(x, sk.Pub.N)
+	x.Mul(x, sk.mu)
+	x.Mod(x, sk.Pub.N)
+	return x, nil
+}
+
+// EncryptedSum encrypts each value and folds them into a single ciphertext
+// holding the total — the end-to-end confidential aggregation primitive
+// used by the hospital example.
+func EncryptedSum(pk *PaillierPublicKey, values []int64) (*big.Int, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("privacy: EncryptedSum of empty slice")
+	}
+	acc, err := pk.EncryptInt64(values[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range values[1:] {
+		c, err := pk.EncryptInt64(v)
+		if err != nil {
+			return nil, err
+		}
+		acc = pk.Add(acc, c)
+	}
+	return acc, nil
+}

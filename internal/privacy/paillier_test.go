@@ -1,0 +1,168 @@
+package privacy
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// testKey generates a small (fast) key once per test binary.
+var testKey *PaillierPrivateKey
+
+func getKey(t *testing.T) *PaillierPrivateKey {
+	t.Helper()
+	if testKey == nil {
+		k, err := GeneratePaillier(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testKey = k
+	}
+	return testKey
+}
+
+func TestPaillierRoundTrip(t *testing.T) {
+	sk := getKey(t)
+	for _, m := range []int64{0, 1, 42, 1 << 40} {
+		c, err := sk.Pub.EncryptInt64(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Fatalf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestPaillierHomomorphicAddition(t *testing.T) {
+	sk := getKey(t)
+	c1, err := sk.Pub.EncryptInt64(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.Pub.EncryptInt64(8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sk.Decrypt(sk.Pub.Add(c1, c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 10000 {
+		t.Fatalf("Enc(1234)+Enc(8766) decrypts to %v", sum)
+	}
+}
+
+func TestPaillierHomomorphicProperty(t *testing.T) {
+	sk := getKey(t)
+	check := func(a, b uint32) bool {
+		ca, err := sk.Pub.EncryptInt64(int64(a))
+		if err != nil {
+			return false
+		}
+		cb, err := sk.Pub.EncryptInt64(int64(b))
+		if err != nil {
+			return false
+		}
+		sum, err := sk.Decrypt(sk.Pub.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return sum.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaillierAddPlainAndMulPlain(t *testing.T) {
+	sk := getKey(t)
+	c, err := sk.Pub.EncryptInt64(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPlus := sk.Pub.AddPlain(c, big.NewInt(23))
+	got, err := sk.Decrypt(cPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 123 {
+		t.Fatalf("AddPlain -> %v", got)
+	}
+	cMul := sk.Pub.MulPlain(c, big.NewInt(7))
+	got, err = sk.Decrypt(cMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 700 {
+		t.Fatalf("MulPlain -> %v", got)
+	}
+}
+
+func TestPaillierCiphertextsRandomized(t *testing.T) {
+	sk := getKey(t)
+	c1, _ := sk.Pub.EncryptInt64(5)
+	c2, _ := sk.Pub.EncryptInt64(5)
+	if c1.Cmp(c2) == 0 {
+		t.Fatal("two encryptions of the same value are identical (not semantically secure)")
+	}
+}
+
+func TestPaillierRerandomizeUnlinkable(t *testing.T) {
+	sk := getKey(t)
+	c, _ := sk.Pub.EncryptInt64(77)
+	r, err := sk.Pub.Rerandomize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp(c) == 0 {
+		t.Fatal("rerandomization returned the same ciphertext")
+	}
+	got, err := sk.Decrypt(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 77 {
+		t.Fatalf("rerandomized decrypts to %v", got)
+	}
+}
+
+func TestEncryptedSum(t *testing.T) {
+	sk := getKey(t)
+	values := []int64{100, 250, 333, 17}
+	c, err := EncryptedSum(sk.Pub, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 700 {
+		t.Fatalf("encrypted sum = %v, want 700", got)
+	}
+	if _, err := EncryptedSum(sk.Pub, nil); err == nil {
+		t.Fatal("empty sum accepted")
+	}
+}
+
+func TestPaillierValidation(t *testing.T) {
+	sk := getKey(t)
+	if _, err := sk.Pub.EncryptInt64(-1); err == nil {
+		t.Fatal("negative plaintext accepted")
+	}
+	tooBig := new(big.Int).Set(sk.Pub.N)
+	if _, err := sk.Pub.Encrypt(tooBig); err == nil {
+		t.Fatal("plaintext >= N accepted")
+	}
+	if _, err := sk.Decrypt(big.NewInt(0)); err == nil {
+		t.Fatal("zero ciphertext accepted")
+	}
+	if _, err := GeneratePaillier(128); err == nil {
+		t.Fatal("tiny modulus accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+// Property: the randomized-response debiasing identity holds analytically:
+// if observed = p*true + (1-p)*(1-true) with p = e^eps/(1+e^eps), then
+// RandomizedResponseEstimate(observed, eps) == true rate.
+func TestRandomizedResponseDebiasIdentity(t *testing.T) {
+	check := func(rateRaw, epsRaw uint16) bool {
+		trueRate := float64(rateRaw) / 65535
+		eps := 0.05 + 4*float64(epsRaw)/65535
+		p := math.Exp(eps) / (1 + math.Exp(eps))
+		observed := p*trueRate + (1-p)*(1-trueRate)
+		est := RandomizedResponseEstimate(observed, eps)
+		return math.Abs(est-trueRate) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Anonymize never produces a class below k, for any k and any
+// subset of quasi-identifiers, and preserves the row count.
+func TestAnonymizeInvariantProperty(t *testing.T) {
+	f, err := synth.Hospital(synth.HospitalConfig{N: 600, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qiSets := [][]string{
+		{"age"},
+		{"age", "sex"},
+		{"age", "sex", "zip"},
+		{"zip"},
+	}
+	for _, qis := range qiSets {
+		for _, k := range []int{2, 7, 30} {
+			res, err := Anonymize(f, AnonymizeConfig{K: k, QuasiIdentifiers: qis})
+			if err != nil {
+				t.Fatalf("qis=%v k=%d: %v", qis, k, err)
+			}
+			if res.MinClassSize < k {
+				t.Fatalf("qis=%v k=%d: min class %d", qis, k, res.MinClassSize)
+			}
+			if res.Data.NumRows() != f.NumRows() {
+				t.Fatalf("row count changed")
+			}
+			minClass, ok, err := VerifyKAnonymity(res.Data, qis, k)
+			if err != nil || !ok {
+				t.Fatalf("qis=%v k=%d: verify failed (min %d, err %v)", qis, k, minClass, err)
+			}
+		}
+	}
+}
+
+// Property: budget spend/remaining bookkeeping is conservative: after any
+// sequence of spends, spent + remaining == total exactly.
+func TestBudgetConservationProperty(t *testing.T) {
+	check := func(spends []uint8) bool {
+		total := 10.0
+		b, err := NewBudget(total, 0)
+		if err != nil {
+			return false
+		}
+		for _, s := range spends {
+			eps := float64(s%40)/10 + 0.01
+			_ = b.Spend("q", eps, 0) // refusals fine
+		}
+		spent, _ := b.Spent()
+		remaining, _ := b.Remaining()
+		return math.Abs(spent+remaining-total) < 1e-9 && remaining >= -1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Laplace mechanism releases are unbiased — the mean of many
+// releases converges to the true value.
+func TestLaplaceUnbiasedProperty(t *testing.T) {
+	src := rng.New(121)
+	for _, truth := range []float64{-50, 0, 123.4} {
+		b, err := NewBudget(1e6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const reps = 20000
+		for i := 0; i < reps; i++ {
+			v, err := LaplaceMechanism(b, "u", truth, 1, 1.0, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		if mean := sum / reps; math.Abs(mean-truth) > 0.05 {
+			t.Fatalf("mean release %v for truth %v", mean, truth)
+		}
+	}
+}
+
+// Property: pseudonyms are injective per domain over distinct ids (no
+// collisions in realistic universes).
+func TestPseudonymInjectivityProperty(t *testing.T) {
+	p, err := NewPseudonymizer([]byte("prop-test-key-000000000000000000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return p.Pseudonym("d", a) != p.Pseudonym("d", b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

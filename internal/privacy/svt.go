@@ -1,0 +1,89 @@
+package privacy
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// SparseVector implements the sparse vector technique (AboveThreshold):
+// it answers a stream of threshold queries — "is this statistic above T?"
+// — and charges the privacy budget only once per *positive* answer
+// (plus the initial threshold noise), regardless of how many negative
+// answers it gives. This is the canonical tool for monitoring pipelines
+// under a strict budget: most checks pass silently for free.
+//
+// The implementation is the standard AboveThreshold of Dwork & Roth
+// (Alg. 1), generalized to restart after each positive so the caller can
+// detect up to Count positives with total cost eps.
+type SparseVector struct {
+	budget    *Budget
+	src       *rng.Source
+	eps       float64
+	threshold float64
+	sens      float64
+	remaining int
+	noisyT    float64
+	active    bool
+	label     string
+}
+
+// NewSparseVector prepares an AboveThreshold instance that may report up
+// to count positives. The total epsilon cost (charged immediately, since
+// the mechanism's guarantee covers the whole stream) is eps; half funds
+// the threshold noise, half the query noise, scaled by count as in the
+// multi-positive variant.
+func NewSparseVector(b *Budget, label string, threshold, sensitivity, eps float64, count int, src *rng.Source) (*SparseVector, error) {
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("privacy: sensitivity must be positive, got %v", sensitivity)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("privacy: positive count must be positive, got %d", count)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("privacy: epsilon must be positive, got %v", eps)
+	}
+	if err := b.Spend(label, eps, 0); err != nil {
+		return nil, err
+	}
+	sv := &SparseVector{
+		budget:    b,
+		src:       src,
+		eps:       eps / float64(count),
+		threshold: threshold,
+		sens:      sensitivity,
+		remaining: count,
+		label:     label,
+	}
+	sv.rearm()
+	return sv, nil
+}
+
+func (sv *SparseVector) rearm() {
+	// eps1 = eps/2 for the threshold; eps2 = eps/2 for queries.
+	sv.noisyT = sv.threshold + sv.src.Laplace(0, 2*sv.sens/sv.eps)
+	sv.active = true
+}
+
+// Remaining returns how many positive answers the instance can still give.
+func (sv *SparseVector) Remaining() int { return sv.remaining }
+
+// Query tests one statistic against the threshold. It returns true when
+// the noisy statistic exceeds the noisy threshold. After the configured
+// number of positives the instance is exhausted and returns an error.
+func (sv *SparseVector) Query(value float64) (bool, error) {
+	if sv.remaining <= 0 || !sv.active {
+		return false, fmt.Errorf("privacy: sparse vector exhausted (%s)", sv.label)
+	}
+	noisy := value + sv.src.Laplace(0, 4*sv.sens/sv.eps)
+	if noisy >= sv.noisyT {
+		sv.remaining--
+		if sv.remaining > 0 {
+			sv.rearm()
+		} else {
+			sv.active = false
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,206 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestSparseVectorDetectsClearPositives(t *testing.T) {
+	src := rng.New(71)
+	b := newBudget(t, 10, 0)
+	sv, err := NewSparseVector(b, "monitor", 100, 1, 2.0, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream of clearly-below values, then clearly-above ones.
+	positives := 0
+	for i := 0; i < 50; i++ {
+		hit, err := sv.Query(10) // far below threshold 100
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			positives++
+		}
+	}
+	if positives > 2 {
+		t.Fatalf("%d false positives on far-below stream", positives)
+	}
+	for i := 0; i < 3-positives; i++ {
+		hit, err := sv.Query(500) // far above
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatalf("clear positive missed at %d", i)
+		}
+	}
+	if sv.Remaining() != 0 {
+		t.Fatalf("remaining = %d", sv.Remaining())
+	}
+	if _, err := sv.Query(500); err == nil {
+		t.Fatal("exhausted sparse vector answered")
+	}
+}
+
+func TestSparseVectorChargesOnce(t *testing.T) {
+	src := rng.New(73)
+	b := newBudget(t, 1.0, 0)
+	sv, err := NewSparseVector(b, "m", 50, 1, 1.0, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, _ := b.Remaining()
+	if eps != 0 {
+		t.Fatalf("remaining after setup = %v, want 0 (prepaid)", eps)
+	}
+	// Hundreds of negative queries cost nothing extra.
+	for i := 0; i < 500; i++ {
+		if _, err := sv.Query(-100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eps, _ = b.Remaining()
+	if eps != 0 {
+		t.Fatalf("negative queries changed the budget: %v", eps)
+	}
+}
+
+func TestSparseVectorValidation(t *testing.T) {
+	src := rng.New(1)
+	b := newBudget(t, 10, 0)
+	if _, err := NewSparseVector(b, "x", 0, 0, 1, 1, src); err == nil {
+		t.Fatal("zero sensitivity accepted")
+	}
+	if _, err := NewSparseVector(b, "x", 0, 1, 1, 0, src); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := NewSparseVector(b, "x", 0, 1, 0, 1, src); err == nil {
+		t.Fatal("zero epsilon accepted")
+	}
+	tight := newBudget(t, 0.5, 0)
+	if _, err := NewSparseVector(tight, "x", 0, 1, 1.0, 1, src); err == nil {
+		t.Fatal("overspending sparse vector accepted")
+	}
+}
+
+func TestContinualCounterAccuracy(t *testing.T) {
+	src := rng.New(79)
+	b := newBudget(t, 1.0, 0)
+	c, err := NewContinualCounter(b, "live", 1.0, 20, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if err := c.Increment(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.TrueCount() != n {
+		t.Fatalf("true count = %v, want %d", c.TrueCount(), n)
+	}
+	// Binary-mechanism error is O(log^{1.5} n / eps) — far below the
+	// naive per-step-noise error of O(n). Allow a generous constant.
+	errAbs := math.Abs(c.Count() - n)
+	logN := math.Log2(float64(n))
+	bound := 20 * math.Pow(logN, 1.5)
+	if errAbs > bound {
+		t.Fatalf("continual count error %v exceeds O(log^1.5 n) bound %v", errAbs, bound)
+	}
+	if c.T() != n {
+		t.Fatalf("T = %d", c.T())
+	}
+}
+
+func TestContinualCounterPrefixErrorBounded(t *testing.T) {
+	// The error must stay bounded at *every* prefix, not only at the end.
+	src := rng.New(83)
+	b := newBudget(t, 2.0, 0)
+	c, err := NewContinualCounter(b, "live", 2.0, 18, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 1; i <= 20000; i++ {
+		if err := c.Increment(1); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 { // sample prefixes
+			if e := math.Abs(c.Count() - float64(i)); e > worst {
+				worst = e
+			}
+		}
+	}
+	bound := 20 * math.Pow(math.Log2(20000), 1.5) / 2.0
+	if worst > bound {
+		t.Fatalf("worst prefix error %v exceeds %v", worst, bound)
+	}
+}
+
+func TestContinualCounterChargesOnce(t *testing.T) {
+	src := rng.New(89)
+	b := newBudget(t, 1.0, 0)
+	c, err := NewContinualCounter(b, "c", 1.0, 10, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Increment(1); err != nil {
+			t.Fatal(err)
+		}
+		c.Count() // repeated reads are free
+	}
+	eps, _ := b.Remaining()
+	if eps != 0 {
+		t.Fatalf("stream changed budget: remaining %v", eps)
+	}
+}
+
+func TestContinualCounterValidation(t *testing.T) {
+	src := rng.New(1)
+	b := newBudget(t, 10, 0)
+	if _, err := NewContinualCounter(b, "c", 1, 0, src); err == nil {
+		t.Fatal("zero levels accepted")
+	}
+	if _, err := NewContinualCounter(b, "c", 0, 10, src); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	c, err := NewContinualCounter(b, "c", 1, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Increment(2); err == nil {
+		t.Fatal("out-of-range increment accepted")
+	}
+	// Capacity 2^3-1 = 7 increments.
+	for i := 0; i < 7; i++ {
+		if err := c.Increment(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Increment(1); err == nil {
+		t.Fatal("capacity overflow accepted")
+	}
+}
+
+func TestContinualCounterNeverNegative(t *testing.T) {
+	src := rng.New(97)
+	b := newBudget(t, 0.1, 0)
+	c, err := NewContinualCounter(b, "c", 0.1, 15, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tiny eps and zero increments, noise could go negative; the
+	// release clamps at 0.
+	for i := 0; i < 50; i++ {
+		if err := c.Increment(0); err != nil {
+			t.Fatal(err)
+		}
+		if c.Count() < 0 {
+			t.Fatal("negative released count")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package procmine
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// GeneratorConfig parameterizes the synthetic order-to-cash event log.
+type GeneratorConfig struct {
+	Cases         int     // number of cases (default 1000)
+	DeviationRate float64 // fraction of cases that skip the credit check (default 0.05)
+	ReworkRate    float64 // fraction of cases looping back from ship to pick (default 0.1)
+	Seed          uint64  // rng seed (default 1)
+}
+
+func (c GeneratorConfig) withDefaults() GeneratorConfig {
+	if c.Cases <= 0 {
+		c.Cases = 1000
+	}
+	if c.DeviationRate == 0 {
+		c.DeviationRate = 0.05
+	}
+	if c.ReworkRate == 0 {
+		c.ReworkRate = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Normative process: receive -> credit_check -> pick -> ship -> invoice ->
+// pay. Deviating cases skip credit_check (the planted compliance
+// violation); rework cases loop ship -> pick once.
+const (
+	ActReceive = "receive_order"
+	ActCredit  = "credit_check"
+	ActPick    = "pick_goods"
+	ActShip    = "ship_goods"
+	ActInvoice = "send_invoice"
+	ActPay     = "receive_payment"
+)
+
+// Generate produces a synthetic order-to-cash log with planted deviations
+// and a known bottleneck (pick -> ship waits are the longest).
+func Generate(cfg GeneratorConfig) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DeviationRate < 0 || cfg.DeviationRate > 1 {
+		return nil, fmt.Errorf("procmine: deviation rate %v out of [0,1]", cfg.DeviationRate)
+	}
+	if cfg.ReworkRate < 0 || cfg.ReworkRate > 1 {
+		return nil, fmt.Errorf("procmine: rework rate %v out of [0,1]", cfg.ReworkRate)
+	}
+	src := rng.New(cfg.Seed)
+	base := time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC)
+	log := &Log{}
+	for c := 0; c < cfg.Cases; c++ {
+		start := base.Add(time.Duration(src.Intn(90*24)) * time.Hour)
+		var acts []string
+		acts = append(acts, ActReceive)
+		if !src.Bernoulli(cfg.DeviationRate) {
+			acts = append(acts, ActCredit)
+		}
+		acts = append(acts, ActPick, ActShip)
+		if src.Bernoulli(cfg.ReworkRate) {
+			acts = append(acts, ActPick, ActShip)
+		}
+		acts = append(acts, ActInvoice, ActPay)
+
+		tr := Trace{CaseID: fmt.Sprintf("order-%05d", c)}
+		now := start
+		for i, a := range acts {
+			if i > 0 {
+				// Transition-specific waits: pick->ship is the planted
+				// bottleneck (mean 48h), everything else 2-8h.
+				var wait time.Duration
+				if acts[i-1] == ActPick && a == ActShip {
+					wait = time.Duration(24+src.Intn(48)) * time.Hour
+				} else {
+					wait = time.Duration(2+src.Intn(6)) * time.Hour
+				}
+				now = now.Add(wait)
+			}
+			tr.Events = append(tr.Events, Event{Activity: a, Time: now})
+		}
+		log.Traces = append(log.Traces, tr)
+	}
+	return log, nil
+}
+
+// NormativeDFG returns the reference model of the order-to-cash process
+// (with rework allowed, without the credit-check skip).
+func NormativeDFG() *DFG {
+	g := &DFG{
+		Edges:  map[string]map[string]*Edge{},
+		starts: map[string]int{},
+		ends:   map[string]int{},
+	}
+	allow := func(from, to string) {
+		m, ok := g.Edges[from]
+		if !ok {
+			m = map[string]*Edge{}
+			g.Edges[from] = m
+		}
+		m[to] = &Edge{From: from, To: to, Count: 1}
+	}
+	allow(Start, ActReceive)
+	allow(ActReceive, ActCredit)
+	allow(ActCredit, ActPick)
+	allow(ActPick, ActShip)
+	allow(ActShip, ActPick) // rework loop is permitted
+	allow(ActShip, ActInvoice)
+	allow(ActInvoice, ActPay)
+	allow(ActPay, End)
+	g.Activities = []string{ActCredit, ActInvoice, ActPay, ActPick, ActReceive, ActShip}
+	return g
+}

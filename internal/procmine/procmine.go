@@ -1,0 +1,319 @@
+// Package procmine implements a compact process-mining substrate — the
+// first author's field, cited by the paper as "data science in action"
+// (van der Aalst 2016b) and the motivating domain for several FACT
+// concerns: event logs are person-level traces (confidentiality), the
+// discovered model is used to judge people's work (fairness,
+// transparency), and conformance verdicts need statistical care
+// (accuracy).
+//
+// Provided: an event-log model, directly-follows-graph discovery, variant
+// analysis, token-free conformance checking against a reference DFG,
+// bottleneck analysis, plus responsible views — pseudonymized case ids
+// and differentially private activity counts.
+package procmine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one step of one case.
+type Event struct {
+	Activity string
+	Time     time.Time
+}
+
+// Trace is the ordered event sequence of one case.
+type Trace struct {
+	CaseID string
+	Events []Event
+}
+
+// Activities returns the activity sequence of the trace.
+func (t *Trace) Activities() []string {
+	out := make([]string, len(t.Events))
+	for i, e := range t.Events {
+		out[i] = e.Activity
+	}
+	return out
+}
+
+// Variant returns the canonical "a->b->c" form of the trace.
+func (t *Trace) Variant() string {
+	return strings.Join(t.Activities(), "->")
+}
+
+// Log is an event log: a set of traces.
+type Log struct {
+	Traces []Trace
+}
+
+// Validate checks structural invariants: non-empty traces with unique
+// case ids and non-decreasing timestamps within each trace.
+func (l *Log) Validate() error {
+	seen := map[string]bool{}
+	for i, tr := range l.Traces {
+		if tr.CaseID == "" {
+			return fmt.Errorf("procmine: trace %d has empty case id", i)
+		}
+		if seen[tr.CaseID] {
+			return fmt.Errorf("procmine: duplicate case id %q", tr.CaseID)
+		}
+		seen[tr.CaseID] = true
+		if len(tr.Events) == 0 {
+			return fmt.Errorf("procmine: case %q has no events", tr.CaseID)
+		}
+		for j := 1; j < len(tr.Events); j++ {
+			if tr.Events[j].Time.Before(tr.Events[j-1].Time) {
+				return fmt.Errorf("procmine: case %q time travels at event %d", tr.CaseID, j)
+			}
+		}
+	}
+	return nil
+}
+
+// NumEvents returns the total event count.
+func (l *Log) NumEvents() int {
+	n := 0
+	for _, tr := range l.Traces {
+		n += len(tr.Events)
+	}
+	return n
+}
+
+// Edge is one directly-follows relation with its statistics.
+type Edge struct {
+	From, To string
+	Count    int
+	MeanWait time.Duration // mean time between From completing and To starting
+}
+
+// DFG is a directly-follows graph discovered from a log. The artificial
+// endpoints "▶" (start) and "■" (end) bound every trace.
+type DFG struct {
+	Activities []string // sorted
+	Edges      map[string]map[string]*Edge
+	starts     map[string]int
+	ends       map[string]int
+	traces     int
+}
+
+// Start and End are the artificial boundary activities.
+const (
+	Start = "▶" // ▶
+	End   = "■" // ■
+)
+
+// Discover mines the directly-follows graph of the log.
+func Discover(l *Log) (*DFG, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if len(l.Traces) == 0 {
+		return nil, fmt.Errorf("procmine: empty log")
+	}
+	g := &DFG{
+		Edges:  map[string]map[string]*Edge{},
+		starts: map[string]int{},
+		ends:   map[string]int{},
+		traces: len(l.Traces),
+	}
+	actSet := map[string]bool{}
+	addEdge := func(from, to string, wait time.Duration) {
+		m, ok := g.Edges[from]
+		if !ok {
+			m = map[string]*Edge{}
+			g.Edges[from] = m
+		}
+		e, ok := m[to]
+		if !ok {
+			e = &Edge{From: from, To: to}
+			m[to] = e
+		}
+		// Running mean of waiting time.
+		total := time.Duration(e.Count) * e.MeanWait
+		e.Count++
+		e.MeanWait = (total + wait) / time.Duration(e.Count)
+	}
+	for _, tr := range l.Traces {
+		acts := tr.Activities()
+		for _, a := range acts {
+			actSet[a] = true
+		}
+		g.starts[acts[0]]++
+		g.ends[acts[len(acts)-1]]++
+		addEdge(Start, acts[0], 0)
+		for i := 1; i < len(acts); i++ {
+			addEdge(acts[i-1], acts[i], tr.Events[i].Time.Sub(tr.Events[i-1].Time))
+		}
+		addEdge(acts[len(acts)-1], End, 0)
+	}
+	for a := range actSet {
+		g.Activities = append(g.Activities, a)
+	}
+	sort.Strings(g.Activities)
+	return g, nil
+}
+
+// StartCounts returns how many traces start with each activity.
+func (g *DFG) StartCounts() map[string]int {
+	out := make(map[string]int, len(g.starts))
+	for a, c := range g.starts {
+		out[a] = c
+	}
+	return out
+}
+
+// EndCounts returns how many traces end with each activity.
+func (g *DFG) EndCounts() map[string]int {
+	out := make(map[string]int, len(g.ends))
+	for a, c := range g.ends {
+		out[a] = c
+	}
+	return out
+}
+
+// NumTraces returns the number of traces the graph was discovered from
+// (0 for hand-built reference graphs).
+func (g *DFG) NumTraces() int { return g.traces }
+
+// EdgeCount returns the count of the (from, to) relation (0 if absent).
+func (g *DFG) EdgeCount(from, to string) int {
+	if m, ok := g.Edges[from]; ok {
+		if e, ok := m[to]; ok {
+			return e.Count
+		}
+	}
+	return 0
+}
+
+// HasEdge reports whether from is ever directly followed by to.
+func (g *DFG) HasEdge(from, to string) bool { return g.EdgeCount(from, to) > 0 }
+
+// Render prints the graph's edges, sorted by count descending.
+func (g *DFG) Render() string {
+	var edges []*Edge
+	for _, m := range g.Edges {
+		for _, e := range m {
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].Count != edges[b].Count {
+			return edges[a].Count > edges[b].Count
+		}
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	var b strings.Builder
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%-14s -> %-14s %5d", e.From, e.To, e.Count)
+		if e.MeanWait > 0 {
+			fmt.Fprintf(&b, "  wait %s", e.MeanWait.Round(time.Minute))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// VariantCount is one trace variant with its frequency.
+type VariantCount struct {
+	Variant string
+	Count   int
+}
+
+// Variants tabulates trace variants, most frequent first.
+func Variants(l *Log) []VariantCount {
+	counts := map[string]int{}
+	for _, tr := range l.Traces {
+		counts[tr.Variant()]++
+	}
+	out := make([]VariantCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, VariantCount{Variant: v, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Variant < out[b].Variant
+	})
+	return out
+}
+
+// Conformance is the result of replaying a log against a reference DFG.
+type Conformance struct {
+	// Fitness in [0,1]: fraction of directly-follows steps (including the
+	// start/end boundaries) permitted by the reference graph.
+	Fitness float64
+	// Deviations counts, per "from->to" relation, the steps the reference
+	// does not allow.
+	Deviations map[string]int
+	// DeviantCases lists case ids with at least one deviation.
+	DeviantCases []string
+}
+
+// CheckConformance replays log against the reference graph.
+func CheckConformance(reference *DFG, l *Log) (*Conformance, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Conformance{Deviations: map[string]int{}}
+	var total, ok int
+	for _, tr := range l.Traces {
+		acts := append(append([]string{Start}, tr.Activities()...), End)
+		deviant := false
+		for i := 1; i < len(acts); i++ {
+			total++
+			if reference.HasEdge(acts[i-1], acts[i]) {
+				ok++
+			} else {
+				c.Deviations[acts[i-1]+"->"+acts[i]]++
+				deviant = true
+			}
+		}
+		if deviant {
+			c.DeviantCases = append(c.DeviantCases, tr.CaseID)
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("procmine: nothing to replay")
+	}
+	c.Fitness = float64(ok) / float64(total)
+	return c, nil
+}
+
+// Bottleneck is one slow hand-over in the process.
+type Bottleneck struct {
+	From, To string
+	MeanWait time.Duration
+	Count    int
+}
+
+// Bottlenecks returns the edges with the longest mean waits (excluding
+// the artificial boundaries), slowest first, at most k.
+func (g *DFG) Bottlenecks(k int) []Bottleneck {
+	var out []Bottleneck
+	for _, m := range g.Edges {
+		for _, e := range m {
+			if e.From == Start || e.To == End {
+				continue
+			}
+			out = append(out, Bottleneck{From: e.From, To: e.To, MeanWait: e.MeanWait, Count: e.Count})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].MeanWait != out[b].MeanWait {
+			return out[a].MeanWait > out[b].MeanWait
+		}
+		return out[a].From+out[a].To < out[b].From+out[b].To
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

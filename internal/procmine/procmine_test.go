@@ -1,0 +1,266 @@
+package procmine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/privacy"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func tinyLog(t *testing.T) *Log {
+	t.Helper()
+	base := time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)
+	mk := func(id string, acts []string, gaps []time.Duration) Trace {
+		tr := Trace{CaseID: id}
+		now := base
+		for i, a := range acts {
+			if i > 0 {
+				now = now.Add(gaps[i-1])
+			}
+			tr.Events = append(tr.Events, Event{Activity: a, Time: now})
+		}
+		return tr
+	}
+	h := time.Hour
+	return &Log{Traces: []Trace{
+		mk("c1", []string{"a", "b", "c"}, []time.Duration{1 * h, 2 * h}),
+		mk("c2", []string{"a", "b", "c"}, []time.Duration{3 * h, 2 * h}),
+		mk("c3", []string{"a", "c"}, []time.Duration{5 * h}),
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	l := tinyLog(t)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dup := &Log{Traces: []Trace{l.Traces[0], l.Traces[0]}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate case ids accepted")
+	}
+	empty := &Log{Traces: []Trace{{CaseID: "x"}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	back := &Log{Traces: []Trace{{CaseID: "x", Events: []Event{
+		{Activity: "a", Time: time.Unix(100, 0)},
+		{Activity: "b", Time: time.Unix(50, 0)},
+	}}}}
+	if err := back.Validate(); err == nil {
+		t.Fatal("time travel accepted")
+	}
+}
+
+func TestDiscoverDFG(t *testing.T) {
+	g, err := Discover(tinyLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount("a", "b") != 2 || g.EdgeCount("b", "c") != 2 || g.EdgeCount("a", "c") != 1 {
+		t.Fatalf("edge counts wrong: ab=%d bc=%d ac=%d",
+			g.EdgeCount("a", "b"), g.EdgeCount("b", "c"), g.EdgeCount("a", "c"))
+	}
+	if g.EdgeCount(Start, "a") != 3 || g.EdgeCount("c", End) != 3 {
+		t.Fatal("boundary edges wrong")
+	}
+	// Mean wait on a->b: (1h + 3h)/2 = 2h.
+	e := g.Edges["a"]["b"]
+	if e.MeanWait != 2*time.Hour {
+		t.Fatalf("a->b mean wait = %v", e.MeanWait)
+	}
+	if len(g.Activities) != 3 {
+		t.Fatalf("activities = %v", g.Activities)
+	}
+	if !strings.Contains(g.Render(), "a") {
+		t.Fatal("render empty")
+	}
+}
+
+func TestStartEndCounts(t *testing.T) {
+	g, err := Discover(tinyLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.StartCounts()["a"] != 3 {
+		t.Fatalf("start counts = %v", g.StartCounts())
+	}
+	if g.EndCounts()["c"] != 3 {
+		t.Fatalf("end counts = %v", g.EndCounts())
+	}
+	if g.NumTraces() != 3 {
+		t.Fatalf("traces = %d", g.NumTraces())
+	}
+	// Returned maps are copies.
+	g.StartCounts()["a"] = 99
+	if g.StartCounts()["a"] != 3 {
+		t.Fatal("StartCounts leaked internal state")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	vs := Variants(tinyLog(t))
+	if len(vs) != 2 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	if vs[0].Variant != "a->b->c" || vs[0].Count != 2 {
+		t.Fatalf("top variant = %+v", vs[0])
+	}
+}
+
+func TestConformance(t *testing.T) {
+	// Reference allows only a->b->c.
+	ref, err := Discover(&Log{Traces: []Trace{{
+		CaseID: "ref",
+		Events: []Event{
+			{Activity: "a", Time: time.Unix(0, 0)},
+			{Activity: "b", Time: time.Unix(1, 0)},
+			{Activity: "c", Time: time.Unix(2, 0)},
+		},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := CheckConformance(ref, tinyLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c3 (a->c) has one disallowed step among its 3; total steps 4+4+3=11.
+	if math.Abs(conf.Fitness-10.0/11) > 1e-12 {
+		t.Fatalf("fitness = %v, want 10/11", conf.Fitness)
+	}
+	if conf.Deviations["a->c"] != 1 {
+		t.Fatalf("deviations = %v", conf.Deviations)
+	}
+	if len(conf.DeviantCases) != 1 || conf.DeviantCases[0] != "c3" {
+		t.Fatalf("deviant cases = %v", conf.DeviantCases)
+	}
+}
+
+func TestGeneratorPlantedStructure(t *testing.T) {
+	log, err := Generate(GeneratorConfig{Cases: 2000, DeviationRate: 0.08, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Discover(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The skip edge receive->pick exists (deviations) at roughly 8%.
+	skip := g.EdgeCount(ActReceive, ActPick)
+	rate := float64(skip) / 2000
+	if rate < 0.05 || rate > 0.12 {
+		t.Fatalf("skip rate = %v, want ~0.08", rate)
+	}
+	// The planted bottleneck tops the list.
+	bn := g.Bottlenecks(1)
+	if len(bn) != 1 || bn[0].From != ActPick || bn[0].To != ActShip {
+		t.Fatalf("top bottleneck = %+v", bn)
+	}
+	if bn[0].MeanWait < 24*time.Hour {
+		t.Fatalf("bottleneck wait = %v", bn[0].MeanWait)
+	}
+}
+
+func TestConformanceAgainstNormative(t *testing.T) {
+	log, err := Generate(GeneratorConfig{Cases: 1000, DeviationRate: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := CheckConformance(NormativeDFG(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the skip deviates; fitness high but below 1.
+	if conf.Fitness >= 1 || conf.Fitness < 0.95 {
+		t.Fatalf("fitness = %v", conf.Fitness)
+	}
+	if conf.Deviations[ActReceive+"->"+ActPick] == 0 {
+		t.Fatalf("planted deviation not found: %v", conf.Deviations)
+	}
+	// Deviant case count matches the deviation count (one skip per case).
+	if len(conf.DeviantCases) != conf.Deviations[ActReceive+"->"+ActPick] {
+		t.Fatalf("deviant cases %d != deviations %d",
+			len(conf.DeviantCases), conf.Deviations[ActReceive+"->"+ActPick])
+	}
+	// Zero-deviation log has fitness 1.
+	clean, err := Generate(GeneratorConfig{Cases: 200, DeviationRate: 1e-12, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	confClean, err := CheckConformance(NormativeDFG(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confClean.Fitness != 1 {
+		t.Fatalf("clean fitness = %v", confClean.Fitness)
+	}
+}
+
+func TestPseudonymizeLog(t *testing.T) {
+	log := tinyLog(t)
+	p, err := privacy.NewPseudonymizer([]byte("procmine-key-0123456789abcdef00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := Pseudonymize(log, p, "auditor")
+	if anon.Traces[0].CaseID == "c1" {
+		t.Fatal("case id not pseudonymized")
+	}
+	// Structure preserved.
+	if anon.Traces[0].Variant() != log.Traces[0].Variant() {
+		t.Fatal("trace structure changed")
+	}
+	// Deterministic per domain; different across domains.
+	anon2 := Pseudonymize(log, p, "auditor")
+	if anon.Traces[0].CaseID != anon2.Traces[0].CaseID {
+		t.Fatal("pseudonymization not deterministic")
+	}
+	other := Pseudonymize(log, p, "regulator")
+	if anon.Traces[0].CaseID == other.Traces[0].CaseID {
+		t.Fatal("domains linkable")
+	}
+	// Original untouched.
+	if log.Traces[0].CaseID != "c1" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPrivateActivityCounts(t *testing.T) {
+	log, err := Generate(GeneratorConfig{Cases: 3000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := privacy.NewBudget(1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(13)
+	counts, err := PrivateActivityCounts(b, log, 1.0, 8, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All six activities present; counts near truth (receive = 3000).
+	if len(counts) != 6 {
+		t.Fatalf("activities = %d", len(counts))
+	}
+	if math.Abs(counts[ActReceive]-3000) > 100 {
+		t.Fatalf("receive count = %v", counts[ActReceive])
+	}
+	// Budget charged once.
+	eps, _ := b.Remaining()
+	if eps != 0 {
+		t.Fatalf("remaining = %v", eps)
+	}
+	if _, err := PrivateActivityCounts(b, log, 0.5, 8, src); err == nil {
+		t.Fatal("exhausted budget accepted")
+	}
+	if _, err := PrivateActivityCounts(b, log, 0.5, 0, src); err == nil {
+		t.Fatal("zero max-events accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package procmine
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/privacy"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// The responsible views: event logs identify people twice over — the
+// case (a patient, an applicant) and implicitly the workers executing
+// activities. Publishing a raw log or even raw activity counts leaks.
+// These helpers give the FACT-compliant alternatives.
+
+// Pseudonymize returns a copy of the log with case ids replaced by
+// domain-specific pseudonyms, so two recipients cannot join their logs on
+// the case id while each still sees consistent traces.
+func Pseudonymize(l *Log, p *privacy.Pseudonymizer, domain string) *Log {
+	out := &Log{Traces: make([]Trace, len(l.Traces))}
+	for i, tr := range l.Traces {
+		out.Traces[i] = Trace{
+			CaseID: p.Pseudonym(domain, tr.CaseID),
+			Events: append([]Event(nil), tr.Events...),
+		}
+	}
+	return out
+}
+
+// PrivateActivityCounts releases per-activity event counts under
+// differential privacy. Sensitivity note: one *case* can contribute up to
+// maxEventsPerCase events, so the Laplace scale uses that bound —
+// case-level privacy, the correct unit for event logs.
+func PrivateActivityCounts(b *privacy.Budget, l *Log, eps float64, maxEventsPerCase int, src *rng.Source) (map[string]float64, error) {
+	if maxEventsPerCase <= 0 {
+		return nil, fmt.Errorf("procmine: maxEventsPerCase must be positive, got %d", maxEventsPerCase)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Spend("activity-counts", eps, 0); err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, tr := range l.Traces {
+		events := tr.Events
+		if len(events) > maxEventsPerCase {
+			// Clamp the contribution of outlier cases: required for the
+			// stated sensitivity to hold.
+			events = events[:maxEventsPerCase]
+		}
+		for _, e := range events {
+			counts[e.Activity]++
+		}
+	}
+	scale := float64(maxEventsPerCase) / eps
+	out := make(map[string]float64, len(counts))
+	for a, c := range counts {
+		noisy := float64(c) + src.Laplace(0, scale)
+		if noisy < 0 {
+			noisy = 0
+		}
+		out[a] = noisy
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package provenance
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModelCard is the transparency artifact accompanying a trained model
+// (Mitchell et al.'s "Model Cards for Model Reporting", instantiated for
+// this toolkit). Every field is plain text so the card renders anywhere.
+type ModelCard struct {
+	Name           string
+	Version        string
+	ModelType      string
+	IntendedUse    string
+	TrainingData   string // description + content hash
+	Features       []string
+	ExcludedFields []string // e.g. the sensitive attribute
+	Metrics        map[string]float64
+	FairnessNotes  string
+	PrivacyNotes   string
+	Limitations    string
+	LineageID      string // node ID in the lineage graph
+}
+
+// Validate checks that the card carries the minimum accountable content.
+func (c *ModelCard) Validate() error {
+	var missing []string
+	if c.Name == "" {
+		missing = append(missing, "Name")
+	}
+	if c.ModelType == "" {
+		missing = append(missing, "ModelType")
+	}
+	if c.IntendedUse == "" {
+		missing = append(missing, "IntendedUse")
+	}
+	if c.TrainingData == "" {
+		missing = append(missing, "TrainingData")
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("provenance: model card missing %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Render formats the card as Markdown.
+func (c *ModelCard) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Model Card: %s", c.Name)
+	if c.Version != "" {
+		fmt.Fprintf(&b, " (v%s)", c.Version)
+	}
+	b.WriteString("\n\n")
+	section := func(title, body string) {
+		if body == "" {
+			return
+		}
+		fmt.Fprintf(&b, "## %s\n%s\n\n", title, body)
+	}
+	section("Model type", c.ModelType)
+	section("Intended use", c.IntendedUse)
+	section("Training data", c.TrainingData)
+	if len(c.Features) > 0 {
+		section("Features", strings.Join(c.Features, ", "))
+	}
+	if len(c.ExcludedFields) > 0 {
+		section("Excluded fields", strings.Join(c.ExcludedFields, ", "))
+	}
+	if len(c.Metrics) > 0 {
+		b.WriteString("## Metrics\n")
+		for _, k := range sortedKeys(c.Metrics) {
+			fmt.Fprintf(&b, "- %s: %.4f\n", k, c.Metrics[k])
+		}
+		b.WriteString("\n")
+	}
+	section("Fairness", c.FairnessNotes)
+	section("Privacy", c.PrivacyNotes)
+	section("Limitations", c.Limitations)
+	if c.LineageID != "" {
+		section("Lineage", "node "+c.LineageID)
+	}
+	return b.String()
+}
+
+// Datasheet is the dataset-side transparency artifact (Gebru et al.'s
+// "Datasheets for Datasets", minimal form).
+type Datasheet struct {
+	Name           string
+	Hash           string
+	Rows, Cols     int
+	Collection     string // how the data came to be (for synth: generator + seed)
+	SensitiveField string
+	Consent        string // consent/purpose basis
+	Caveats        string
+}
+
+// Render formats the datasheet as Markdown.
+func (d *Datasheet) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Datasheet: %s\n\n", d.Name)
+	fmt.Fprintf(&b, "- Rows: %d, Columns: %d\n", d.Rows, d.Cols)
+	if d.Hash != "" {
+		fmt.Fprintf(&b, "- Content hash: %s\n", d.Hash)
+	}
+	if d.Collection != "" {
+		fmt.Fprintf(&b, "- Collection: %s\n", d.Collection)
+	}
+	if d.SensitiveField != "" {
+		fmt.Fprintf(&b, "- Sensitive field: %s\n", d.SensitiveField)
+	}
+	if d.Consent != "" {
+		fmt.Fprintf(&b, "- Consent basis: %s\n", d.Consent)
+	}
+	if d.Caveats != "" {
+		fmt.Fprintf(&b, "- Caveats: %s\n", d.Caveats)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Small n; insertion sort avoids another import.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,72 @@
+package provenance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Persistence: lineage graphs and audit logs serialize to JSON so runs
+// survive the process. Audit logs re-verify their hash chain on load —
+// storage is untrusted by design.
+
+// graphDoc is the serialized form of a Graph.
+type graphDoc struct {
+	Nodes []*Node `json:"nodes"`
+}
+
+// WriteJSON serializes the graph (insertion order preserved).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(graphDoc{Nodes: g.Nodes()}); err != nil {
+		return fmt.Errorf("provenance: encoding graph: %w", err)
+	}
+	return nil
+}
+
+// ReadGraphJSON deserializes a graph, re-validating structure: unique
+// IDs, inputs resolving to earlier nodes.
+func ReadGraphJSON(r io.Reader) (*Graph, error) {
+	var doc graphDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("provenance: decoding graph: %w", err)
+	}
+	g := NewGraph()
+	for _, n := range doc.Nodes {
+		if n == nil {
+			return nil, fmt.Errorf("provenance: null node in graph document")
+		}
+		added, err := g.Add(n.ID, n.Kind, n.Label, n.Hash, n.Inputs, n.Meta)
+		if err != nil {
+			return nil, fmt.Errorf("provenance: rejecting stored graph: %w", err)
+		}
+		added.Created = n.Created
+	}
+	return g, nil
+}
+
+// WriteJSON serializes the audit log.
+func (l *AuditLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l.Entries()); err != nil {
+		return fmt.Errorf("provenance: encoding audit log: %w", err)
+	}
+	return nil
+}
+
+// ReadAuditJSON deserializes an audit log and verifies the hash chain,
+// refusing tampered documents with the index of the first bad entry.
+func ReadAuditJSON(r io.Reader) (*AuditLog, error) {
+	var entries []AuditEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("provenance: decoding audit log: %w", err)
+	}
+	if bad := VerifyEntries(entries); bad != -1 {
+		return nil, fmt.Errorf("provenance: stored audit log tampered at entry %d", bad)
+	}
+	l := NewAuditLog()
+	l.entries = entries
+	return l, nil
+}

@@ -1,0 +1,252 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+func TestGraphAddAndAncestry(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Add("raw", KindDataset, "raw data", "h1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add("clean", KindTransform, "cleaned", "h2", []string{"raw"}, map[string]string{"op": "dropna"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add("model", KindModel, "logistic", "h3", []string{"clean"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add("decision", KindDecision, "loan decisions", "h4", []string{"model", "clean"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	anc, err := g.Ancestry("decision")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) != 3 {
+		t.Fatalf("ancestry = %d nodes", len(anc))
+	}
+	// Topological: raw before clean before model.
+	if anc[0].ID != "raw" || anc[1].ID != "clean" {
+		t.Fatalf("ancestry order: %s, %s", anc[0].ID, anc[1].ID)
+	}
+	leaves := g.Leaves()
+	if len(leaves) != 1 || leaves[0].ID != "decision" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestGraphRejectsBadEdges(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Add("a", KindDataset, "", "", []string{"ghost"}, nil); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := g.Add("", KindDataset, "", "", nil, nil); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := g.Add("a", KindDataset, "", "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add("a", KindDataset, "", "", nil, nil); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	// Cycles are impossible by construction: a node cannot reference a
+	// node added later. (Self-reference is also rejected.)
+	if _, err := g.Add("self", KindDataset, "", "", []string{"self"}, nil); err == nil {
+		t.Fatal("self-reference accepted")
+	}
+}
+
+func TestGraphMetaCopied(t *testing.T) {
+	g := NewGraph()
+	meta := map[string]string{"seed": "1"}
+	n, err := g.Add("a", KindDataset, "", "", nil, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta["seed"] = "mutated"
+	if n.Meta["seed"] != "1" {
+		t.Fatal("meta not copied")
+	}
+}
+
+func TestGraphRender(t *testing.T) {
+	g := NewGraph()
+	g.Add("raw", KindDataset, "raw credit data", "abcdef1234567890", nil, nil)
+	g.Add("model", KindModel, "scorer", "", []string{"raw"}, nil)
+	out := g.Render()
+	if !strings.Contains(out, "raw credit data") || !strings.Contains(out, "<- raw") {
+		t.Fatalf("render = %q", out)
+	}
+	if !strings.Contains(out, "abcdef123456") {
+		t.Fatal("hash prefix missing from render")
+	}
+}
+
+func TestHashFrameSensitivity(t *testing.T) {
+	f1 := frame.MustNew(frame.NewInt64("a", []int64{1, 2}))
+	f2 := frame.MustNew(frame.NewInt64("a", []int64{1, 2}))
+	f3 := frame.MustNew(frame.NewInt64("a", []int64{1, 3}))
+	h1, err := HashFrame(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := HashFrame(f2)
+	h3, _ := HashFrame(f3)
+	if h1 != h2 {
+		t.Fatal("identical frames hash differently")
+	}
+	if h1 == h3 {
+		t.Fatal("different frames hash identically")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash length %d", len(h1))
+	}
+}
+
+func TestHashStringsFraming(t *testing.T) {
+	// Length framing must distinguish ("ab","c") from ("a","bc").
+	if HashStrings("ab", "c") == HashStrings("a", "bc") {
+		t.Fatal("concatenation ambiguity")
+	}
+	check := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return HashStrings(a) != HashStrings(b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditLogChain(t *testing.T) {
+	l := NewAuditLog()
+	ts := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	l.SetClock(func() time.Time { ts = ts.Add(time.Second); return ts })
+	l.Append("alice", "load", "credit.csv", "n=5000")
+	l.Append("pipeline", "train", "model-1", "logistic")
+	l.Append("bob", "decide", "batch-7", "approved 132")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if bad := l.Verify(); bad != -1 {
+		t.Fatalf("fresh log corrupt at %d", bad)
+	}
+	// Entries chain: each PrevHash is the prior Hash.
+	es := l.Entries()
+	if es[1].PrevHash != es[0].Hash || es[2].PrevHash != es[1].Hash {
+		t.Fatal("chain links wrong")
+	}
+}
+
+func TestAuditLogDetectsTamper(t *testing.T) {
+	l := NewAuditLog()
+	l.Append("a", "x", "s", "")
+	l.Append("a", "y", "s", "")
+	l.Append("a", "z", "s", "")
+	es := l.Entries()
+
+	// Mutate a middle entry's details.
+	tampered := append([]AuditEntry(nil), es...)
+	tampered[1].Details = "forged"
+	if bad := VerifyEntries(tampered); bad != 1 {
+		t.Fatalf("tamper detected at %d, want 1", bad)
+	}
+	// Recomputing the entry's own hash still breaks the next link.
+	tampered[1].Hash = ""
+	tampered[1].Hash = entryHashForTest(tampered[1])
+	if bad := VerifyEntries(tampered); bad != 2 {
+		t.Fatalf("re-hashed tamper detected at %d, want 2", bad)
+	}
+	// Deleting an entry breaks sequencing.
+	deleted := append(append([]AuditEntry(nil), es[:1]...), es[2:]...)
+	if bad := VerifyEntries(deleted); bad != 1 {
+		t.Fatalf("deletion detected at %d, want 1", bad)
+	}
+	// Untouched copy verifies.
+	if bad := VerifyEntries(es); bad != -1 {
+		t.Fatalf("clean copy corrupt at %d", bad)
+	}
+}
+
+// entryHashForTest re-exports the internal hash for the tamper test.
+func entryHashForTest(e AuditEntry) string { return entryHash(e) }
+
+func TestAuditLogRender(t *testing.T) {
+	l := NewAuditLog()
+	l.Append("alice", "load", "data.csv", "rows=10")
+	out := l.Render()
+	if !strings.Contains(out, "alice") || !strings.Contains(out, "rows=10") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestModelCard(t *testing.T) {
+	c := &ModelCard{
+		Name:           "credit-scorer",
+		Version:        "1.0",
+		ModelType:      "logistic regression",
+		IntendedUse:    "loan pre-screening",
+		TrainingData:   "synth credit v1 [abc123]",
+		Features:       []string{"income", "debt_ratio"},
+		ExcludedFields: []string{"group"},
+		Metrics:        map[string]float64{"accuracy": 0.91, "auc": 0.95},
+		FairnessNotes:  "DI 0.83 after reweighing",
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	for _, want := range []string{"credit-scorer", "logistic regression", "accuracy: 0.9100", "group", "DI 0.83"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("card missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics render in sorted key order.
+	if strings.Index(out, "accuracy") > strings.Index(out, "auc") {
+		t.Fatal("metrics not sorted")
+	}
+}
+
+func TestModelCardValidate(t *testing.T) {
+	c := &ModelCard{Name: "x"}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("incomplete card validated")
+	}
+	for _, want := range []string{"ModelType", "IntendedUse", "TrainingData"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestDatasheetRender(t *testing.T) {
+	d := &Datasheet{
+		Name: "hospital-v1", Hash: "deadbeef", Rows: 5000, Cols: 7,
+		Collection:     "synth.Hospital seed=21",
+		SensitiveField: "diagnosis",
+		Consent:        "synthetic; no real patients",
+	}
+	out := d.Render()
+	for _, want := range []string{"hospital-v1", "deadbeef", "5000", "diagnosis", "synthetic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("datasheet missing %q", want)
+		}
+	}
+}
+
+func TestSortedMetaString(t *testing.T) {
+	s := SortedMetaString(map[string]string{"b": "2", "a": "1"})
+	if s != "a=1 b=2" {
+		t.Fatalf("meta = %q", s)
+	}
+}

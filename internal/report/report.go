@@ -1,0 +1,124 @@
+// Package report renders experiment results as fixed-width text tables
+// and simple ASCII series, the output format of cmd/rds-bench and the
+// bench harness. Keeping rendering in one place makes every experiment's
+// output uniform and diffable (EXPERIMENTS.md embeds these tables).
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table accumulates rows for fixed-width rendering.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v, floats compactly.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = formatCell(v)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(f float64) string {
+	if f == float64(int64(f)) && f < 1e12 && f > -1e12 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', 4, 64)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render produces the fixed-width text table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series renders (x, y) pairs as "x -> y" lines with a sparkline-style
+// bar, for figure-shaped results.
+func Series(title string, xs []float64, ys []float64, yLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, yLabel)
+	if len(xs) != len(ys) || len(xs) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	maxY := ys[0]
+	minY := ys[0]
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+		if y < minY {
+			minY = y
+		}
+	}
+	span := maxY - minY
+	for i := range xs {
+		barLen := 0
+		if span > 0 {
+			barLen = int(40 * (ys[i] - minY) / span)
+		}
+		fmt.Fprintf(&b, "  %10s | %-40s %s\n",
+			formatFloat(xs[i]), strings.Repeat("#", barLen), formatFloat(ys[i]))
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E1: fairness", "bias", "DI", "accuracy")
+	tb.AddRow(0.0, 0.91, 0.88)
+	tb.AddRow(0.4, 0.72345678, 0.87)
+	out := tb.Render()
+	if !strings.Contains(out, "E1: fairness") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "bias") || !strings.Contains(out, "DI") {
+		t.Fatal("headers missing")
+	}
+	if !strings.Contains(out, "0.7235") {
+		t.Fatalf("float not compact: %s", out)
+	}
+	if !strings.Contains(out, "----") {
+		t.Fatal("separator missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableIntegersRenderBare(t *testing.T) {
+	tb := NewTable("", "n")
+	tb.AddRow(5000.0)
+	if !strings.Contains(tb.Render(), "5000") || strings.Contains(tb.Render(), "5e+03") {
+		t.Fatalf("integer float rendered badly: %s", tb.Render())
+	}
+}
+
+func TestTableMixedTypes(t *testing.T) {
+	tb := NewTable("", "name", "count", "ok")
+	tb.AddRow("alpha", 3, true)
+	out := tb.Render()
+	for _, want := range []string{"alpha", "3", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("error vs eps", []float64{0.1, 1, 10}, []float64{20, 2, 0.2}, "mean abs error")
+	if !strings.Contains(out, "error vs eps") || !strings.Contains(out, "mean abs error") {
+		t.Fatal("labels missing")
+	}
+	// Largest value gets the longest bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Fatal("bars not proportional")
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	out := Series("x", nil, nil, "y")
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty series not handled")
+	}
+	flat := Series("x", []float64{1, 2}, []float64{5, 5}, "y")
+	if !strings.Contains(flat, "5") {
+		t.Fatal("flat series broken")
+	}
+}

@@ -1,0 +1,399 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Normal(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal(10,2) mean = %v", mean)
+	}
+}
+
+func TestNormalPanicsOnNegativeStddev(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normal with negative stddev did not panic")
+		}
+	}()
+	New(1).Normal(0, -1)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp(2)
+		if x < 0 {
+			t.Fatalf("Exp produced negative value %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(23)
+	const n, b = 300000, 1.5
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Laplace(0, b)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// Var of Laplace(0,b) is 2b^2 = 4.5.
+	if math.Abs(variance-2*b*b) > 0.15 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, 2*b*b)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(31)
+	const n, p = 200000, 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(37)
+	const trials, n, p = 20000, 40, 0.25
+	var sum float64
+	for i := 0; i < trials; i++ {
+		k := r.Binomial(n, p)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial out of range: %d", k)
+		}
+		sum += float64(k)
+	}
+	if mean := sum / trials; math.Abs(mean-n*p) > 0.2 {
+		t.Fatalf("Binomial mean = %v, want ~%v", mean, n*p)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(41)
+	for _, mean := range []float64{0.5, 4, 30, 150} {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / trials
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(43)
+	const n, draws = 10, 100000
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		k := r.Zipf(n, 1.2)
+		if k < 1 || k > n {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[5] {
+		t.Fatalf("Zipf counts not decreasing: %v", counts[1:])
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	r := New(47)
+	weights := []float64{1, 2, 7}
+	const draws = 100000
+	counts := make([]float64, 3)
+	for i := 0; i < draws; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(counts[i]-want)/want > 0.05 {
+			t.Fatalf("category %d count %v, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"zero":     {0, 0},
+		"negative": {1, -1},
+		"nan":      {1, math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%s) did not panic", name)
+				}
+			}()
+			New(1).Categorical(weights)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementDistinct(t *testing.T) {
+	check := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)
+		k := int(kRaw)
+		if k > n {
+			n, k = k, n
+		}
+		s := New(seed).SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversample did not panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 5)
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(53)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 21 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}
+
+func TestNewZipfMatchesConvenience(t *testing.T) {
+	// Draws from the precomputed sampler follow the same distribution as
+	// the convenience method (identical CDF, shared source type).
+	z := NewZipf(10, 1.2)
+	r := New(101)
+	counts := make([]int, 11)
+	for i := 0; i < 100000; i++ {
+		k := z.Draw(r)
+		if k < 1 || k > 10 {
+			t.Fatalf("Zipf draw out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[5] {
+		t.Fatalf("Zipf counts not decreasing: %v", counts[1:])
+	}
+}
+
+func TestNewZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(100000, 1.2)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Draw(r)
+	}
+}

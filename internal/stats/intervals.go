@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// Interval is a two-sided confidence interval with its nominal level.
+// Every estimator in the toolkit that reports a point value can also
+// report an Interval; the paper's Q2 demands that results ship with
+// explicit accuracy meta-information rather than bare numbers.
+type Interval struct {
+	Lower, Upper float64
+	Level        float64 // e.g. 0.95
+}
+
+// Width returns Upper - Lower.
+func (iv Interval) Width() float64 { return iv.Upper - iv.Lower }
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lower && v <= iv.Upper }
+
+// String renders the interval.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.6g, %.6g] @%.0f%%", iv.Lower, iv.Upper, iv.Level*100)
+}
+
+// MeanCI returns the t-based confidence interval for the mean of xs at the
+// given level (0 < level < 1). Errors for n < 2.
+func MeanCI(xs []float64, level float64) (Interval, error) {
+	if len(xs) < 2 {
+		return Interval{}, fmt.Errorf("stats: MeanCI needs >=2 observations, got %d", len(xs))
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: MeanCI level must be in (0,1), got %v", level)
+	}
+	m := Mean(xs)
+	se := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	df := float64(len(xs) - 1)
+	t := studentTQuantile(1-(1-level)/2, df)
+	return Interval{Lower: m - t*se, Upper: m + t*se, Level: level}, nil
+}
+
+// studentTQuantile inverts StudentTCDF by bisection. df >= 1 assumed.
+func studentTQuantile(p, df float64) float64 {
+	if p == 0.5 {
+		return 0
+	}
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// WilsonCI returns the Wilson score interval for a binomial proportion
+// with the given number of successes out of n trials. It behaves sanely at
+// the boundaries (0 or n successes), unlike the Wald interval.
+func WilsonCI(successes, n int, level float64) (Interval, error) {
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("stats: WilsonCI needs positive n, got %d", n)
+	}
+	if successes < 0 || successes > n {
+		return Interval{}, fmt.Errorf("stats: WilsonCI successes %d out of range [0,%d]", successes, n)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: WilsonCI level must be in (0,1), got %v", level)
+	}
+	z := NormalQuantile(1 - (1-level)/2)
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	centre := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lower := math.Max(0, centre-half)
+	upper := math.Min(1, centre+half)
+	// Pin exact boundaries: at 0 or n successes the score bound is exactly
+	// the boundary, but the closed form leaves float residue.
+	if successes == 0 {
+		lower = 0
+	}
+	if successes == n {
+		upper = 1
+	}
+	return Interval{Lower: lower, Upper: upper, Level: level}, nil
+}
+
+// ClopperPearsonCI returns the exact (conservative) Clopper-Pearson
+// interval for a binomial proportion, by inverting the Beta CDF.
+func ClopperPearsonCI(successes, n int, level float64) (Interval, error) {
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("stats: ClopperPearsonCI needs positive n, got %d", n)
+	}
+	if successes < 0 || successes > n {
+		return Interval{}, fmt.Errorf("stats: ClopperPearsonCI successes %d out of range [0,%d]", successes, n)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: ClopperPearsonCI level must be in (0,1), got %v", level)
+	}
+	alpha := 1 - level
+	var lower, upper float64
+	if successes == 0 {
+		lower = 0
+	} else {
+		lower = betaQuantile(alpha/2, float64(successes), float64(n-successes+1))
+	}
+	if successes == n {
+		upper = 1
+	} else {
+		upper = betaQuantile(1-alpha/2, float64(successes+1), float64(n-successes))
+	}
+	return Interval{Lower: lower, Upper: upper, Level: level}, nil
+}
+
+// betaQuantile inverts RegularizedBeta by bisection.
+func betaQuantile(p, a, b float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if RegularizedBeta(mid, a, b) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// BootstrapCI computes a percentile bootstrap confidence interval for an
+// arbitrary statistic of the sample, using resamples resampling rounds.
+func BootstrapCI(xs []float64, statistic func([]float64) float64, resamples int, level float64, src *rng.Source) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, fmt.Errorf("stats: BootstrapCI needs non-empty sample")
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: BootstrapCI needs >=10 resamples, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: BootstrapCI level must be in (0,1), got %v", level)
+	}
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[src.Intn(len(xs))]
+		}
+		vals[r] = statistic(buf)
+	}
+	alpha := 1 - level
+	return Interval{
+		Lower: Quantile(vals, alpha/2),
+		Upper: Quantile(vals, 1-alpha/2),
+		Level: level,
+	}, nil
+}
+
+// StandardError returns the standard error of the mean.
+func StandardError(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The paper (Q2) singles out the multiple-testing trap: "If enough
+// hypotheses are tested, one will eventually be true for the sample data
+// used." This file implements the standard family-wise and false-discovery
+// corrections, plus a HypothesisLedger that pipelines use to track every
+// test they run so the correction cannot be silently forgotten.
+
+// Correction identifies a multiple-testing correction procedure.
+type Correction int
+
+const (
+	// NoCorrection reports raw p-values (the pitfall the paper warns about).
+	NoCorrection Correction = iota
+	// Bonferroni controls FWER by multiplying each p-value by m.
+	Bonferroni
+	// Holm is the uniformly-more-powerful step-down FWER control.
+	Holm
+	// BenjaminiHochberg controls the false-discovery rate (independent or
+	// positively dependent tests).
+	BenjaminiHochberg
+	// BenjaminiYekutieli controls FDR under arbitrary dependence.
+	BenjaminiYekutieli
+)
+
+// String returns the procedure name.
+func (c Correction) String() string {
+	switch c {
+	case NoCorrection:
+		return "none"
+	case Bonferroni:
+		return "bonferroni"
+	case Holm:
+		return "holm"
+	case BenjaminiHochberg:
+		return "benjamini-hochberg"
+	case BenjaminiYekutieli:
+		return "benjamini-yekutieli"
+	}
+	return fmt.Sprintf("Correction(%d)", int(c))
+}
+
+// Adjust returns adjusted p-values for the chosen procedure, in the same
+// order as the input. Adjusted values are clamped to [0,1]; comparing an
+// adjusted p-value against alpha is equivalent to the classical rejection
+// rule of the procedure. Errors on invalid p-values.
+func Adjust(pvalues []float64, method Correction) ([]float64, error) {
+	m := len(pvalues)
+	for i, p := range pvalues {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("stats: invalid p-value %v at index %d", p, i)
+		}
+	}
+	if m == 0 {
+		return nil, nil
+	}
+	out := make([]float64, m)
+	switch method {
+	case NoCorrection:
+		copy(out, pvalues)
+		return out, nil
+	case Bonferroni:
+		for i, p := range pvalues {
+			out[i] = math.Min(1, p*float64(m))
+		}
+		return out, nil
+	case Holm:
+		idx := sortedIndex(pvalues)
+		running := 0.0
+		for rank, i := range idx {
+			adj := math.Min(1, pvalues[i]*float64(m-rank))
+			// Enforce monotonicity of the step-down procedure.
+			if adj < running {
+				adj = running
+			}
+			running = adj
+			out[i] = adj
+		}
+		return out, nil
+	case BenjaminiHochberg, BenjaminiYekutieli:
+		c := 1.0
+		if method == BenjaminiYekutieli {
+			c = harmonic(m)
+		}
+		idx := sortedIndex(pvalues)
+		// Step-up: work from the largest p-value down, enforcing
+		// monotone non-increase.
+		running := 1.0
+		for rank := m - 1; rank >= 0; rank-- {
+			i := idx[rank]
+			adj := math.Min(1, pvalues[i]*c*float64(m)/float64(rank+1))
+			if adj > running {
+				adj = running
+			}
+			running = adj
+			out[i] = adj
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("stats: unknown correction %v", method)
+}
+
+func harmonic(m int) float64 {
+	var h float64
+	for k := 1; k <= m; k++ {
+		h += 1 / float64(k)
+	}
+	return h
+}
+
+// sortedIndex returns indices ordering pvalues ascending.
+func sortedIndex(pvalues []float64) []int {
+	idx := make([]int, len(pvalues))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pvalues[idx[a]] < pvalues[idx[b]] })
+	return idx
+}
+
+// Reject applies the correction and returns, for each hypothesis, whether
+// it is rejected at level alpha.
+func Reject(pvalues []float64, method Correction, alpha float64) ([]bool, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("stats: alpha must be in (0,1), got %v", alpha)
+	}
+	adj, err := Adjust(pvalues, method)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(adj))
+	for i, p := range adj {
+		out[i] = p <= alpha
+	}
+	return out, nil
+}
+
+// Hypothesis is one entry in a HypothesisLedger.
+type Hypothesis struct {
+	Name   string
+	PValue float64
+}
+
+// HypothesisLedger accumulates every hypothesis test performed during an
+// analysis so the family-wise correction is computed over the *actual*
+// number of tests run — the discipline the paper says is "well-known in
+// statistical inference, but often underestimated".
+type HypothesisLedger struct {
+	entries []Hypothesis
+}
+
+// Record adds a test outcome to the ledger.
+func (l *HypothesisLedger) Record(name string, pvalue float64) {
+	l.entries = append(l.entries, Hypothesis{Name: name, PValue: pvalue})
+}
+
+// Len returns the number of recorded hypotheses.
+func (l *HypothesisLedger) Len() int { return len(l.entries) }
+
+// Entries returns a copy of the recorded hypotheses.
+func (l *HypothesisLedger) Entries() []Hypothesis {
+	return append([]Hypothesis(nil), l.entries...)
+}
+
+// LedgerDecision is the corrected verdict for one recorded hypothesis.
+type LedgerDecision struct {
+	Hypothesis
+	AdjustedP float64
+	Rejected  bool
+}
+
+// Decide applies the correction across every recorded hypothesis at level
+// alpha and returns per-hypothesis decisions.
+func (l *HypothesisLedger) Decide(method Correction, alpha float64) ([]LedgerDecision, error) {
+	ps := make([]float64, len(l.entries))
+	for i, e := range l.entries {
+		ps[i] = e.PValue
+	}
+	adj, err := Adjust(ps, method)
+	if err != nil {
+		return nil, err
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("stats: alpha must be in (0,1), got %v", alpha)
+	}
+	out := make([]LedgerDecision, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = LedgerDecision{Hypothesis: e, AdjustedP: adj[i], Rejected: adj[i] <= alpha}
+	}
+	return out, nil
+}

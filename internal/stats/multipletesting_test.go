@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestAdjustBonferroni(t *testing.T) {
+	ps := []float64{0.01, 0.04, 0.03, 0.005}
+	adj, err := Adjust(ps, Bonferroni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.04, 0.16, 0.12, 0.02}
+	for i := range want {
+		approx(t, adj[i], want[i], 1e-12, "bonferroni")
+	}
+}
+
+func TestAdjustBonferroniClamps(t *testing.T) {
+	adj, err := Adjust([]float64{0.5, 0.9}, Bonferroni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj[1] != 1 {
+		t.Fatalf("Bonferroni not clamped: %v", adj[1])
+	}
+}
+
+func TestAdjustHolmKnown(t *testing.T) {
+	// Classic example: p = (0.01, 0.02, 0.03, 0.04) with m=4.
+	// Holm adjusted: 0.04, 0.06, 0.06, 0.06.
+	adj, err := Adjust([]float64{0.01, 0.02, 0.03, 0.04}, Holm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.04, 0.06, 0.06, 0.06}
+	for i := range want {
+		approx(t, adj[i], want[i], 1e-12, "holm")
+	}
+}
+
+func TestAdjustBHKnown(t *testing.T) {
+	// BH adjusted p for (0.01, 0.02, 0.03, 0.04): (0.04, 0.04, 0.04, 0.04).
+	adj, err := Adjust([]float64{0.01, 0.02, 0.03, 0.04}, BenjaminiHochberg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range adj {
+		approx(t, adj[i], 0.04, 1e-12, "bh")
+	}
+	// A spread-out example.
+	adj, err = Adjust([]float64{0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205}, BenjaminiHochberg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First adjusted value: 0.001*8/1 = 0.008.
+	approx(t, adj[0], 0.008, 1e-12, "bh first")
+	// Monotone w.r.t. sorted raw order.
+	if adj[1] > adj[2] || adj[2] > adj[5] {
+		t.Fatalf("BH adjusted not monotone: %v", adj)
+	}
+}
+
+func TestAdjustBYMoreConservativeThanBH(t *testing.T) {
+	ps := []float64{0.001, 0.01, 0.02, 0.04, 0.1}
+	bh, err := Adjust(ps, BenjaminiHochberg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by, err := Adjust(ps, BenjaminiYekutieli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if by[i] < bh[i]-1e-12 {
+			t.Fatalf("BY %v less conservative than BH %v at %d", by[i], bh[i], i)
+		}
+	}
+}
+
+func TestAdjustErrors(t *testing.T) {
+	if _, err := Adjust([]float64{1.5}, Bonferroni); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+	if _, err := Adjust([]float64{math.NaN()}, Holm); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Adjust([]float64{-0.1}, BenjaminiHochberg); err == nil {
+		t.Fatal("negative p accepted")
+	}
+}
+
+func TestAdjustEmpty(t *testing.T) {
+	adj, err := Adjust(nil, Holm)
+	if err != nil || adj != nil {
+		t.Fatalf("empty input: %v, %v", adj, err)
+	}
+}
+
+// Property: all corrections dominate raw p-values and stay in [0,1].
+func TestAdjustDominatesRaw(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ps := make([]float64, len(raw))
+		for i, r := range raw {
+			ps[i] = float64(r) / 65535
+		}
+		for _, m := range []Correction{Bonferroni, Holm, BenjaminiHochberg, BenjaminiYekutieli} {
+			adj, err := Adjust(ps, m)
+			if err != nil {
+				return false
+			}
+			for i := range ps {
+				if adj[i] < ps[i]-1e-12 || adj[i] > 1+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Holm is uniformly at least as powerful as Bonferroni.
+func TestHolmDominatesBonferroni(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ps := make([]float64, len(raw))
+		for i, r := range raw {
+			ps[i] = float64(r) / 65535
+		}
+		bonf, err1 := Adjust(ps, Bonferroni)
+		holm, err2 := Adjust(ps, Holm)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range ps {
+			if holm[i] > bonf[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectAlphaValidation(t *testing.T) {
+	if _, err := Reject([]float64{0.01}, Holm, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	rej, err := Reject([]float64{0.001, 0.5}, Bonferroni, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rej[0] || rej[1] {
+		t.Fatalf("Reject verdicts wrong: %v", rej)
+	}
+}
+
+// The paper's experiment: under the global null with many predictors, raw
+// testing yields a high family-wise error while Bonferroni controls it.
+func TestFamilyWiseErrorControl(t *testing.T) {
+	src := rng.New(21)
+	const trials = 300
+	const m = 40 // hypotheses per family
+	const n = 50 // observations per test
+	rawFW, bonfFW := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		ps := make([]float64, m)
+		for k := 0; k < m; k++ {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			for i := range a {
+				a[i] = src.Norm()
+				b[i] = src.Norm()
+			}
+			res, err := WelchTTest(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[k] = res.PValue
+		}
+		anyRaw := false
+		for _, p := range ps {
+			if p < 0.05 {
+				anyRaw = true
+			}
+		}
+		if anyRaw {
+			rawFW++
+		}
+		rej, err := Reject(ps, Bonferroni, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rej {
+			if r {
+				bonfFW++
+				break
+			}
+		}
+	}
+	rawRate := float64(rawFW) / trials
+	bonfRate := float64(bonfFW) / trials
+	// Theoretical raw FWER = 1 - 0.95^40 ~ 0.87.
+	if rawRate < 0.7 {
+		t.Fatalf("raw FWER = %v, expected high (~0.87)", rawRate)
+	}
+	if bonfRate > 0.12 {
+		t.Fatalf("Bonferroni FWER = %v, expected ~0.05", bonfRate)
+	}
+}
+
+func TestHypothesisLedger(t *testing.T) {
+	var l HypothesisLedger
+	l.Record("h1", 0.001)
+	l.Record("h2", 0.2)
+	l.Record("h3", 0.04)
+	if l.Len() != 3 {
+		t.Fatalf("ledger len = %d", l.Len())
+	}
+	decisions, err := l.Decide(Holm, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decisions[0].Rejected {
+		t.Fatal("h1 should be rejected")
+	}
+	if decisions[1].Rejected {
+		t.Fatal("h2 should not be rejected")
+	}
+	// Holm-adjusted p for h3: max(0.003, 0.08) monotone chain -> 0.08 > 0.05.
+	if decisions[2].Rejected {
+		t.Fatalf("h3 rejected with adjusted p %v", decisions[2].AdjustedP)
+	}
+	entries := l.Entries()
+	entries[0].Name = "mutated"
+	if l.Entries()[0].Name != "h1" {
+		t.Fatal("Entries leaked internal state")
+	}
+}
+
+func TestLedgerDecideBadAlpha(t *testing.T) {
+	var l HypothesisLedger
+	l.Record("h", 0.5)
+	if _, err := l.Decide(Holm, 1.2); err == nil {
+		t.Fatal("bad alpha accepted")
+	}
+}
+
+func TestCorrectionString(t *testing.T) {
+	names := map[Correction]string{
+		NoCorrection: "none", Bonferroni: "bonferroni", Holm: "holm",
+		BenjaminiHochberg: "benjamini-hochberg", BenjaminiYekutieli: "benjamini-yekutieli",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", int(c), c.String())
+		}
+	}
+}

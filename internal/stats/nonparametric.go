@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test (Wilcoxon
+// rank-sum) with the normal approximation and tie correction — the
+// nonparametric counterpart of the t-test for the heavy-tailed metrics
+// (latencies, charges) that responsible reporting should not assume
+// normal. Requires at least 8 observations per sample for the
+// approximation to be honest.
+func MannWhitneyU(a, b []float64) (TestResult, error) {
+	na, nb := len(a), len(b)
+	if na < 8 || nb < 8 {
+		return TestResult{}, fmt.Errorf("stats: MannWhitneyU needs >= 8 observations per sample, got %d and %d", na, nb)
+	}
+	pooled := make([]float64, 0, na+nb)
+	pooled = append(pooled, a...)
+	pooled = append(pooled, b...)
+	ranks := rankWithTies(pooled)
+	var ra float64
+	for i := 0; i < na; i++ {
+		ra += ranks[i]
+	}
+	u := ra - float64(na)*float64(na+1)/2 // U statistic of sample a
+	nA, nB := float64(na), float64(nb)
+	mean := nA * nB / 2
+	// Tie correction for the variance.
+	counts := map[float64]float64{}
+	for _, v := range pooled {
+		counts[v]++
+	}
+	var tieSum float64
+	for _, c := range counts {
+		tieSum += c*c*c - c
+	}
+	n := nA + nB
+	variance := nA * nB / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if variance <= 0 {
+		// All values identical: no evidence of difference.
+		return TestResult{Statistic: u, PValue: 1}, nil
+	}
+	z := (u - mean) / math.Sqrt(variance)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TestResult{Statistic: u, PValue: clampP(p)}, nil
+}
+
+// OneSampleTTest tests H0: mean(xs) == mu, two-sided.
+func OneSampleTTest(xs []float64, mu float64) (TestResult, error) {
+	n := len(xs)
+	if n < 2 {
+		return TestResult{}, fmt.Errorf("stats: OneSampleTTest needs >= 2 observations, got %d", n)
+	}
+	se := StandardError(xs)
+	if se == 0 {
+		if Mean(xs) == mu {
+			return TestResult{Statistic: 0, PValue: 1, DF: float64(n - 1)}, nil
+		}
+		return TestResult{Statistic: math.Inf(1), PValue: 0, DF: float64(n - 1)}, nil
+	}
+	t := (Mean(xs) - mu) / se
+	df := float64(n - 1)
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	return TestResult{Statistic: t, PValue: clampP(p), DF: df}, nil
+}
+
+// OneWayANOVA tests whether k group means are equal (the F-test), the
+// standard screen before per-group comparisons inflate the test count.
+func OneWayANOVA(groups ...[]float64) (TestResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return TestResult{}, fmt.Errorf("stats: ANOVA needs >= 2 groups, got %d", k)
+	}
+	var n int
+	var grand float64
+	for i, g := range groups {
+		if len(g) < 2 {
+			return TestResult{}, fmt.Errorf("stats: ANOVA group %d has %d observations, need >= 2", i, len(g))
+		}
+		n += len(g)
+		for _, v := range g {
+			grand += v
+		}
+	}
+	grand /= float64(n)
+	var ssBetween, ssWithin float64
+	for _, g := range groups {
+		m := Mean(g)
+		ssBetween += float64(len(g)) * (m - grand) * (m - grand)
+		for _, v := range g {
+			ssWithin += (v - m) * (v - m)
+		}
+	}
+	dfB := float64(k - 1)
+	dfW := float64(n - k)
+	if ssWithin == 0 {
+		if ssBetween == 0 {
+			return TestResult{Statistic: 0, PValue: 1, DF: dfB}, nil
+		}
+		return TestResult{Statistic: math.Inf(1), PValue: 0, DF: dfB}, nil
+	}
+	f := (ssBetween / dfB) / (ssWithin / dfW)
+	p := 1 - FCDF(f, dfB, dfW)
+	return TestResult{Statistic: f, PValue: clampP(p), DF: dfB}, nil
+}

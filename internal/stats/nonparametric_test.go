@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	src := rng.New(101)
+	a := make([]float64, 60)
+	b := make([]float64, 60)
+	for i := range a {
+		// Heavy-tailed data: exponential with different rates.
+		a[i] = src.Exp(1)
+		b[i] = src.Exp(0.4) // larger values
+	}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-3 {
+		t.Fatalf("clear shift p = %v", res.PValue)
+	}
+}
+
+func TestMannWhitneyNullCalibration(t *testing.T) {
+	src := rng.New(103)
+	rejections := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 25)
+		b := make([]float64, 25)
+		for j := range a {
+			a[j] = src.Exp(1)
+			b[j] = src.Exp(1)
+		}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PValue < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate < 0.025 || rate > 0.085 {
+		t.Fatalf("null rejection rate = %v", rate)
+	}
+}
+
+func TestMannWhitneyTiesAndErrors(t *testing.T) {
+	// All values identical: p = 1.
+	a := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	res, err := MannWhitneyU(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 {
+		t.Fatalf("identical samples p = %v", res.PValue)
+	}
+	if _, err := MannWhitneyU(a[:3], a); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestOneSampleTTest(t *testing.T) {
+	src := rng.New(107)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = src.Normal(10, 2)
+	}
+	hit, err := OneSampleTTest(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.PValue < 0.01 {
+		t.Fatalf("true mean rejected: p = %v", hit.PValue)
+	}
+	miss, err := OneSampleTTest(xs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.PValue > 1e-4 {
+		t.Fatalf("wrong mean not rejected: p = %v", miss.PValue)
+	}
+	if _, err := OneSampleTTest([]float64{1}, 0); err == nil {
+		t.Fatal("single observation accepted")
+	}
+	// Constant sample edge cases.
+	same, err := OneSampleTTest([]float64{3, 3, 3}, 3)
+	if err != nil || same.PValue != 1 {
+		t.Fatalf("constant-at-mu: p=%v err=%v", same.PValue, err)
+	}
+	diff, err := OneSampleTTest([]float64{3, 3, 3}, 4)
+	if err != nil || diff.PValue != 0 {
+		t.Fatalf("constant-off-mu: p=%v err=%v", diff.PValue, err)
+	}
+}
+
+func TestOneWayANOVA(t *testing.T) {
+	src := rng.New(109)
+	g1 := make([]float64, 40)
+	g2 := make([]float64, 40)
+	g3 := make([]float64, 40)
+	for i := range g1 {
+		g1[i] = src.Normal(0, 1)
+		g2[i] = src.Normal(0, 1)
+		g3[i] = src.Normal(2, 1) // shifted group
+	}
+	res, err := OneWayANOVA(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("shifted group not detected: p = %v", res.PValue)
+	}
+	// Null case.
+	null, err := OneWayANOVA(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if null.PValue < 0.01 {
+		t.Fatalf("null over-rejected: p = %v", null.PValue)
+	}
+	// Errors.
+	if _, err := OneWayANOVA(g1); err == nil {
+		t.Fatal("single group accepted")
+	}
+	if _, err := OneWayANOVA(g1, []float64{1}); err == nil {
+		t.Fatal("tiny group accepted")
+	}
+	// Degenerate: identical constants.
+	c := []float64{2, 2, 2}
+	same, err := OneWayANOVA(c, c)
+	if err != nil || same.PValue != 1 {
+		t.Fatalf("constant equal groups: p=%v err=%v", same.PValue, err)
+	}
+	sep, err := OneWayANOVA([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil || sep.PValue != 0 {
+		t.Fatalf("perfectly separated constants: p=%v err=%v", sep.PValue, err)
+	}
+}
+
+func TestANOVATwoGroupsMatchesTTest(t *testing.T) {
+	// With two groups, ANOVA F = t^2 and p-values agree (equal-variance
+	// t-test; Welch differs slightly, so use balanced same-variance data).
+	src := rng.New(113)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = src.Normal(0, 1)
+		b[i] = src.Normal(0.3, 1)
+	}
+	f, err := OneWayANOVA(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := f.PValue - tt.PValue; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("ANOVA p %v far from t-test p %v", f.PValue, tt.PValue)
+	}
+}

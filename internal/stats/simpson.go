@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// The paper uses Simpson's paradox as its canonical example of "how easy it
+// is to give false advice even in the presence of big data": a trend that
+// appears in every subgroup disappears or reverses when the subgroups are
+// combined. SimpsonScan checks a binary treatment/outcome association
+// against every candidate confounder column and reports reversals.
+
+// Association is the direction of a treatment→outcome association.
+type Association int
+
+const (
+	// NegativeAssoc means treatment lowers the outcome rate.
+	NegativeAssoc Association = -1
+	// NoAssoc means no (or tied) association.
+	NoAssoc Association = 0
+	// PositiveAssoc means treatment raises the outcome rate.
+	PositiveAssoc Association = 1
+)
+
+// String renders the association direction.
+func (a Association) String() string {
+	switch a {
+	case NegativeAssoc:
+		return "negative"
+	case PositiveAssoc:
+		return "positive"
+	default:
+		return "none"
+	}
+}
+
+// GroupTrend is the association within one stratum of the confounder.
+type GroupTrend struct {
+	Group       string
+	N           int
+	TreatedRate float64 // P(outcome | treated)
+	ControlRate float64 // P(outcome | not treated)
+	Direction   Association
+}
+
+// SimpsonResult reports the aggregate association, the per-stratum
+// associations for one confounder, and whether the paradox is present
+// (aggregate direction conflicts with a unanimous stratum direction).
+type SimpsonResult struct {
+	Confounder      string
+	Aggregate       GroupTrend
+	Strata          []GroupTrend
+	Reversed        bool // all strata agree with each other and disagree with the aggregate
+	PartialReversal bool // aggregate disagrees with at least one stratum
+}
+
+// minStratum is the smallest stratum size considered; tiny strata produce
+// unstable rates and spurious "reversals".
+const minStratum = 5
+
+// SimpsonScan examines the association between binary columns treatment and
+// outcome, stratified by each confounder column, and returns one result per
+// confounder. treatment and outcome must be 0/1-valued numeric or bool
+// columns.
+func SimpsonScan(f *frame.Frame, treatment, outcome string, confounders []string) ([]SimpsonResult, error) {
+	tr, err := binaryColumn(f, treatment)
+	if err != nil {
+		return nil, err
+	}
+	out, err := binaryColumn(f, outcome)
+	if err != nil {
+		return nil, err
+	}
+	if len(tr) != len(out) {
+		return nil, fmt.Errorf("stats: treatment and outcome lengths differ")
+	}
+	agg := trend("ALL", tr, out)
+	var results []SimpsonResult
+	for _, conf := range confounders {
+		col, err := f.Col(conf)
+		if err != nil {
+			return nil, err
+		}
+		byLevel := map[string][]int{}
+		var order []string
+		for i := 0; i < col.Len(); i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			k := col.FormatValue(i)
+			if _, seen := byLevel[k]; !seen {
+				order = append(order, k)
+			}
+			byLevel[k] = append(byLevel[k], i)
+		}
+		res := SimpsonResult{Confounder: conf, Aggregate: agg}
+		allAgree := true
+		var stratumDir Association
+		first := true
+		for _, k := range order {
+			rows := byLevel[k]
+			if len(rows) < minStratum {
+				continue
+			}
+			st, so := subset(tr, rows), subset(out, rows)
+			t := trend(k, st, so)
+			res.Strata = append(res.Strata, t)
+			if t.Direction == NoAssoc {
+				continue
+			}
+			if first {
+				stratumDir = t.Direction
+				first = false
+			} else if t.Direction != stratumDir {
+				allAgree = false
+			}
+			if t.Direction != agg.Direction && agg.Direction != NoAssoc {
+				res.PartialReversal = true
+			}
+		}
+		if !first && allAgree && stratumDir != NoAssoc &&
+			agg.Direction != NoAssoc && stratumDir != agg.Direction {
+			res.Reversed = true
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func trend(label string, tr, out []float64) GroupTrend {
+	var tN, tY, cN, cY float64
+	for i := range tr {
+		if tr[i] >= 0.5 {
+			tN++
+			if out[i] >= 0.5 {
+				tY++
+			}
+		} else {
+			cN++
+			if out[i] >= 0.5 {
+				cY++
+			}
+		}
+	}
+	g := GroupTrend{Group: label, N: len(tr)}
+	if tN > 0 {
+		g.TreatedRate = tY / tN
+	}
+	if cN > 0 {
+		g.ControlRate = cY / cN
+	}
+	switch {
+	case tN == 0 || cN == 0:
+		g.Direction = NoAssoc
+	case g.TreatedRate > g.ControlRate:
+		g.Direction = PositiveAssoc
+	case g.TreatedRate < g.ControlRate:
+		g.Direction = NegativeAssoc
+	default:
+		g.Direction = NoAssoc
+	}
+	return g
+}
+
+func subset(xs []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for j, i := range idx {
+		out[j] = xs[i]
+	}
+	return out
+}
+
+// binaryColumn extracts a 0/1 slice from a numeric or bool column,
+// rejecting other values — a schema guard so that "binary" is checked,
+// not assumed.
+func binaryColumn(f *frame.Frame, name string) ([]float64, error) {
+	col, err := f.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, col.Len())
+	for i := 0; i < col.Len(); i++ {
+		if col.IsNull(i) {
+			return nil, fmt.Errorf("stats: binary column %q has null at row %d", name, i)
+		}
+		var v float64
+		if col.DType() == frame.Bool {
+			if col.Boolv(i) {
+				v = 1
+			}
+		} else {
+			v = col.Float(i)
+		}
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("stats: column %q is not binary: value %v at row %d", name, v, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

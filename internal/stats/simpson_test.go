@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// berkeleyStyle builds a dataset with a planted Simpson reversal, modeled
+// on the Berkeley admissions structure: within each department women are
+// admitted at a higher rate, but women apply mostly to the competitive
+// department, so the aggregate rate is lower.
+func berkeleyStyle() *frame.Frame {
+	var treat []float64 // 1 = group A (e.g. female applicants)
+	var outcome []float64
+	var dept []string
+	add := func(t float64, d string, admitted, rejected int) {
+		for i := 0; i < admitted; i++ {
+			treat = append(treat, t)
+			outcome = append(outcome, 1)
+			dept = append(dept, d)
+		}
+		for i := 0; i < rejected; i++ {
+			treat = append(treat, t)
+			outcome = append(outcome, 0)
+			dept = append(dept, d)
+		}
+	}
+	// Easy department: A admits 95/100 of group1, 80/100 of group0...
+	// group1 mostly applies to hard dept.
+	add(1, "easy", 19, 1)   // group1 easy: 95%
+	add(0, "easy", 160, 40) // group0 easy: 80%
+	add(1, "hard", 90, 210) // group1 hard: 30%
+	add(0, "hard", 10, 40)  // group0 hard: 20%
+	return frame.MustNew(
+		frame.NewFloat64("treat", treat),
+		frame.NewFloat64("outcome", outcome),
+		frame.NewString("dept", dept),
+	)
+}
+
+func TestSimpsonScanDetectsReversal(t *testing.T) {
+	f := berkeleyStyle()
+	results, err := SimpsonScan(f, "treat", "outcome", []string{"dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[0]
+	// Within both departments group1 does better...
+	for _, s := range r.Strata {
+		if s.Direction != PositiveAssoc {
+			t.Fatalf("stratum %q direction = %v, want positive", s.Group, s.Direction)
+		}
+	}
+	// ...but in aggregate group1 does worse.
+	if r.Aggregate.Direction != NegativeAssoc {
+		t.Fatalf("aggregate direction = %v, want negative", r.Aggregate.Direction)
+	}
+	if !r.Reversed {
+		t.Fatal("planted Simpson reversal not detected")
+	}
+}
+
+func TestSimpsonScanNullData(t *testing.T) {
+	// Homogeneous data: no reversal should be reported.
+	var treat, outcome []float64
+	var g []string
+	for i := 0; i < 400; i++ {
+		tr := float64(i % 2)
+		out := 0.0
+		if i%4 < 2 { // outcome independent of treatment
+			out = 1
+		}
+		treat = append(treat, tr)
+		outcome = append(outcome, out)
+		if i < 200 {
+			g = append(g, "x")
+		} else {
+			g = append(g, "y")
+		}
+	}
+	f := frame.MustNew(
+		frame.NewFloat64("treat", treat),
+		frame.NewFloat64("outcome", outcome),
+		frame.NewString("grp", g),
+	)
+	results, err := SimpsonScan(f, "treat", "outcome", []string{"grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Reversed {
+		t.Fatal("false positive reversal on null data")
+	}
+}
+
+func TestSimpsonScanConsistentTrend(t *testing.T) {
+	// Treatment helps everywhere, including aggregate: not a paradox.
+	var treat, outcome []float64
+	var g []string
+	add := func(tr, out float64, grp string, n int) {
+		for i := 0; i < n; i++ {
+			treat = append(treat, tr)
+			outcome = append(outcome, out)
+			g = append(g, grp)
+		}
+	}
+	add(1, 1, "a", 80)
+	add(1, 0, "a", 20)
+	add(0, 1, "a", 50)
+	add(0, 0, "a", 50)
+	add(1, 1, "b", 70)
+	add(1, 0, "b", 30)
+	add(0, 1, "b", 40)
+	add(0, 0, "b", 60)
+	f := frame.MustNew(
+		frame.NewFloat64("treat", treat),
+		frame.NewFloat64("outcome", outcome),
+		frame.NewString("grp", g),
+	)
+	results, err := SimpsonScan(f, "treat", "outcome", []string{"grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Reversed || r.PartialReversal {
+		t.Fatal("consistent trend flagged as reversal")
+	}
+	if r.Aggregate.Direction != PositiveAssoc {
+		t.Fatalf("aggregate = %v", r.Aggregate.Direction)
+	}
+}
+
+func TestSimpsonScanBoolColumns(t *testing.T) {
+	f := frame.MustNew(
+		frame.NewBool("treat", []bool{true, true, false, false, true, true, false, false, true, false}),
+		frame.NewBool("outcome", []bool{true, false, true, false, true, false, true, false, true, false}),
+		frame.NewString("g", []string{"a", "a", "a", "a", "a", "b", "b", "b", "b", "b"}),
+	)
+	if _, err := SimpsonScan(f, "treat", "outcome", []string{"g"}); err != nil {
+		t.Fatalf("bool columns rejected: %v", err)
+	}
+}
+
+func TestSimpsonScanRejectsNonBinary(t *testing.T) {
+	f := frame.MustNew(
+		frame.NewFloat64("treat", []float64{0, 1, 2}),
+		frame.NewFloat64("outcome", []float64{0, 1, 0}),
+		frame.NewString("g", []string{"a", "a", "a"}),
+	)
+	if _, err := SimpsonScan(f, "treat", "outcome", []string{"g"}); err == nil {
+		t.Fatal("non-binary treatment accepted")
+	}
+}
+
+func TestSimpsonScanUnknownColumns(t *testing.T) {
+	f := berkeleyStyle()
+	if _, err := SimpsonScan(f, "nope", "outcome", []string{"dept"}); err == nil {
+		t.Fatal("unknown treatment column accepted")
+	}
+	if _, err := SimpsonScan(f, "treat", "outcome", []string{"nope"}); err == nil {
+		t.Fatal("unknown confounder accepted")
+	}
+}
+
+func TestSimpsonScanSkipsTinyStrata(t *testing.T) {
+	// A stratum with fewer than minStratum rows must not create noise.
+	f := frame.MustNew(
+		frame.NewFloat64("treat", []float64{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}),
+		frame.NewFloat64("outcome", []float64{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 0, 1}),
+		frame.NewString("g", []string{"big", "big", "big", "big", "big", "big", "big", "big", "big", "big", "tiny", "tiny"}),
+	)
+	results, err := SimpsonScan(f, "treat", "outcome", []string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range results[0].Strata {
+		if s.Group == "tiny" {
+			t.Fatal("tiny stratum not skipped")
+		}
+	}
+}
+
+func TestAssociationString(t *testing.T) {
+	if PositiveAssoc.String() != "positive" || NegativeAssoc.String() != "negative" || NoAssoc.String() != "none" {
+		t.Fatal("Association.String wrong")
+	}
+}

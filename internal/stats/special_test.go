@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, label string) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", label, got, want, tol)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-12, "Phi(0)")
+	approx(t, NormalCDF(1.959963985), 0.975, 1e-8, "Phi(1.96)")
+	approx(t, NormalCDF(-1.959963985), 0.025, 1e-8, "Phi(-1.96)")
+	approx(t, NormalCDF(3), 0.99865010, 1e-7, "Phi(3)")
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999} {
+		z := NormalQuantile(p)
+		approx(t, NormalCDF(z), p, 1e-10, "Phi(Phi^-1(p))")
+	}
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	approx(t, NormalQuantile(0.975), 1.959963985, 1e-6, "z_0.975")
+	approx(t, NormalQuantile(0.5), 0, 1e-9, "z_0.5")
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestRegularizedGammaP(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.1, 1, 2, 5} {
+		approx(t, RegularizedGammaP(1, x), 1-math.Exp(-x), 1e-10, "P(1,x)")
+	}
+	approx(t, RegularizedGammaP(2.5, 0), 0, 0, "P(a,0)")
+	if !math.IsNaN(RegularizedGammaP(-1, 1)) {
+		t.Error("P with a<=0 should be NaN")
+	}
+}
+
+func TestChiSquareCDFKnown(t *testing.T) {
+	// Chi2(1): P(X <= 3.841459) = 0.95.
+	approx(t, ChiSquareCDF(3.841458821, 1), 0.95, 1e-6, "chi2(1) 95th")
+	// Chi2(2) is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+	approx(t, ChiSquareCDF(4, 2), 1-math.Exp(-2), 1e-10, "chi2(2)")
+	approx(t, ChiSquareCDF(-1, 3), 0, 0, "chi2 negative")
+}
+
+func TestRegularizedBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	check := func(xr, ar, br uint8) bool {
+		x := float64(xr)/256*0.98 + 0.01
+		a := float64(ar%40)/4 + 0.25
+		b := float64(br%40)/4 + 0.25
+		lhs := RegularizedBeta(x, a, b)
+		rhs := 1 - RegularizedBeta(1-x, b, a)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularizedBetaUniform(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.33, 0.77} {
+		approx(t, RegularizedBeta(x, 1, 1), x, 1e-12, "I_x(1,1)")
+	}
+	approx(t, RegularizedBeta(0, 2, 3), 0, 0, "I_0")
+	approx(t, RegularizedBeta(1, 2, 3), 1, 0, "I_1")
+}
+
+func TestStudentTCDFKnown(t *testing.T) {
+	// t(inf-ish) approaches normal; t(1) is Cauchy: CDF(1) = 0.75.
+	approx(t, StudentTCDF(1, 1), 0.75, 1e-8, "t1 CDF(1)")
+	approx(t, StudentTCDF(0, 7), 0.5, 1e-12, "t CDF(0)")
+	// t(10): P(T <= 2.228139) = 0.975.
+	approx(t, StudentTCDF(2.228138852, 10), 0.975, 1e-6, "t10 97.5th")
+	// Symmetry.
+	approx(t, StudentTCDF(-2, 5)+StudentTCDF(2, 5), 1, 1e-10, "t symmetry")
+}
+
+func TestFCDFKnown(t *testing.T) {
+	// F(1, d2) at f equals 2*P(T_d2 <= sqrt f) - 1.
+	f := 4.0
+	d2 := 10.0
+	want := 2*StudentTCDF(math.Sqrt(f), d2) - 1
+	approx(t, FCDF(f, 1, d2), want, 1e-9, "F(1,10)")
+	approx(t, FCDF(0, 3, 4), 0, 0, "F at 0")
+}
+
+func TestCDFsMonotone(t *testing.T) {
+	check := func(a, b uint8) bool {
+		x1 := float64(a) / 16
+		x2 := x1 + float64(b%16)/16 + 0.01
+		return ChiSquareCDF(x1, 3) <= ChiSquareCDF(x2, 3)+1e-12 &&
+			StudentTCDF(x1-5, 7) <= StudentTCDF(x2-5, 7)+1e-12
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

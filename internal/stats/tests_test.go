@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res, err := WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 || res.PValue < 0.99 {
+		t.Fatalf("identical samples: stat=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestWelchTTestClearDifference(t *testing.T) {
+	src := rng.New(1)
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = src.Normal(0, 1)
+		b[i] = src.Normal(2, 1)
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("2-sigma shift not detected: p=%v", res.PValue)
+	}
+	if res.Statistic >= 0 {
+		t.Fatalf("statistic sign wrong: %v", res.Statistic)
+	}
+}
+
+func TestWelchTTestNullCalibration(t *testing.T) {
+	// Under H0, p-values should be roughly uniform: ~5% below 0.05.
+	src := rng.New(2)
+	rejections := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 30)
+		b := make([]float64, 30)
+		for j := range a {
+			a[j] = src.Norm()
+			b[j] = src.Norm()
+		}
+		res, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PValue < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate < 0.03 || rate > 0.08 {
+		t.Fatalf("null rejection rate = %v, want ~0.05", rate)
+	}
+}
+
+func TestWelchTTestErrors(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestWelchTTestConstantSamples(t *testing.T) {
+	res, err := WelchTTest([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 {
+		t.Fatalf("constant equal samples p = %v, want 1", res.PValue)
+	}
+}
+
+func TestTwoProportionZTest(t *testing.T) {
+	// 80/100 vs 50/100 is a big difference.
+	res, err := TwoProportionZTest(80, 100, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-4 {
+		t.Fatalf("clear proportion difference not detected: p=%v", res.PValue)
+	}
+	// Equal proportions.
+	res, err = TwoProportionZTest(50, 100, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.99 {
+		t.Fatalf("equal proportions p = %v", res.PValue)
+	}
+}
+
+func TestTwoProportionZTestErrors(t *testing.T) {
+	if _, err := TwoProportionZTest(1, 0, 1, 10); err == nil {
+		t.Fatal("zero n accepted")
+	}
+	if _, err := TwoProportionZTest(11, 10, 1, 10); err == nil {
+		t.Fatal("successes > n accepted")
+	}
+}
+
+func TestChiSquareIndependenceKnown(t *testing.T) {
+	// Classic 2x2 with strong association.
+	res, err := ChiSquareIndependence([][]float64{{90, 10}, {10, 90}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-10 {
+		t.Fatalf("strong association p = %v", res.PValue)
+	}
+	approx(t, res.DF, 1, 0, "df")
+	// Perfectly independent table.
+	res, err = ChiSquareIndependence([][]float64{{25, 25}, {25, 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Statistic, 0, 1e-12, "chi2 of independent")
+	approx(t, res.PValue, 1, 1e-9, "p of independent")
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	cases := [][][]float64{
+		{{1, 2}},          // one row
+		{{1}, {2}},        // one column
+		{{1, 2}, {3}},     // ragged
+		{{0, 0}, {1, 2}},  // zero row
+		{{0, 1}, {0, 2}},  // zero column
+		{{-1, 2}, {3, 4}}, // negative
+		{{0, 0}, {0, 0}},  // empty
+	}
+	for i, table := range cases {
+		if _, err := ChiSquareIndependence(table); err == nil {
+			t.Errorf("case %d: invalid table accepted", i)
+		}
+	}
+}
+
+func TestFisherExactKnown(t *testing.T) {
+	// Tea-tasting: [[3,1],[1,3]] has two-sided p ~ 0.4857.
+	res, err := FisherExact(3, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.PValue, 0.4857142857, 1e-6, "tea tasting p")
+	// Strong association.
+	res, err = FisherExact(20, 0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-8 {
+		t.Fatalf("extreme table p = %v", res.PValue)
+	}
+}
+
+func TestFisherExactAgreesWithChiSquareDirection(t *testing.T) {
+	res, err := FisherExact(50, 10, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic <= 1 {
+		t.Fatalf("odds ratio = %v, want > 1", res.Statistic)
+	}
+}
+
+func TestFisherExactErrors(t *testing.T) {
+	if _, err := FisherExact(-1, 1, 1, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := FisherExact(0, 0, 0, 0); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestPermutationTestDetectsShift(t *testing.T) {
+	src := rng.New(5)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = src.Normal(0, 1)
+		b[i] = src.Normal(1.5, 1)
+	}
+	res, err := PermutationTest(a, b, 500, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.02 {
+		t.Fatalf("clear shift not detected: p=%v", res.PValue)
+	}
+}
+
+func TestPermutationTestNull(t *testing.T) {
+	src := rng.New(6)
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = src.Norm()
+		b[i] = src.Norm()
+	}
+	res, err := PermutationTest(a, b, 500, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("null rejected too confidently: p=%v", res.PValue)
+	}
+	if res.PValue <= 0 {
+		t.Fatal("permutation p-value must be > 0 by construction")
+	}
+}
+
+func TestPermutationTestErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, err := PermutationTest(nil, []float64{1}, 10, src); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := PermutationTest([]float64{1}, []float64{1}, 0, src); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestWelchMatchesZForLargeN(t *testing.T) {
+	// For large samples the t-test p-value approaches the z-test's.
+	src := rng.New(7)
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = src.Normal(0, 1)
+		b[i] = src.Normal(0.05, 1)
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := (Mean(a) - Mean(b)) / math.Sqrt(Variance(a)/5000+Variance(b)/5000)
+	pz := 2 * (1 - NormalCDF(math.Abs(z)))
+	approx(t, res.PValue, pz, 1e-3, "t vs z")
+}

@@ -1,0 +1,32 @@
+package stream
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/privacy"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// PrivateWindowRelease publishes the per-type counts of one window under
+// differential privacy: each type's count gets Laplace(1/eps) noise, and
+// the whole window costs one eps by parallel composition (a single event
+// belongs to exactly one type and window).
+func PrivateWindowRelease(b *privacy.Budget, w *WindowCounter, win int64, eps float64, src *rng.Source) (map[EventType]float64, error) {
+	counts := w.Window(win)
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("stream: window %d has no observations", win)
+	}
+	named := make(map[string]int, len(counts))
+	for et, c := range counts {
+		named[et.String()] = int(c)
+	}
+	noisy, err := privacy.PrivateHistogram(b, fmt.Sprintf("window-%d", win), named, eps, src)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[EventType]float64, len(noisy))
+	for et := range counts {
+		out[et] = noisy[et.String()]
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/privacy"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func TestGeneratorMatchesPaperRates(t *testing.T) {
+	// At 1% scale over one simulated minute, each service's count should
+	// match its scaled paper rate closely (fixed spacing with jitter).
+	g, err := NewGenerator(GeneratorConfig{RateScale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.GenerateFor(60_000)
+	counts := map[EventType]int{}
+	for _, ev := range events {
+		counts[ev.Type]++
+	}
+	for et, perMinute := range PaperRatesPerMinute {
+		want := perMinute * 0.01
+		got := float64(counts[et])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: %v events, want ~%v", et, got, want)
+		}
+	}
+}
+
+func TestGeneratorEventsOrdered(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{RateScale: 0.001, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := g.GenerateFor(30_000)
+	for i := 1; i < len(events); i++ {
+		if events[i].TimeMS < events[i-1].TimeMS {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(GeneratorConfig{RateScale: 0.001, Seed: 7})
+	g2, _ := NewGenerator(GeneratorConfig{RateScale: 0.001, Seed: 7})
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(GeneratorConfig{RateScale: 100}); err == nil {
+		t.Fatal("huge rate scale accepted")
+	}
+}
+
+func TestGeneratorUserSkew(t *testing.T) {
+	g, _ := NewGenerator(GeneratorConfig{RateScale: 0.001, Users: 1000, Seed: 9})
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next().UserID]++
+	}
+	// Zipf: user 1 must dominate user 100.
+	if counts[1] <= counts[100]*5 {
+		t.Fatalf("user skew weak: u1=%d u100=%d", counts[1], counts[100])
+	}
+}
+
+func TestWindowCounter(t *testing.T) {
+	w, err := NewWindowCounter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(Event{Type: TweetSent, TimeMS: 100})
+	w.Observe(Event{Type: TweetSent, TimeMS: 900})
+	w.Observe(Event{Type: TweetSent, TimeMS: 1100})
+	w.Observe(Event{Type: SiriAnswer, TimeMS: 500})
+	if got := w.Window(0)[TweetSent]; got != 2 {
+		t.Fatalf("window 0 tweets = %d", got)
+	}
+	if got := w.Window(1)[TweetSent]; got != 1 {
+		t.Fatalf("window 1 tweets = %d", got)
+	}
+	if got := w.Window(0)[SiriAnswer]; got != 1 {
+		t.Fatalf("window 0 siri = %d", got)
+	}
+	wins := w.Windows()
+	if len(wins) != 2 || wins[0] != 0 || wins[1] != 1 {
+		t.Fatalf("windows = %v", wins)
+	}
+	if _, err := NewWindowCounter(0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	src := rng.New(11)
+	// Stream of 10000 events; sample 100; each event's inclusion
+	// probability should be ~1%. Check via repeated runs on the first
+	// vs last event.
+	const streamLen, k, runs = 5000, 100, 400
+	firstIn, lastIn := 0, 0
+	for r := 0; r < runs; r++ {
+		res, err := NewReservoir(k, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < streamLen; i++ {
+			res.Observe(Event{TimeMS: int64(i)})
+		}
+		for _, ev := range res.Sample() {
+			if ev.TimeMS == 0 {
+				firstIn++
+			}
+			if ev.TimeMS == streamLen-1 {
+				lastIn++
+			}
+		}
+	}
+	want := float64(k) / streamLen * runs // = 8
+	if math.Abs(float64(firstIn)-want) > want || math.Abs(float64(lastIn)-want) > want {
+		t.Fatalf("inclusion counts first=%d last=%d, want ~%v", firstIn, lastIn, want)
+	}
+}
+
+func TestReservoirBounds(t *testing.T) {
+	src := rng.New(13)
+	res, _ := NewReservoir(10, src)
+	for i := 0; i < 100; i++ {
+		res.Observe(Event{TimeMS: int64(i)})
+	}
+	if len(res.Sample()) != 10 {
+		t.Fatalf("sample size = %d", len(res.Sample()))
+	}
+	if res.Seen() != 100 {
+		t.Fatalf("seen = %d", res.Seen())
+	}
+	if _, err := NewReservoir(0, src); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestSpaceSavingFindsHeavyHitters(t *testing.T) {
+	s, err := NewSpaceSaving(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(15)
+	// Planted: items 1..3 get 1000 each; 5000 noise items get ~1 each.
+	truth := map[uint64]int64{1: 1000, 2: 1000, 3: 1000}
+	var feed []uint64
+	for it, c := range truth {
+		for i := int64(0); i < c; i++ {
+			feed = append(feed, it)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		feed = append(feed, 1000+uint64(src.Intn(100000)))
+	}
+	src.Shuffle(len(feed), func(a, b int) { feed[a], feed[b] = feed[b], feed[a] })
+	for _, it := range feed {
+		s.Observe(it)
+	}
+	top := s.Top(3)
+	found := map[uint64]bool{}
+	for _, hh := range top {
+		found[hh.Item] = true
+		// Count overestimates by at most MaxError.
+		if hh.Count < truth[hh.Item] {
+			t.Fatalf("item %d count %d below truth %d", hh.Item, hh.Count, truth[hh.Item])
+		}
+		if hh.Count-hh.MaxError > truth[hh.Item] {
+			t.Fatalf("item %d count %d - err %d exceeds truth %d", hh.Item, hh.Count, hh.MaxError, truth[hh.Item])
+		}
+	}
+	for it := range truth {
+		if !found[it] {
+			t.Fatalf("heavy hitter %d missed (top: %+v)", it, top)
+		}
+	}
+	if s.Seen() != int64(len(feed)) {
+		t.Fatalf("seen = %d", s.Seen())
+	}
+}
+
+func TestSpaceSavingCapacityBound(t *testing.T) {
+	s, _ := NewSpaceSaving(5)
+	for i := uint64(0); i < 1000; i++ {
+		s.Observe(i)
+	}
+	if got := len(s.Top(100)); got > 5 {
+		t.Fatalf("tracked %d items with capacity 5", got)
+	}
+	if _, err := NewSpaceSaving(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestPrivateWindowRelease(t *testing.T) {
+	g, _ := NewGenerator(GeneratorConfig{RateScale: 0.01, Seed: 17})
+	w, _ := NewWindowCounter(60_000)
+	for _, ev := range g.GenerateFor(60_000) {
+		w.Observe(ev)
+	}
+	b, err := privacy.NewBudget(1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(18)
+	noisy, err := PrivateWindowRelease(b, w, 0, 1.0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.Window(0)
+	for et, c := range truth {
+		if math.Abs(noisy[et]-float64(c)) > 50 {
+			t.Fatalf("%s noisy=%v true=%d", et, noisy[et], c)
+		}
+	}
+	// Budget spent exactly once for the whole window.
+	eps, _ := b.Remaining()
+	if eps != 0 {
+		t.Fatalf("remaining eps = %v", eps)
+	}
+	// Second release refused.
+	if _, err := PrivateWindowRelease(b, w, 0, 1.0, src); err == nil {
+		t.Fatal("exhausted budget release succeeded")
+	}
+	// Empty window refused.
+	if _, err := PrivateWindowRelease(b, w, 99, 1.0, src); err == nil {
+		t.Fatal("empty window released")
+	}
+}

@@ -1,0 +1,426 @@
+// Package synth generates the synthetic populations used across the
+// experiments. The paper's examples (credit decisions that encode social
+// bias, hospital records whose sharing needs confidentiality, advertising
+// effect measurement, junk-predictor screening) all rely on data we cannot
+// ship; instead each generator reproduces the *mechanism* the paper
+// describes, with explicit knobs whose ground truth the experiments then
+// try to recover:
+//
+//   - Credit: the sensitive group influences historical labels directly
+//     (taste-based bias knob) and leaks through correlated proxies
+//     (redlining), so fairness detectors/mitigators can be validated
+//     against a known amount of injected discrimination.
+//   - Hospital: quasi-identifiers with realistic cardinalities for
+//     k-anonymity and DP experiments.
+//   - AdCampaign: potential-outcomes model with a confounder, so causal
+//     estimators can be compared against a known true lift.
+//   - JunkPredictors: pure-noise design matrix for the multiple-testing
+//     experiment.
+//   - Admissions: a planted Simpson's paradox.
+//
+// All generators are deterministic given their Seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+// CreditConfig parameterizes the credit-scoring population.
+type CreditConfig struct {
+	N              int     // rows (default 5000)
+	Bias           float64 // direct penalty on group B's historical approval log-odds (>= 0; 0 = fair labels)
+	ProxyStrength  float64 // correlation strength between group and the neighborhood proxy, in [0,1) (default 0.8)
+	GroupBFraction float64 // fraction of population in the protected group B (default 0.35)
+	Seed           uint64  // rng seed (default 1)
+}
+
+func (c CreditConfig) withDefaults() CreditConfig {
+	if c.N <= 0 {
+		c.N = 5000
+	}
+	if c.ProxyStrength == 0 {
+		c.ProxyStrength = 0.8
+	}
+	if c.GroupBFraction <= 0 || c.GroupBFraction >= 1 {
+		c.GroupBFraction = 0.35
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Credit generates a loan-application population.
+//
+// Columns:
+//
+//	group            sensitive attribute, "A" (majority) or "B" (protected)
+//	income           annual income (k), correlated mildly with group
+//	debt_ratio       debt-to-income in [0, 1.5]
+//	employment_years tenure
+//	neighborhood     "n0".."n9"; distribution depends on group with
+//	                 ProxyStrength (the redlining proxy)
+//	late_payments    small count, higher for high debt
+//	approved         historical decision: creditworthiness + Bias penalty
+//
+// The true creditworthiness score is independent of group given the
+// legitimate features, so any group gap in approved beyond the small
+// income channel is injected discrimination.
+func Credit(cfg CreditConfig) (*frame.Frame, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Bias < 0 {
+		return nil, fmt.Errorf("synth: Credit bias must be >= 0, got %v", cfg.Bias)
+	}
+	if cfg.ProxyStrength < 0 || cfg.ProxyStrength >= 1 {
+		return nil, fmt.Errorf("synth: Credit proxy strength must be in [0,1), got %v", cfg.ProxyStrength)
+	}
+	src := rng.New(cfg.Seed)
+	n := cfg.N
+	group := make([]string, n)
+	income := make([]float64, n)
+	debt := make([]float64, n)
+	tenure := make([]float64, n)
+	neighborhood := make([]string, n)
+	late := make([]int64, n)
+	approved := make([]int64, n)
+	for i := 0; i < n; i++ {
+		isB := src.Bernoulli(cfg.GroupBFraction)
+		if isB {
+			group[i] = "B"
+		} else {
+			group[i] = "A"
+		}
+		// Mild legitimate income gap (structural, not the injected bias).
+		mu := 55.0
+		if isB {
+			mu = 50.0
+		}
+		income[i] = clamp(src.Normal(mu, 15), 8, 250)
+		debt[i] = clamp(src.Normal(0.45, 0.2), 0, 1.5)
+		tenure[i] = clamp(src.Exp(0.15), 0, 45)
+		// Redlining proxy: group B concentrated in high-index neighborhoods.
+		var hood int
+		if src.Bernoulli(cfg.ProxyStrength) {
+			if isB {
+				hood = 5 + src.Intn(5) // n5..n9
+			} else {
+				hood = src.Intn(5) // n0..n4
+			}
+		} else {
+			hood = src.Intn(10)
+		}
+		neighborhood[i] = fmt.Sprintf("n%d", hood)
+		late[i] = int64(src.Poisson(debt[i] * 2))
+		// True creditworthiness (group-blind given features).
+		score := 0.035*(income[i]-52) - 2.2*(debt[i]-0.45) + 0.04*tenure[i] - 0.35*float64(late[i])
+		if isB {
+			score -= cfg.Bias // injected historical discrimination
+		}
+		if src.Bernoulli(sigmoid(score)) {
+			approved[i] = 1
+		}
+	}
+	return frame.New(
+		frame.NewString("group", group),
+		frame.NewFloat64("income", income),
+		frame.NewFloat64("debt_ratio", debt),
+		frame.NewFloat64("employment_years", tenure),
+		frame.NewString("neighborhood", neighborhood),
+		frame.NewInt64("late_payments", late),
+		frame.NewInt64("approved", approved),
+	)
+}
+
+// HospitalConfig parameterizes the hospital-readmission population.
+type HospitalConfig struct {
+	N    int    // rows (default 5000)
+	Seed uint64 // rng seed (default 1)
+}
+
+func (c HospitalConfig) withDefaults() HospitalConfig {
+	if c.N <= 0 {
+		c.N = 5000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Hospital generates patient discharge records with quasi-identifiers
+// (age, sex, zip) and sensitive fields (diagnosis, readmitted). It is the
+// workload for the confidentiality experiments: k-anonymity over the
+// quasi-identifiers, DP statistics over readmission rates, and Paillier
+// aggregation over charges.
+func Hospital(cfg HospitalConfig) (*frame.Frame, error) {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	n := cfg.N
+	age := make([]int64, n)
+	sex := make([]string, n)
+	zip := make([]string, n)
+	diagnosis := make([]string, n)
+	los := make([]float64, n)
+	charges := make([]float64, n)
+	readmitted := make([]int64, n)
+	diagnoses := []string{"cardiac", "oncology", "ortho", "neuro", "renal", "general"}
+	diagWeights := []float64{0.22, 0.13, 0.2, 0.1, 0.1, 0.25}
+	for i := 0; i < n; i++ {
+		age[i] = int64(clamp(src.Normal(62, 18), 18, 100))
+		if src.Bernoulli(0.52) {
+			sex[i] = "F"
+		} else {
+			sex[i] = "M"
+		}
+		// Zipf-skewed zip codes: a few dense urban zips, a long rural tail.
+		zip[i] = fmt.Sprintf("z%03d", src.Zipf(60, 1.1))
+		d := src.Categorical(diagWeights)
+		diagnosis[i] = diagnoses[d]
+		los[i] = clamp(src.Exp(0.25), 0.5, 60)
+		charges[i] = clamp(src.Normal(8000+los[i]*1200+float64(d)*500, 3000), 500, 250000)
+		risk := -2.2 + 0.02*float64(age[i]) + 0.06*los[i]
+		if diagnosis[i] == "cardiac" || diagnosis[i] == "renal" {
+			risk += 0.5
+		}
+		if src.Bernoulli(sigmoid(risk)) {
+			readmitted[i] = 1
+		}
+	}
+	return frame.New(
+		frame.NewInt64("age", age),
+		frame.NewString("sex", sex),
+		frame.NewString("zip", zip),
+		frame.NewString("diagnosis", diagnosis),
+		frame.NewFloat64("length_of_stay", los),
+		frame.NewFloat64("charges", charges),
+		frame.NewInt64("readmitted", readmitted),
+	)
+}
+
+// AdCampaignConfig parameterizes the advertising-effect population
+// (the Gordon et al. 2016 replication substrate).
+type AdCampaignConfig struct {
+	N           int     // users (default 20000)
+	TrueLift    float64 // additive effect of the ad on conversion probability (default 0.03)
+	Confounding float64 // how strongly user activity drives exposure in the observational regime, >= 0 (default 2.0)
+	Randomized  bool    // true = RCT assignment; false = observational (self-selected) exposure
+	Seed        uint64  // rng seed (default 1)
+}
+
+func (c AdCampaignConfig) withDefaults() AdCampaignConfig {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if c.TrueLift == 0 {
+		c.TrueLift = 0.03
+	}
+	if c.Confounding == 0 {
+		c.Confounding = 2.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// AdCampaign generates users with potential outcomes under a known true
+// lift. In the observational regime, highly active users (who convert
+// more anyway) are more likely to be exposed — the selection bias that
+// makes naive estimates overstate advertising effectiveness, exactly the
+// phenomenon Gordon et al. measured at Facebook.
+//
+// Columns: activity, age_bracket, exposed, converted; plus the latent
+// base conversion probability base_p (kept for diagnostics — a real
+// dataset would not have it, and estimators must not use it).
+func AdCampaign(cfg AdCampaignConfig) (*frame.Frame, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TrueLift < 0 || cfg.TrueLift > 0.5 {
+		return nil, fmt.Errorf("synth: AdCampaign true lift %v out of [0,0.5]", cfg.TrueLift)
+	}
+	if cfg.Confounding < 0 {
+		return nil, fmt.Errorf("synth: AdCampaign confounding must be >= 0, got %v", cfg.Confounding)
+	}
+	src := rng.New(cfg.Seed)
+	n := cfg.N
+	activity := make([]float64, n)
+	ageBracket := make([]string, n)
+	exposed := make([]int64, n)
+	converted := make([]int64, n)
+	baseP := make([]float64, n)
+	brackets := []string{"18-24", "25-34", "35-49", "50+"}
+	for i := 0; i < n; i++ {
+		activity[i] = clamp(src.Exp(0.8), 0, 12)
+		ageBracket[i] = brackets[src.Intn(len(brackets))]
+		// Base conversion rises steeply with activity — the confounding
+		// channel: active users both see more ads and convert more anyway.
+		baseP[i] = clamp(0.01+0.025*activity[i], 0, 0.6)
+		var isExposed bool
+		if cfg.Randomized {
+			isExposed = src.Bernoulli(0.5)
+		} else {
+			// Self-selection: active users see more ads.
+			isExposed = src.Bernoulli(sigmoid(cfg.Confounding * (activity[i] - 1.2)))
+		}
+		p := baseP[i]
+		if isExposed {
+			exposed[i] = 1
+			p = clamp(p+cfg.TrueLift, 0, 1)
+		}
+		if src.Bernoulli(p) {
+			converted[i] = 1
+		}
+	}
+	return frame.New(
+		frame.NewFloat64("activity", activity),
+		frame.NewString("age_bracket", ageBracket),
+		frame.NewInt64("exposed", exposed),
+		frame.NewInt64("converted", converted),
+		frame.NewFloat64("base_p", baseP),
+	)
+}
+
+// JunkPredictorsConfig parameterizes the multiple-testing workload.
+type JunkPredictorsConfig struct {
+	N          int    // observations (default 500)
+	Predictors int    // number of pure-noise predictors (default 100)
+	Signal     int    // number of genuinely associated predictors (default 0)
+	Seed       uint64 // rng seed (default 1)
+}
+
+func (c JunkPredictorsConfig) withDefaults() JunkPredictorsConfig {
+	if c.N <= 0 {
+		c.N = 500
+	}
+	if c.Predictors <= 0 {
+		c.Predictors = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// JunkPredictors generates the paper's Q2 cautionary dataset: one binary
+// response ("will someone conduct a terrorist attack") and many irrelevant
+// predictors ("eye color", "first car brand", ...). With Signal > 0, the
+// first Signal predictors are genuinely shifted for positive cases, so
+// power as well as false positives can be measured.
+//
+// The response is column "response"; predictors are "p000", "p001", ...
+func JunkPredictors(cfg JunkPredictorsConfig) (*frame.Frame, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Signal < 0 || cfg.Signal > cfg.Predictors {
+		return nil, fmt.Errorf("synth: signal count %d out of [0,%d]", cfg.Signal, cfg.Predictors)
+	}
+	src := rng.New(cfg.Seed)
+	n := cfg.N
+	resp := make([]int64, n)
+	for i := range resp {
+		if src.Bernoulli(0.5) {
+			resp[i] = 1
+		}
+	}
+	cols := make([]*frame.Series, 0, cfg.Predictors+1)
+	cols = append(cols, frame.NewInt64("response", resp))
+	for p := 0; p < cfg.Predictors; p++ {
+		vals := make([]float64, n)
+		shift := 0.0
+		if p < cfg.Signal {
+			shift = 0.6 // genuine effect size for positive cases
+		}
+		for i := 0; i < n; i++ {
+			mu := 0.0
+			if resp[i] == 1 {
+				mu = shift
+			}
+			vals[i] = src.Normal(mu, 1)
+		}
+		cols = append(cols, frame.NewFloat64(fmt.Sprintf("p%03d", p), vals))
+	}
+	return frame.New(cols...)
+}
+
+// AdmissionsConfig parameterizes the planted-Simpson's-paradox dataset.
+type AdmissionsConfig struct {
+	N    int    // applicants (default 4000)
+	Seed uint64 // rng seed (default 1)
+}
+
+func (c AdmissionsConfig) withDefaults() AdmissionsConfig {
+	if c.N <= 0 {
+		c.N = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Admissions generates a Berkeley-style admissions dataset with a planted
+// Simpson reversal: within every department group 1 is admitted at a
+// higher rate, but group 1 predominantly applies to competitive
+// departments, so the aggregate admission rate of group 1 is lower.
+// Columns: grp (0/1), dept, admitted.
+func Admissions(cfg AdmissionsConfig) (*frame.Frame, error) {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	n := cfg.N
+	grp := make([]int64, n)
+	dept := make([]string, n)
+	admitted := make([]int64, n)
+	for i := 0; i < n; i++ {
+		g := src.Bernoulli(0.5)
+		if g {
+			grp[i] = 1
+		}
+		// Group 1 applies to the hard department 80% of the time;
+		// group 0 only 20%.
+		var hard bool
+		if g {
+			hard = src.Bernoulli(0.8)
+		} else {
+			hard = src.Bernoulli(0.2)
+		}
+		var admitP float64
+		if hard {
+			dept[i] = "hard"
+			admitP = 0.20
+		} else {
+			dept[i] = "easy"
+			admitP = 0.75
+		}
+		if g {
+			admitP += 0.08 // within-department advantage for group 1
+		}
+		if src.Bernoulli(admitP) {
+			admitted[i] = 1
+		}
+	}
+	return frame.New(
+		frame.NewInt64("grp", grp),
+		frame.NewString("dept", dept),
+		frame.NewInt64("admitted", admitted),
+	)
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

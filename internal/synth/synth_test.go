@@ -1,0 +1,279 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+func approvalRate(t *testing.T, f *frame.Frame, group string) float64 {
+	t.Helper()
+	sub, err := f.FilterEq("group", group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sub.MustCol("approved")
+	var pos float64
+	for i := 0; i < col.Len(); i++ {
+		pos += col.Float(i)
+	}
+	return pos / float64(col.Len())
+}
+
+func TestCreditShapeAndDeterminism(t *testing.T) {
+	f1, err := Credit(CreditConfig{N: 1000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.NumRows() != 1000 {
+		t.Fatalf("rows = %d", f1.NumRows())
+	}
+	for _, c := range []string{"group", "income", "debt_ratio", "employment_years", "neighborhood", "late_payments", "approved"} {
+		if !f1.Has(c) {
+			t.Fatalf("missing column %q", c)
+		}
+	}
+	f2, err := Credit(CreditConfig{N: 1000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Equal(f2) {
+		t.Fatal("same seed produced different data")
+	}
+	f3, _ := Credit(CreditConfig{N: 1000, Seed: 43})
+	if f1.Equal(f3) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestCreditBiasKnobWidensGap(t *testing.T) {
+	fair, err := Credit(CreditConfig{N: 20000, Bias: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := Credit(CreditConfig{N: 20000, Bias: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapFair := approvalRate(t, fair, "A") - approvalRate(t, fair, "B")
+	gapBiased := approvalRate(t, biased, "A") - approvalRate(t, biased, "B")
+	if gapBiased < gapFair+0.1 {
+		t.Fatalf("bias knob ineffective: fair gap %v, biased gap %v", gapFair, gapBiased)
+	}
+	// Fair data still has a small structural gap via income, but bounded.
+	if gapFair > 0.1 {
+		t.Fatalf("unbiased generator has a suspicious gap: %v", gapFair)
+	}
+}
+
+func TestCreditProxyCorrelation(t *testing.T) {
+	f, err := Credit(CreditConfig{N: 10000, ProxyStrength: 0.9, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := f.MustCol("group")
+	hood := f.MustCol("neighborhood")
+	// P(high-index neighborhood | B) should be much larger than | A.
+	var bHigh, bTotal, aHigh, aTotal float64
+	for i := 0; i < f.NumRows(); i++ {
+		high := hood.Str(i) >= "n5"
+		if group.Str(i) == "B" {
+			bTotal++
+			if high {
+				bHigh++
+			}
+		} else {
+			aTotal++
+			if high {
+				aHigh++
+			}
+		}
+	}
+	if bHigh/bTotal < 0.8 || aHigh/aTotal > 0.2 {
+		t.Fatalf("proxy correlation weak: B high rate %v, A high rate %v", bHigh/bTotal, aHigh/aTotal)
+	}
+}
+
+func TestCreditValidation(t *testing.T) {
+	if _, err := Credit(CreditConfig{Bias: -1}); err == nil {
+		t.Fatal("negative bias accepted")
+	}
+	if _, err := Credit(CreditConfig{ProxyStrength: 1.5}); err == nil {
+		t.Fatal("proxy strength > 1 accepted")
+	}
+}
+
+func TestHospitalShape(t *testing.T) {
+	f, err := Hospital(HospitalConfig{N: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 2000 {
+		t.Fatalf("rows = %d", f.NumRows())
+	}
+	age := f.MustCol("age")
+	for i := 0; i < f.NumRows(); i++ {
+		if age.Int(i) < 18 || age.Int(i) > 100 {
+			t.Fatalf("age out of range: %d", age.Int(i))
+		}
+	}
+	// Readmission rate should be moderate, not degenerate.
+	re := f.MustCol("readmitted")
+	var rate float64
+	for i := 0; i < re.Len(); i++ {
+		rate += re.Float(i)
+	}
+	rate /= float64(re.Len())
+	if rate < 0.1 || rate > 0.9 {
+		t.Fatalf("readmission rate degenerate: %v", rate)
+	}
+	// Zipf zips: most common zip should cover a sizeable share.
+	groups, err := f.GroupBy("zip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxShare := 0.0
+	for _, g := range groups {
+		share := float64(g.Rows.NumRows()) / 2000
+		if share > maxShare {
+			maxShare = share
+		}
+	}
+	if maxShare < 0.05 {
+		t.Fatalf("zip distribution not skewed: max share %v", maxShare)
+	}
+}
+
+func TestAdCampaignRCTRecoversLift(t *testing.T) {
+	f, err := AdCampaign(AdCampaignConfig{N: 100000, TrueLift: 0.05, Randomized: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposed := f.MustCol("exposed")
+	converted := f.MustCol("converted")
+	var tc, tn, cc, cn float64
+	for i := 0; i < f.NumRows(); i++ {
+		if exposed.Int(i) == 1 {
+			tn++
+			tc += converted.Float(i)
+		} else {
+			cn++
+			cc += converted.Float(i)
+		}
+	}
+	lift := tc/tn - cc/cn
+	if math.Abs(lift-0.05) > 0.01 {
+		t.Fatalf("RCT difference-in-means = %v, want ~0.05", lift)
+	}
+}
+
+func TestAdCampaignObservationalIsConfounded(t *testing.T) {
+	f, err := AdCampaign(AdCampaignConfig{N: 100000, TrueLift: 0.03, Confounding: 2.0, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposed := f.MustCol("exposed")
+	converted := f.MustCol("converted")
+	var tc, tn, cc, cn float64
+	for i := 0; i < f.NumRows(); i++ {
+		if exposed.Int(i) == 1 {
+			tn++
+			tc += converted.Float(i)
+		} else {
+			cn++
+			cc += converted.Float(i)
+		}
+	}
+	naive := tc/tn - cc/cn
+	// The naive estimate must overstate the true 0.03 lift substantially.
+	if naive < 0.05 {
+		t.Fatalf("observational naive estimate %v not inflated above true 0.03", naive)
+	}
+}
+
+func TestAdCampaignValidation(t *testing.T) {
+	if _, err := AdCampaign(AdCampaignConfig{TrueLift: 0.9}); err == nil {
+		t.Fatal("huge lift accepted")
+	}
+	if _, err := AdCampaign(AdCampaignConfig{Confounding: -1}); err == nil {
+		t.Fatal("negative confounding accepted")
+	}
+}
+
+func TestJunkPredictorsShape(t *testing.T) {
+	f, err := JunkPredictors(JunkPredictorsConfig{N: 200, Predictors: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCols() != 31 {
+		t.Fatalf("cols = %d", f.NumCols())
+	}
+	if !f.Has("response") || !f.Has("p000") || !f.Has("p029") {
+		t.Fatal("column naming wrong")
+	}
+}
+
+func TestJunkPredictorsSignalColumns(t *testing.T) {
+	f, err := JunkPredictors(JunkPredictorsConfig{N: 4000, Predictors: 10, Signal: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := f.MustCol("response")
+	meanByClass := func(col string) (m0, m1 float64) {
+		c := f.MustCol(col)
+		var n0, n1 float64
+		for i := 0; i < f.NumRows(); i++ {
+			if resp.Int(i) == 1 {
+				m1 += c.Float(i)
+				n1++
+			} else {
+				m0 += c.Float(i)
+				n0++
+			}
+		}
+		return m0 / n0, m1 / n1
+	}
+	m0, m1 := meanByClass("p000")
+	if m1-m0 < 0.4 {
+		t.Fatalf("signal predictor shift = %v, want ~0.6", m1-m0)
+	}
+	m0, m1 = meanByClass("p005")
+	if math.Abs(m1-m0) > 0.15 {
+		t.Fatalf("noise predictor shift = %v, want ~0", m1-m0)
+	}
+	if _, err := JunkPredictors(JunkPredictorsConfig{Predictors: 5, Signal: 9}); err == nil {
+		t.Fatal("signal > predictors accepted")
+	}
+}
+
+func TestAdmissionsPlantedParadox(t *testing.T) {
+	f, err := Admissions(AdmissionsConfig{N: 20000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := f.MustCol("grp")
+	dept := f.MustCol("dept")
+	adm := f.MustCol("admitted")
+	rate := func(g int64, d string) float64 {
+		var num, den float64
+		for i := 0; i < f.NumRows(); i++ {
+			if grp.Int(i) == g && (d == "" || dept.Str(i) == d) {
+				den++
+				num += adm.Float(i)
+			}
+		}
+		return num / den
+	}
+	// Within each department group 1 does better...
+	if rate(1, "easy") <= rate(0, "easy") {
+		t.Fatalf("easy dept: %v vs %v", rate(1, "easy"), rate(0, "easy"))
+	}
+	if rate(1, "hard") <= rate(0, "hard") {
+		t.Fatalf("hard dept: %v vs %v", rate(1, "hard"), rate(0, "hard"))
+	}
+	// ...but worse in aggregate.
+	if rate(1, "") >= rate(0, "") {
+		t.Fatalf("aggregate: %v vs %v — paradox not planted", rate(1, ""), rate(0, ""))
+	}
+}
