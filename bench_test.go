@@ -6,10 +6,13 @@
 package rds_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/responsible-data-science/rds/internal/causal"
+	"github.com/responsible-data-science/rds/internal/core"
 	"github.com/responsible-data-science/rds/internal/experiments"
 	"github.com/responsible-data-science/rds/internal/fairness"
 	"github.com/responsible-data-science/rds/internal/frame"
@@ -18,6 +21,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/procmine"
 	"github.com/responsible-data-science/rds/internal/provenance"
 	"github.com/responsible-data-science/rds/internal/rng"
+	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/stream"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
@@ -45,6 +49,108 @@ func BenchmarkE9Causal(b *testing.B)          { benchExperiment(b, experiments.E
 func BenchmarkE10InternetMinute(b *testing.B) { benchExperiment(b, experiments.E10InternetMinute) }
 func BenchmarkE11Governance(b *testing.B)     { benchExperiment(b, experiments.E11Governance) }
 func BenchmarkE12Provenance(b *testing.B)     { benchExperiment(b, experiments.E12Provenance) }
+
+// --- Audit service (internal/serve) ---
+
+// BenchmarkBatchAudit measures batch FACT-audit throughput: the same 16
+// synthetic datasets audited back-to-back on one goroutine (the
+// pre-serve baseline) vs. fanned out over the serve.Engine worker pool.
+// Speedup tracks core count; run with -cpu to pin GOMAXPROCS. The cache
+// is disabled so every job pays the full pipeline cost (see
+// BenchmarkAuditCache for the hit path).
+func BenchmarkBatchAudit(b *testing.B) {
+	const batch = 16
+	requests := make([]*serve.Request, batch)
+	for i := range requests {
+		data, err := synth.Credit(synth.CreditConfig{N: 1500, Bias: 1.0, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests[i] = &serve.Request{
+			Dataset: fmt.Sprintf("credit-%02d", i),
+			Data:    data,
+			Policy:  serve.DefaultPolicy(),
+			Spec: core.TrainSpec{
+				Target: "approved", Sensitive: "group",
+				Protected: "B", Reference: "A", Epochs: 20,
+			},
+			Seed: uint64(i + 1),
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range requests {
+				if _, err := serve.RunAudit(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "audits/s")
+	})
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("pool%d", workers), func(b *testing.B) {
+			e := serve.NewEngine(serve.Config{
+				Workers: workers, QueueSize: batch,
+				JobTimeout: 5 * time.Minute, CacheSize: -1,
+			})
+			defer e.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, batch)
+				for j, req := range requests {
+					id, err := e.Submit(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[j] = id
+				}
+				for _, id := range ids {
+					js, err := e.Wait(context.Background(), id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if js.Status != serve.StatusDone {
+						b.Fatalf("job %s: %s (%s)", id, js.Status, js.Error)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "audits/s")
+		})
+	}
+}
+
+// BenchmarkAuditCache isolates the report cache: the same request over
+// and over, so every iteration after the first is a hash-lookup hit
+// instead of a full pipeline run.
+func BenchmarkAuditCache(b *testing.B) {
+	data, err := synth.Credit(synth.CreditConfig{N: 1500, Bias: 1.0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &serve.Request{
+		Dataset: "credit",
+		Data:    data,
+		Policy:  serve.DefaultPolicy(),
+		Spec: core.TrainSpec{
+			Target: "approved", Sensitive: "group",
+			Protected: "B", Reference: "A", Epochs: 20,
+		},
+		Seed: 1,
+	}
+	e := serve.NewEngine(serve.Config{Workers: 1, JobTimeout: 5 * time.Minute})
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := e.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if js, err := e.Wait(context.Background(), id); err != nil || js.Status != serve.StatusDone {
+			b.Fatalf("job %s: %v %v", id, js.Status, err)
+		}
+	}
+}
 
 // --- Ablations (design choices DESIGN.md commits to) ---
 

@@ -59,16 +59,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	var mitigation core.Mitigation
-	switch *mitigate {
-	case "none":
-		mitigation = core.MitigateNone
-	case "reweigh":
-		mitigation = core.MitigateReweigh
-	case "threshold":
-		mitigation = core.MitigateThreshold
-	default:
-		fmt.Fprintf(os.Stderr, "rds-audit: unknown mitigation %q\n", *mitigate)
+	mitigation, err := core.ParseMitigation(*mitigate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rds-audit:", err)
 		os.Exit(2)
 	}
 

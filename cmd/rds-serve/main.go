@@ -1,0 +1,79 @@
+// Command rds-serve runs the concurrent FACT audit service: a worker
+// pool of pipeline audits behind an HTTP API, with an LRU report cache
+// and service metrics. It is the always-on "green data science" gauge —
+// clients POST datasets and policies and get back Green/Amber/Red JSON
+// reports.
+//
+// Usage:
+//
+//	rds-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 60s]
+//	          [-cache 128] [-allow-paths]
+//
+// Endpoints:
+//
+//	POST /v1/audit       audit a dataset (JSON, text/csv, or multipart)
+//	GET  /v1/audit/{id}  async job status / result
+//	GET  /healthz        liveness and pool state
+//	GET  /metrics        jobs run, cache hit rate, p50/p99 latency
+//
+// Example (synthetic demo data, default policy):
+//
+//	curl -s localhost:8080/v1/audit -d '{"synthetic":{"n":5000,"bias":1.0}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "audit workers (default GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue capacity (backpressure bound)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-job wall-clock timeout")
+	cache := flag.Int("cache", 128, "report cache entries (negative disables)")
+	allowPaths := flag.Bool("allow-paths", false, "allow audits of server-local CSV paths")
+	flag.Parse()
+
+	engine := serve.NewEngine(serve.Config{
+		Workers:    *workers,
+		QueueSize:  *queue,
+		JobTimeout: *timeout,
+		CacheSize:  *cache,
+	})
+	handler := serve.NewHandler(engine)
+	handler.AllowPaths = *allowPaths
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = server.Shutdown(ctx)
+	}()
+
+	cfg := engine.Config()
+	fmt.Printf("rds-serve listening on %s (%d workers, queue %d, cache %d, timeout %s)\n",
+		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "rds-serve:", err)
+		os.Exit(1)
+	}
+	engine.Close()
+}

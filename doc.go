@@ -8,6 +8,8 @@
 // reproduction; promote packages out of internal/ to reuse them):
 //
 //   - internal/core        — the FACT-guarded pipeline and audit
+//   - internal/serve       — the concurrent audit service (worker pool,
+//     report cache, HTTP API)
 //   - internal/fairness    — Q1: metrics, proxy detection, mitigation
 //   - internal/stats       — Q2: tests, intervals, multiple-testing, Simpson
 //   - internal/privacy     — Q3: DP budget, k-anonymity, pseudonyms, Paillier
@@ -21,8 +23,10 @@
 //   - internal/synth       — bias-knob dataset generators
 //   - internal/experiments — the E1-E12 reproduction harness
 //
-// Binaries: cmd/rds-audit (FACT audit over a CSV), cmd/rds-bench
-// (regenerate every experiment). Runnable walkthroughs are under
-// examples/. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for paper-vs-measured results.
+// Binaries: cmd/rds-audit (FACT audit over a CSV), cmd/rds-serve (the
+// always-on concurrent audit service), cmd/rds-bench (regenerate every
+// experiment), cmd/rds-anonymize (k-anonymous CSV releases). Runnable
+// walkthroughs are under examples/. See README.md for the quickstart,
+// DESIGN.md for the system inventory and serving architecture, and
+// EXPERIMENTS.md for the experiment index.
 package rds

@@ -1,0 +1,3 @@
+module github.com/responsible-data-science/rds
+
+go 1.21

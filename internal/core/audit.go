@@ -12,49 +12,50 @@ import (
 
 // FACTReport is the pipeline's compliance report: one section per FACT
 // dimension plus governance, with traffic-light findings evaluated
-// against the pipeline's policy.
+// against the pipeline's policy. The JSON form is what the audit service
+// (internal/serve, cmd/rds-serve) returns to clients.
 type FACTReport struct {
-	Pipeline string
+	Pipeline string `json:"pipeline"`
 
-	Fairness        FairnessSection
-	Accuracy        AccuracySection
-	Confidentiality ConfidentialitySection
-	Transparency    TransparencySection
+	Fairness        FairnessSection        `json:"fairness"`
+	Accuracy        AccuracySection        `json:"accuracy"`
+	Confidentiality ConfidentialitySection `json:"confidentiality"`
+	Transparency    TransparencySection    `json:"transparency"`
 
-	Findings []policy.Finding
-	Overall  policy.Grade
+	Findings []policy.Finding `json:"findings"`
+	Overall  policy.Grade     `json:"overall"`
 }
 
 // FairnessSection carries the measured group-fairness outcome.
 type FairnessSection struct {
-	Report fairness.Report
+	Report fairness.Report `json:"report"`
 }
 
 // AccuracySection carries accuracy with its interval and the corrected
 // hypothesis decisions.
 type AccuracySection struct {
-	Accuracy   float64
-	AccuracyCI stats.Interval
-	TestsRun   int
-	Corrected  []stats.LedgerDecision
+	Accuracy   float64                `json:"accuracy"`
+	AccuracyCI stats.Interval         `json:"accuracy_ci"`
+	TestsRun   int                    `json:"tests_run"`
+	Corrected  []stats.LedgerDecision `json:"corrected,omitempty"`
 }
 
 // ConfidentialitySection reports budget consumption and any micro-data
 // release quality.
 type ConfidentialitySection struct {
-	BudgetAttached bool
-	EpsSpent       float64
-	EpsTotalCap    float64
-	ReleaseMinK    int // 0 when no release happened
+	BudgetAttached bool    `json:"budget_attached"`
+	EpsSpent       float64 `json:"eps_spent"`
+	EpsTotalCap    float64 `json:"eps_total_cap"`
+	ReleaseMinK    int     `json:"release_min_k"` // 0 when no release happened
 }
 
 // TransparencySection reports lineage size, audit-chain integrity, and
 // explanation fidelity.
 type TransparencySection struct {
-	LineageNodes      int
-	AuditIntact       bool
-	SurrogateFidelity float64
-	CardValid         bool
+	LineageNodes      int     `json:"lineage_nodes"`
+	AuditIntact       bool    `json:"audit_intact"`
+	SurrogateFidelity float64 `json:"surrogate_fidelity"`
+	CardValid         bool    `json:"card_valid"`
 }
 
 // Audit evaluates the trained model and the pipeline state against the

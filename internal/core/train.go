@@ -22,6 +22,21 @@ const (
 	MitigateThreshold
 )
 
+// ParseMitigation maps a mitigation name ("none", "reweigh",
+// "threshold") to its Mitigation, as used by CLI flags and the audit
+// service's JSON requests.
+func ParseMitigation(name string) (Mitigation, error) {
+	switch name {
+	case "", "none":
+		return MitigateNone, nil
+	case "reweigh":
+		return MitigateReweigh, nil
+	case "threshold":
+		return MitigateThreshold, nil
+	}
+	return MitigateNone, fmt.Errorf("core: unknown mitigation %q (want none, reweigh, or threshold)", name)
+}
+
 // String renders the mitigation name.
 func (m Mitigation) String() string {
 	switch m {

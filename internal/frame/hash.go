@@ -1,0 +1,55 @@
+package frame
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Hash computes the canonical SHA-256 content hash of the frame: column
+// names, dtypes, null masks and values are hashed in order with length
+// framing, so identical frames hash identically and any change to a
+// value, name, type, or row/column order changes the hash. Unlike hashing
+// a CSV rendering, Hash never allocates the serialized form, which makes
+// it cheap enough to key caches on (dataset hash, policy hash) per audit.
+func (f *Frame) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeUint := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeUint(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeUint(uint64(f.NumCols()))
+	writeUint(uint64(f.NumRows()))
+	for _, c := range f.cols {
+		writeStr(c.Name())
+		writeUint(uint64(c.DType()))
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				h.Write([]byte{0})
+				continue
+			}
+			h.Write([]byte{1})
+			switch c.DType() {
+			case Float64:
+				writeUint(math.Float64bits(c.floats[i]))
+			case Int64:
+				writeUint(uint64(c.ints[i]))
+			case String:
+				writeStr(c.strings[i])
+			case Bool:
+				if c.bools[i] {
+					h.Write([]byte{1})
+				} else {
+					h.Write([]byte{0})
+				}
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

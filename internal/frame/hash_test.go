@@ -1,0 +1,49 @@
+package frame
+
+import "testing"
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	base := func() *Frame {
+		return MustNew(
+			NewFloat64("x", []float64{1, 2, 3}),
+			NewString("g", []string{"a", "b", "a"}),
+		)
+	}
+	f1, f2 := base(), base()
+	if f1.Hash() != f2.Hash() {
+		t.Fatal("identical frames must hash identically")
+	}
+
+	changedVal := MustNew(
+		NewFloat64("x", []float64{1, 2, 4}),
+		NewString("g", []string{"a", "b", "a"}),
+	)
+	if changedVal.Hash() == f1.Hash() {
+		t.Error("value change must change the hash")
+	}
+
+	changedName := MustNew(
+		NewFloat64("y", []float64{1, 2, 3}),
+		NewString("g", []string{"a", "b", "a"}),
+	)
+	if changedName.Hash() == f1.Hash() {
+		t.Error("column rename must change the hash")
+	}
+
+	reordered := MustNew(
+		NewString("g", []string{"a", "b", "a"}),
+		NewFloat64("x", []float64{1, 2, 3}),
+	)
+	if reordered.Hash() == f1.Hash() {
+		t.Error("column reorder must change the hash")
+	}
+}
+
+func TestHashNullsDistinctFromZero(t *testing.T) {
+	zero := MustNew(NewFloat64("x", []float64{0, 1}))
+	withNull := MustNew(NewFloat64("x", []float64{0, 1}))
+	withNull.MustCol("x").SetNull(0)
+	if zero.Hash() == withNull.Hash() {
+		t.Error("null must hash differently from zero")
+	}
+}

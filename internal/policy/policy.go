@@ -8,11 +8,15 @@
 package policy
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/responsible-data-science/rds/internal/provenance"
 )
 
 // Purpose names a processing purpose (GDPR purpose limitation).
@@ -177,23 +181,47 @@ func (r *RetentionPolicy) Expired(purpose Purpose, collected, now time.Time) boo
 
 // FACTPolicy is the declarative FACT requirements artifact: per-dimension
 // thresholds a pipeline must satisfy. Zero values mean "not required".
+// The JSON form is the wire format accepted by the audit service
+// (cmd/rds-serve); omitted fields keep their "not required" zero value.
 type FACTPolicy struct {
 	// Fairness.
-	MinDisparateImpact float64 // e.g. 0.8 (four-fifths rule)
-	MaxEqOppDifference float64 // e.g. 0.1
+	MinDisparateImpact float64 `json:"min_disparate_impact,omitempty"`  // e.g. 0.8 (four-fifths rule)
+	MaxEqOppDifference float64 `json:"max_eq_opp_difference,omitempty"` // e.g. 0.1
 	// Accuracy.
-	RequireIntervals    bool   // point estimates must carry CIs
-	MaxUncorrectedTests int    // hypothesis count above which correction is mandatory
-	Correction          string // required correction ("holm", "benjamini-hochberg", ...)
+	RequireIntervals    bool   `json:"require_intervals,omitempty"`     // point estimates must carry CIs
+	MaxUncorrectedTests int    `json:"max_uncorrected_tests,omitempty"` // hypothesis count above which correction is mandatory
+	Correction          string `json:"correction,omitempty"`            // required correction ("holm", "benjamini-hochberg", ...)
 	// Confidentiality.
-	MaxEpsilon    float64 // total privacy budget ceiling
-	MinKAnonymity int     // published micro-data must satisfy k
+	MaxEpsilon    float64 `json:"max_epsilon,omitempty"`     // total privacy budget ceiling
+	MinKAnonymity int     `json:"min_k_anonymity,omitempty"` // published micro-data must satisfy k
 	// Transparency.
-	RequireLineage       bool
-	RequireModelCard     bool
-	MinSurrogateFidelity float64 // explanation fidelity floor
+	RequireLineage       bool    `json:"require_lineage,omitempty"`
+	RequireModelCard     bool    `json:"require_model_card,omitempty"`
+	MinSurrogateFidelity float64 `json:"min_surrogate_fidelity,omitempty"` // explanation fidelity floor
 	// Governance.
-	RequiredPurpose Purpose // purpose rows must be consented to
+	RequiredPurpose Purpose `json:"required_purpose,omitempty"` // purpose rows must be consented to
+}
+
+// Hash returns the canonical SHA-256 of the policy's thresholds, with
+// every field length-framed in declaration order (via
+// provenance.HashStrings, the repo's one definition of that framing).
+// Two policies hash equally iff they demand the same requirements,
+// which lets the audit service key report caches on (dataset hash,
+// policy hash).
+func (p *FACTPolicy) Hash() string {
+	return provenance.HashStrings(
+		strconv.FormatFloat(p.MinDisparateImpact, 'g', -1, 64),
+		strconv.FormatFloat(p.MaxEqOppDifference, 'g', -1, 64),
+		strconv.FormatBool(p.RequireIntervals),
+		strconv.Itoa(p.MaxUncorrectedTests),
+		p.Correction,
+		strconv.FormatFloat(p.MaxEpsilon, 'g', -1, 64),
+		strconv.Itoa(p.MinKAnonymity),
+		strconv.FormatBool(p.RequireLineage),
+		strconv.FormatBool(p.RequireModelCard),
+		strconv.FormatFloat(p.MinSurrogateFidelity, 'g', -1, 64),
+		string(p.RequiredPurpose),
+	)
 }
 
 // Validate sanity-checks threshold ranges.
@@ -242,11 +270,37 @@ func (g Grade) String() string {
 	return fmt.Sprintf("Grade(%d)", int(g))
 }
 
+// MarshalJSON renders the grade as its traffic-light name ("GREEN"),
+// keeping the service's JSON reports readable and stable even if the
+// numeric ordering ever changes.
+func (g Grade) MarshalJSON() ([]byte, error) {
+	return json.Marshal(g.String())
+}
+
+// UnmarshalJSON parses a traffic-light name back into a Grade.
+func (g *Grade) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch strings.ToUpper(s) {
+	case "RED":
+		*g = Red
+	case "AMBER":
+		*g = Amber
+	case "GREEN":
+		*g = Green
+	default:
+		return fmt.Errorf("policy: unknown grade %q", s)
+	}
+	return nil
+}
+
 // Finding is one policy-evaluation observation.
 type Finding struct {
-	Dimension string // "fairness" | "accuracy" | "confidentiality" | "transparency" | "governance"
-	Grade     Grade
-	Message   string
+	Dimension string `json:"dimension"` // "fairness" | "accuracy" | "confidentiality" | "transparency" | "governance"
+	Grade     Grade  `json:"grade"`
+	Message   string `json:"message"`
 }
 
 // WorstGrade folds findings into an overall verdict (Green when empty).

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -173,4 +174,55 @@ func TestConsentConcurrency(t *testing.T) {
 		l.FilterByConsent([]string{"x"}, PurposeResearch)
 	}
 	<-done
+}
+
+func TestGradeJSONRoundTrip(t *testing.T) {
+	for _, g := range []Grade{Red, Amber, Green} {
+		b, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + g.String() + `"`; string(b) != want {
+			t.Errorf("Marshal(%s) = %s, want %s", g, b, want)
+		}
+		var back Grade
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != g {
+			t.Errorf("round trip %s -> %s", g, back)
+		}
+	}
+	var g Grade
+	if err := json.Unmarshal([]byte(`"PURPLE"`), &g); err == nil {
+		t.Error("unknown grade must not unmarshal")
+	}
+}
+
+func TestFindingJSONUsesGradeNames(t *testing.T) {
+	b, err := json.Marshal(Finding{Dimension: "fairness", Grade: Amber, Message: "close"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"grade": "AMBER"`) && !strings.Contains(string(b), `"grade":"AMBER"`) {
+		t.Errorf("finding JSON should carry the grade name: %s", b)
+	}
+}
+
+func TestFACTPolicyHash(t *testing.T) {
+	base := FACTPolicy{MinDisparateImpact: 0.8, Correction: "holm", RequireLineage: true}
+	same := FACTPolicy{MinDisparateImpact: 0.8, Correction: "holm", RequireLineage: true}
+	if base.Hash() != same.Hash() {
+		t.Error("equal policies must hash equally")
+	}
+	for name, changed := range map[string]FACTPolicy{
+		"threshold":  {MinDisparateImpact: 0.9, Correction: "holm", RequireLineage: true},
+		"correction": {MinDisparateImpact: 0.8, Correction: "bonferroni", RequireLineage: true},
+		"flag":       {MinDisparateImpact: 0.8, Correction: "holm"},
+		"zero":       {},
+	} {
+		if changed.Hash() == base.Hash() {
+			t.Errorf("%s change must change the hash", name)
+		}
+	}
 }

@@ -169,15 +169,14 @@ func (g *Graph) Render() string {
 }
 
 // HashFrame computes the canonical content hash of a frame (SHA-256 over
-// its CSV serialization). Identical frames hash identically; any value,
-// column, or order change produces a different hash.
+// names, dtypes, null masks and values — see frame.Hash). Identical
+// frames hash identically; any value, column, or order change produces a
+// different hash.
 func HashFrame(f *frame.Frame) (string, error) {
-	s, err := f.CSVString()
-	if err != nil {
-		return "", fmt.Errorf("provenance: hashing frame: %w", err)
+	if f == nil {
+		return "", fmt.Errorf("provenance: hashing nil frame")
 	}
-	sum := sha256.Sum256([]byte(s))
-	return hex.EncodeToString(sum[:]), nil
+	return f.Hash(), nil
 }
 
 // HashBytes computes the hex SHA-256 of raw bytes.

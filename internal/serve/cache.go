@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/responsible-data-science/rds/internal/core"
+)
+
+// ReportCache is a fixed-capacity LRU cache of audit reports keyed by
+// the content hash of (dataset, policy, spec, seed). Because an audit is
+// a pure function of that tuple, a hit can be served without re-running
+// the pipeline. Safe for concurrent use.
+type ReportCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	report *core.FACTReport
+}
+
+// NewReportCache creates a cache holding at most capacity reports
+// (capacity < 1 is treated as 1).
+func NewReportCache(capacity int) *ReportCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReportCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached report for key, marking it most recently used.
+func (c *ReportCache) Get(key string) (*core.FACTReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Put stores a report under key, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its recency.
+func (c *ReportCache) Put(key string, report *core.FACTReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).report = report
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, report: report})
+}
+
+// Len returns the number of cached reports.
+func (c *ReportCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

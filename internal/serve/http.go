@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/policy"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+// maxBodyBytes bounds an uploaded request body (CSV payloads included).
+const maxBodyBytes = 64 << 20 // 64 MiB
+
+// AuditRequestWire is the JSON body of POST /v1/audit. Exactly one data
+// source must be set: CSV (inline), Path (server-local file), or
+// Synthetic (generated demo data).
+type AuditRequestWire struct {
+	// Dataset names the data in reports (default "dataset").
+	Dataset string `json:"dataset,omitempty"`
+	// CSV is an inline CSV document with a header row.
+	CSV string `json:"csv,omitempty"`
+	// Path is a server-local CSV file to audit.
+	Path string `json:"path,omitempty"`
+	// Synthetic generates a biased synthetic credit population.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+
+	// Target is the binary label column (default "approved").
+	Target string `json:"target,omitempty"`
+	// Sensitive is the sensitive-attribute column (default "group").
+	Sensitive string `json:"sensitive,omitempty"`
+	// Protected is the protected group value (default "B").
+	Protected string `json:"protected,omitempty"`
+	// Reference is the reference group value (default "A").
+	Reference string `json:"reference,omitempty"`
+	// Mitigation is "none", "reweigh", or "threshold".
+	Mitigation string `json:"mitigation,omitempty"`
+	// TestFraction is the held-out fraction (default 0.3).
+	TestFraction float64 `json:"test_fraction,omitempty"`
+	// Epochs is the logistic training epoch count (default 40).
+	Epochs int `json:"epochs,omitempty"`
+	// Seed drives the pipeline's stochastic steps (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Policy holds the FACT thresholds to grade against. When omitted,
+	// DefaultPolicy applies.
+	Policy *policy.FACTPolicy `json:"policy,omitempty"`
+
+	// Async makes POST return 202 with the job id immediately instead
+	// of waiting for the report.
+	Async bool `json:"async,omitempty"`
+}
+
+// SyntheticSpec requests generated demo data instead of an upload.
+type SyntheticSpec struct {
+	// N is the row count (default 5000).
+	N int `json:"n,omitempty"`
+	// Bias is the injected discrimination knob. A pointer so that an
+	// explicit 0 (fair labels) is distinguishable from omitted
+	// (default 1.0).
+	Bias *float64 `json:"bias,omitempty"`
+	// Seed drives generation (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// DefaultPolicy is the FACT policy applied when a request omits one:
+// the four-fifths rule, mandatory intervals with Holm correction,
+// lineage, a model card, and a 0.75 surrogate-fidelity floor — the same
+// defaults as cmd/rds-audit.
+func DefaultPolicy() policy.FACTPolicy {
+	return policy.FACTPolicy{
+		MinDisparateImpact:   0.8,
+		MaxEqOppDifference:   0.1,
+		RequireIntervals:     true,
+		Correction:           "holm",
+		RequireLineage:       true,
+		RequireModelCard:     true,
+		MinSurrogateFidelity: 0.75,
+	}
+}
+
+// Handler exposes an Engine over HTTP:
+//
+//	POST /v1/audit       run an audit (sync by default; "async": true for 202 + id)
+//	GET  /v1/audit/{id}  job status / result
+//	GET  /healthz        liveness and pool state
+//	GET  /metrics        throughput, cache hit rate, latency quantiles
+type Handler struct {
+	engine *Engine
+	// AllowPaths permits requests that read server-local files via
+	// "path". Leave false for network-facing deployments.
+	AllowPaths bool
+}
+
+// NewHandler wraps the engine in the HTTP API.
+func NewHandler(e *Engine) *Handler { return &Handler{engine: e} }
+
+// ServeHTTP routes the audit API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/audit":
+		h.postAudit(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/audit/"):
+		h.getAudit(w, r)
+	case r.URL.Path == "/healthz":
+		h.healthz(w, r)
+	case r.URL.Path == "/metrics":
+		h.metrics(w, r)
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
+	}
+}
+
+func (h *Handler) postAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	wire, err := decodeWire(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := h.buildRequest(wire)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := h.engine.Submit(req)
+	switch {
+	case errors.Is(err, ErrBusy):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wire.Async {
+		js, _ := h.engine.Job(id)
+		writeJSON(w, http.StatusAccepted, js)
+		return
+	}
+	js, err := h.engine.Wait(r.Context(), id)
+	if err != nil {
+		httpError(w, http.StatusGatewayTimeout, fmt.Errorf("job %s still %s: %w", id, js.Status, err))
+		return
+	}
+	if js.Status == StatusFailed {
+		writeJSON(w, http.StatusUnprocessableEntity, js)
+		return
+	}
+	writeJSON(w, http.StatusOK, js)
+}
+
+func (h *Handler) getAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/audit/")
+	js, ok := h.engine.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, js)
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"workers":        h.engine.Config().Workers,
+		"queue_depth":    h.engine.QueueDepth(),
+		"queue_capacity": h.engine.Config().QueueSize,
+	})
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.engine.Metrics().Snapshot())
+}
+
+// decodeWire parses the request body: JSON requests as-is, raw CSV
+// bodies (text/csv or multipart file field "data") into the CSV field
+// with the spec read from query parameters.
+func decodeWire(r *http.Request) (*AuditRequestWire, error) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	// x-www-form-urlencoded is what bare `curl -d '{...}'` sends; treat
+	// it as JSON so the quickstart works without a header flag.
+	case strings.HasPrefix(ct, "application/json"), ct == "",
+		strings.HasPrefix(ct, "application/x-www-form-urlencoded"):
+		var wire AuditRequestWire
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wire); err != nil {
+			return nil, fmt.Errorf("decoding JSON body: %w", err)
+		}
+		return &wire, nil
+	case strings.HasPrefix(ct, "text/csv"):
+		var b strings.Builder
+		if _, err := io.Copy(&b, r.Body); err != nil {
+			return nil, fmt.Errorf("reading CSV body: %w", err)
+		}
+		return wireFromQuery(r, b.String())
+	case strings.HasPrefix(ct, "multipart/form-data"):
+		if err := r.ParseMultipartForm(maxBodyBytes); err != nil {
+			return nil, fmt.Errorf("parsing multipart form: %w", err)
+		}
+		f, _, err := r.FormFile("data")
+		if err != nil {
+			return nil, fmt.Errorf("multipart upload needs a \"data\" file field: %w", err)
+		}
+		defer f.Close()
+		var b strings.Builder
+		if _, err := io.Copy(&b, f); err != nil {
+			return nil, fmt.Errorf("reading multipart upload: %w", err)
+		}
+		return wireFromQuery(r, b.String())
+	}
+	return nil, fmt.Errorf("unsupported Content-Type %q (want application/json, text/csv, or multipart/form-data)", ct)
+}
+
+// wireFromQuery builds a wire request for a raw CSV body, reading the
+// training spec from query parameters (?target=...&sensitive=...).
+func wireFromQuery(r *http.Request, csv string) (*AuditRequestWire, error) {
+	q := r.URL.Query()
+	wire := &AuditRequestWire{
+		CSV:        csv,
+		Dataset:    q.Get("dataset"),
+		Target:     q.Get("target"),
+		Sensitive:  q.Get("sensitive"),
+		Protected:  q.Get("protected"),
+		Reference:  q.Get("reference"),
+		Mitigation: q.Get("mitigation"),
+		Async:      q.Get("async") == "1" || q.Get("async") == "true",
+	}
+	if s := q.Get("seed"); s != "" {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", s, err)
+		}
+		wire.Seed = seed
+	}
+	return wire, nil
+}
+
+// buildRequest materializes the dataset and assembles the engine request.
+func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
+	sources := 0
+	for _, set := range []bool{wire.CSV != "", wire.Path != "", wire.Synthetic != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, errors.New("exactly one of csv, path, or synthetic must be set")
+	}
+
+	var (
+		data *frame.Frame
+		err  error
+		name = wire.Dataset
+	)
+	switch {
+	case wire.CSV != "":
+		data, err = frame.ReadCSVString(wire.CSV)
+	case wire.Path != "":
+		if !h.AllowPaths {
+			return nil, errors.New("path-based audits are disabled on this server")
+		}
+		var f *os.File
+		if f, err = os.Open(wire.Path); err == nil {
+			data, err = frame.ReadCSV(f)
+			f.Close()
+		}
+		if name == "" {
+			name = wire.Path
+		}
+	case wire.Synthetic != nil:
+		s := wire.Synthetic
+		bias := 1.0
+		if s.Bias != nil {
+			bias = *s.Bias
+		}
+		data, err = synth.Credit(synth.CreditConfig{N: s.N, Bias: bias, Seed: s.Seed})
+		if name == "" {
+			name = "synthetic-credit"
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loading dataset: %w", err)
+	}
+
+	mitigation, err := core.ParseMitigation(wire.Mitigation)
+	if err != nil {
+		return nil, err
+	}
+	pol := DefaultPolicy()
+	if wire.Policy != nil {
+		pol = *wire.Policy
+	}
+	spec := core.TrainSpec{
+		Target:       stringOr(wire.Target, "approved"),
+		Sensitive:    stringOr(wire.Sensitive, "group"),
+		Protected:    stringOr(wire.Protected, "B"),
+		Reference:    stringOr(wire.Reference, "A"),
+		TestFraction: wire.TestFraction,
+		Mitigation:   mitigation,
+		Epochs:       wire.Epochs,
+	}
+	return &Request{
+		Dataset: stringOr(name, "dataset"),
+		Data:    data,
+		Policy:  pol,
+		Spec:    spec,
+		Seed:    wire.Seed,
+	}, nil
+}
+
+func stringOr(v, fallback string) string {
+	if v == "" {
+		return fallback
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

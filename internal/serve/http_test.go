@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/policy"
+	"github.com/responsible-data-science/rds/internal/synth"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := NewEngine(Config{Workers: 2, JobTimeout: 30 * time.Second})
+	h := NewHandler(e)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return srv, e
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestHTTPAuditSyntheticRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/audit",
+		`{"synthetic":{"n":600,"bias":1.0,"seed":3},"epochs":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if js.Status != StatusDone || js.Report == nil {
+		t.Fatalf("job = %+v, want done with report", js)
+	}
+	if js.Report.Overall != policy.Red {
+		t.Errorf("heavily biased data should grade RED, got %s", js.Report.Overall)
+	}
+	if js.Report.Fairness.Report.DisparateImpact >= 0.8 {
+		t.Errorf("disparate impact %.3f should be below the four-fifths floor",
+			js.Report.Fairness.Report.DisparateImpact)
+	}
+}
+
+func TestHTTPAuditCSVUploadAndCacheHit(t *testing.T) {
+	srv, e := newTestServer(t)
+	data, err := synth.Credit(synth.CreditConfig{N: 500, Bias: 0.0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := data.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody, err := json.Marshal(map[string]any{
+		"dataset": "upload-test",
+		"csv":     csv,
+		"epochs":  5,
+		"policy":  map[string]any{"min_disparate_impact": 0.8, "require_lineage": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/v1/audit", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var first JobStatus
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first request must not be a cache hit")
+	}
+
+	// The identical request again: served from the report cache.
+	resp, body = postJSON(t, srv.URL+"/v1/audit", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var second JobStatus
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("identical request should hit the report cache")
+	}
+	if second.Report == nil || second.Report.Pipeline != "upload-test" {
+		t.Errorf("cached report missing or mislabeled: %+v", second.Report)
+	}
+	if snap := e.Metrics().Snapshot(); snap.CacheHits != 1 {
+		t.Errorf("metrics cache hits = %d, want 1", snap.CacheHits)
+	}
+}
+
+func TestHTTPAsyncJobLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/v1/audit",
+		`{"synthetic":{"n":600,"seed":9},"epochs":5,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async status %d, want 202: %s", resp.StatusCode, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.ID == "" {
+		t.Fatal("async response missing job id")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/audit/" + js.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := readAll(t, r)
+		r.Body.Close()
+		if err := json.Unmarshal([]byte(raw), &js); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, raw)
+		}
+		if js.Status == StatusDone || js.Status == StatusFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", js.ID, js.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if js.Status != StatusDone || js.Report == nil {
+		t.Fatalf("job = %+v, want done with report", js)
+	}
+}
+
+func TestHTTPRawCSVBody(t *testing.T) {
+	srv, _ := newTestServer(t)
+	data, err := synth.Credit(synth.CreditConfig{N: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := data.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := url.Values{"dataset": {"raw-csv"}, "target": {"approved"}, "sensitive": {"group"}}
+	resp, err := http.Post(srv.URL+"/v1/audit?"+q.Encode(), "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal([]byte(body), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Dataset != "raw-csv" || js.Report == nil {
+		t.Fatalf("job = %+v, want raw-csv report", js)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	for _, tc := range []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"no source", `{}`, http.StatusBadRequest},
+		{"two sources", `{"csv":"a\n1","synthetic":{}}`, http.StatusBadRequest},
+		{"unknown field", `{"bogus":1}`, http.StatusBadRequest},
+		{"path disabled", `{"path":"/etc/passwd"}`, http.StatusBadRequest},
+		{"bad mitigation", `{"synthetic":{},"mitigation":"magic"}`, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, srv.URL+"/v1/audit", tc.body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.wantStatus, body)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/audit/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/audit: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Errorf("healthz status = %v, want ok", health["status"])
+	}
+
+	postJSON(t, srv.URL+"/v1/audit", `{"synthetic":{"n":600,"seed":11},"epochs":5}`)
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.JobsCompleted < 1 {
+		t.Errorf("metrics JobsCompleted = %d, want >= 1", snap.JobsCompleted)
+	}
+	if snap.P50Millis <= 0 {
+		t.Errorf("metrics P50Millis = %v, want > 0", snap.P50Millis)
+	}
+}

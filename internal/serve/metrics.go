@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds how many recent job latencies the quantile
+// estimates are computed over.
+const latencyWindow = 1024
+
+// Metrics aggregates engine counters and a sliding window of job
+// latencies. All methods are safe for concurrent use; Snapshot renders
+// the current state for /metrics.
+type Metrics struct {
+	mu            sync.Mutex
+	workers       int
+	jobsSubmitted uint64
+	jobsRejected  uint64
+	jobsCompleted uint64
+	jobsFailed    uint64
+	jobsRunning   int
+	cacheHits     uint64
+	cacheMisses   uint64
+	latencies     []time.Duration // ring buffer of the last latencyWindow jobs
+	latNext       int
+	latCount      int
+}
+
+func newMetrics(workers int) *Metrics {
+	return &Metrics{workers: workers, latencies: make([]time.Duration, latencyWindow)}
+}
+
+func (m *Metrics) submitted() { m.mu.Lock(); m.jobsSubmitted++; m.mu.Unlock() }
+func (m *Metrics) rejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+func (m *Metrics) cacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) cacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *Metrics) started()   { m.mu.Lock(); m.jobsRunning++; m.mu.Unlock() }
+func (m *Metrics) stopped()   { m.mu.Lock(); m.jobsRunning--; m.mu.Unlock() }
+
+func (m *Metrics) completed(d time.Duration) {
+	m.mu.Lock()
+	m.jobsCompleted++
+	m.observe(d)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) failed(d time.Duration) {
+	m.mu.Lock()
+	m.jobsFailed++
+	m.observe(d)
+	m.mu.Unlock()
+}
+
+// observe records one latency; callers hold m.mu.
+func (m *Metrics) observe(d time.Duration) {
+	m.latencies[m.latNext] = d
+	m.latNext = (m.latNext + 1) % latencyWindow
+	if m.latCount < latencyWindow {
+		m.latCount++
+	}
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of the metrics.
+type Snapshot struct {
+	Workers       int     `json:"workers"`
+	JobsSubmitted uint64  `json:"jobs_submitted"`
+	JobsRejected  uint64  `json:"jobs_rejected"`
+	JobsCompleted uint64  `json:"jobs_completed"`
+	JobsFailed    uint64  `json:"jobs_failed"`
+	JobsRunning   int     `json:"jobs_running"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"` // hits / (hits+misses), 0 when no lookups
+	P50Millis     float64 `json:"p50_millis"`     // median job latency over the window
+	P99Millis     float64 `json:"p99_millis"`
+}
+
+// Snapshot renders the current counters and latency quantiles.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Workers:       m.workers,
+		JobsSubmitted: m.jobsSubmitted,
+		JobsRejected:  m.jobsRejected,
+		JobsCompleted: m.jobsCompleted,
+		JobsFailed:    m.jobsFailed,
+		JobsRunning:   m.jobsRunning,
+		CacheHits:     m.cacheHits,
+		CacheMisses:   m.cacheMisses,
+	}
+	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
+	}
+	if m.latCount > 0 {
+		window := make([]time.Duration, m.latCount)
+		copy(window, m.latencies[:m.latCount])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.P50Millis = quantile(window, 0.50)
+		s.P99Millis = quantile(window, 0.99)
+	}
+	return s
+}
+
+// quantile returns the q-quantile of sorted latencies in milliseconds
+// (nearest-rank: the smallest value with at least a q fraction of the
+// sample at or below it, so p99 of a small sample is its maximum, not
+// its minimum).
+func quantile(sorted []time.Duration, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,485 @@
+// Package serve turns the one-shot FACT audit of internal/core into an
+// always-on service: a worker-pool engine that runs many pipeline audits
+// concurrently, with a bounded job queue for backpressure, per-job
+// timeouts, an LRU report cache keyed by (dataset hash, policy hash) so
+// unchanged data is re-graded from memory, and service metrics
+// (throughput, cache hit rate, latency quantiles).
+//
+// The paper's "green data science" vision is a gauge that continuously
+// grades pipelines Green/Amber/Red; this package is that gauge as
+// infrastructure. cmd/rds-serve exposes the engine over HTTP
+// (POST /v1/audit, GET /v1/audit/{id}, /healthz, /metrics);
+// examples/auditservice is a runnable walkthrough.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/policy"
+	"github.com/responsible-data-science/rds/internal/provenance"
+)
+
+// ErrBusy is returned by Submit when the job queue is full. Clients
+// should back off and retry; the HTTP layer maps it to 503.
+var ErrBusy = errors.New("serve: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Config parameterizes an Engine. Zero values select sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent audit workers
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueSize bounds the number of jobs waiting for a worker
+	// (default 64). A full queue rejects submissions with ErrBusy
+	// rather than buffering without limit.
+	QueueSize int
+	// JobTimeout caps one audit's wall-clock time (default 60s).
+	// Jobs that exceed it are marked failed.
+	JobTimeout time.Duration
+	// CacheSize is the report cache capacity in entries (default 128).
+	// Negative disables caching.
+	CacheSize int
+	// MaxFinishedJobs bounds how many finished jobs stay queryable via
+	// GET /v1/audit/{id} (default 1024). Older finished jobs are
+	// forgotten so an always-on service does not grow without limit.
+	MaxFinishedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 1024
+	}
+	return c
+}
+
+// Request describes one audit: the dataset, the training spec for the
+// model under audit, and the FACT policy to grade against.
+type Request struct {
+	// Dataset names the data for reports and logs.
+	Dataset string
+	// Data is the dataset to audit. Required.
+	Data *frame.Frame
+	// Policy is the FACT policy the pipeline must satisfy.
+	Policy policy.FACTPolicy
+	// Spec describes the training run (target, sensitive attribute,
+	// protected/reference groups, mitigation).
+	Spec core.TrainSpec
+	// Seed drives the pipeline's stochastic steps (default 1).
+	Seed uint64
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	// StatusQueued means the job is waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning means a worker is executing the audit.
+	StatusRunning Status = "running"
+	// StatusDone means the audit completed and Report is set.
+	StatusDone Status = "done"
+	// StatusFailed means the audit errored or timed out.
+	StatusFailed Status = "failed"
+)
+
+// JobStatus is a point-in-time snapshot of one submitted audit,
+// JSON-serializable for the HTTP API.
+type JobStatus struct {
+	ID       string           `json:"id"`
+	Dataset  string           `json:"dataset"`
+	Status   Status           `json:"status"`
+	CacheHit bool             `json:"cache_hit"`
+	Report   *core.FACTReport `json:"report,omitempty"`
+	Error    string           `json:"error,omitempty"`
+	// ElapsedMillis is queue-to-finish latency for finished jobs.
+	ElapsedMillis float64 `json:"elapsed_millis,omitempty"`
+}
+
+// job is the engine-internal mutable state behind a JobStatus.
+type job struct {
+	id       string
+	dataset  string
+	cacheKey string
+
+	mu        sync.Mutex
+	req       *Request // nilled once the job finishes, releasing the frame
+	status    Status
+	cacheHit  bool
+	report    *core.FACTReport
+	err       error
+	submitted time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:       j.id,
+		Dataset:  j.dataset,
+		Status:   j.status,
+		CacheHit: j.cacheHit,
+		Report:   j.report,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.finished.IsZero() {
+		s.ElapsedMillis = float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// Engine runs FACT audits on a bounded worker pool. Create one with
+// NewEngine, submit work with Submit, and stop it with Close. All
+// methods are safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	queue   chan *job
+	cache   *ReportCache
+	metrics *Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finished job ids, oldest first, for bounded retention
+	seq      uint64
+
+	// closeMu serializes queue sends against Close so a Submit racing
+	// shutdown returns ErrClosed instead of panicking on a closed
+	// channel.
+	closeMu   sync.RWMutex
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// runAudit is swapped by tests to control job duration.
+	runAudit func(ctx context.Context, req *Request) (*core.FACTReport, error)
+}
+
+// NewEngine starts cfg.Workers workers and returns the running engine.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueSize),
+		jobs:     map[string]*job{},
+		closed:   make(chan struct{}),
+		metrics:  newMetrics(cfg.Workers),
+		runAudit: RunAudit,
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = NewReportCache(cfg.CacheSize)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Metrics returns the engine's live metrics.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// QueueDepth reports how many jobs are waiting for a worker.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Submit validates and enqueues one audit request, returning the job id.
+// A cache hit completes the job immediately without queueing. A full
+// queue returns ErrBusy.
+func (e *Engine) Submit(req *Request) (string, error) {
+	if req == nil || req.Data == nil || req.Data.NumRows() == 0 {
+		return "", fmt.Errorf("serve: Submit needs a non-empty dataset")
+	}
+	if req.Dataset == "" {
+		req.Dataset = "dataset"
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if err := req.Policy.Validate(); err != nil {
+		return "", err
+	}
+	select {
+	case <-e.closed:
+		return "", ErrClosed
+	default:
+	}
+
+	j := &job{
+		id:        e.nextID(),
+		dataset:   req.Dataset,
+		req:       req,
+		cacheKey:  cacheKey(req),
+		status:    StatusQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	e.metrics.submitted()
+
+	if e.cache != nil {
+		if rep, ok := e.cache.Get(j.cacheKey); ok {
+			e.metrics.cacheHit()
+			j.status = StatusDone
+			j.cacheHit = true
+			j.report = rep
+			j.req = nil
+			j.finished = time.Now()
+			close(j.done)
+			e.register(j)
+			e.retainFinished(j.id)
+			e.metrics.completed(j.finished.Sub(j.submitted))
+			return j.id, nil
+		}
+		e.metrics.cacheMiss()
+	}
+
+	e.register(j)
+	// The read lock excludes Close's close(e.queue), so this send can
+	// never hit a closed channel.
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	select {
+	case <-e.closed:
+		e.unregister(j.id)
+		return "", ErrClosed
+	default:
+	}
+	select {
+	case e.queue <- j:
+		return j.id, nil
+	default:
+		e.unregister(j.id)
+		e.metrics.rejected()
+		return "", ErrBusy
+	}
+}
+
+// Job returns a snapshot of the job with the given id.
+func (e *Engine) Job(id string) (JobStatus, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Wait blocks until the job finishes (done or failed) or ctx is
+// cancelled, returning the final snapshot.
+func (e *Engine) Wait(ctx context.Context, id string) (JobStatus, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serve: no job %q", id)
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return j.snapshot(), ctx.Err()
+	}
+}
+
+// Close stops accepting submissions, waits for queued and running jobs
+// to drain, and stops the workers.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.closeMu.Lock()
+		close(e.closed)
+		close(e.queue)
+		e.closeMu.Unlock()
+	})
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.execute(j)
+	}
+}
+
+func (e *Engine) execute(j *job) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+	e.metrics.started()
+	defer e.metrics.stopped()
+
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.JobTimeout)
+	defer cancel()
+
+	type outcome struct {
+		rep *core.FACTReport
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rep, err := e.runAudit(ctx, j.req)
+		ch <- outcome{rep, err}
+	}()
+
+	var out outcome
+	timedOut := false
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		timedOut = true
+		out.err = fmt.Errorf("serve: job %s timed out after %s: %w", j.id, e.cfg.JobTimeout, ctx.Err())
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	elapsed := j.finished.Sub(j.submitted)
+	if out.err != nil {
+		j.status = StatusFailed
+		j.err = out.err
+	} else {
+		j.status = StatusDone
+		j.report = out.rep
+	}
+	j.mu.Unlock()
+
+	if out.err != nil {
+		e.metrics.failed(elapsed)
+	} else {
+		if e.cache != nil {
+			e.cache.Put(j.cacheKey, out.rep)
+		}
+		e.metrics.completed(elapsed)
+	}
+	close(j.done)
+
+	// On timeout the waiter is already unblocked (done is closed), but
+	// the audit goroutine cannot be killed — it unwinds at its next ctx
+	// check. Hold this worker until it does, so actual concurrency never
+	// exceeds Workers even under a storm of timeouts.
+	if timedOut {
+		<-ch
+	}
+	j.mu.Lock()
+	j.req = nil // release the dataset; only the report stays resident
+	j.mu.Unlock()
+	e.retainFinished(j.id)
+}
+
+func (e *Engine) register(j *job) {
+	e.mu.Lock()
+	e.jobs[j.id] = j
+	e.mu.Unlock()
+}
+
+func (e *Engine) unregister(id string) {
+	e.mu.Lock()
+	delete(e.jobs, id)
+	e.mu.Unlock()
+}
+
+// retainFinished records a finished job for bounded retention: once more
+// than MaxFinishedJobs have completed, the oldest are forgotten so the
+// jobs map cannot grow without limit on an always-on service.
+func (e *Engine) retainFinished(id string) {
+	e.mu.Lock()
+	e.finished = append(e.finished, id)
+	for len(e.finished) > e.cfg.MaxFinishedJobs {
+		delete(e.jobs, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) nextID() string {
+	e.mu.Lock()
+	e.seq++
+	id := e.seq
+	e.mu.Unlock()
+	return fmt.Sprintf("job-%06d", id)
+}
+
+// cacheKey derives the report-cache key: audits are pure functions of
+// (dataset content, policy, training spec, seed), so two requests with
+// equal keys must produce identical reports. The dataset name is
+// included because the report embeds it; two names for the same bytes
+// are cached separately rather than served a mislabeled report.
+func cacheKey(req *Request) string {
+	return provenance.HashStrings(
+		req.Dataset,
+		req.Data.Hash(),
+		req.Policy.Hash(),
+		specHash(req.Spec),
+		strconv.FormatUint(req.Seed, 10),
+	)
+}
+
+func specHash(s core.TrainSpec) string {
+	parts := []string{
+		s.Target, s.Sensitive, s.Protected, s.Reference,
+		strconv.FormatFloat(s.TestFraction, 'g', -1, 64),
+		s.Mitigation.String(),
+		strconv.Itoa(s.Epochs),
+		// Count plus individual elements: HashStrings length-frames each
+		// part, so {"a b"} and {"a","b"} cannot collide.
+		strconv.Itoa(len(s.Exclude)),
+	}
+	return provenance.HashStrings(append(parts, s.Exclude...)...)
+}
+
+// RunAudit executes one audit request synchronously on the caller's
+// goroutine: Load -> Train -> Audit over a fresh core.Pipeline, checking
+// ctx between stages. It is the engine's default job body and is exported
+// so callers (benchmarks, CLIs) can measure the sequential baseline.
+func RunAudit(ctx context.Context, req *Request) (*core.FACTReport, error) {
+	pipe, err := core.New(core.Config{
+		Name:   req.Dataset,
+		Policy: req.Policy,
+		Seed:   req.Seed,
+		Actor:  "rds-serve",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := pipe.Load(req.Dataset, req.Data); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	model, err := pipe.Train(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pipe.Audit(model)
+}
