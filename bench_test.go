@@ -17,6 +17,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/fairness"
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/ml"
+	"github.com/responsible-data-science/rds/internal/monitor"
 	"github.com/responsible-data-science/rds/internal/privacy"
 	"github.com/responsible-data-science/rds/internal/procmine"
 	"github.com/responsible-data-science/rds/internal/provenance"
@@ -150,6 +151,55 @@ func BenchmarkAuditCache(b *testing.B) {
 			b.Fatalf("job %s: %v %v", id, js.Status, err)
 		}
 	}
+}
+
+// BenchmarkMonitorWindow measures the monitoring plane's steady-state
+// per-window cost: after a one-time baseline audit, every iteration
+// ingests one 500-row window plus the heartbeat that closes it, paying
+// window assignment, frame materialization, and per-column PSI/KS drift
+// scoring against the pinned baseline. The audit cadence is set past
+// b.N so the engine's pipeline cost (measured by BenchmarkBatchAudit)
+// stays out of the loop.
+func BenchmarkMonitorWindow(b *testing.B) {
+	const windowRows = 500
+	engine := serve.NewEngine(serve.Config{Workers: 2, QueueSize: 8, JobTimeout: 5 * time.Minute})
+	defer engine.Close()
+	reg, err := monitor.NewRegistry(monitor.RegistryConfig{Engine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	m, err := reg.Register(monitor.Spec{
+		Name:   "bench",
+		Policy: serve.DefaultPolicy(),
+		Train: core.TrainSpec{
+			Target: "approved", Sensitive: "group",
+			Protected: "B", Reference: "A", Epochs: 20,
+		},
+		Window:     monitor.WindowConfig{WidthMS: 1000},
+		AuditEvery: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := synth.Credit(synth.CreditConfig{N: windowRows, Bias: 1.0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Baseline window: the only audit in the benchmark.
+	m.Ingest(stream.Arrival{TimeMS: 0, Rows: data}, stream.Arrival{TimeMS: 1000})
+	if !m.Status().BaselinePinned {
+		b.Fatalf("baseline audit failed: %+v", m.History())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := int64(i+1) * 1000
+		m.Ingest(
+			stream.Arrival{TimeMS: t0, Rows: data},
+			stream.Arrival{TimeMS: t0 + 1000}, // heartbeat closes window i+1
+		)
+	}
+	b.ReportMetric(float64(windowRows*b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
 // --- Ablations (design choices DESIGN.md commits to) ---

@@ -1,20 +1,30 @@
 // Command rds-serve runs the concurrent FACT audit service: a worker
-// pool of pipeline audits behind an HTTP API, with an LRU report cache
-// and service metrics. It is the always-on "green data science" gauge —
-// clients POST datasets and policies and get back Green/Amber/Red JSON
-// reports.
+// pool of pipeline audits behind an HTTP API, with an LRU report cache,
+// service metrics, and a continuous-monitoring plane. It is the
+// always-on "green data science" gauge — clients POST datasets and
+// policies for one-shot Green/Amber/Red reports, or register standing
+// monitors that window a live stream, audit every window, detect
+// PSI/KS drift against a pinned baseline, and alert on grade
+// regressions.
 //
 // Usage:
 //
 //	rds-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 60s]
 //	          [-cache 128] [-allow-paths]
+//	          [-monitor-history 64] [-monitor-reaudit 0]
 //
 // Endpoints:
 //
-//	POST /v1/audit       audit a dataset (JSON, text/csv, or multipart)
-//	GET  /v1/audit/{id}  async job status / result
-//	GET  /healthz        liveness and pool state
-//	GET  /metrics        jobs run, cache hit rate, p50/p99 latency
+//	POST   /v1/audit                  audit a dataset (JSON, text/csv, or multipart)
+//	GET    /v1/audit/{id}             async job status / result
+//	POST   /v1/monitors               register a continuous monitor
+//	GET    /v1/monitors               list monitors
+//	GET    /v1/monitors/{id}          monitor status
+//	DELETE /v1/monitors/{id}          stop and remove a monitor
+//	GET    /v1/monitors/{id}/history  per-window reports and drift scores
+//	POST   /v1/monitors/{id}/ingest   feed rows onto the monitor's stream clock
+//	GET    /healthz                   liveness and pool state
+//	GET    /metrics                   engine counters + monitoring gauges
 //
 // Example (synthetic demo data, default policy):
 //
@@ -32,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/responsible-data-science/rds/internal/monitor"
 	"github.com/responsible-data-science/rds/internal/serve"
 )
 
@@ -42,6 +53,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-job wall-clock timeout")
 	cache := flag.Int("cache", 128, "report cache entries (negative disables)")
 	allowPaths := flag.Bool("allow-paths", false, "allow audits of server-local CSV paths")
+	monHistory := flag.Int("monitor-history", monitor.DefaultHistory, "default per-monitor window-history ring size")
+	monReaudit := flag.Duration("monitor-reaudit", 0, "default scheduled re-audit interval for monitors that omit one (0 disables)")
 	flag.Parse()
 
 	engine := serve.NewEngine(serve.Config{
@@ -50,8 +63,23 @@ func main() {
 		JobTimeout: *timeout,
 		CacheSize:  *cache,
 	})
+	registry, err := monitor.NewRegistry(monitor.RegistryConfig{
+		Engine: engine,
+		Sinks:  []monitor.Sink{&monitor.LogSink{}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rds-serve:", err)
+		os.Exit(1)
+	}
+	defer registry.Close()
+
 	handler := serve.NewHandler(engine)
 	handler.AllowPaths = *allowPaths
+	monitors := monitor.NewHandler(registry)
+	monitors.DefaultHistory = *monHistory
+	monitors.DefaultReaudit = *monReaudit
+	handler.Monitors = monitors
+	handler.MonitorMetrics = func() any { return registry.Metrics() }
 
 	server := &http.Server{
 		Addr:              *addr,
@@ -69,8 +97,8 @@ func main() {
 	}()
 
 	cfg := engine.Config()
-	fmt.Printf("rds-serve listening on %s (%d workers, queue %d, cache %d, timeout %s)\n",
-		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout)
+	fmt.Printf("rds-serve listening on %s (%d workers, queue %d, cache %d, timeout %s, monitor history %d)\n",
+		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, *monHistory)
 	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)

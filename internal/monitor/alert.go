@@ -1,0 +1,142 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/policy"
+)
+
+// AlertKind classifies what a monitor observed.
+type AlertKind string
+
+// Alert kinds.
+const (
+	// AlertDriftBreach fires when a window's PSI/KS drift against the
+	// pinned baseline crosses a threshold.
+	AlertDriftBreach AlertKind = "drift_breach"
+	// AlertGradeRegression fires when an audited window's overall grade
+	// is worse than the previous audited grade (Green→Amber→Red).
+	AlertGradeRegression AlertKind = "grade_regression"
+	// AlertAuditFailure fires when a window audit errors or is rejected
+	// by a saturated engine.
+	AlertAuditFailure AlertKind = "audit_failure"
+)
+
+// Alert is one monitoring observation delivered to sinks. The JSON form
+// is the webhook payload.
+type Alert struct {
+	Monitor string    `json:"monitor"` // monitor id
+	Name    string    `json:"name"`    // registered dataset name
+	Kind    AlertKind `json:"kind"`
+	Window  int64     `json:"window"` // window index the alert concerns
+	Message string    `json:"message"`
+	// From/To carry the grade transition for grade_regression alerts.
+	From *policy.Grade `json:"from,omitempty"`
+	To   *policy.Grade `json:"to,omitempty"`
+	// Drift carries the breaching drift report for drift_breach alerts.
+	Drift *DriftReport `json:"drift,omitempty"`
+}
+
+// Sink receives alerts. Implementations must be safe for concurrent
+// use; delivery happens on the ingesting goroutine, so slow sinks slow
+// ingestion (the webhook sink bounds this with MaxAttempts × Backoff).
+type Sink interface {
+	// Deliver ships one alert, returning an error if it could not be
+	// delivered (after any internal retries).
+	Deliver(ctx context.Context, a Alert) error
+}
+
+// LogSink writes alerts to a standard-library logger.
+type LogSink struct {
+	// Logger defaults to the process-wide log.Default().
+	Logger *log.Logger
+}
+
+// Deliver logs the alert on one line.
+func (s *LogSink) Deliver(_ context.Context, a Alert) error {
+	l := s.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	extra := ""
+	if a.Kind == AlertGradeRegression && a.From != nil && a.To != nil {
+		extra = fmt.Sprintf(" (%s→%s)", *a.From, *a.To)
+	}
+	if a.Kind == AlertDriftBreach && a.Drift != nil {
+		extra = fmt.Sprintf(" (max PSI %.3f, max KS %.3f)", a.Drift.MaxPSI, a.Drift.MaxKS)
+	}
+	l.Printf("monitor %s [%s] window %d: %s%s", a.Monitor, a.Kind, a.Window, a.Message, extra)
+	return nil
+}
+
+// WebhookSink POSTs alerts as JSON to a URL, retrying failed deliveries
+// with exponential backoff.
+type WebhookSink struct {
+	// URL receives the POSTed Alert JSON. Required.
+	URL string
+	// Client defaults to a client with a 10s timeout.
+	Client *http.Client
+	// MaxAttempts bounds delivery attempts (default 3).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt, doubling per
+	// retry (default 250ms).
+	Backoff time.Duration
+}
+
+// Deliver POSTs the alert, treating any 2xx status as success. Non-2xx
+// responses and transport errors are retried MaxAttempts times with
+// exponential backoff; ctx cancellation stops the retry loop.
+func (s *WebhookSink) Deliver(ctx context.Context, a Alert) error {
+	if s.URL == "" {
+		return fmt.Errorf("monitor: webhook sink has no URL")
+	}
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	attempts := s.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := s.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	body, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("monitor: encoding alert: %w", err)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				return fmt.Errorf("monitor: webhook delivery cancelled: %w", ctx.Err())
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("monitor: building webhook request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return nil
+		}
+		lastErr = fmt.Errorf("webhook returned %s", resp.Status)
+	}
+	return fmt.Errorf("monitor: webhook delivery to %s failed after %d attempts: %w", s.URL, attempts, lastErr)
+}

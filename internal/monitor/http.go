@@ -1,0 +1,318 @@
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/policy"
+	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/stream"
+)
+
+// maxBodyBytes bounds one ingest/register body (matches the audit API).
+const maxBodyBytes = 64 << 20
+
+// SpecWire is the JSON body of POST /v1/monitors.
+type SpecWire struct {
+	// Name labels the monitored dataset. Required; unique.
+	Name string `json:"name"`
+	// Policy holds the FACT thresholds; serve.DefaultPolicy when
+	// omitted.
+	Policy *policy.FACTPolicy `json:"policy,omitempty"`
+
+	// Target is the binary label column (default "approved").
+	Target string `json:"target,omitempty"`
+	// Sensitive is the sensitive-attribute column (default "group").
+	Sensitive string `json:"sensitive,omitempty"`
+	// Protected is the protected group value (default "B").
+	Protected string `json:"protected,omitempty"`
+	// Reference is the reference group value (default "A").
+	Reference string `json:"reference,omitempty"`
+	// Mitigation is "none", "reweigh", or "threshold".
+	Mitigation string `json:"mitigation,omitempty"`
+	// TestFraction is the held-out fraction (default 0.3).
+	TestFraction float64 `json:"test_fraction,omitempty"`
+	// Epochs is the logistic training epoch count (default 40).
+	Epochs int `json:"epochs,omitempty"`
+	// Seed drives each window audit's stochastic steps (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// WindowMS is the window width in stream milliseconds
+	// (default 60000).
+	WindowMS int64 `json:"window_ms,omitempty"`
+	// SlideMS is the hop between window starts; omitted means tumbling.
+	SlideMS int64 `json:"slide_ms,omitempty"`
+	// MinRows is the minimum auditable window size (default 1).
+	MinRows int `json:"min_rows,omitempty"`
+	// AuditEvery audits every Nth window (default 1; drift breaches
+	// always force an audit).
+	AuditEvery int `json:"audit_every,omitempty"`
+
+	// Drift overrides the PSI/KS thresholds and binning.
+	Drift *DriftConfig `json:"drift,omitempty"`
+
+	// ReauditEveryMS schedules wall-clock re-audits of the latest
+	// window (0 disables).
+	ReauditEveryMS int64 `json:"reaudit_every_ms,omitempty"`
+	// History bounds the window-history ring (default 64).
+	History int `json:"history,omitempty"`
+	// Webhook, when set, attaches a WebhookSink delivering this
+	// monitor's alerts to the URL.
+	Webhook string `json:"webhook,omitempty"`
+}
+
+// IngestWire is the JSON body of POST /v1/monitors/{id}/ingest: one
+// batch of rows (inline CSV or synthetic demo data) stamped onto the
+// monitor's stream clock.
+type IngestWire struct {
+	// TimeMS is the arrival time of the first batch on the stream
+	// clock.
+	TimeMS int64 `json:"time_ms"`
+	// BatchRows splits the rows into arrivals of this many rows
+	// (default: one arrival with all rows).
+	BatchRows int `json:"batch_rows,omitempty"`
+	// GapMS spaces consecutive split arrivals apart (default 0).
+	GapMS int64 `json:"gap_ms,omitempty"`
+	// CSV is an inline CSV document with a header row.
+	CSV string `json:"csv,omitempty"`
+	// Synthetic generates a synthetic credit batch instead of CSV.
+	Synthetic *serve.SyntheticSpec `json:"synthetic,omitempty"`
+	// Flush force-closes all open windows after ingesting (end of a
+	// finite stream).
+	Flush bool `json:"flush,omitempty"`
+}
+
+// Handler exposes a Registry over HTTP:
+//
+//	POST   /v1/monitors               register a monitor
+//	GET    /v1/monitors               list monitors
+//	GET    /v1/monitors/{id}          monitor status
+//	DELETE /v1/monitors/{id}          stop and remove a monitor
+//	GET    /v1/monitors/{id}/history  per-window reports and drift
+//	POST   /v1/monitors/{id}/ingest   feed rows onto the stream clock
+//
+// cmd/rds-serve mounts it on the audit API's mux; all responses are
+// application/json.
+type Handler struct {
+	reg *Registry
+	// DefaultHistory applies to registrations that omit "history"
+	// (falls back to the package DefaultHistory when 0).
+	DefaultHistory int
+	// DefaultReaudit applies to registrations that omit
+	// "reaudit_every_ms" (0 leaves scheduled re-audits off).
+	DefaultReaudit time.Duration
+}
+
+// NewHandler wraps the registry in the HTTP API.
+func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
+
+// ServeHTTP routes the monitor API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/monitors")
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
+		return
+	}
+	rest = strings.Trim(rest, "/")
+	switch {
+	case rest == "":
+		switch r.Method {
+		case http.MethodPost:
+			h.register(w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, h.reg.List())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, errors.New("POST or GET required"))
+		}
+	case strings.HasSuffix(rest, "/history"):
+		h.history(w, r, strings.TrimSuffix(rest, "/history"))
+	case strings.HasSuffix(rest, "/ingest"):
+		h.ingest(w, r, strings.TrimSuffix(rest, "/ingest"))
+	default:
+		h.byID(w, r, rest)
+	}
+}
+
+func (h *Handler) register(w http.ResponseWriter, r *http.Request) {
+	var wire SpecWire
+	if err := decodeJSON(w, r, &wire); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := wire.spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.History == 0 {
+		spec.History = h.DefaultHistory
+	}
+	if spec.ReauditEvery == 0 {
+		spec.ReauditEvery = h.DefaultReaudit
+	}
+	m, err := h.reg.Register(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, m.Status())
+}
+
+func (h *Handler) byID(w http.ResponseWriter, r *http.Request, id string) {
+	m, ok := h.reg.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, m.Status())
+	case http.MethodDelete:
+		h.reg.Delete(id)
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET or DELETE required"))
+	}
+}
+
+func (h *Handler) history(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	m, ok := h.reg.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"monitor": id,
+		"history": m.History(),
+	})
+}
+
+func (h *Handler) ingest(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	m, ok := h.reg.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		return
+	}
+	var wire IngestWire
+	if err := decodeJSON(w, r, &wire); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, err := wire.rows()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := wire.BatchRows
+	if batch <= 0 {
+		batch = rows.NumRows()
+	}
+	arrivals, err := stream.FrameArrivals(rows, batch, wire.TimeMS, wire.GapMS)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	m.Ingest(arrivals...)
+	if wire.Flush {
+		m.Flush()
+	}
+	writeJSON(w, http.StatusOK, m.Status())
+}
+
+// spec materializes the wire registration into a monitor Spec.
+func (wire *SpecWire) spec() (Spec, error) {
+	mitigation, err := core.ParseMitigation(wire.Mitigation)
+	if err != nil {
+		return Spec{}, err
+	}
+	pol := serve.DefaultPolicy()
+	if wire.Policy != nil {
+		pol = *wire.Policy
+	}
+	drift := DriftConfig{}
+	if wire.Drift != nil {
+		drift = *wire.Drift
+	}
+	var sinks []Sink
+	if wire.Webhook != "" {
+		sinks = append(sinks, &WebhookSink{URL: wire.Webhook})
+	}
+	return Spec{
+		Name:   wire.Name,
+		Policy: pol,
+		Train: core.TrainSpec{
+			Target:       stringOr(wire.Target, "approved"),
+			Sensitive:    stringOr(wire.Sensitive, "group"),
+			Protected:    stringOr(wire.Protected, "B"),
+			Reference:    stringOr(wire.Reference, "A"),
+			TestFraction: wire.TestFraction,
+			Mitigation:   mitigation,
+			Epochs:       wire.Epochs,
+		},
+		Seed: wire.Seed,
+		Window: WindowConfig{
+			WidthMS: wire.WindowMS,
+			SlideMS: wire.SlideMS,
+			MinRows: wire.MinRows,
+		},
+		Drift:        drift,
+		AuditEvery:   wire.AuditEvery,
+		ReauditEvery: time.Duration(wire.ReauditEveryMS) * time.Millisecond,
+		History:      wire.History,
+		Sinks:        sinks,
+	}, nil
+}
+
+// rows materializes the ingest payload into a frame.
+func (wire *IngestWire) rows() (*frame.Frame, error) {
+	switch {
+	case wire.CSV != "" && wire.Synthetic == nil:
+		return frame.ReadCSVString(wire.CSV)
+	case wire.CSV == "" && wire.Synthetic != nil:
+		return wire.Synthetic.Credit()
+	}
+	return nil, errors.New("exactly one of csv or synthetic must be set")
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding JSON body: %w", err)
+	}
+	return nil
+}
+
+func stringOr(v, fallback string) string {
+	if v == "" {
+		return fallback
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,278 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/policy"
+	"github.com/responsible-data-science/rds/internal/serve"
+)
+
+// newTestService stands up the full two-plane service the way
+// cmd/rds-serve wires it: audit API + monitor API + merged metrics.
+func newTestService(t *testing.T) (*httptest.Server, *Registry) {
+	t.Helper()
+	engine := serve.NewEngine(serve.Config{Workers: 2, QueueSize: 32})
+	t.Cleanup(engine.Close)
+	reg, err := NewRegistry(RegistryConfig{Engine: engine})
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	t.Cleanup(reg.Close)
+	handler := serve.NewHandler(engine)
+	handler.Monitors = NewHandler(reg)
+	handler.MonitorMetrics = func() any { return reg.Metrics() }
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+// doJSON posts body to url and decodes the JSON response into out,
+// asserting the expected status and JSON content type.
+func doJSON(t *testing.T, method, url, body string, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("building %s %s: %v", method, url, err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d, want %d: %s", method, url, resp.StatusCode, wantStatus, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s %s Content-Type = %q, want application/json", method, url, ct)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s %s response: %v\n%s", method, url, err, raw)
+		}
+	}
+}
+
+// TestHTTPMonitorLifecycle is the end-to-end acceptance scenario: a
+// monitor over a drifting synthetic credit stream observes a Green
+// baseline, a PSI/KS drift breach that forces a re-audit, a grade
+// regression alert delivered to a webhook, and full window history.
+func TestHTTPMonitorLifecycle(t *testing.T) {
+	srv, _ := newTestService(t)
+
+	var webhookMu sync.Mutex
+	var received []Alert
+	webhook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			t.Errorf("webhook payload: %v", err)
+		}
+		webhookMu.Lock()
+		received = append(received, a)
+		webhookMu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer webhook.Close()
+
+	// Register: drift is the only thing that can trigger a
+	// post-baseline audit (audit_every is huge), so an automatic
+	// re-audit proves the breach fired.
+	var sum Summary
+	doJSON(t, http.MethodPost, srv.URL+"/v1/monitors", fmt.Sprintf(
+		`{"name":"credit-live","window_ms":60000,"audit_every":1000,"webhook":%q}`, webhook.URL),
+		http.StatusCreated, &sum)
+	if sum.ID == "" || sum.Name != "credit-live" {
+		t.Fatalf("registration summary = %+v", sum)
+	}
+	base := srv.URL + "/v1/monitors/" + sum.ID
+
+	// Minute 0: a fair population. The window stays open (nothing past
+	// its end yet), so no audit has happened.
+	doJSON(t, http.MethodPost, base+"/ingest",
+		`{"time_ms":0,"synthetic":{"n":2000,"bias":0}}`, http.StatusOK, &sum)
+	if sum.BaselinePinned {
+		t.Fatal("baseline pinned before the first window closed")
+	}
+
+	// Minute 1: the population drifts — protected-group share doubles
+	// and heavy label bias appears. This arrival closes the baseline
+	// window (audited Green, pinned); the flush closes the drifted
+	// window, whose PSI breach forces the off-cadence audit.
+	doJSON(t, http.MethodPost, base+"/ingest",
+		`{"time_ms":60000,"synthetic":{"n":2000,"bias":3,"group_b_fraction":0.7,"seed":2},"flush":true}`,
+		http.StatusOK, &sum)
+	if !sum.BaselinePinned || sum.Audits != 2 || sum.DriftBreaches != 1 || sum.Regressions != 1 {
+		t.Fatalf("post-drift summary = %+v, want pinned baseline, 2 audits, 1 breach, 1 regression", sum)
+	}
+	if sum.BaselineGrade == nil || *sum.BaselineGrade != policy.Green {
+		t.Errorf("baseline grade = %v, want GREEN", sum.BaselineGrade)
+	}
+	if sum.LastGrade == nil || *sum.LastGrade != policy.Red {
+		t.Errorf("last grade = %v, want RED", sum.LastGrade)
+	}
+
+	// History shows the full transition.
+	var hist struct {
+		Monitor string        `json:"monitor"`
+		History []WindowEntry `json:"history"`
+	}
+	doJSON(t, http.MethodGet, base+"/history", "", http.StatusOK, &hist)
+	if len(hist.History) != 2 {
+		t.Fatalf("history len = %d, want 2", len(hist.History))
+	}
+	b, d := hist.History[0], hist.History[1]
+	if !b.Baseline || !b.Audited || b.Grade == nil || *b.Grade != policy.Green {
+		t.Errorf("baseline entry = %+v, want audited Green baseline", b)
+	}
+	if d.Drift == nil || !d.Drift.Breached || !d.Audited || !d.Regressed {
+		t.Errorf("drifted entry = %+v, want breached, audited, regressed", d)
+	}
+	if d.Grade == nil || *d.Grade != policy.Red {
+		t.Errorf("drifted grade = %v, want RED", d.Grade)
+	}
+	if b.Report == nil || d.Report == nil {
+		t.Error("history entries missing FACT reports")
+	}
+
+	// The webhook received the drift breach then the grade regression.
+	webhookMu.Lock()
+	kinds := make([]AlertKind, 0, len(received))
+	for _, a := range received {
+		kinds = append(kinds, a.Kind)
+	}
+	webhookMu.Unlock()
+	if len(kinds) != 2 || kinds[0] != AlertDriftBreach || kinds[1] != AlertGradeRegression {
+		t.Fatalf("webhook alert kinds = %v, want [drift_breach grade_regression]", kinds)
+	}
+	webhookMu.Lock()
+	reg := received[1]
+	webhookMu.Unlock()
+	if reg.From == nil || reg.To == nil || *reg.From != policy.Green || *reg.To != policy.Red {
+		t.Errorf("regression alert transition = %v→%v, want GREEN→RED", reg.From, reg.To)
+	}
+
+	// /metrics carries the engine fields at the top level and the
+	// monitoring gauges under "monitor".
+	var metrics map[string]any
+	doJSON(t, http.MethodGet, srv.URL+"/metrics", "", http.StatusOK, &metrics)
+	if _, ok := metrics["jobs_completed"]; !ok {
+		t.Error("/metrics lost the engine's top-level fields")
+	}
+	if _, ok := metrics["latency_window"]; !ok {
+		t.Error("/metrics missing the documented latency_window field")
+	}
+	mon, ok := metrics["monitor"].(map[string]any)
+	if !ok {
+		t.Fatalf("/metrics monitor section = %T, want object", metrics["monitor"])
+	}
+	for _, field := range []string{"monitors_active", "windows_materialized", "drift_breaches", "grade_regressions", "alerts_delivered"} {
+		if _, ok := mon[field]; !ok {
+			t.Errorf("/metrics monitor section missing %q", field)
+		}
+	}
+	if got := mon["drift_breaches"].(float64); got != 1 {
+		t.Errorf("monitor drift_breaches = %v, want 1", got)
+	}
+
+	// Listing, status, and deletion.
+	var list []Summary
+	doJSON(t, http.MethodGet, srv.URL+"/v1/monitors", "", http.StatusOK, &list)
+	if len(list) != 1 || list[0].ID != sum.ID {
+		t.Fatalf("list = %+v, want the one registered monitor", list)
+	}
+	doJSON(t, http.MethodDelete, base, "", http.StatusOK, nil)
+	doJSON(t, http.MethodGet, base, "", http.StatusNotFound, nil)
+}
+
+func TestHTTPMonitorValidation(t *testing.T) {
+	srv, reg := newTestService(t)
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"nameless register", http.MethodPost, "/v1/monitors", `{}`, http.StatusBadRequest},
+		{"unknown field", http.MethodPost, "/v1/monitors", `{"name":"x","nope":1}`, http.StatusBadRequest},
+		{"slide past width", http.MethodPost, "/v1/monitors", `{"name":"x","window_ms":100,"slide_ms":200}`, http.StatusBadRequest},
+		{"unknown monitor status", http.MethodGet, "/v1/monitors/mon-999999", "", http.StatusNotFound},
+		{"unknown monitor history", http.MethodGet, "/v1/monitors/mon-999999/history", "", http.StatusNotFound},
+		{"unknown monitor ingest", http.MethodPost, "/v1/monitors/mon-999999/ingest", `{"csv":"a\n1\n"}`, http.StatusNotFound},
+		{"bad method on collection", http.MethodDelete, "/v1/monitors", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doJSON(t, tc.method, srv.URL+tc.path, tc.body, tc.wantStatus, nil)
+		})
+	}
+
+	// Ingest source must be exactly one of csv/synthetic.
+	m, err := reg.Register(creditSpec("src"))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for _, body := range []string{`{}`, `{"csv":"a\n1\n","synthetic":{"n":10}}`} {
+		doJSON(t, http.MethodPost, srv.URL+"/v1/monitors/"+m.ID()+"/ingest", body, http.StatusBadRequest, nil)
+	}
+}
+
+func TestWebhookSinkRetriesWithBackoff(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer flaky.Close()
+
+	sink := &WebhookSink{URL: flaky.URL, Backoff: time.Millisecond}
+	if err := sink.Deliver(context.Background(), Alert{Monitor: "m", Kind: AlertDriftBreach}); err != nil {
+		t.Fatalf("Deliver with one transient failure: %v", err)
+	}
+	mu.Lock()
+	got := attempts
+	mu.Unlock()
+	if got != 2 {
+		t.Errorf("attempts = %d, want 2 (one retry)", got)
+	}
+}
+
+func TestWebhookSinkGivesUpAfterMaxAttempts(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+
+	sink := &WebhookSink{URL: down.URL, MaxAttempts: 3, Backoff: time.Millisecond}
+	if err := sink.Deliver(context.Background(), Alert{Monitor: "m", Kind: AlertAuditFailure}); err == nil {
+		t.Fatal("Deliver succeeded against an always-failing webhook")
+	}
+	mu.Lock()
+	got := attempts
+	mu.Unlock()
+	if got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}

@@ -1,0 +1,658 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/policy"
+	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/stream"
+)
+
+// DefaultHistory is the default per-monitor window-history ring size.
+const DefaultHistory = 64
+
+// alertTimeout bounds one alert's total sink-delivery time.
+const alertTimeout = 30 * time.Second
+
+// Spec declares one continuous monitor: what to audit, how to window
+// the stream, when to re-audit, and how to score drift.
+type Spec struct {
+	// Name labels the monitored dataset in reports and alerts. Required;
+	// unique among the registry's live monitors.
+	Name string
+	// Policy holds the FACT thresholds each window is graded against.
+	Policy policy.FACTPolicy
+	// Train describes the training run audited per window.
+	Train core.TrainSpec
+	// Seed drives each window audit's stochastic steps (default 1).
+	Seed uint64
+	// Window shapes the stream windower.
+	Window WindowConfig
+	// Drift parameterizes PSI/KS scoring against the pinned baseline.
+	Drift DriftConfig
+	// AuditEvery is the audit cadence in windows: 1 audits every window,
+	// N audits every Nth (default 1). Drift breaches force an immediate
+	// off-cadence audit regardless.
+	AuditEvery int
+	// ReauditEvery schedules wall-clock re-audits of the latest
+	// materialized window even when no new data arrives (0 disables).
+	ReauditEvery time.Duration
+	// History bounds the per-window history ring (default 64).
+	History int
+	// Sinks receive this monitor's alerts, in addition to the
+	// registry-wide sinks.
+	Sinks []Sink
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.AuditEvery <= 0 {
+		s.AuditEvery = 1
+	}
+	if s.History <= 0 {
+		s.History = DefaultHistory
+	}
+	s.Window = s.Window.withDefaults()
+	s.Drift = s.Drift.withDefaults()
+	return s
+}
+
+// WindowEntry is one history record: a materialized window with its
+// drift score and (when audited) its FACT report.
+type WindowEntry struct {
+	// Window is the window index; scheduled re-audits reuse the index
+	// of the window they re-grade.
+	Window  int64 `json:"window"`
+	StartMS int64 `json:"start_ms"`
+	EndMS   int64 `json:"end_ms"`
+	Rows    int   `json:"rows"`
+	// Baseline marks the pinned baseline window.
+	Baseline bool `json:"baseline,omitempty"`
+	// Skipped marks windows below MinRows, recorded but not graded.
+	Skipped bool `json:"skipped,omitempty"`
+	// Audited reports whether this entry carries a fresh FACT report.
+	Audited bool `json:"audited"`
+	// Scheduled marks entries produced by the re-audit schedule rather
+	// than by stream progress.
+	Scheduled bool `json:"scheduled,omitempty"`
+	// Reaudits counts consecutive scheduled re-audits coalesced into
+	// this entry (same window, same outcome): the heartbeat confirms
+	// liveness without flooding the history ring.
+	Reaudits int           `json:"reaudits,omitempty"`
+	Grade    *policy.Grade `json:"grade,omitempty"`
+	// Regressed marks an audited entry whose grade is worse than the
+	// previously audited grade.
+	Regressed bool             `json:"regressed,omitempty"`
+	Drift     *DriftReport     `json:"drift,omitempty"`
+	Report    *core.FACTReport `json:"report,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// Summary is a monitor's point-in-time status for listings and alerts.
+type Summary struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// BaselinePinned reports whether a baseline window has been audited
+	// and pinned for drift comparison.
+	BaselinePinned bool          `json:"baseline_pinned"`
+	BaselineGrade  *policy.Grade `json:"baseline_grade,omitempty"`
+	LastGrade      *policy.Grade `json:"last_grade,omitempty"`
+	LastWindow     int64         `json:"last_window"`
+	RowsIngested   uint64        `json:"rows_ingested"`
+	LateRows       int64         `json:"late_rows"`
+	Windows        uint64        `json:"windows"`
+	Audits         uint64        `json:"audits"`
+	DriftBreaches  uint64        `json:"drift_breaches"`
+	Regressions    uint64        `json:"grade_regressions"`
+	HistoryLen     int           `json:"history_len"`
+}
+
+// RegistryConfig parameterizes a Registry.
+type RegistryConfig struct {
+	// Engine runs the per-window audits. Required; shared with the
+	// request/response plane so both compete fairly for workers.
+	Engine *serve.Engine
+	// Sinks receive every monitor's alerts (e.g. one LogSink).
+	Sinks []Sink
+}
+
+// Registry owns the live monitors: registration, lookup, deletion,
+// alert fan-out, and plane-wide metrics. Safe for concurrent use.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+	seq      uint64
+	closed   bool
+
+	metrics registryMetrics
+}
+
+// registryMetrics aggregates monitoring-plane counters; guarded by its
+// own mutex so hot ingest paths don't contend with registry lookups.
+type registryMetrics struct {
+	mu                  sync.Mutex
+	monitorsTotal       uint64
+	rowsIngested        uint64
+	windowsMaterialized uint64
+	windowsAudited      uint64
+	windowsSkipped      uint64
+	driftBreaches       uint64
+	gradeRegressions    uint64
+	scheduledReaudits   uint64
+	auditFailures       uint64
+	alertsDelivered     uint64
+	alertsFailed        uint64
+}
+
+func (m *registryMetrics) bump(field *uint64, by uint64) {
+	m.mu.Lock()
+	*field += by
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the monitoring plane's JSON gauge set, merged into
+// GET /metrics under the "monitor" key.
+type MetricsSnapshot struct {
+	MonitorsActive      int    `json:"monitors_active"`
+	MonitorsTotal       uint64 `json:"monitors_total"`
+	RowsIngested        uint64 `json:"rows_ingested"`
+	WindowsMaterialized uint64 `json:"windows_materialized"`
+	WindowsAudited      uint64 `json:"windows_audited"`
+	WindowsSkipped      uint64 `json:"windows_skipped"`
+	DriftBreaches       uint64 `json:"drift_breaches"`
+	GradeRegressions    uint64 `json:"grade_regressions"`
+	ScheduledReaudits   uint64 `json:"scheduled_reaudits"`
+	AuditFailures       uint64 `json:"audit_failures"`
+	AlertsDelivered     uint64 `json:"alerts_delivered"`
+	AlertsFailed        uint64 `json:"alerts_failed"`
+}
+
+// NewRegistry creates an empty registry backed by the given engine.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("monitor: registry needs a serve.Engine")
+	}
+	return &Registry{cfg: cfg, monitors: map[string]*Monitor{}}, nil
+}
+
+// Register validates the spec, creates the monitor, and starts its
+// re-audit schedule (when configured).
+func (r *Registry) Register(spec Spec) (*Monitor, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("monitor: spec needs a name")
+	}
+	if err := spec.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	if err := spec.Window.validate(); err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("monitor: registry closed")
+	}
+	for _, m := range r.monitors {
+		if m.spec.Name == spec.Name {
+			return nil, fmt.Errorf("monitor: name %q already registered as %s", spec.Name, m.id)
+		}
+	}
+	r.seq++
+	m := &Monitor{
+		id:   fmt.Sprintf("mon-%06d", r.seq),
+		spec: spec,
+		reg:  r,
+		win:  newWindower(spec.Window),
+		stop: make(chan struct{}),
+	}
+	r.monitors[m.id] = m
+	r.metrics.bump(&r.metrics.monitorsTotal, 1)
+	if spec.ReauditEvery > 0 {
+		go m.reauditLoop(spec.ReauditEvery)
+	}
+	return m, nil
+}
+
+// Get returns the monitor with the given id.
+func (r *Registry) Get(id string) (*Monitor, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.monitors[id]
+	return m, ok
+}
+
+// List returns summaries of all live monitors, ordered by id.
+func (r *Registry) List() []Summary {
+	r.mu.Lock()
+	ms := make([]*Monitor, 0, len(r.monitors))
+	for _, m := range r.monitors {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	out := make([]Summary, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Delete stops and removes the monitor with the given id, reporting
+// whether it existed.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	m, ok := r.monitors[id]
+	delete(r.monitors, id)
+	r.mu.Unlock()
+	if ok {
+		m.stopSchedule()
+	}
+	return ok
+}
+
+// Close stops every monitor's schedule and rejects further
+// registrations. The shared engine is left running (the
+// request/response plane owns its lifecycle).
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	ms := make([]*Monitor, 0, len(r.monitors))
+	for _, m := range r.monitors {
+		ms = append(ms, m)
+	}
+	r.monitors = map[string]*Monitor{}
+	r.mu.Unlock()
+	for _, m := range ms {
+		m.stopSchedule()
+	}
+}
+
+// Metrics snapshots the monitoring plane's gauges.
+func (r *Registry) Metrics() MetricsSnapshot {
+	r.mu.Lock()
+	active := len(r.monitors)
+	r.mu.Unlock()
+	m := &r.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{
+		MonitorsActive:      active,
+		MonitorsTotal:       m.monitorsTotal,
+		RowsIngested:        m.rowsIngested,
+		WindowsMaterialized: m.windowsMaterialized,
+		WindowsAudited:      m.windowsAudited,
+		WindowsSkipped:      m.windowsSkipped,
+		DriftBreaches:       m.driftBreaches,
+		GradeRegressions:    m.gradeRegressions,
+		ScheduledReaudits:   m.scheduledReaudits,
+		AuditFailures:       m.auditFailures,
+		AlertsDelivered:     m.alertsDelivered,
+		AlertsFailed:        m.alertsFailed,
+	}
+}
+
+// deliver fans one alert out to the registry and monitor sinks.
+func (r *Registry) deliver(a Alert, extra []Sink) {
+	sinks := append(append([]Sink{}, r.cfg.Sinks...), extra...)
+	if len(sinks) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), alertTimeout)
+	defer cancel()
+	for _, s := range sinks {
+		if err := s.Deliver(ctx, a); err != nil {
+			r.metrics.bump(&r.metrics.alertsFailed, 1)
+		} else {
+			r.metrics.bump(&r.metrics.alertsDelivered, 1)
+		}
+	}
+}
+
+// Monitor is one registered continuous audit: a windower over the
+// arrival stream, a pinned baseline, a bounded window history, and
+// per-monitor counters. All methods are safe for concurrent use.
+type Monitor struct {
+	id   string
+	spec Spec
+	reg  *Registry
+
+	// procMu serializes stream processing — the windower, baseline
+	// pinning, engine audits, and alert delivery — so windows are
+	// graded in arrival order. Audits and webhook retries can be slow;
+	// they hold only procMu, never mu.
+	procMu     sync.Mutex
+	win        *windower
+	baseline   *frame.Frame // pinned baseline window
+	lastFrame  *frame.Frame // latest materialized window (re-audit target)
+	sinceAudit int          // windows since the last audit (cadence counter)
+
+	// mu guards the read-side state with short critical sections, so
+	// Status and History stay responsive while an audit or alert
+	// delivery is in flight under procMu.
+	mu          sync.Mutex
+	lastWindow  int64
+	lastGrade   *policy.Grade // last audited grade
+	baseGrade   *policy.Grade
+	history     []WindowEntry
+	rows        uint64
+	lateRows    int64
+	windows     uint64
+	audits      uint64
+	breaches    uint64
+	regressions uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// ID returns the registry-assigned monitor id.
+func (m *Monitor) ID() string { return m.id }
+
+// Spec returns the monitor's effective (defaulted) spec.
+func (m *Monitor) Spec() Spec { return m.spec }
+
+// Ingest feeds arrivals (in non-decreasing time order) through the
+// windower, auditing every window the advancing watermark closes.
+// Audits run synchronously on the calling goroutine via the shared
+// engine, so Ingest returns only after closed windows are graded;
+// concurrent Ingest calls on the same monitor are serialized. Status
+// and History never wait on an in-flight audit or alert delivery.
+func (m *Monitor) Ingest(arrivals ...stream.Arrival) {
+	m.procMu.Lock()
+	defer m.procMu.Unlock()
+	for _, a := range arrivals {
+		var n uint64
+		if a.Rows != nil {
+			n = uint64(a.Rows.NumRows())
+			m.reg.metrics.bump(&m.reg.metrics.rowsIngested, n)
+		}
+		closed := m.win.observe(a)
+		m.mu.Lock()
+		m.rows += n
+		m.lateRows = m.win.lateRows
+		m.mu.Unlock()
+		for _, w := range closed {
+			m.processWindow(w)
+		}
+	}
+}
+
+// Flush force-closes all open windows — the partial final windows of a
+// finite stream — and audits them on the usual cadence.
+func (m *Monitor) Flush() {
+	m.procMu.Lock()
+	defer m.procMu.Unlock()
+	for _, w := range m.win.flush() {
+		m.processWindow(w)
+	}
+}
+
+// Reaudit re-grades the latest materialized window immediately,
+// regardless of cadence; scheduled marks it as driven by the re-audit
+// schedule. It is a no-op before the first window materializes.
+// Unchanged windows are answered by the engine's report cache, so a
+// quiet stream's heartbeat is cheap; consecutive scheduled re-audits
+// with the same outcome coalesce into one history entry whose Reaudits
+// count records the repeated confirmations, so the heartbeat cannot
+// flush real drift history out of the bounded ring.
+func (m *Monitor) Reaudit(scheduled bool) {
+	m.procMu.Lock()
+	defer m.procMu.Unlock()
+	if m.lastFrame == nil {
+		return
+	}
+	if scheduled {
+		m.reg.metrics.bump(&m.reg.metrics.scheduledReaudits, 1)
+	}
+	m.mu.Lock()
+	lastWindow := m.lastWindow
+	m.mu.Unlock()
+	entry := WindowEntry{
+		Window:    lastWindow,
+		StartMS:   lastWindow * m.spec.Window.SlideMS,
+		EndMS:     lastWindow*m.spec.Window.SlideMS + m.spec.Window.WidthMS,
+		Rows:      m.lastFrame.NumRows(),
+		Scheduled: scheduled,
+		Reaudits:  1,
+	}
+	m.audit(m.lastFrame, &entry)
+	m.recordReaudit(entry)
+}
+
+// History returns a copy of the window history, oldest first.
+func (m *Monitor) History() []WindowEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]WindowEntry(nil), m.history...)
+}
+
+// Status snapshots the monitor's counters and grades.
+func (m *Monitor) Status() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Summary{
+		ID:             m.id,
+		Name:           m.spec.Name,
+		BaselinePinned: m.baseGrade != nil,
+		BaselineGrade:  m.baseGrade,
+		LastGrade:      m.lastGrade,
+		LastWindow:     m.lastWindow,
+		RowsIngested:   m.rows,
+		LateRows:       m.lateRows,
+		Windows:        m.windows,
+		Audits:         m.audits,
+		DriftBreaches:  m.breaches,
+		Regressions:    m.regressions,
+		HistoryLen:     len(m.history),
+	}
+}
+
+// processWindow grades one closed window; callers hold m.procMu (never
+// m.mu — audits and alert delivery must not block Status/History).
+func (m *Monitor) processWindow(w *closedWindow) {
+	m.mu.Lock()
+	m.windows++
+	m.mu.Unlock()
+	m.reg.metrics.bump(&m.reg.metrics.windowsMaterialized, 1)
+	entry := WindowEntry{Window: w.index, StartMS: w.startMS, EndMS: w.endMS, Rows: w.rows}
+
+	if w.rows < m.spec.Window.MinRows {
+		entry.Skipped = true
+		m.reg.metrics.bump(&m.reg.metrics.windowsSkipped, 1)
+		m.appendHistory(entry)
+		return
+	}
+	f, err := w.materialize()
+	if err != nil || f == nil {
+		if err != nil {
+			entry.Error = err.Error()
+		}
+		entry.Skipped = true
+		m.reg.metrics.bump(&m.reg.metrics.windowsSkipped, 1)
+		m.appendHistory(entry)
+		return
+	}
+	m.lastFrame = f
+	m.mu.Lock()
+	m.lastWindow = w.index
+	m.mu.Unlock()
+
+	if m.baseline == nil {
+		// First auditable window: always audit and pin as the drift
+		// baseline.
+		entry.Baseline = true
+		m.audit(f, &entry)
+		if entry.Error == "" {
+			m.baseline = f
+			m.mu.Lock()
+			m.baseGrade = entry.Grade
+			m.mu.Unlock()
+		}
+		m.sinceAudit = 0
+		m.appendHistory(entry)
+		return
+	}
+
+	drift, derr := DetectDrift(m.baseline, f, m.spec.Drift)
+	if derr != nil {
+		entry.Error = derr.Error()
+	} else {
+		entry.Drift = drift
+	}
+	m.sinceAudit++
+	breached := drift != nil && drift.Breached
+	if breached {
+		m.mu.Lock()
+		m.breaches++
+		m.mu.Unlock()
+		m.reg.metrics.bump(&m.reg.metrics.driftBreaches, 1)
+		m.alert(Alert{
+			Kind:    AlertDriftBreach,
+			Window:  w.index,
+			Message: fmt.Sprintf("drift vs baseline breached thresholds (max PSI %.3f > %.2f or max KS %.3f > %.2f); forcing re-audit", drift.MaxPSI, m.spec.Drift.PSIThreshold, drift.MaxKS, m.spec.Drift.KSThreshold),
+			Drift:   drift,
+		})
+	}
+	if breached || m.sinceAudit >= m.spec.AuditEvery {
+		m.audit(f, &entry)
+		m.sinceAudit = 0
+	}
+	m.appendHistory(entry)
+}
+
+// audit runs one FACT audit of f through the shared engine, filling the
+// entry's report/grade and firing grade-regression or failure alerts.
+// Callers hold m.procMu; m.mu is taken only for the state updates, so
+// readers never wait on the engine or on sink delivery.
+func (m *Monitor) audit(f *frame.Frame, entry *WindowEntry) {
+	req := &serve.Request{
+		Dataset: fmt.Sprintf("%s/window-%05d", m.spec.Name, entry.Window),
+		Data:    f,
+		Policy:  m.spec.Policy,
+		Spec:    m.spec.Train,
+		Seed:    m.spec.Seed,
+	}
+	id, err := m.reg.cfg.Engine.Submit(req)
+	if err == nil {
+		var js serve.JobStatus
+		js, err = m.reg.cfg.Engine.Wait(context.Background(), id)
+		if err == nil && js.Status == serve.StatusFailed {
+			err = fmt.Errorf("%s", js.Error)
+		}
+		if err == nil {
+			entry.Audited = true
+			entry.Report = js.Report
+			grade := js.Report.Overall
+			entry.Grade = &grade
+
+			m.mu.Lock()
+			prev := m.lastGrade
+			regressed := prev != nil && grade < *prev
+			if regressed {
+				m.regressions++
+			}
+			m.audits++
+			m.lastGrade = &grade
+			m.mu.Unlock()
+
+			m.reg.metrics.bump(&m.reg.metrics.windowsAudited, 1)
+			if regressed {
+				entry.Regressed = true
+				m.reg.metrics.bump(&m.reg.metrics.gradeRegressions, 1)
+				m.alert(Alert{
+					Kind:    AlertGradeRegression,
+					Window:  entry.Window,
+					Message: fmt.Sprintf("window %d regressed %s → %s", entry.Window, *prev, grade),
+					From:    prev,
+					To:      &grade,
+				})
+			}
+			return
+		}
+	}
+	entry.Error = err.Error()
+	m.reg.metrics.bump(&m.reg.metrics.auditFailures, 1)
+	m.alert(Alert{
+		Kind:    AlertAuditFailure,
+		Window:  entry.Window,
+		Message: fmt.Sprintf("window %d audit failed: %v", entry.Window, err),
+	})
+}
+
+// alert stamps monitor identity onto a and fans it out.
+func (m *Monitor) alert(a Alert) {
+	a.Monitor = m.id
+	a.Name = m.spec.Name
+	m.reg.deliver(a, m.spec.Sinks)
+}
+
+// appendHistory records one entry in the bounded ring.
+func (m *Monitor) appendHistory(e WindowEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appendLocked(e)
+}
+
+// appendLocked appends under the ring bound; callers hold m.mu.
+func (m *Monitor) appendLocked(e WindowEntry) {
+	m.history = append(m.history, e)
+	if over := len(m.history) - m.spec.History; over > 0 {
+		m.history = append([]WindowEntry(nil), m.history[over:]...)
+	}
+}
+
+// recordReaudit files a re-audit entry, coalescing it into the previous
+// entry when that entry is a scheduled re-audit of the same window with
+// the same outcome — a quiet stream's heartbeat confirms liveness via
+// the Reaudits count instead of flooding the ring.
+func (m *Monitor) recordReaudit(e WindowEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := len(m.history); e.Scheduled && n > 0 {
+		last := m.history[n-1]
+		if last.Scheduled && last.Window == e.Window && last.Error == e.Error && gradeEq(last.Grade, e.Grade) {
+			e.Reaudits = last.Reaudits + 1
+			m.history[n-1] = e
+			return
+		}
+	}
+	m.appendLocked(e)
+}
+
+// gradeEq compares two optional grades.
+func gradeEq(a, b *policy.Grade) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+// reauditLoop drives the re-audit schedule until the monitor stops.
+func (m *Monitor) reauditLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Reaudit(true)
+		}
+	}
+}
+
+func (m *Monitor) stopSchedule() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}

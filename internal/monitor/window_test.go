@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/stream"
+)
+
+func rowsFrame(t testing.TB, vals ...float64) *frame.Frame {
+	t.Helper()
+	return frame.MustNew(frame.NewFloat64("x", vals))
+}
+
+func TestWindowerTumblingAssignsAndCloses(t *testing.T) {
+	w := newWindower(WindowConfig{WidthMS: 100}.withDefaults())
+	if closed := w.observe(stream.Arrival{TimeMS: 10, Rows: rowsFrame(t, 1, 2)}); len(closed) != 0 {
+		t.Fatalf("window closed prematurely: %+v", closed)
+	}
+	if closed := w.observe(stream.Arrival{TimeMS: 90, Rows: rowsFrame(t, 3)}); len(closed) != 0 {
+		t.Fatalf("window closed prematurely at t=90")
+	}
+	// t=100 is the first instant past window 0's [0,100).
+	closed := w.observe(stream.Arrival{TimeMS: 100, Rows: rowsFrame(t, 4)})
+	if len(closed) != 1 {
+		t.Fatalf("got %d closed windows, want 1", len(closed))
+	}
+	win := closed[0]
+	if win.index != 0 || win.startMS != 0 || win.endMS != 100 {
+		t.Errorf("window bounds = (%d, %d, %d), want (0, 0, 100)", win.index, win.startMS, win.endMS)
+	}
+	if win.rows != 3 {
+		t.Errorf("window rows = %d, want 3", win.rows)
+	}
+	f, err := win.materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if f.NumRows() != 3 {
+		t.Errorf("materialized rows = %d, want 3", f.NumRows())
+	}
+}
+
+func TestWindowerEmptyArrivalIsHeartbeat(t *testing.T) {
+	w := newWindower(WindowConfig{WidthMS: 100}.withDefaults())
+	w.observe(stream.Arrival{TimeMS: 5, Rows: rowsFrame(t, 1)})
+	// A rowless arrival only advances the watermark — it must still
+	// close window 0, and must not open an empty window of its own.
+	closed := w.observe(stream.Arrival{TimeMS: 250})
+	if len(closed) != 1 {
+		t.Fatalf("heartbeat closed %d windows, want 1", len(closed))
+	}
+	if len(w.open) != 0 {
+		t.Errorf("heartbeat left %d windows open, want 0", len(w.open))
+	}
+	if closed[0].rows != 1 {
+		t.Errorf("closed window rows = %d, want 1", closed[0].rows)
+	}
+}
+
+func TestWindowerFlushEmitsPartialFinalWindow(t *testing.T) {
+	w := newWindower(WindowConfig{WidthMS: 100}.withDefaults())
+	w.observe(stream.Arrival{TimeMS: 120, Rows: rowsFrame(t, 1, 2)})
+	closed := w.flush()
+	if len(closed) != 1 {
+		t.Fatalf("flush emitted %d windows, want 1", len(closed))
+	}
+	if closed[0].index != 1 || closed[0].rows != 2 {
+		t.Errorf("partial window = index %d rows %d, want index 1 rows 2", closed[0].index, closed[0].rows)
+	}
+	if again := w.flush(); len(again) != 0 {
+		t.Errorf("second flush emitted %d windows, want 0", len(again))
+	}
+}
+
+func TestWindowerSlidingOverlap(t *testing.T) {
+	// Width 100, slide 50: t=60 belongs to window 0 [0,100) and
+	// window 1 [50,150).
+	w := newWindower(WindowConfig{WidthMS: 100, SlideMS: 50}.withDefaults())
+	w.observe(stream.Arrival{TimeMS: 60, Rows: rowsFrame(t, 1)})
+	closed := w.observe(stream.Arrival{TimeMS: 200, Rows: rowsFrame(t, 2)})
+	var got []int64
+	rows := map[int64]int{}
+	for _, c := range closed {
+		got = append(got, c.index)
+		rows[c.index] = c.rows
+	}
+	if len(closed) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("closed windows = %v, want [0 1]", got)
+	}
+	if rows[0] != 1 || rows[1] != 1 {
+		t.Errorf("row counts = %v, want 1 in each overlapping window", rows)
+	}
+}
+
+func TestWindowerSlideBeyondWidthRejected(t *testing.T) {
+	cfg := WindowConfig{WidthMS: 100, SlideMS: 200}.withDefaults()
+	if err := cfg.validate(); err == nil {
+		t.Fatal("slide > width validated; rows between windows would be silently dropped")
+	}
+}
+
+func TestWindowerLateRowsDropped(t *testing.T) {
+	w := newWindower(WindowConfig{WidthMS: 100}.withDefaults())
+	w.observe(stream.Arrival{TimeMS: 10, Rows: rowsFrame(t, 1)})
+	w.observe(stream.Arrival{TimeMS: 150, Rows: rowsFrame(t, 2)}) // closes window 0
+	// t=20 targets only window 0, which is already emitted.
+	w.observe(stream.Arrival{TimeMS: 20, Rows: rowsFrame(t, 3)})
+	if w.lateRows != 1 {
+		t.Errorf("lateRows = %d, want 1", w.lateRows)
+	}
+}
+
+func TestClosedWindowMaterializeEmpty(t *testing.T) {
+	win := &closedWindow{index: 0, startMS: 0, endMS: 100}
+	f, err := win.materialize()
+	if err != nil {
+		t.Fatalf("materialize empty: %v", err)
+	}
+	if f != nil {
+		t.Errorf("empty window materialized %d rows, want nil", f.NumRows())
+	}
+}

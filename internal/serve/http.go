@@ -66,8 +66,28 @@ type SyntheticSpec struct {
 	// explicit 0 (fair labels) is distinguishable from omitted
 	// (default 1.0).
 	Bias *float64 `json:"bias,omitempty"`
+	// GroupBFraction is the protected-group share of the population
+	// (default 0.35). Monitoring demos shift it to inject covariate
+	// drift.
+	GroupBFraction float64 `json:"group_b_fraction,omitempty"`
 	// Seed drives generation (default 1).
 	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Credit materializes the spec via synth.Credit, applying the spec's
+// defaulting (bias 1.0 when omitted). Shared by the audit and monitor
+// ingest paths.
+func (s *SyntheticSpec) Credit() (*frame.Frame, error) {
+	bias := 1.0
+	if s.Bias != nil {
+		bias = *s.Bias
+	}
+	return synth.Credit(synth.CreditConfig{
+		N:              s.N,
+		Bias:           bias,
+		GroupBFraction: s.GroupBFraction,
+		Seed:           s.Seed,
+	})
 }
 
 // DefaultPolicy is the FACT policy applied when a request omits one:
@@ -92,11 +112,24 @@ func DefaultPolicy() policy.FACTPolicy {
 //	GET  /v1/audit/{id}  job status / result
 //	GET  /healthz        liveness and pool state
 //	GET  /metrics        throughput, cache hit rate, latency quantiles
+//
+// Every response, success or error, is application/json. When the
+// monitoring plane is mounted (Monitors), /v1/monitors requests are
+// delegated to it and its gauges are merged into /metrics under the
+// "monitor" key.
 type Handler struct {
 	engine *Engine
 	// AllowPaths permits requests that read server-local files via
 	// "path". Leave false for network-facing deployments.
 	AllowPaths bool
+	// Monitors, when set, handles every /v1/monitors request — the
+	// continuous-monitoring plane (internal/monitor.Handler). Kept as a
+	// plain http.Handler so serve does not depend on monitor (monitor
+	// builds on serve.Engine).
+	Monitors http.Handler
+	// MonitorMetrics, when set, contributes the monitoring plane's
+	// gauge snapshot to GET /metrics as the "monitor" field.
+	MonitorMetrics func() any
 }
 
 // NewHandler wraps the engine in the HTTP API.
@@ -109,6 +142,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.postAudit(w, r)
 	case strings.HasPrefix(r.URL.Path, "/v1/audit/"):
 		h.getAudit(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/monitors") && h.Monitors != nil:
+		h.Monitors.ServeHTTP(w, r)
 	case r.URL.Path == "/healthz":
 		h.healthz(w, r)
 	case r.URL.Path == "/metrics":
@@ -186,8 +221,20 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// metrics renders the engine snapshot, with the monitoring plane's
+// gauges merged in under "monitor" when that plane is mounted. The
+// engine's field names stay at the top level so existing scrapers keep
+// working; see README "Metrics reference" for the stable field list.
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.engine.Metrics().Snapshot())
+	snap := h.engine.Metrics().Snapshot()
+	if h.MonitorMetrics == nil {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Snapshot
+		Monitor any `json:"monitor"`
+	}{snap, h.MonitorMetrics()})
 }
 
 // decodeWire parses the request body: JSON requests as-is, raw CSV
@@ -288,12 +335,7 @@ func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
 			name = wire.Path
 		}
 	case wire.Synthetic != nil:
-		s := wire.Synthetic
-		bias := 1.0
-		if s.Bias != nil {
-			bias = *s.Bias
-		}
-		data, err = synth.Credit(synth.CreditConfig{N: s.N, Bias: bias, Seed: s.Seed})
+		data, err = wire.Synthetic.Credit()
 		if name == "" {
 			name = "synthetic-credit"
 		}

@@ -64,6 +64,8 @@ func (m *Metrics) observe(d time.Duration) {
 }
 
 // Snapshot is a point-in-time, JSON-serializable view of the metrics.
+// The json field names are the service's stable /metrics contract,
+// documented in README "Metrics reference"; scrapers may rely on them.
 type Snapshot struct {
 	Workers       int     `json:"workers"`
 	JobsSubmitted uint64  `json:"jobs_submitted"`
@@ -74,8 +76,13 @@ type Snapshot struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"` // hits / (hits+misses), 0 when no lookups
-	P50Millis     float64 `json:"p50_millis"`     // median job latency over the window
-	P99Millis     float64 `json:"p99_millis"`
+	// LatencyWindow is the sliding-window capacity (in jobs) the
+	// latency quantiles are computed over; LatencySamples is how many
+	// finished jobs currently populate it.
+	LatencyWindow  int     `json:"latency_window"`
+	LatencySamples int     `json:"latency_samples"`
+	P50Millis      float64 `json:"p50_millis"` // median job latency over the window
+	P99Millis      float64 `json:"p99_millis"`
 }
 
 // Snapshot renders the current counters and latency quantiles.
@@ -83,14 +90,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Workers:       m.workers,
-		JobsSubmitted: m.jobsSubmitted,
-		JobsRejected:  m.jobsRejected,
-		JobsCompleted: m.jobsCompleted,
-		JobsFailed:    m.jobsFailed,
-		JobsRunning:   m.jobsRunning,
-		CacheHits:     m.cacheHits,
-		CacheMisses:   m.cacheMisses,
+		Workers:        m.workers,
+		JobsSubmitted:  m.jobsSubmitted,
+		JobsRejected:   m.jobsRejected,
+		JobsCompleted:  m.jobsCompleted,
+		JobsFailed:     m.jobsFailed,
+		JobsRunning:    m.jobsRunning,
+		CacheHits:      m.cacheHits,
+		CacheMisses:    m.cacheMisses,
+		LatencyWindow:  latencyWindow,
+		LatencySamples: m.latCount,
 	}
 	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)

@@ -7,9 +7,13 @@
 //
 // The paper's "green data science" vision is a gauge that continuously
 // grades pipelines Green/Amber/Red; this package is that gauge as
-// infrastructure. cmd/rds-serve exposes the engine over HTTP
-// (POST /v1/audit, GET /v1/audit/{id}, /healthz, /metrics);
-// examples/auditservice is a runnable walkthrough.
+// infrastructure, and it is the request/response plane of a two-plane
+// architecture: internal/monitor layers a monitoring plane (windowed
+// stream audits, drift detection, scheduled re-audits, alerting) on the
+// same Engine. cmd/rds-serve exposes both over HTTP (POST /v1/audit,
+// GET /v1/audit/{id}, /v1/monitors, /healthz, /metrics);
+// examples/auditservice and examples/continuousaudit are runnable
+// walkthroughs of the two planes.
 package serve
 
 import (

@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// Arrival is one timestamped batch of feature rows flowing into the
+// monitoring plane (internal/monitor). Where Event models the paper's
+// Internet-Minute exhibit — high-rate actions without features — an
+// Arrival carries the actual rows a production pipeline would score, so
+// windowed auditors can materialize them back into a frame.Frame and
+// grade the window against a FACT policy.
+type Arrival struct {
+	// TimeMS is the batch's arrival time in milliseconds since stream
+	// start. Consumers assume arrivals are delivered in non-decreasing
+	// time order.
+	TimeMS int64
+	// Rows holds the batch's feature rows. May be empty (a heartbeat
+	// that only advances the consumer's watermark).
+	Rows *frame.Frame
+}
+
+// FrameArrivals slices f into consecutive batches of batchRows rows and
+// timestamps them gapMS apart starting at startMS, turning a static
+// dataset into a deterministic arrival stream. The final batch may be
+// partial. It is the bridge tests, examples, and the HTTP ingest path
+// use to replay synth generators as live traffic.
+func FrameArrivals(f *frame.Frame, batchRows int, startMS, gapMS int64) ([]Arrival, error) {
+	if f == nil {
+		return nil, fmt.Errorf("stream: FrameArrivals needs a frame")
+	}
+	if batchRows <= 0 {
+		return nil, fmt.Errorf("stream: batch size must be positive, got %d", batchRows)
+	}
+	if gapMS < 0 {
+		return nil, fmt.Errorf("stream: arrival gap must be >= 0, got %d", gapMS)
+	}
+	var out []Arrival
+	t := startMS
+	for lo := 0; lo < f.NumRows(); lo += batchRows {
+		hi := lo + batchRows
+		if hi > f.NumRows() {
+			hi = f.NumRows()
+		}
+		out = append(out, Arrival{TimeMS: t, Rows: f.Slice(lo, hi)})
+		t += gapMS
+	}
+	return out, nil
+}

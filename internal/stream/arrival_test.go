@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+func TestFrameArrivalsSlicesAndTimestamps(t *testing.T) {
+	f := frame.MustNew(frame.NewFloat64("x", []float64{1, 2, 3, 4, 5}))
+	arrivals, err := FrameArrivals(f, 2, 100, 50)
+	if err != nil {
+		t.Fatalf("FrameArrivals: %v", err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d arrivals, want 3", len(arrivals))
+	}
+	wantTimes := []int64{100, 150, 200}
+	wantRows := []int{2, 2, 1} // final batch is partial
+	total := 0
+	for i, a := range arrivals {
+		if a.TimeMS != wantTimes[i] {
+			t.Errorf("arrival %d at t=%d, want %d", i, a.TimeMS, wantTimes[i])
+		}
+		if a.Rows.NumRows() != wantRows[i] {
+			t.Errorf("arrival %d has %d rows, want %d", i, a.Rows.NumRows(), wantRows[i])
+		}
+		total += a.Rows.NumRows()
+	}
+	if total != f.NumRows() {
+		t.Errorf("arrivals carry %d rows, want all %d", total, f.NumRows())
+	}
+	if got := arrivals[2].Rows.MustCol("x").Float(0); got != 5 {
+		t.Errorf("final partial batch starts at %v, want 5", got)
+	}
+}
+
+func TestFrameArrivalsRejectsBadInputs(t *testing.T) {
+	f := frame.MustNew(frame.NewFloat64("x", []float64{1}))
+	if _, err := FrameArrivals(nil, 1, 0, 0); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if _, err := FrameArrivals(f, 0, 0, 0); err == nil {
+		t.Error("zero batch size accepted")
+	}
+	if _, err := FrameArrivals(f, 1, 0, -1); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestFrameArrivalsEmptyFrame(t *testing.T) {
+	f := frame.MustNew(frame.NewFloat64("x", nil))
+	arrivals, err := FrameArrivals(f, 10, 0, 10)
+	if err != nil {
+		t.Fatalf("FrameArrivals: %v", err)
+	}
+	if len(arrivals) != 0 {
+		t.Errorf("empty frame produced %d arrivals, want 0", len(arrivals))
+	}
+}

@@ -9,6 +9,12 @@
 // published per-minute rates, tumbling-window counters, reservoir
 // sampling, the space-saving heavy-hitters sketch, and differentially
 // private release of windowed counts (bridging to the privacy package).
+//
+// It is also the ingestion substrate of the monitoring plane: an Arrival
+// couples a timestamped batch of feature rows with the stream clock, and
+// FrameArrivals replays a static frame as live traffic. internal/monitor
+// consumes Arrivals through tumbling/sliding windows and audits each
+// window against a FACT policy.
 package stream
 
 import (

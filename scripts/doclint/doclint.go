@@ -1,0 +1,120 @@
+// Command doclint is the stdlib-only doc-comment lint CI runs: it
+// fails (exit 1) when a listed package contains an exported top-level
+// identifier — function, method on an exported type, type, const, or
+// var — without a doc comment, so `go doc` stays complete for the
+// packages whose API other layers build on.
+//
+// Usage:
+//
+//	go run ./scripts/doclint ./internal/monitor ./internal/serve ./internal/stream
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package dir> [...]")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		p, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("doclint: %d exported identifier(s) missing doc comments\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and returns a
+// "file:line: ..." report per undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", dir, err)
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s is missing a doc comment", fset.Position(pos), kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintGenDecl checks a type/const/var declaration: a doc comment on the
+// grouped declaration covers every spec in it (the idiom for const
+// blocks); otherwise each spec with an exported name needs its own.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && !groupDoc && s.Doc == nil {
+					report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is
+// exported (methods on unexported types are not part of the API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.IsExported()
+	}
+	return true
+}
