@@ -13,6 +13,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/causal"
 	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/exec"
 	"github.com/responsible-data-science/rds/internal/experiments"
 	"github.com/responsible-data-science/rds/internal/fairness"
 	"github.com/responsible-data-science/rds/internal/frame"
@@ -23,6 +24,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/provenance"
 	"github.com/responsible-data-science/rds/internal/rng"
 	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/stats"
 	"github.com/responsible-data-science/rds/internal/stream"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
@@ -150,6 +152,45 @@ func BenchmarkAuditCache(b *testing.B) {
 		if js, err := e.Wait(context.Background(), id); err != nil || js.Status != serve.StatusDone {
 			b.Fatalf("job %s: %v %v", id, js.Status, err)
 		}
+	}
+}
+
+// BenchmarkShardedAudit measures the execution plane (internal/exec) on
+// the audit hot path at 1M synthetic rows: per iteration it runs the
+// row-scan kernels every audit routes through — the fairness group
+// tallies, the descriptive profile of a numeric column (parallel chunk
+// sorts + mergeable moments), and the drift scorers' PSI/KS inputs —
+// sweeping 1, 4, and 16 shards. Results are bit-identical across the
+// sweep (see TestRunAuditShardInvariance); only wall-clock time moves.
+func BenchmarkShardedAudit(b *testing.B) {
+	const rows = 1_000_000
+	f, err := synth.Credit(synth.CreditConfig{N: rows, Bias: 0.5, Seed: 41})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := f.MustCol("approved").Floats()
+	groups := f.MustCol("group").Strings()
+	income := f.MustCol("income").Floats()
+	edges := []float64{20000, 40000, 60000, 80000, 100000}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fairness.EvaluateSharded(y, y, groups, "B", "A", shards); err != nil {
+					b.Fatal(err)
+				}
+				if s := stats.DescribeSharded(income, shards); s.N != rows {
+					b.Fatalf("profile covered %d rows", s.N)
+				}
+				st, err := exec.RunOne(rows, exec.Options{Shards: shards}, exec.NewHist(income, edges))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.(*exec.Hist).Total() != rows {
+					b.Fatalf("histogram covered %d rows", st.(*exec.Hist).Total())
+				}
+			}
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
 	}
 }
 

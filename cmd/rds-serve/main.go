@@ -9,8 +9,8 @@
 //
 // Usage:
 //
-//	rds-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 60s]
-//	          [-cache 128] [-allow-paths]
+//	rds-serve [-addr :8080] [-workers N] [-shards N] [-queue 64]
+//	          [-timeout 60s] [-cache 128] [-allow-paths]
 //	          [-monitor-history 64] [-monitor-reaudit 0]
 //
 // Endpoints:
@@ -49,6 +49,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "audit workers (default GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "row shards per audit for the sharded execution engine (default GOMAXPROCS; results are shard-invariant)")
 	queue := flag.Int("queue", 64, "job queue capacity (backpressure bound)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-job wall-clock timeout")
 	cache := flag.Int("cache", 128, "report cache entries (negative disables)")
@@ -62,6 +63,7 @@ func main() {
 		QueueSize:  *queue,
 		JobTimeout: *timeout,
 		CacheSize:  *cache,
+		Shards:     *shards,
 	})
 	registry, err := monitor.NewRegistry(monitor.RegistryConfig{
 		Engine: engine,
@@ -97,8 +99,8 @@ func main() {
 	}()
 
 	cfg := engine.Config()
-	fmt.Printf("rds-serve listening on %s (%d workers, queue %d, cache %d, timeout %s, monitor history %d)\n",
-		*addr, cfg.Workers, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, *monHistory)
+	fmt.Printf("rds-serve listening on %s (%d workers, %d shards/audit, queue %d, cache %d, timeout %s, monitor history %d)\n",
+		*addr, cfg.Workers, cfg.Shards, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, *monHistory)
 	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)

@@ -40,7 +40,9 @@ func main() {
 	go func() { _ = server.Serve(ln) }()
 	defer server.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("audit service listening on %s\n\n", base)
+	cfg := engine.Config()
+	fmt.Printf("audit service listening on %s (%d workers, %d shards/audit)\n\n",
+		base, cfg.Workers, cfg.Shards)
 
 	// 2. Audit two synthetic populations: one with heavy injected bias
 	// (should grade RED under the four-fifths rule) and one with fair

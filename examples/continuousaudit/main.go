@@ -48,7 +48,9 @@ func main() {
 	go func() { _ = server.Serve(ln) }()
 	defer server.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("two-plane audit service listening on %s\n\n", base)
+	cfg := engine.Config()
+	fmt.Printf("two-plane audit service listening on %s (%d workers, %d shards/audit)\n\n",
+		base, cfg.Workers, cfg.Shards)
 
 	// 2. A webhook receiver standing in for the on-call channel.
 	alerts := make(chan monitor.Alert, 16)

@@ -67,8 +67,9 @@ func (p *Pipeline) Audit(tm *TrainedModel) (*FACTReport, error) {
 	pol := p.cfg.Policy
 	rep := &FACTReport{Pipeline: p.cfg.Name}
 
-	// --- Fairness (Q1).
-	fr, err := fairness.Evaluate(tm.Test.Y, tm.TestPreds, tm.TestGroups, tm.Spec.Protected, tm.Spec.Reference)
+	// --- Fairness (Q1). Routed through the sharded execution engine;
+	// cfg.Shards only changes wall-clock time, never the metrics.
+	fr, err := fairness.EvaluateSharded(tm.Test.Y, tm.TestPreds, tm.TestGroups, tm.Spec.Protected, tm.Spec.Reference, p.cfg.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("core: fairness evaluation: %w", err)
 	}

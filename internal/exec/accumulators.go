@@ -1,0 +1,397 @@
+package exec
+
+import (
+	"math"
+	"sort"
+)
+
+// --- Moments ---
+
+// Moments is the mergeable count/sum/min/max/mean/variance accumulator
+// behind the sharded descriptive statistics: per-chunk states combine
+// with the parallel-variance merge of Chan, Golub and LeVeque, so the
+// result depends only on the chunk layout, never on the shard count.
+// NaN inputs propagate through Sum/Mean/Variance exactly as they do
+// through a sequential pass; Min/Max ignore NaN values entirely (a NaN
+// neither seeds nor wins the extrema), staying NaN only when every
+// value is NaN or the state is empty.
+type Moments struct {
+	xs []float64
+
+	// N is the number of values absorbed.
+	N int64
+	// Sum is the running sum in chunk-merge order.
+	Sum float64
+	// Min and Max are the extrema over the non-NaN values; NaN when
+	// none were seen.
+	Min, Max float64
+
+	mean, m2 float64
+	seeded   bool // Min/Max hold a real value
+}
+
+// NewMoments returns a kernel accumulating the moments of xs.
+func NewMoments(xs []float64) Kernel {
+	return Kernel{Name: "moments", New: func() State {
+		return &Moments{xs: xs, Min: math.NaN(), Max: math.NaN()}
+	}}
+}
+
+// Update absorbs rows [lo, hi) of the column.
+func (m *Moments) Update(lo, hi int) {
+	for _, x := range m.xs[lo:hi] {
+		if !math.IsNaN(x) {
+			if !m.seeded {
+				m.Min, m.Max, m.seeded = x, x, true
+			} else {
+				if x < m.Min {
+					m.Min = x
+				}
+				if x > m.Max {
+					m.Max = x
+				}
+			}
+		}
+		m.N++
+		m.Sum += x
+		delta := x - m.mean
+		m.mean += delta / float64(m.N)
+		m.m2 += delta * (x - m.mean)
+	}
+}
+
+// Merge absorbs another Moments state (Chan-style parallel combine).
+func (m *Moments) Merge(other State) {
+	o := other.(*Moments)
+	if o.seeded {
+		if !m.seeded {
+			m.Min, m.Max, m.seeded = o.Min, o.Max, true
+		} else {
+			if o.Min < m.Min {
+				m.Min = o.Min
+			}
+			if o.Max > m.Max {
+				m.Max = o.Max
+			}
+		}
+	}
+	if o.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		m.N, m.Sum, m.mean, m.m2 = o.N, o.Sum, o.mean, o.m2
+		return
+	}
+	n := m.N + o.N
+	delta := o.mean - m.mean
+	m.mean += delta * float64(o.N) / float64(n)
+	m.m2 += o.m2 + delta*delta*float64(m.N)*float64(o.N)/float64(n)
+	m.N = n
+	m.Sum += o.Sum
+}
+
+// Mean returns Sum/N, NaN when empty.
+func (m *Moments) Mean() float64 {
+	if m.N == 0 {
+		return math.NaN()
+	}
+	return m.Sum / float64(m.N)
+}
+
+// Variance returns the unbiased (n-1) sample variance, NaN for N < 2.
+func (m *Moments) Variance() float64 {
+	if m.N < 2 {
+		return math.NaN()
+	}
+	return m.m2 / float64(m.N-1)
+}
+
+// PopVariance returns the population (n) variance, NaN when empty.
+func (m *Moments) PopVariance() float64 {
+	if m.N == 0 {
+		return math.NaN()
+	}
+	return m.m2 / float64(m.N)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// --- Outcomes ---
+
+// OutcomeCounts are one group's binary-classification tallies. Being
+// integer counts, they merge exactly: sharded group rates computed from
+// them are bit-identical to a sequential pass.
+type OutcomeCounts struct {
+	// N is the group's row count.
+	N int64
+	// TP, FP, TN, FN are the confusion-matrix cells (prediction vs
+	// truth, 1 the favourable outcome).
+	TP, FP, TN, FN int64
+}
+
+// Outcomes is the fairness kernel: per-group confusion counts over
+// (yTrue, yPred, groups), restricted to the named groups when a
+// restriction is given. Rows with labels or predictions outside {0, 1}
+// are reported through ErrRow rather than counted.
+type Outcomes struct {
+	yTrue, yPred []float64
+	groups       []string
+	only         []string
+
+	// Counts maps group label to its tallies. Groups outside the
+	// restriction never appear.
+	Counts map[string]*OutcomeCounts
+	// ErrRow is the smallest row index holding a non-binary label or
+	// prediction in a counted group, or -1 when every counted row was
+	// valid.
+	ErrRow int
+}
+
+// NewOutcomes returns a kernel tallying per-group outcome counts. When
+// only is non-empty, rows of other groups are skipped entirely (they
+// are neither counted nor validated), mirroring a sequential pass that
+// filters to the groups of interest first.
+func NewOutcomes(yTrue, yPred []float64, groups []string, only ...string) Kernel {
+	return Kernel{Name: "outcomes", New: func() State {
+		return &Outcomes{
+			yTrue: yTrue, yPred: yPred, groups: groups, only: only,
+			Counts: make(map[string]*OutcomeCounts, len(only)+2),
+			ErrRow: -1,
+		}
+	}}
+}
+
+// Update absorbs rows [lo, hi).
+func (o *Outcomes) Update(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := o.groups[i]
+		if len(o.only) > 0 {
+			keep := false
+			for _, name := range o.only {
+				if g == name {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		c := o.Counts[g]
+		if c == nil {
+			c = &OutcomeCounts{}
+			o.Counts[g] = c
+		}
+		c.N++
+		switch {
+		case o.yTrue[i] == 1 && o.yPred[i] == 1:
+			c.TP++
+		case o.yTrue[i] == 0 && o.yPred[i] == 1:
+			c.FP++
+		case o.yTrue[i] == 0 && o.yPred[i] == 0:
+			c.TN++
+		case o.yTrue[i] == 1 && o.yPred[i] == 0:
+			c.FN++
+		default:
+			if o.ErrRow < 0 || i < o.ErrRow {
+				o.ErrRow = i
+			}
+		}
+	}
+}
+
+// Merge absorbs another Outcomes state, keeping the smallest error row.
+func (o *Outcomes) Merge(other State) {
+	b := other.(*Outcomes)
+	for g, c := range b.Counts {
+		a := o.Counts[g]
+		if a == nil {
+			a = &OutcomeCounts{}
+			o.Counts[g] = a
+		}
+		a.N += c.N
+		a.TP += c.TP
+		a.FP += c.FP
+		a.TN += c.TN
+		a.FN += c.FN
+	}
+	if b.ErrRow >= 0 && (o.ErrRow < 0 || b.ErrRow < o.ErrRow) {
+		o.ErrRow = b.ErrRow
+	}
+}
+
+// --- Hist ---
+
+// Hist is the mergeable histogram sketch feeding the PSI drift scorer:
+// integer counts over fixed bin edges, so shard merges are exact. Bin i
+// holds values v with edges[i-1] < v <= edges[i]; the last bin is
+// unbounded above. Non-finite values are skipped.
+type Hist struct {
+	xs    []float64
+	edges []float64
+
+	// Counts has len(edges)+1 bins.
+	Counts []int64
+}
+
+// NewHist returns a kernel counting the finite values of xs into the
+// bins defined by the sorted edges.
+func NewHist(xs, edges []float64) Kernel {
+	return Kernel{Name: "hist", New: func() State {
+		return &Hist{xs: xs, edges: edges, Counts: make([]int64, len(edges)+1)}
+	}}
+}
+
+// Update absorbs rows [lo, hi).
+func (h *Hist) Update(lo, hi int) {
+	for _, x := range h.xs[lo:hi] {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		h.Counts[sort.SearchFloat64s(h.edges, x)]++
+	}
+}
+
+// Merge adds another Hist's bin counts.
+func (h *Hist) Merge(other State) {
+	o := other.(*Hist)
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+}
+
+// Total returns the number of counted (finite) values.
+func (h *Hist) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// --- Sorted ---
+
+// Sorted collects a column's values fully sorted: chunks sort locally
+// in parallel, Merge gathers the sorted runs, and Values performs one
+// deterministic k-way merge. For finite data the output is the unique
+// sorted permutation, identical to a sequential sort.
+type Sorted struct {
+	xs         []float64
+	finiteOnly bool
+
+	runs [][]float64
+}
+
+// NewSorted returns a kernel sorting xs; with finiteOnly, NaN and ±Inf
+// values are dropped first (the drift scorers' convention).
+func NewSorted(xs []float64, finiteOnly bool) Kernel {
+	return Kernel{Name: "sorted", New: func() State {
+		return &Sorted{xs: xs, finiteOnly: finiteOnly}
+	}}
+}
+
+// Update sorts rows [lo, hi) into a run.
+func (s *Sorted) Update(lo, hi int) {
+	vals := make([]float64, 0, hi-lo)
+	for _, x := range s.xs[lo:hi] {
+		if s.finiteOnly && (math.IsNaN(x) || math.IsInf(x, 0)) {
+			continue
+		}
+		vals = append(vals, x)
+	}
+	if len(vals) == 0 {
+		return
+	}
+	sort.Float64s(vals)
+	s.runs = append(s.runs, vals)
+}
+
+// Merge gathers the other state's runs, preserving chunk order.
+func (s *Sorted) Merge(other State) {
+	s.runs = append(s.runs, other.(*Sorted).runs...)
+}
+
+// Values merges the collected runs into one sorted slice.
+func (s *Sorted) Values() []float64 {
+	runs := s.runs
+	// Balanced pairwise merging: O(n log k) total over k runs.
+	for len(runs) > 1 {
+		merged := make([][]float64, 0, (len(runs)+1)/2)
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				merged = append(merged, runs[i])
+				continue
+			}
+			merged = append(merged, mergeSorted(runs[i], runs[i+1]))
+		}
+		runs = merged
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	return runs[0]
+}
+
+// mergeSorted merges two sorted runs into a new slice, preserving the
+// sort.Float64s ordering (NaN values before all others) so the merged
+// output of NaN-carrying runs stays sorted.
+func mergeSorted(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] || math.IsNaN(a[i]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// --- Levels ---
+
+// Levels counts a categorical column's level frequencies — the
+// mergeable histogram behind categorical PSI. Counts are integers, so
+// shard merges are exact.
+type Levels struct {
+	vals []string
+
+	// Counts maps level to frequency.
+	Counts map[string]int64
+}
+
+// NewLevels returns a kernel counting level frequencies of vals.
+func NewLevels(vals []string) Kernel {
+	return Kernel{Name: "levels", New: func() State {
+		return &Levels{vals: vals, Counts: map[string]int64{}}
+	}}
+}
+
+// Update absorbs rows [lo, hi).
+func (l *Levels) Update(lo, hi int) {
+	for _, v := range l.vals[lo:hi] {
+		l.Counts[v]++
+	}
+}
+
+// Merge adds another Levels' counts.
+func (l *Levels) Merge(other State) {
+	for v, c := range other.(*Levels).Counts {
+		l.Counts[v] += c
+	}
+}
+
+// Keys returns the observed levels in sorted order, so downstream
+// float folds over levels are deterministic.
+func (l *Levels) Keys() []string {
+	keys := make([]string, 0, len(l.Counts))
+	for k := range l.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// countState counts rows and records the chunk extents it saw.
+type countState struct {
+	mu     sync.Mutex
+	n      int
+	chunks [][2]int
+}
+
+func (c *countState) Update(lo, hi int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += hi - lo
+	c.chunks = append(c.chunks, [2]int{lo, hi})
+}
+
+func (c *countState) Merge(other State) {
+	o := other.(*countState)
+	c.n += o.n
+	c.chunks = append(c.chunks, o.chunks...)
+}
+
+func countKernel() (Kernel, *[]*countState) {
+	var made []*countState
+	var mu sync.Mutex
+	return Kernel{Name: "count", New: func() State {
+		s := &countState{}
+		mu.Lock()
+		made = append(made, s)
+		mu.Unlock()
+		return s
+	}}, &made
+}
+
+func TestRunCoversEveryRowOnce(t *testing.T) {
+	for _, tc := range []struct{ n, shards, chunk int }{
+		{0, 1, 100},
+		{1, 4, 100},   // single row, empty shards
+		{5, 8, 2},     // more shards than full chunks
+		{100, 1, 7},   // sequential
+		{100, 3, 7},   // ragged tail chunk
+		{100, 16, 1},  // one-row chunks
+		{8192, 4, 0},  // exactly one default chunk
+		{10000, 4, 0}, // default chunking, ragged tail
+	} {
+		k, _ := countKernel()
+		states, err := Run(tc.n, Options{Shards: tc.shards, ChunkSize: tc.chunk}, k)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", tc, err)
+		}
+		got := states[0].(*countState)
+		if got.n != tc.n {
+			t.Errorf("Run(%+v) covered %d rows, want %d", tc, got.n, tc.n)
+		}
+		seen := make([]bool, tc.n)
+		for _, ch := range got.chunks {
+			for i := ch[0]; i < ch[1]; i++ {
+				if seen[i] {
+					t.Fatalf("Run(%+v): row %d visited twice", tc, i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("Run(%+v): row %d never visited", tc, i)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	k, _ := countKernel()
+	if _, err := Run(-1, Options{}, k); err == nil {
+		t.Error("Run(-1) should fail")
+	}
+	if _, err := Run(10, Options{}); err == nil {
+		t.Error("Run with no kernels should fail")
+	}
+	if _, err := Run(10, Options{}, Kernel{Name: "nil"}); err == nil {
+		t.Error("Run with a nil constructor should fail")
+	}
+}
+
+func TestRunZeroRows(t *testing.T) {
+	xs := []float64{}
+	st, err := RunOne(0, Options{Shards: 4}, NewMoments(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*Moments)
+	if m.N != 0 || !math.IsNaN(m.Mean()) {
+		t.Errorf("empty Moments: N=%d mean=%v", m.N, m.Mean())
+	}
+}
+
+func TestMomentsMatchesSequential(t *testing.T) {
+	xs := ramp(1000, 3)
+	st, err := RunOne(len(xs), Options{Shards: 4, ChunkSize: 64}, NewMoments(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.(*Moments)
+	if m.N != 1000 {
+		t.Fatalf("N = %d", m.N)
+	}
+	var sum, min, max float64
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if m.Min != min || m.Max != max {
+		t.Errorf("min/max = %v/%v, want %v/%v", m.Min, m.Max, min, max)
+	}
+	if math.Abs(m.Sum-sum) > 1e-9*math.Abs(sum) {
+		t.Errorf("sum = %v, want ~%v", m.Sum, sum)
+	}
+	mean := sum / 1000
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / 999
+	if math.Abs(m.Variance()-wantVar) > 1e-9*wantVar {
+		t.Errorf("variance = %v, want ~%v", m.Variance(), wantVar)
+	}
+}
+
+func TestOutcomesCountsAndRestriction(t *testing.T) {
+	yTrue := []float64{1, 0, 1, 0, 1, 0, 2}
+	yPred := []float64{1, 1, 0, 0, 1, 0, 1}
+	groups := []string{"a", "a", "b", "b", "a", "c", "c"}
+
+	// Restricted to a and b: row 6's invalid label in group c is skipped.
+	st, err := RunOne(len(yTrue), Options{Shards: 2, ChunkSize: 2},
+		NewOutcomes(yTrue, yPred, groups, "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := st.(*Outcomes)
+	if o.ErrRow != -1 {
+		t.Fatalf("restricted scan flagged row %d", o.ErrRow)
+	}
+	a := o.Counts["a"]
+	if a == nil || a.N != 3 || a.TP != 2 || a.FP != 1 {
+		t.Errorf("group a counts: %+v", a)
+	}
+	b := o.Counts["b"]
+	if b == nil || b.N != 2 || b.FN != 1 || b.TN != 1 {
+		t.Errorf("group b counts: %+v", b)
+	}
+	if o.Counts["c"] != nil {
+		t.Error("restricted scan counted group c")
+	}
+
+	// Unrestricted: the invalid row is reported with its smallest index.
+	st, err = RunOne(len(yTrue), Options{Shards: 2, ChunkSize: 2},
+		NewOutcomes(yTrue, yPred, groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.(*Outcomes).ErrRow; got != 6 {
+		t.Errorf("ErrRow = %d, want 6", got)
+	}
+}
+
+func TestHistMatchesEdgeSemantics(t *testing.T) {
+	xs := []float64{0, 1, 1.5, 2, 2.5, 3, math.NaN(), math.Inf(1)}
+	edges := []float64{1, 2}
+	st, err := RunOne(len(xs), Options{Shards: 3, ChunkSize: 2}, NewHist(xs, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := st.(*Hist)
+	// bin 0: v <= 1 -> {0, 1}; bin 1: 1 < v <= 2 -> {1.5, 2}; bin 2: v > 2.
+	want := []int64{2, 2, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6 (non-finite skipped)", h.Total())
+	}
+}
+
+func TestSortedMatchesSequentialSort(t *testing.T) {
+	xs := ramp(1000, 7)
+	st, err := RunOne(len(xs), Options{Shards: 5, ChunkSize: 37}, NewSorted(xs, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.(*Sorted).Values()
+	if len(got) != len(xs) {
+		t.Fatalf("len = %d, want %d", len(got), len(xs))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("not sorted at %d: %v > %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestLevelsCounts(t *testing.T) {
+	vals := []string{"x", "y", "x", "z", "x", "y"}
+	st, err := RunOne(len(vals), Options{Shards: 2, ChunkSize: 2}, NewLevels(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := st.(*Levels)
+	if l.Counts["x"] != 3 || l.Counts["y"] != 2 || l.Counts["z"] != 1 {
+		t.Errorf("counts: %v", l.Counts)
+	}
+	keys := l.Keys()
+	if len(keys) != 3 || keys[0] != "x" || keys[1] != "y" || keys[2] != "z" {
+		t.Errorf("keys: %v", keys)
+	}
+}
+
+// ramp generates a deterministic pseudo-random-ish sequence without
+// pulling in a rng dependency.
+func ramp(n int, seed uint64) []float64 {
+	xs := make([]float64, n)
+	state := seed
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = float64(state>>11) / float64(1<<53) * 100
+	}
+	return xs
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"math"
+	"testing"
+)
+
+// shardCounts are the shard sweeps every invariance test runs: the
+// sequential plan (1) against pools smaller than, equal to, and larger
+// than the chunk count, including degenerate single-row shards.
+var shardCounts = []int{1, 2, 3, 4, 7, 16, 64}
+
+// sizes exercise the chunk-layout edge cases: empty, single row, fewer
+// rows than shards (empty shards), exact chunk multiples, ragged tails.
+var sizes = []int{0, 1, 5, 63, 64, 65, 1000}
+
+// bits converts a float to comparable bits (NaN-stable).
+func bits(x float64) uint64 { return math.Float64bits(x) }
+
+// TestShardInvariance proves the engine's central property: for every
+// kernel the repo ships, results at any shard count are bit-for-bit
+// identical to the sequential (1-shard) plan, for every size class
+// including empty shards and single-row shards.
+func TestShardInvariance(t *testing.T) {
+	const chunk = 64
+	for _, n := range sizes {
+		xs := ramp(n, uint64(n)+1)
+		ys := make([]float64, n)
+		preds := make([]float64, n)
+		groups := make([]string, n)
+		for i := range xs {
+			ys[i] = float64(i % 2)
+			preds[i] = float64((i / 3) % 2)
+			groups[i] = string(rune('a' + i%3))
+		}
+		edges := []float64{25, 50, 75}
+
+		run := func(shards int) (*Moments, *Outcomes, *Hist, *Sorted, *Levels) {
+			states, err := Run(n, Options{Shards: shards, ChunkSize: chunk},
+				NewMoments(xs),
+				NewOutcomes(ys, preds, groups, "a", "b"),
+				NewHist(xs, edges),
+				NewSorted(xs, true),
+				NewLevels(groups),
+			)
+			if err != nil {
+				t.Fatalf("n=%d shards=%d: %v", n, shards, err)
+			}
+			return states[0].(*Moments), states[1].(*Outcomes),
+				states[2].(*Hist), states[3].(*Sorted), states[4].(*Levels)
+		}
+
+		m1, o1, h1, s1, l1 := run(1)
+		for _, shards := range shardCounts[1:] {
+			mN, oN, hN, sN, lN := run(shards)
+
+			// Moments: every field including the float sums must match bitwise.
+			if m1.N != mN.N ||
+				bits(m1.Sum) != bits(mN.Sum) ||
+				bits(m1.Min) != bits(mN.Min) ||
+				bits(m1.Max) != bits(mN.Max) ||
+				bits(m1.Mean()) != bits(mN.Mean()) ||
+				bits(m1.Variance()) != bits(mN.Variance()) {
+				t.Errorf("n=%d shards=%d: Moments diverged: %+v vs %+v", n, shards, m1, mN)
+			}
+
+			// Outcomes: exact integer counts per group.
+			if len(o1.Counts) != len(oN.Counts) || o1.ErrRow != oN.ErrRow {
+				t.Errorf("n=%d shards=%d: Outcomes shape diverged", n, shards)
+			}
+			for g, c1 := range o1.Counts {
+				cN := oN.Counts[g]
+				if cN == nil || *c1 != *cN {
+					t.Errorf("n=%d shards=%d: group %q counts %+v vs %+v", n, shards, g, c1, cN)
+				}
+			}
+
+			// Hist: exact bin counts.
+			for i := range h1.Counts {
+				if h1.Counts[i] != hN.Counts[i] {
+					t.Errorf("n=%d shards=%d: bin %d: %d vs %d", n, shards, i, h1.Counts[i], hN.Counts[i])
+				}
+			}
+
+			// Sorted: identical sequences.
+			v1, vN := s1.Values(), sN.Values()
+			if len(v1) != len(vN) {
+				t.Fatalf("n=%d shards=%d: sorted lengths %d vs %d", n, shards, len(v1), len(vN))
+			}
+			for i := range v1 {
+				if bits(v1[i]) != bits(vN[i]) {
+					t.Errorf("n=%d shards=%d: sorted[%d] %v vs %v", n, shards, i, v1[i], vN[i])
+				}
+			}
+
+			// Levels: exact counts.
+			if len(l1.Counts) != len(lN.Counts) {
+				t.Errorf("n=%d shards=%d: level sets diverged", n, shards)
+			}
+			for k, c := range l1.Counts {
+				if lN.Counts[k] != c {
+					t.Errorf("n=%d shards=%d: level %q %d vs %d", n, shards, k, c, lN.Counts[k])
+				}
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/responsible-data-science/rds/internal/exec"
 	"github.com/responsible-data-science/rds/internal/ml"
 )
 
@@ -63,17 +64,38 @@ func (r Report) FourFifths() bool { return r.DisparateImpact >= 0.8 }
 
 // Evaluate computes the group-fairness report for hard predictions yPred
 // against true labels yTrue, with groups naming each row's group
-// membership. Labels and predictions must be 0/1.
+// membership. Labels and predictions must be 0/1. It routes through the
+// sharded execution engine at the default shard count; see
+// EvaluateSharded for the parallelism contract.
 func Evaluate(yTrue, yPred []float64, groups []string, protected, reference string) (Report, error) {
+	return EvaluateSharded(yTrue, yPred, groups, protected, reference, 0)
+}
+
+// EvaluateSharded is Evaluate on an explicit shard count (0 selects
+// runtime.GOMAXPROCS). The group tallies are integer outcome counts
+// merged in deterministic chunk order by internal/exec, so the report
+// is bit-for-bit identical at every shard count — parallelism changes
+// wall-clock time, never the metrics.
+func EvaluateSharded(yTrue, yPred []float64, groups []string, protected, reference string, shards int) (Report, error) {
 	if len(yTrue) != len(yPred) || len(yTrue) != len(groups) {
 		return Report{}, fmt.Errorf("fairness: length mismatch: %d labels, %d predictions, %d groups",
 			len(yTrue), len(yPred), len(groups))
 	}
-	prot, err := groupStats(yTrue, yPred, groups, protected)
+	st, err := exec.RunOne(len(yTrue), exec.Options{Shards: shards},
+		exec.NewOutcomes(yTrue, yPred, groups, protected, reference))
+	if err != nil {
+		return Report{}, fmt.Errorf("fairness: %w", err)
+	}
+	out := st.(*exec.Outcomes)
+	if i := out.ErrRow; i >= 0 {
+		return Report{}, fmt.Errorf("fairness: group %q: non-binary label/prediction at row %d: %v/%v",
+			groups[i], i, yTrue[i], yPred[i])
+	}
+	prot, err := groupStats(out, protected)
 	if err != nil {
 		return Report{}, err
 	}
-	ref, err := groupStats(yTrue, yPred, groups, reference)
+	ref, err := groupStats(out, reference)
 	if err != nil {
 		return Report{}, err
 	}
@@ -92,30 +114,23 @@ func Evaluate(yTrue, yPred []float64, groups []string, protected, reference stri
 	return r, nil
 }
 
-func groupStats(yTrue, yPred []float64, groups []string, name string) (GroupStats, error) {
-	var gt, gp []float64
-	for i, g := range groups {
-		if g != name {
-			continue
-		}
-		gt = append(gt, yTrue[i])
-		gp = append(gp, yPred[i])
-	}
-	if len(gt) == 0 {
+// groupStats derives one group's rates from its merged outcome counts.
+// Every rate is computed from exact integer tallies through the same
+// ml.ConfusionMatrix formulas a sequential pass uses, so the result is
+// independent of how the rows were sharded.
+func groupStats(out *exec.Outcomes, name string) (GroupStats, error) {
+	c := out.Counts[name]
+	if c == nil || c.N == 0 {
 		return GroupStats{}, fmt.Errorf("fairness: group %q has no rows", name)
 	}
-	cm, err := ml.Confusion(gt, gp)
-	if err != nil {
-		return GroupStats{}, fmt.Errorf("fairness: group %q: %w", name, err)
-	}
-	var base float64
-	for _, y := range gt {
-		base += y
+	cm := ml.ConfusionMatrix{
+		TP: float64(c.TP), FP: float64(c.FP),
+		TN: float64(c.TN), FN: float64(c.FN),
 	}
 	return GroupStats{
 		Group:        name,
-		N:            len(gt),
-		BaseRate:     base / float64(len(gt)),
+		N:            int(c.N),
+		BaseRate:     float64(c.TP+c.FN) / float64(c.N),
 		PositiveRate: cm.PositiveRate(),
 		TPR:          cm.Recall(),
 		FPR:          cm.FalsePositiveRate(),

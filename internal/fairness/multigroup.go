@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/responsible-data-science/rds/internal/exec"
 )
 
 // MultiReport evaluates fairness across an arbitrary number of groups,
@@ -23,26 +25,41 @@ type MultiReport struct {
 }
 
 // EvaluateAll computes fairness statistics for every distinct group in
-// groups. At least two groups must be present.
+// groups, at the default shard count. At least two groups must be
+// present.
 func EvaluateAll(yTrue, yPred []float64, groups []string) (*MultiReport, error) {
+	return EvaluateAllSharded(yTrue, yPred, groups, 0)
+}
+
+// EvaluateAllSharded is EvaluateAll on an explicit shard count (0
+// selects runtime.GOMAXPROCS). A single sharded pass over the rows
+// tallies every group at once (internal/exec), so the cost is one scan
+// regardless of group count and the result is identical at every shard
+// count.
+func EvaluateAllSharded(yTrue, yPred []float64, groups []string, shards int) (*MultiReport, error) {
 	if len(yTrue) != len(yPred) || len(yTrue) != len(groups) {
 		return nil, fmt.Errorf("fairness: EvaluateAll length mismatch")
 	}
-	distinct := map[string]bool{}
-	for _, g := range groups {
-		distinct[g] = true
+	st, err := exec.RunOne(len(yTrue), exec.Options{Shards: shards}, exec.NewOutcomes(yTrue, yPred, groups))
+	if err != nil {
+		return nil, fmt.Errorf("fairness: %w", err)
 	}
-	if len(distinct) < 2 {
-		return nil, fmt.Errorf("fairness: EvaluateAll needs >= 2 groups, got %d", len(distinct))
+	out := st.(*exec.Outcomes)
+	if i := out.ErrRow; i >= 0 {
+		return nil, fmt.Errorf("fairness: group %q: non-binary label/prediction at row %d: %v/%v",
+			groups[i], i, yTrue[i], yPred[i])
 	}
-	names := make([]string, 0, len(distinct))
-	for g := range distinct {
+	if len(out.Counts) < 2 {
+		return nil, fmt.Errorf("fairness: EvaluateAll needs >= 2 groups, got %d", len(out.Counts))
+	}
+	names := make([]string, 0, len(out.Counts))
+	for g := range out.Counts {
 		names = append(names, g)
 	}
 	sort.Strings(names)
 	stats := make([]GroupStats, 0, len(names))
 	for _, g := range names {
-		s, err := groupStats(yTrue, yPred, groups, g)
+		s, err := groupStats(out, g)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/responsible-data-science/rds/internal/exec"
 	"github.com/responsible-data-science/rds/internal/frame"
 )
 
@@ -39,6 +40,11 @@ type DriftConfig struct {
 	// Columns restricts scoring to the named columns (default: every
 	// column present in both frames).
 	Columns []string `json:"columns,omitempty"`
+	// Shards is the goroutine count for the sharded execution engine
+	// that builds the per-column histogram sketches and sorted samples
+	// (default runtime.GOMAXPROCS). Scores are shard-invariant: the
+	// shard count changes wall-clock time, never the statistics.
+	Shards int `json:"shards,omitempty"`
 }
 
 func (c DriftConfig) withDefaults() DriftConfig {
@@ -83,6 +89,14 @@ type DriftReport struct {
 // column: PSI for every column (baseline-decile bins for numeric, level
 // histograms for categorical) and the two-sample KS statistic for
 // numeric columns. Columns missing from either frame are skipped.
+//
+// The per-column scans route through the sharded execution engine
+// (internal/exec): numeric columns are sorted via parallel chunk sorts
+// (one pass serves the KS statistic, the PSI bin edges, and the PSI
+// bin counts by binary search), categorical columns go through
+// mergeable level counts. Scores are identical at every shard count
+// (cfg.Shards), so a re-audit on a differently provisioned host
+// reproduces the same drift report bit for bit.
 func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport, error) {
 	if baseline == nil || current == nil || baseline.NumRows() == 0 || current.NumRows() == 0 {
 		return nil, fmt.Errorf("monitor: drift detection needs non-empty baseline and current frames")
@@ -96,6 +110,7 @@ func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport,
 			}
 		}
 	}
+	opt := exec.Options{Shards: cfg.Shards}
 	rep := &DriftReport{}
 	for _, name := range cols {
 		if !baseline.Has(name) || !current.Has(name) {
@@ -106,7 +121,22 @@ func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport,
 		cd := ColumnDrift{Column: name, KSPValue: 1}
 		switch b.DType() {
 		case frame.Float64, frame.Int64:
-			bv, cv := finiteFloats(b), finiteFloats(c)
+			// A column that was numeric at the baseline but arrives
+			// with another dtype is schema drift, not a distribution
+			// to score; fail loudly so the window records the error
+			// instead of panicking on a string-typed Floats().
+			if ct := c.DType(); ct != frame.Float64 && ct != frame.Int64 {
+				return nil, fmt.Errorf("monitor: drift: column %q changed type %s -> %s since the baseline",
+					name, b.DType(), ct)
+			}
+			bv, err := sortedFinite(b, opt)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := sortedFinite(c, opt)
+			if err != nil {
+				return nil, err
+			}
 			if len(bv) == 0 || len(cv) == 0 {
 				continue
 			}
@@ -114,7 +144,11 @@ func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport,
 			cd.KS = ksStatistic(bv, cv)
 			cd.KSPValue = ksPValue(cd.KS, len(bv), len(cv))
 		default:
-			cd.PSI = categoricalPSI(b.Strings(), c.Strings())
+			psiVal, err := categoricalPSI(b.Strings(), c.Strings(), opt)
+			if err != nil {
+				return nil, err
+			}
+			cd.PSI = psiVal
 		}
 		cd.Breached = cd.PSI > cfg.PSIThreshold || cd.KS > cfg.KSThreshold
 		rep.Columns = append(rep.Columns, cd)
@@ -125,20 +159,23 @@ func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport,
 	return rep, nil
 }
 
-// finiteFloats extracts a column's non-null values, sorted.
-func finiteFloats(s *frame.Series) []float64 {
-	out := make([]float64, 0, s.Len())
-	for _, v := range s.Floats() {
-		if !math.IsNaN(v) && !math.IsInf(v, 0) {
-			out = append(out, v)
-		}
+// sortedFinite extracts a column's finite values, sorted by parallel
+// chunk sorts and one deterministic merge.
+func sortedFinite(s *frame.Series, opt exec.Options) ([]float64, error) {
+	vals := s.Floats()
+	st, err := exec.RunOne(len(vals), opt, exec.NewSorted(vals, true))
+	if err != nil {
+		return nil, fmt.Errorf("monitor: drift sort: %w", err)
 	}
-	sort.Float64s(out)
-	return out
+	return st.(*exec.Sorted).Values(), nil
 }
 
 // numericPSI bins both samples by the baseline's quantile edges and
-// sums (p-q)·ln(p/q) over bins. Inputs must be sorted.
+// sums (p-q)·ln(p/q) over bins. Inputs must be sorted (the merged
+// output of the exec sort kernel), so each bin count is a difference
+// of binary-search positions — no further pass over the data. The
+// counts are identical to an exec.Hist scan of the raw values: bin i
+// holds values v with edges[i-1] < v <= edges[i].
 func numericPSI(baseline, current []float64, bins int) float64 {
 	edges := make([]float64, 0, bins-1)
 	for i := 1; i < bins; i++ {
@@ -146,41 +183,58 @@ func numericPSI(baseline, current []float64, bins int) float64 {
 		idx := int(q*float64(len(baseline)-1) + 0.5)
 		edges = append(edges, baseline[idx])
 	}
-	return psi(histogram(baseline, edges), histogram(current, edges))
+	return psi(histSorted(baseline, edges), histSorted(current, edges))
 }
 
-// histogram counts sorted values into len(edges)+1 bins; bin i holds
-// values v with edges[i-1] < v <= edges[i].
-func histogram(sorted []float64, edges []float64) []float64 {
+// histSorted counts a sorted sample into len(edges)+1 bins via binary
+// searches: bin i is the number of values in (edges[i-1], edges[i]].
+func histSorted(sorted, edges []float64) []float64 {
 	counts := make([]float64, len(edges)+1)
-	bin := 0
-	for _, v := range sorted {
-		for bin < len(edges) && v > edges[bin] {
-			bin++
-		}
-		counts[bin]++
+	prev := 0
+	for i, e := range edges {
+		// First index with sorted[j] > e == count of values <= e.
+		hi := sort.Search(len(sorted), func(j int) bool { return sorted[j] > e })
+		counts[i] = float64(hi - prev)
+		prev = hi
 	}
+	counts[len(edges)] = float64(len(sorted) - prev)
 	return counts
 }
 
-// categoricalPSI computes PSI over histograms of the union of levels.
-func categoricalPSI(baseline, current []string) float64 {
-	levels := map[string]int{}
-	for _, vals := range [][]string{baseline, current} {
-		for _, v := range vals {
-			if _, ok := levels[v]; !ok {
-				levels[v] = len(levels)
-			}
-		}
+// categoricalPSI computes PSI over mergeable level counts of both
+// sides, folded over the sorted union of levels so the float result is
+// deterministic.
+func categoricalPSI(baseline, current []string, opt exec.Options) (float64, error) {
+	bs, err := exec.RunOne(len(baseline), opt, exec.NewLevels(baseline))
+	if err != nil {
+		return 0, fmt.Errorf("monitor: drift levels: %w", err)
 	}
-	count := func(vals []string) []float64 {
-		counts := make([]float64, len(levels))
-		for _, v := range vals {
-			counts[levels[v]]++
-		}
-		return counts
+	cs, err := exec.RunOne(len(current), opt, exec.NewLevels(current))
+	if err != nil {
+		return 0, fmt.Errorf("monitor: drift levels: %w", err)
 	}
-	return psi(count(baseline), count(current))
+	bl, cl := bs.(*exec.Levels), cs.(*exec.Levels)
+	union := map[string]bool{}
+	for _, k := range bl.Keys() {
+		union[k] = true
+	}
+	for _, k := range cl.Keys() {
+		union[k] = true
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	// Keys() is sorted per side; the union needs one more sort for a
+	// deterministic fold order.
+	sort.Strings(keys)
+	a := make([]float64, len(keys))
+	b := make([]float64, len(keys))
+	for i, k := range keys {
+		a[i] = float64(bl.Counts[k])
+		b[i] = float64(cl.Counts[k])
+	}
+	return psi(a, b), nil
 }
 
 // psi folds two aligned histograms into the population stability index,

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/responsible-data-science/rds/internal/exec"
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
@@ -130,6 +131,59 @@ func TestDetectDriftColumnSubset(t *testing.T) {
 	}
 }
 
+// TestDetectDriftShardInvariance: the drift report — every PSI, KS,
+// and p-value — is bit-for-bit identical at every shard count, because
+// the histogram sketches and sorted samples merge in deterministic
+// chunk order.
+func TestDetectDriftShardInvariance(t *testing.T) {
+	baseline := creditFrame(t, 3000, 0, 0.35, 1)
+	current := creditFrame(t, 3000, 0.8, 0.6, 2)
+	want, err := DetectDrift(baseline, current, DriftConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 16} {
+		got, err := DetectDrift(baseline, current, DriftConfig{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Columns) != len(want.Columns) ||
+			math.Float64bits(got.MaxPSI) != math.Float64bits(want.MaxPSI) ||
+			math.Float64bits(got.MaxKS) != math.Float64bits(want.MaxKS) ||
+			got.Breached != want.Breached {
+			t.Fatalf("shards=%d: report head diverged: %+v vs %+v", shards, got, want)
+		}
+		for i, c := range got.Columns {
+			w := want.Columns[i]
+			if c.Column != w.Column || c.Breached != w.Breached ||
+				math.Float64bits(c.PSI) != math.Float64bits(w.PSI) ||
+				math.Float64bits(c.KS) != math.Float64bits(w.KS) ||
+				math.Float64bits(c.KSPValue) != math.Float64bits(w.KSPValue) {
+				t.Errorf("shards=%d column %q diverged: %+v vs %+v", shards, c.Column, c, w)
+			}
+		}
+	}
+}
+
+// TestDetectDriftDTypeSchemaChange: a column that flips from numeric
+// to string between baseline and current (e.g. a CSV batch where one
+// "income" token is non-numeric) must yield an error entry, not a
+// panic mid-ingest.
+func TestDetectDriftDTypeSchemaChange(t *testing.T) {
+	baseline := creditFrame(t, 200, 0, 0.35, 1)
+	stringized := baseline.MustCol("income").Strings()
+	current, err := baseline.Drop("income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if current, err = current.WithColumn(frame.NewString("income", stringized)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectDrift(baseline, current, DriftConfig{}); err == nil {
+		t.Fatal("numeric->string schema change should error, not score")
+	}
+}
+
 func TestKSStatisticKnownShift(t *testing.T) {
 	// Two disjoint samples: D must be 1. Identical samples: D = 0.
 	a := []float64{1, 2, 3, 4, 5}
@@ -159,7 +213,10 @@ func TestKSPValueBounds(t *testing.T) {
 func TestCategoricalPSIVanishingLevelStaysFinite(t *testing.T) {
 	a := []string{"x", "x", "y", "y"}
 	b := []string{"x", "x", "x", "x"}
-	got := categoricalPSI(a, b)
+	got, err := categoricalPSI(a, b, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.IsInf(got, 0) || math.IsNaN(got) {
 		t.Fatalf("PSI with vanished level = %v, want finite", got)
 	}

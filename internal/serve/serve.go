@@ -57,6 +57,13 @@ type Config struct {
 	// GET /v1/audit/{id} (default 1024). Older finished jobs are
 	// forgotten so an always-on service does not grow without limit.
 	MaxFinishedJobs int
+	// Shards is the default per-audit shard count for the sharded
+	// execution engine (internal/exec) each job's row-scans run on
+	// (default runtime.GOMAXPROCS). Requests may override it per job.
+	// Audit results are shard-invariant — the merge is deterministic in
+	// chunk order — which is why shard count is excluded from the
+	// report-cache key.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 1024
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -92,6 +102,10 @@ type Request struct {
 	Spec core.TrainSpec
 	// Seed drives the pipeline's stochastic steps (default 1).
 	Seed uint64
+	// Shards overrides the engine's default shard count for this
+	// audit's row-scans (0 inherits Config.Shards). Not part of the
+	// cache key: results are shard-invariant by construction.
+	Shards int
 }
 
 // Status is a job's lifecycle state.
@@ -227,6 +241,9 @@ func (e *Engine) Submit(req *Request) (string, error) {
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
+	}
+	if req.Shards <= 0 {
+		req.Shards = e.cfg.Shards
 	}
 	if err := req.Policy.Validate(); err != nil {
 		return "", err
@@ -434,7 +451,10 @@ func (e *Engine) nextID() string {
 // (dataset content, policy, training spec, seed), so two requests with
 // equal keys must produce identical reports. The dataset name is
 // included because the report embeds it; two names for the same bytes
-// are cached separately rather than served a mislabeled report.
+// are cached separately rather than served a mislabeled report. The
+// shard count is deliberately excluded: the exec merge is
+// shard-invariant, so a report computed at any Shards answers requests
+// at every Shards.
 func cacheKey(req *Request) string {
 	return provenance.HashStrings(
 		req.Dataset,
@@ -460,14 +480,17 @@ func specHash(s core.TrainSpec) string {
 
 // RunAudit executes one audit request synchronously on the caller's
 // goroutine: Load -> Train -> Audit over a fresh core.Pipeline, checking
-// ctx between stages. It is the engine's default job body and is exported
-// so callers (benchmarks, CLIs) can measure the sequential baseline.
+// ctx between stages. The audit's row-scans run on the sharded
+// execution engine at req.Shards. It is the engine's default job body
+// and is exported so callers (benchmarks, CLIs) can measure the
+// single-worker baseline.
 func RunAudit(ctx context.Context, req *Request) (*core.FACTReport, error) {
 	pipe, err := core.New(core.Config{
 		Name:   req.Dataset,
 		Policy: req.Policy,
 		Seed:   req.Seed,
 		Actor:  "rds-serve",
+		Shards: req.Shards,
 	})
 	if err != nil {
 		return nil, err

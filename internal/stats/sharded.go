@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+
+	"github.com/responsible-data-science/rds/internal/exec"
+)
+
+// DescribeSharded computes the descriptive Summary of a sample on the
+// sharded execution engine (internal/exec): the sample is chunked,
+// per-chunk moment accumulators and sorted runs are built in parallel
+// on shards goroutines (0 selects runtime.GOMAXPROCS), and the chunk
+// states are merged in deterministic chunk order. The result is
+// bit-for-bit identical at every shard count.
+//
+// Count and the quantiles match Describe exactly (integer counts and
+// the shared type-7 interpolation over the same sorted sample — the
+// parallel merge preserves sort.Float64s ordering, NaNs first). Mean
+// and StdDev are computed through the chunked merge tree, so they may
+// differ from the sequential left-to-right fold of Describe in the
+// last few ulps — but never between shard counts. Min and Max ignore
+// NaN values entirely (NaN only when the sample is empty or all-NaN),
+// which differs from Describe's comparison scan only when the first
+// element is NaN.
+func DescribeSharded(xs []float64, shards int) Summary {
+	states, err := exec.Run(len(xs), exec.Options{Shards: shards},
+		exec.NewMoments(xs), exec.NewSorted(xs, false))
+	if err != nil {
+		// Run only fails on invalid plans (negative n, no kernels),
+		// impossible here; mirror Describe's NaN convention defensively.
+		return Describe(nil)
+	}
+	m := states[0].(*exec.Moments)
+	sorted := states[1].(*exec.Sorted).Values()
+	s := Summary{
+		N:      int(m.N),
+		Mean:   m.Mean(),
+		StdDev: m.StdDev(),
+		Min:    math.NaN(),
+		Max:    math.NaN(),
+	}
+	if m.N > 0 {
+		s.Min, s.Max = m.Min, m.Max
+	}
+	s.Q25 = quantileSorted(sorted, 0.25)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q75 = quantileSorted(sorted, 0.75)
+	return s
+}
+
+// QuantileSharded returns the q-quantile computed over a sharded
+// parallel sort (see DescribeSharded for the determinism contract). It
+// matches Quantile exactly: the merged sorted sample is identical to a
+// sequential sort, and the interpolation is shared.
+func QuantileSharded(xs []float64, q float64, shards int) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	st, err := exec.RunOne(len(xs), exec.Options{Shards: shards}, exec.NewSorted(xs, false))
+	if err != nil {
+		return math.NaN()
+	}
+	return quantileSorted(st.(*exec.Sorted).Values(), q)
+}

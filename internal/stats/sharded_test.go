@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/rng"
+)
+
+func bitsEq(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestDescribeShardedInvariance is the merge-correctness property test
+// for every descriptive statistic: across sizes (including empty,
+// single-row, and fewer-rows-than-shards layouts) the sharded summary
+// at N shards is bit-identical to the 1-shard plan, and the exactly
+// mergeable statistics (count, min, max, quantiles) are bit-identical
+// to the sequential Describe.
+func TestDescribeShardedInvariance(t *testing.T) {
+	src := rng.New(42)
+	for _, n := range []int{0, 1, 2, 7, 100, 8192, 8193, 20000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Normal(3, 10)
+		}
+		seq := Describe(xs)
+		one := DescribeSharded(xs, 1)
+		for _, shards := range []int{1, 2, 4, 16, 64} {
+			got := DescribeSharded(xs, shards)
+			// Shard invariance: bit-identical to the 1-shard plan.
+			if got.N != one.N ||
+				!bitsEq(got.Mean, one.Mean) || !bitsEq(got.StdDev, one.StdDev) ||
+				!bitsEq(got.Min, one.Min) || !bitsEq(got.Max, one.Max) ||
+				!bitsEq(got.Q25, one.Q25) || !bitsEq(got.Median, one.Median) ||
+				!bitsEq(got.Q75, one.Q75) {
+				t.Errorf("n=%d shards=%d: summary diverged from 1-shard plan:\n got %+v\nwant %+v",
+					n, shards, got, one)
+			}
+			// Exact statistics also match the sequential Describe bitwise.
+			if got.N != seq.N || !bitsEq(got.Min, seq.Min) || !bitsEq(got.Max, seq.Max) ||
+				!bitsEq(got.Q25, seq.Q25) || !bitsEq(got.Median, seq.Median) ||
+				!bitsEq(got.Q75, seq.Q75) {
+				t.Errorf("n=%d shards=%d: exact stats diverged from Describe:\n got %+v\nwant %+v",
+					n, shards, got, seq)
+			}
+			// Merged-tree statistics agree with the sequential fold to
+			// float tolerance.
+			if n >= 2 {
+				if math.Abs(got.Mean-seq.Mean) > 1e-9*math.Max(1, math.Abs(seq.Mean)) {
+					t.Errorf("n=%d shards=%d: mean %v vs sequential %v", n, shards, got.Mean, seq.Mean)
+				}
+				if math.Abs(got.StdDev-seq.StdDev) > 1e-9*math.Max(1, seq.StdDev) {
+					t.Errorf("n=%d shards=%d: stddev %v vs sequential %v", n, shards, got.StdDev, seq.StdDev)
+				}
+			}
+		}
+	}
+}
+
+// TestDescribeShardedNaN: NaN values must not corrupt the parallel
+// merge. The merged sorted sample keeps sort.Float64s ordering (NaNs
+// first) so quantiles match the sequential Describe exactly, and
+// Min/Max skip NaNs (even one leading a chunk) instead of dropping
+// that chunk's extrema.
+func TestDescribeShardedNaN(t *testing.T) {
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64((i*7919)%10000) + 5 // values in [5, 10004]
+	}
+	xs[9000] = math.NaN() // mid-chunk NaN
+	xs[8192] = math.NaN() // first element of chunk 2
+	xs[8193] = 1          // true minimum, right after the chunk-leading NaN
+	seq := Describe(xs)
+	for _, shards := range []int{1, 4, 16} {
+		got := DescribeSharded(xs, shards)
+		if !bitsEq(got.Q25, seq.Q25) || !bitsEq(got.Median, seq.Median) || !bitsEq(got.Q75, seq.Q75) {
+			t.Errorf("shards=%d: quantiles with NaN diverged: %+v vs %+v", shards, got, seq)
+		}
+		if got.Min != 1 {
+			t.Errorf("shards=%d: Min = %v, want 1 (NaN must not drop a chunk's extrema)", shards, got.Min)
+		}
+		if got.Max != seq.Max {
+			t.Errorf("shards=%d: Max = %v, want %v", shards, got.Max, seq.Max)
+		}
+		if !math.IsNaN(got.Mean) {
+			t.Errorf("shards=%d: Mean = %v, want NaN propagation", shards, got.Mean)
+		}
+	}
+	// All-NaN input: extrema stay NaN.
+	all := DescribeSharded([]float64{math.NaN(), math.NaN()}, 4)
+	if !math.IsNaN(all.Min) || !math.IsNaN(all.Max) {
+		t.Errorf("all-NaN extrema = %v/%v, want NaN", all.Min, all.Max)
+	}
+}
+
+// TestQuantileShardedMatchesSequential: the parallel sort feeds the
+// shared interpolation, so every quantile matches Quantile bit for bit.
+func TestQuantileShardedMatchesSequential(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 10001)
+	for i := range xs {
+		xs[i] = src.Float64() * 1000
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		want := Quantile(xs, q)
+		for _, shards := range []int{1, 3, 8} {
+			if got := QuantileSharded(xs, q, shards); !bitsEq(got, want) {
+				t.Errorf("q=%v shards=%d: %v vs sequential %v", q, shards, got, want)
+			}
+		}
+	}
+	if !math.IsNaN(QuantileSharded(nil, 0.5, 4)) || !math.IsNaN(QuantileSharded(xs, -1, 4)) {
+		t.Error("invalid inputs should yield NaN")
+	}
+}

@@ -4,9 +4,11 @@
 // var — without a doc comment, so `go doc` stays complete for the
 // packages whose API other layers build on.
 //
-// Usage:
+// An argument ending in /... lints every package under that root, so
+// CI covers the whole module:
 //
-//	go run ./scripts/doclint ./internal/monitor ./internal/serve ./internal/stream
+//	go run ./scripts/doclint ./...
+//	go run ./scripts/doclint ./internal/monitor ./internal/serve
 package main
 
 import (
@@ -14,17 +16,24 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doclint <package dir> [...]")
+		fmt.Fprintln(os.Stderr, "usage: doclint <package dir | root/...> [...]")
+		os.Exit(2)
+	}
+	dirs, err := expand(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 		os.Exit(2)
 	}
 	var problems []string
-	for _, dir := range os.Args[1:] {
+	for _, dir := range dirs {
 		p, err := lintDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
@@ -39,6 +48,49 @@ func main() {
 		fmt.Printf("doclint: %d exported identifier(s) missing doc comments\n", len(problems))
 		os.Exit(1)
 	}
+}
+
+// expand resolves arguments into package directories: a plain argument
+// passes through, an argument ending in /... walks its root for every
+// directory holding Go files (hidden directories and testdata skipped).
+func expand(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		root, rec := strings.CutSuffix(a, "/...")
+		if !rec {
+			out = append(out, a)
+			continue
+		}
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if name := d.Name(); path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					out = append(out, path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expanding %s: %w", a, err)
+		}
+	}
+	return out, nil
 }
 
 // lintDir parses one package directory (tests excluded) and returns a
