@@ -7,6 +7,7 @@ package rds_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"testing"
 	"time"
@@ -194,6 +195,73 @@ func BenchmarkShardedAudit(b *testing.B) {
 	}
 }
 
+// BenchmarkDriftBaseline measures what the baseline profile buys the
+// monitoring plane's per-window drift scoring, sweeping the pinned
+// baseline up to 1M rows: "recompute" is the legacy DetectDrift path
+// that re-sorts the immutable baseline's numeric columns and recounts
+// its levels on every window, "profiled" scores the same window
+// against a BaselineProfile built once outside the timer (its one-time
+// cost is the "build" arm). The two reports are byte-identical —
+// asserted before timing — so only the per-window cost moves: the
+// profiled path does no per-window baseline sort, which the allocation
+// counts make visible.
+func BenchmarkDriftBaseline(b *testing.B) {
+	const windowRows = 2_000
+	window, err := synth.Credit(synth.CreditConfig{N: windowRows, Bias: 0.8, GroupBFraction: 0.5, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := monitor.DriftConfig{}
+	for _, baseRows := range []int{100_000, 1_000_000} {
+		baseline, err := synth.Credit(synth.CreditConfig{N: baseRows, Bias: 0.5, Seed: 41})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := monitor.NewBaselineProfile(baseline, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want, err := monitor.DetectDrift(baseline, window, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := monitor.DetectDriftProfiled(prof, window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		if string(wantJSON) != string(gotJSON) {
+			b.Fatalf("profiled drift report diverged from recompute at %d rows:\n%s\nvs\n%s", baseRows, wantJSON, gotJSON)
+		}
+		b.Run(fmt.Sprintf("rows=%d/recompute", baseRows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := monitor.DetectDrift(baseline, window, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+		})
+		b.Run(fmt.Sprintf("rows=%d/profiled", baseRows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := monitor.DetectDriftProfiled(prof, window); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+		})
+		b.Run(fmt.Sprintf("rows=%d/build", baseRows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := monitor.NewBaselineProfile(baseline, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMonitorWindow measures the monitoring plane's steady-state
 // per-window cost: after a one-time baseline audit, every iteration
 // ingests one 500-row window plus the heartbeat that closes it, paying
@@ -228,17 +296,22 @@ func BenchmarkMonitorWindow(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Baseline window: the only audit in the benchmark.
-	m.Ingest(stream.Arrival{TimeMS: 0, Rows: data}, stream.Arrival{TimeMS: 1000})
+	if err := m.Ingest(stream.Arrival{TimeMS: 0, Rows: data}, stream.Arrival{TimeMS: 1000}); err != nil {
+		b.Fatal(err)
+	}
 	if !m.Status().BaselinePinned {
 		b.Fatalf("baseline audit failed: %+v", m.History())
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t0 := int64(i+1) * 1000
-		m.Ingest(
+		err := m.Ingest(
 			stream.Arrival{TimeMS: t0, Rows: data},
 			stream.Arrival{TimeMS: t0 + 1000}, // heartbeat closes window i+1
 		)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(windowRows*b.N)/b.Elapsed().Seconds(), "rows/s")
 }

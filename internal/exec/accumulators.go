@@ -385,6 +385,22 @@ func (l *Levels) Merge(other State) {
 	}
 }
 
+// Total returns the number of counted values across every level.
+func (l *Levels) Total() int64 {
+	var t int64
+	for _, c := range l.Counts {
+		t += c
+	}
+	return t
+}
+
+// Detach drops the state's reference to the input column, for final
+// states that outlive the scan (the monitor's baseline profile holds
+// its Levels for the life of a monitor) — without it a retained state
+// pins the entire raw column. The counts stay valid; Update must not
+// be called after Detach.
+func (l *Levels) Detach() { l.vals = nil }
+
 // Keys returns the observed levels in sorted order, so downstream
 // float folds over levels are deterministic.
 func (l *Levels) Keys() []string {

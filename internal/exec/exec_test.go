@@ -213,6 +213,25 @@ func TestSortedMatchesSequentialSort(t *testing.T) {
 	}
 }
 
+// TestLevelsDetach: dropping the input-column reference keeps the
+// counts usable — the contract long-lived holders (the monitor's
+// baseline profile) rely on.
+func TestLevelsDetach(t *testing.T) {
+	vals := []string{"a", "b", "a"}
+	st, err := RunOne(len(vals), Options{Shards: 2, ChunkSize: 1}, NewLevels(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := st.(*Levels)
+	l.Detach()
+	if l.vals != nil {
+		t.Error("Detach left the column reference")
+	}
+	if l.Total() != 3 || l.Counts["a"] != 2 || len(l.Keys()) != 2 {
+		t.Errorf("counts unusable after Detach: %v", l.Counts)
+	}
+}
+
 func TestLevelsCounts(t *testing.T) {
 	vals := []string{"x", "y", "x", "z", "x", "y"}
 	st, err := RunOne(len(vals), Options{Shards: 2, ChunkSize: 2}, NewLevels(vals))
@@ -222,6 +241,9 @@ func TestLevelsCounts(t *testing.T) {
 	l := st.(*Levels)
 	if l.Counts["x"] != 3 || l.Counts["y"] != 2 || l.Counts["z"] != 1 {
 		t.Errorf("counts: %v", l.Counts)
+	}
+	if l.Total() != 6 {
+		t.Errorf("Total() = %d, want 6", l.Total())
 	}
 	keys := l.Keys()
 	if len(keys) != 3 || keys[0] != "x" || keys[1] != "y" || keys[2] != "z" {

@@ -1,0 +1,56 @@
+// Package httpx holds the JSON plumbing shared by the service's HTTP
+// planes (internal/serve and internal/monitor): response encoding, the
+// error envelope, request-body decoding with a shared size bound, and
+// small wire-level defaulting helpers. Keeping them in one place
+// guarantees the request/response and monitoring APIs cannot drift
+// apart in their JSON error behavior.
+package httpx
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// MaxBodyBytes bounds one uploaded request body (CSV payloads
+// included) across every API plane: 64 MiB.
+const MaxBodyBytes = 64 << 20
+
+// WriteJSON renders v as indented application/json with the given
+// status. Every response on every plane — success and error alike —
+// goes through here, so clients can always parse the body.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Error renders err in the service-wide JSON error envelope
+// {"error": "..."} with the given status.
+func Error(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// DecodeJSON strictly decodes the request body into v: the body is
+// capped at MaxBodyBytes and unknown fields are rejected, so a typo'd
+// field name fails loudly instead of silently applying defaults.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding JSON body: %w", err)
+	}
+	return nil
+}
+
+// StringOr returns v, or fallback when v is empty — the wire-level
+// defaulting idiom for optional string fields.
+func StringOr(v, fallback string) string {
+	if v == "" {
+		return fallback
+	}
+	return v
+}

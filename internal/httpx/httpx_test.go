@@ -1,0 +1,58 @@
+package httpx
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONAndErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusCreated, map[string]int{"n": 3})
+	if rec.Code != http.StatusCreated {
+		t.Errorf("status = %d, want 201", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["n"] != 3 {
+		t.Errorf("body = %q (%v), want {\"n\":3}", rec.Body, err)
+	}
+
+	rec = httptest.NewRecorder()
+	Error(rec, http.StatusBadRequest, errors.New("boom"))
+	var env map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error envelope not JSON: %v", err)
+	}
+	if env["error"] != "boom" || rec.Code != http.StatusBadRequest {
+		t.Errorf("envelope = %+v status %d, want error=boom 400", env, rec.Code)
+	}
+}
+
+func TestDecodeJSONRejectsUnknownFields(t *testing.T) {
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"known":1,"nope":2}`))
+	var v struct {
+		Known int `json:"known"`
+	}
+	if err := DecodeJSON(httptest.NewRecorder(), req, &v); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	req = httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"known":7}`))
+	if err := DecodeJSON(httptest.NewRecorder(), req, &v); err != nil || v.Known != 7 {
+		t.Fatalf("DecodeJSON = %v, known = %d, want nil and 7", err, v.Known)
+	}
+}
+
+func TestStringOr(t *testing.T) {
+	if got := StringOr("", "fb"); got != "fb" {
+		t.Errorf("StringOr(\"\") = %q, want fb", got)
+	}
+	if got := StringOr("x", "fb"); got != "x" {
+		t.Errorf("StringOr(\"x\") = %q, want x", got)
+	}
+}

@@ -150,13 +150,20 @@ func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport,
 			}
 			cd.PSI = psiVal
 		}
-		cd.Breached = cd.PSI > cfg.PSIThreshold || cd.KS > cfg.KSThreshold
-		rep.Columns = append(rep.Columns, cd)
-		rep.MaxPSI = math.Max(rep.MaxPSI, cd.PSI)
-		rep.MaxKS = math.Max(rep.MaxKS, cd.KS)
-		rep.Breached = rep.Breached || cd.Breached
+		rep.add(cd, cfg)
 	}
 	return rep, nil
+}
+
+// add files one column score into the report, applying the thresholds
+// and folding the maxima — shared by the recompute (DetectDrift) and
+// profiled (DetectDriftProfiled) paths so their grading cannot differ.
+func (r *DriftReport) add(cd ColumnDrift, cfg DriftConfig) {
+	cd.Breached = cd.PSI > cfg.PSIThreshold || cd.KS > cfg.KSThreshold
+	r.Columns = append(r.Columns, cd)
+	r.MaxPSI = math.Max(r.MaxPSI, cd.PSI)
+	r.MaxKS = math.Max(r.MaxKS, cd.KS)
+	r.Breached = r.Breached || cd.Breached
 }
 
 // sortedFinite extracts a column's finite values, sorted by parallel
@@ -177,13 +184,22 @@ func sortedFinite(s *frame.Series, opt exec.Options) ([]float64, error) {
 // counts are identical to an exec.Hist scan of the raw values: bin i
 // holds values v with edges[i-1] < v <= edges[i].
 func numericPSI(baseline, current []float64, bins int) float64 {
+	edges := psiEdges(baseline, bins)
+	return psi(histSorted(baseline, edges), histSorted(current, edges))
+}
+
+// psiEdges returns the baseline's bins-quantile bin edges (bins - 1 of
+// them) over a non-empty sorted sample. Shared by the recompute path
+// and the baseline-profile build, so precomputed edges are the exact
+// edges DetectDrift would re-derive.
+func psiEdges(baseline []float64, bins int) []float64 {
 	edges := make([]float64, 0, bins-1)
 	for i := 1; i < bins; i++ {
 		q := float64(i) / float64(bins)
 		idx := int(q*float64(len(baseline)-1) + 0.5)
 		edges = append(edges, baseline[idx])
 	}
-	return psi(histSorted(baseline, edges), histSorted(current, edges))
+	return edges
 }
 
 // histSorted counts a sorted sample into len(edges)+1 bins via binary
@@ -213,7 +229,15 @@ func categoricalPSI(baseline, current []string, opt exec.Options) (float64, erro
 	if err != nil {
 		return 0, fmt.Errorf("monitor: drift levels: %w", err)
 	}
-	bl, cl := bs.(*exec.Levels), cs.(*exec.Levels)
+	return psiLevels(bs.(*exec.Levels), cs.(*exec.Levels)), nil
+}
+
+// psiLevels folds two mergeable level-count states into PSI over the
+// sorted union of their levels. Shared by the recompute path and the
+// profiled path (which keeps the baseline side precomputed), so the
+// float fold order — and therefore the score bits — cannot differ
+// between them.
+func psiLevels(bl, cl *exec.Levels) float64 {
 	union := map[string]bool{}
 	for _, k := range bl.Keys() {
 		union[k] = true
@@ -234,7 +258,7 @@ func categoricalPSI(baseline, current []string, opt exec.Options) (float64, erro
 		a[i] = float64(bl.Counts[k])
 		b[i] = float64(cl.Counts[k])
 	}
-	return psi(a, b), nil
+	return psi(a, b)
 }
 
 // psi folds two aligned histograms into the population stability index,

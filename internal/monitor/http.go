@@ -1,7 +1,6 @@
 package monitor
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,13 +9,11 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/core"
 	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/httpx"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/stream"
 )
-
-// maxBodyBytes bounds one ingest/register body (matches the audit API).
-const maxBodyBytes = 64 << 20
 
 // SpecWire is the JSON body of POST /v1/monitors.
 type SpecWire struct {
@@ -116,7 +113,7 @@ func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/monitors")
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
 		return
 	}
 	rest = strings.Trim(rest, "/")
@@ -126,9 +123,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case http.MethodPost:
 			h.register(w, r)
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, h.reg.List())
+			httpx.WriteJSON(w, http.StatusOK, h.reg.List())
 		default:
-			httpError(w, http.StatusMethodNotAllowed, errors.New("POST or GET required"))
+			httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST or GET required"))
 		}
 	case strings.HasSuffix(rest, "/history"):
 		h.history(w, r, strings.TrimSuffix(rest, "/history"))
@@ -141,13 +138,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) register(w http.ResponseWriter, r *http.Request) {
 	var wire SpecWire
-	if err := decodeJSON(w, r, &wire); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := httpx.DecodeJSON(w, r, &wire); err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	spec, err := wire.spec()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	if spec.History == 0 {
@@ -158,79 +155,87 @@ func (h *Handler) register(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := h.reg.Register(spec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, m.Status())
+	httpx.WriteJSON(w, http.StatusCreated, m.Status())
 }
 
 func (h *Handler) byID(w http.ResponseWriter, r *http.Request, id string) {
 	m, ok := h.reg.Get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, m.Status())
+		httpx.WriteJSON(w, http.StatusOK, m.Status())
 	case http.MethodDelete:
 		h.reg.Delete(id)
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"deleted": id})
 	default:
-		httpError(w, http.StatusMethodNotAllowed, errors.New("GET or DELETE required"))
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET or DELETE required"))
 	}
 }
 
 func (h *Handler) history(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
 	m, ok := h.reg.Get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"monitor": id,
-		"history": m.History(),
+	httpx.WriteJSON(w, http.StatusOK, map[string]any{
+		"monitor":          id,
+		"history":          m.History(),
+		"baseline_profile": m.BaselineProfileInfo(),
 	})
 }
 
 func (h *Handler) ingest(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	m, ok := h.reg.Get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
 		return
 	}
 	var wire IngestWire
-	if err := decodeJSON(w, r, &wire); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if err := httpx.DecodeJSON(w, r, &wire); err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	rows, err := wire.rows()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	batch := wire.BatchRows
 	if batch <= 0 {
 		batch = rows.NumRows()
 	}
+	// FrameArrivals rejects a negative time_ms up front (the stream
+	// clock starts at zero), so adversarial timestamps answer 400 here
+	// instead of panicking window-index arithmetic; the Ingest check is
+	// the same contract for API callers constructing arrivals directly.
 	arrivals, err := stream.FrameArrivals(rows, batch, wire.TimeMS, wire.GapMS)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	m.Ingest(arrivals...)
+	if err := m.Ingest(arrivals...); err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
 	if wire.Flush {
 		m.Flush()
 	}
-	writeJSON(w, http.StatusOK, m.Status())
+	httpx.WriteJSON(w, http.StatusOK, m.Status())
 }
 
 // spec materializes the wire registration into a monitor Spec.
@@ -255,10 +260,10 @@ func (wire *SpecWire) spec() (Spec, error) {
 		Name:   wire.Name,
 		Policy: pol,
 		Train: core.TrainSpec{
-			Target:       stringOr(wire.Target, "approved"),
-			Sensitive:    stringOr(wire.Sensitive, "group"),
-			Protected:    stringOr(wire.Protected, "B"),
-			Reference:    stringOr(wire.Reference, "A"),
+			Target:       httpx.StringOr(wire.Target, "approved"),
+			Sensitive:    httpx.StringOr(wire.Sensitive, "group"),
+			Protected:    httpx.StringOr(wire.Protected, "B"),
+			Reference:    httpx.StringOr(wire.Reference, "A"),
 			TestFraction: wire.TestFraction,
 			Mitigation:   mitigation,
 			Epochs:       wire.Epochs,
@@ -286,33 +291,4 @@ func (wire *IngestWire) rows() (*frame.Frame, error) {
 		return wire.Synthetic.Credit()
 	}
 	return nil, errors.New("exactly one of csv or synthetic must be set")
-}
-
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("decoding JSON body: %w", err)
-	}
-	return nil
-}
-
-func stringOr(v, fallback string) string {
-	if v == "" {
-		return fallback
-	}
-	return v
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

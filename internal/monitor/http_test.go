@@ -123,14 +123,22 @@ func TestHTTPMonitorLifecycle(t *testing.T) {
 		t.Errorf("last grade = %v, want RED", sum.LastGrade)
 	}
 
-	// History shows the full transition.
+	// History shows the full transition, plus the pinned baseline's
+	// precomputed drift profile and per-window drift latency.
 	var hist struct {
-		Monitor string        `json:"monitor"`
-		History []WindowEntry `json:"history"`
+		Monitor         string        `json:"monitor"`
+		History         []WindowEntry `json:"history"`
+		BaselineProfile *ProfileInfo  `json:"baseline_profile"`
 	}
 	doJSON(t, http.MethodGet, base+"/history", "", http.StatusOK, &hist)
 	if len(hist.History) != 2 {
 		t.Fatalf("history len = %d, want 2", len(hist.History))
+	}
+	if hist.BaselineProfile == nil || hist.BaselineProfile.Rows != 2000 || hist.BaselineProfile.Columns == 0 {
+		t.Errorf("baseline_profile = %+v, want the pinned 2000-row window profiled", hist.BaselineProfile)
+	}
+	if hist.History[1].DriftMillis < 0 {
+		t.Errorf("drifted entry drift_millis = %v, want >= 0", hist.History[1].DriftMillis)
 	}
 	b, d := hist.History[0], hist.History[1]
 	if !b.Baseline || !b.Audited || b.Grade == nil || *b.Grade != policy.Green {
@@ -177,7 +185,8 @@ func TestHTTPMonitorLifecycle(t *testing.T) {
 	if !ok {
 		t.Fatalf("/metrics monitor section = %T, want object", metrics["monitor"])
 	}
-	for _, field := range []string{"monitors_active", "windows_materialized", "drift_breaches", "grade_regressions", "alerts_delivered"} {
+	for _, field := range []string{"monitors_active", "windows_materialized", "drift_breaches", "grade_regressions", "alerts_delivered",
+		"baseline_profiles_built", "profile_build_millis_total", "drift_windows_scored", "drift_millis_total"} {
 		if _, ok := mon[field]; !ok {
 			t.Errorf("/metrics monitor section missing %q", field)
 		}
@@ -223,6 +232,20 @@ func TestHTTPMonitorValidation(t *testing.T) {
 	}
 	for _, body := range []string{`{}`, `{"csv":"a\n1\n","synthetic":{"n":10}}`} {
 		doJSON(t, http.MethodPost, srv.URL+"/v1/monitors/"+m.ID()+"/ingest", body, http.StatusBadRequest, nil)
+	}
+
+	// Negative time_ms — the regression that used to panic the windower
+	// ("makeslice: cap out of range") or silently mis-assign rows into
+	// window 0 — answers 400 for any int64, down to MinInt64.
+	for _, body := range []string{
+		`{"time_ms":-1,"csv":"a\n1\n"}`,
+		`{"time_ms":-60000,"csv":"a\n1\n"}`,
+		`{"time_ms":-9223372036854775808,"csv":"a\n1\n"}`,
+	} {
+		doJSON(t, http.MethodPost, srv.URL+"/v1/monitors/"+m.ID()+"/ingest", body, http.StatusBadRequest, nil)
+	}
+	if got := m.Status(); got.RowsIngested != 0 || got.Windows != 0 {
+		t.Errorf("rejected negative-time ingest mutated state: %+v", got)
 	}
 }
 

@@ -88,6 +88,10 @@ type WindowEntry struct {
 	// liveness without flooding the history ring.
 	Reaudits int           `json:"reaudits,omitempty"`
 	Grade    *policy.Grade `json:"grade,omitempty"`
+	// DriftMillis is the wall-clock cost of scoring this window's drift
+	// against the pinned baseline profile (0 for the baseline window
+	// itself and for skipped windows).
+	DriftMillis float64 `json:"drift_millis,omitempty"`
 	// Regressed marks an audited entry whose grade is worse than the
 	// previously audited grade.
 	Regressed bool             `json:"regressed,omitempty"`
@@ -104,15 +108,18 @@ type Summary struct {
 	// and pinned for drift comparison.
 	BaselinePinned bool          `json:"baseline_pinned"`
 	BaselineGrade  *policy.Grade `json:"baseline_grade,omitempty"`
-	LastGrade      *policy.Grade `json:"last_grade,omitempty"`
-	LastWindow     int64         `json:"last_window"`
-	RowsIngested   uint64        `json:"rows_ingested"`
-	LateRows       int64         `json:"late_rows"`
-	Windows        uint64        `json:"windows"`
-	Audits         uint64        `json:"audits"`
-	DriftBreaches  uint64        `json:"drift_breaches"`
-	Regressions    uint64        `json:"grade_regressions"`
-	HistoryLen     int           `json:"history_len"`
+	// ProfileBuildMillis is the one-time cost of precomputing the
+	// pinned baseline's drift profile (0 until a baseline is pinned).
+	ProfileBuildMillis float64       `json:"profile_build_millis,omitempty"`
+	LastGrade          *policy.Grade `json:"last_grade,omitempty"`
+	LastWindow         int64         `json:"last_window"`
+	RowsIngested       uint64        `json:"rows_ingested"`
+	LateRows           int64         `json:"late_rows"`
+	Windows            uint64        `json:"windows"`
+	Audits             uint64        `json:"audits"`
+	DriftBreaches      uint64        `json:"drift_breaches"`
+	Regressions        uint64        `json:"grade_regressions"`
+	HistoryLen         int           `json:"history_len"`
 }
 
 // RegistryConfig parameterizes a Registry.
@@ -152,11 +159,23 @@ type registryMetrics struct {
 	auditFailures       uint64
 	alertsDelivered     uint64
 	alertsFailed        uint64
+	profileBuilds       uint64
+	profileBuildMillis  float64
+	driftWindows        uint64
+	driftMillis         float64
 }
 
 func (m *registryMetrics) bump(field *uint64, by uint64) {
 	m.mu.Lock()
 	*field += by
+	m.mu.Unlock()
+}
+
+// bumpMillis accumulates a wall-clock duration into a millisecond
+// gauge (profile builds, per-window drift scoring).
+func (m *registryMetrics) bumpMillis(field *float64, d time.Duration) {
+	m.mu.Lock()
+	*field += float64(d) / float64(time.Millisecond)
 	m.mu.Unlock()
 }
 
@@ -175,6 +194,16 @@ type MetricsSnapshot struct {
 	AuditFailures       uint64 `json:"audit_failures"`
 	AlertsDelivered     uint64 `json:"alerts_delivered"`
 	AlertsFailed        uint64 `json:"alerts_failed"`
+	// BaselineProfiles counts pinned baselines whose drift profile was
+	// precomputed; ProfileBuildMillis is their cumulative build cost.
+	BaselineProfiles   uint64  `json:"baseline_profiles_built"`
+	ProfileBuildMillis float64 `json:"profile_build_millis_total"`
+	// DriftWindows counts windows scored against a baseline profile;
+	// DriftMillis is their cumulative scoring cost, so
+	// DriftMillis / DriftWindows is the plane's mean per-window drift
+	// latency.
+	DriftWindows uint64  `json:"drift_windows_scored"`
+	DriftMillis  float64 `json:"drift_millis_total"`
 }
 
 // NewRegistry creates an empty registry backed by the given engine.
@@ -300,6 +329,10 @@ func (r *Registry) Metrics() MetricsSnapshot {
 		AuditFailures:       m.auditFailures,
 		AlertsDelivered:     m.alertsDelivered,
 		AlertsFailed:        m.alertsFailed,
+		BaselineProfiles:    m.profileBuilds,
+		ProfileBuildMillis:  m.profileBuildMillis,
+		DriftWindows:        m.driftWindows,
+		DriftMillis:         m.driftMillis,
 	}
 }
 
@@ -334,9 +367,9 @@ type Monitor struct {
 	// they hold only procMu, never mu.
 	procMu     sync.Mutex
 	win        *windower
-	baseline   *frame.Frame // pinned baseline window
-	lastFrame  *frame.Frame // latest materialized window (re-audit target)
-	sinceAudit int          // windows since the last audit (cadence counter)
+	profile    *BaselineProfile // precomputed pinned-baseline drift state
+	lastFrame  *frame.Frame     // latest materialized window (re-audit target)
+	sinceAudit int              // windows since the last audit (cadence counter)
 
 	// mu guards the read-side state with short critical sections, so
 	// Status and History stay responsive while an audit or alert
@@ -345,6 +378,7 @@ type Monitor struct {
 	lastWindow  int64
 	lastGrade   *policy.Grade // last audited grade
 	baseGrade   *policy.Grade
+	profileInfo *ProfileInfo // snapshot of the pinned profile's summary
 	history     []WindowEntry
 	rows        uint64
 	lateRows    int64
@@ -369,7 +403,18 @@ func (m *Monitor) Spec() Spec { return m.spec }
 // engine, so Ingest returns only after closed windows are graded;
 // concurrent Ingest calls on the same monitor are serialized. Status
 // and History never wait on an in-flight audit or alert delivery.
-func (m *Monitor) Ingest(arrivals ...stream.Arrival) {
+//
+// Every arrival is validated before any window state changes: a batch
+// containing a negative TimeMS — which has no window on a stream clock
+// that starts at zero — rejects the whole batch with an error instead
+// of mis-assigning rows or panicking in window-index arithmetic. Any
+// int64 TimeMS, down to math.MinInt64, is safe to submit.
+func (m *Monitor) Ingest(arrivals ...stream.Arrival) error {
+	for _, a := range arrivals {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("monitor: %w", err)
+		}
+	}
 	m.procMu.Lock()
 	defer m.procMu.Unlock()
 	for _, a := range arrivals {
@@ -387,6 +432,7 @@ func (m *Monitor) Ingest(arrivals ...stream.Arrival) {
 			m.processWindow(w)
 		}
 	}
+	return nil
 }
 
 // Flush force-closes all open windows — the partial final windows of a
@@ -438,24 +484,42 @@ func (m *Monitor) History() []WindowEntry {
 	return append([]WindowEntry(nil), m.history...)
 }
 
+// BaselineProfileInfo returns the pinned baseline profile's summary,
+// or nil before a baseline is pinned. Like Status and History it takes
+// only the read-side lock, so it never waits on an in-flight audit.
+func (m *Monitor) BaselineProfileInfo() *ProfileInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.profileInfo == nil {
+		return nil
+	}
+	info := *m.profileInfo
+	return &info
+}
+
 // Status snapshots the monitor's counters and grades.
 func (m *Monitor) Status() Summary {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var buildMS float64
+	if m.profileInfo != nil {
+		buildMS = m.profileInfo.BuildMillis
+	}
 	return Summary{
-		ID:             m.id,
-		Name:           m.spec.Name,
-		BaselinePinned: m.baseGrade != nil,
-		BaselineGrade:  m.baseGrade,
-		LastGrade:      m.lastGrade,
-		LastWindow:     m.lastWindow,
-		RowsIngested:   m.rows,
-		LateRows:       m.lateRows,
-		Windows:        m.windows,
-		Audits:         m.audits,
-		DriftBreaches:  m.breaches,
-		Regressions:    m.regressions,
-		HistoryLen:     len(m.history),
+		ID:                 m.id,
+		Name:               m.spec.Name,
+		BaselinePinned:     m.baseGrade != nil,
+		BaselineGrade:      m.baseGrade,
+		ProfileBuildMillis: buildMS,
+		LastGrade:          m.lastGrade,
+		LastWindow:         m.lastWindow,
+		RowsIngested:       m.rows,
+		LateRows:           m.lateRows,
+		Windows:            m.windows,
+		Audits:             m.audits,
+		DriftBreaches:      m.breaches,
+		Regressions:        m.regressions,
+		HistoryLen:         len(m.history),
 	}
 }
 
@@ -489,23 +553,38 @@ func (m *Monitor) processWindow(w *closedWindow) {
 	m.lastWindow = w.index
 	m.mu.Unlock()
 
-	if m.baseline == nil {
-		// First auditable window: always audit and pin as the drift
-		// baseline.
+	if m.profile == nil {
+		// First auditable window: always audit, pin as the drift
+		// baseline, and precompute the baseline profile every later
+		// window is scored against.
 		entry.Baseline = true
 		m.audit(f, &entry)
 		if entry.Error == "" {
-			m.baseline = f
-			m.mu.Lock()
-			m.baseGrade = entry.Grade
-			m.mu.Unlock()
+			prof, perr := NewBaselineProfile(f, m.spec.Drift)
+			if perr != nil {
+				entry.Error = perr.Error()
+			} else {
+				m.profile = prof
+				m.reg.metrics.bump(&m.reg.metrics.profileBuilds, 1)
+				m.reg.metrics.bumpMillis(&m.reg.metrics.profileBuildMillis, prof.BuildTime())
+				info := prof.Info()
+				m.mu.Lock()
+				m.baseGrade = entry.Grade
+				m.profileInfo = &info
+				m.mu.Unlock()
+			}
 		}
 		m.sinceAudit = 0
 		m.appendHistory(entry)
 		return
 	}
 
-	drift, derr := DetectDrift(m.baseline, f, m.spec.Drift)
+	driftStart := time.Now()
+	drift, derr := DetectDriftProfiled(m.profile, f)
+	driftDur := time.Since(driftStart)
+	entry.DriftMillis = float64(driftDur) / float64(time.Millisecond)
+	m.reg.metrics.bump(&m.reg.metrics.driftWindows, 1)
+	m.reg.metrics.bumpMillis(&m.reg.metrics.driftMillis, driftDur)
 	if derr != nil {
 		entry.Error = derr.Error()
 	} else {

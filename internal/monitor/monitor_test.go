@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -170,6 +171,84 @@ func TestMonitorDriftForcesReauditAndRegressionAlert(t *testing.T) {
 	snap := r.Metrics()
 	if snap.DriftBreaches != 1 || snap.GradeRegressions != 1 || snap.AlertsDelivered != 2 {
 		t.Errorf("metrics = %+v, want 1 breach, 1 regression, 2 alerts delivered", snap)
+	}
+}
+
+// TestMonitorIngestRejectsNegativeTime: the whole batch is rejected
+// with an error before any window state changes — no rows counted, no
+// windows opened, no panic, for any int64 time down to MinInt64.
+func TestMonitorIngestRejectsNegativeTime(t *testing.T) {
+	r := newTestRegistry(t)
+	m, err := r.Register(creditSpec("neg-time"))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for _, tm := range []int64{-1, -60000, math.MinInt64} {
+		err := m.Ingest(
+			stream.Arrival{TimeMS: 0, Rows: rowsFrame(t, 1)},
+			stream.Arrival{TimeMS: tm, Rows: rowsFrame(t, 2)},
+		)
+		if err == nil {
+			t.Fatalf("Ingest accepted arrival at t=%d", tm)
+		}
+	}
+	s := m.Status()
+	if s.RowsIngested != 0 || s.Windows != 0 || len(m.History()) != 0 {
+		t.Errorf("rejected batches mutated state: %+v", s)
+	}
+	if err := m.Ingest(stream.Arrival{TimeMS: 0, Rows: rowsFrame(t, 1)}); err != nil {
+		t.Errorf("valid arrival rejected after bad batches: %v", err)
+	}
+}
+
+// TestMonitorBaselineProfileAndLatencyGauges: pinning a baseline builds
+// its drift profile exactly once, the per-window drift latency lands in
+// history entries and the plane gauges, and the profile summary is
+// readable without touching the processing lock.
+func TestMonitorBaselineProfileAndLatencyGauges(t *testing.T) {
+	r := newTestRegistry(t)
+	spec := creditSpec("profiled")
+	spec.AuditEvery = 1000
+	m, err := r.Register(spec)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if m.BaselineProfileInfo() != nil {
+		t.Error("profile info present before a baseline is pinned")
+	}
+	m.Ingest(stream.Arrival{TimeMS: 0, Rows: creditFrame(t, 1000, 0, 0.35, 1)})
+	m.Ingest(stream.Arrival{TimeMS: 100, Rows: creditFrame(t, 1000, 0, 0.35, 2)})
+	m.Ingest(stream.Arrival{TimeMS: 200, Rows: creditFrame(t, 1000, 0, 0.35, 3)})
+	m.Flush()
+
+	info := m.BaselineProfileInfo()
+	if info == nil {
+		t.Fatal("no profile info after baseline pin")
+	}
+	if info.Rows != 1000 || info.Columns == 0 || info.NumericColumns == 0 || info.CategoricalColumns == 0 {
+		t.Errorf("profile info = %+v, want the credit schema profiled", info)
+	}
+	if got := m.Status().ProfileBuildMillis; got != info.BuildMillis {
+		t.Errorf("Status().ProfileBuildMillis = %v, want %v", got, info.BuildMillis)
+	}
+	hist := m.History()
+	if len(hist) != 3 {
+		t.Fatalf("history len = %d, want 3", len(hist))
+	}
+	if hist[0].DriftMillis != 0 {
+		t.Errorf("baseline entry DriftMillis = %v, want 0", hist[0].DriftMillis)
+	}
+	for _, e := range hist[1:] {
+		if e.Drift == nil || e.DriftMillis < 0 {
+			t.Errorf("window %d: drift=%v drift_millis=%v, want scored with non-negative latency", e.Window, e.Drift, e.DriftMillis)
+		}
+	}
+	snap := r.Metrics()
+	if snap.BaselineProfiles != 1 || snap.DriftWindows != 2 {
+		t.Errorf("gauges = %+v, want 1 profile built and 2 windows scored", snap)
+	}
+	if snap.ProfileBuildMillis < 0 || snap.DriftMillis < 0 {
+		t.Errorf("latency gauges negative: %+v", snap)
 	}
 }
 

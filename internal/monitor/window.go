@@ -94,6 +94,17 @@ func newWindower(cfg WindowConfig) *windower {
 // first. Arrivals are assumed time-ordered; rows targeting only
 // already-closed windows are counted as late and dropped.
 func (w *windower) observe(a stream.Arrival) []*closedWindow {
+	// Ingest validates arrivals before they reach the windower, but the
+	// windower is the last line of defense: a negative time has no
+	// window (the stream clock starts at zero), so its rows are dropped
+	// as late instead of feeding indicesFor arithmetic that could
+	// overflow for times near math.MinInt64.
+	if a.TimeMS < 0 {
+		if a.Rows != nil {
+			w.lateRows += int64(a.Rows.NumRows())
+		}
+		return nil
+	}
 	if a.TimeMS > w.watermark || !w.started {
 		w.watermark = a.TimeMS
 		w.started = true
@@ -125,8 +136,15 @@ func (w *windower) observe(a stream.Arrival) []*closedWindow {
 }
 
 // indicesFor returns the window indices covering time t: every k with
-// k*slide <= t < k*slide + width.
+// k*slide <= t < k*slide + width. Negative times precede every window
+// and yield nil; without that guard a sufficiently negative t (e.g.
+// math.MinInt64) makes kMax - kMin + 1 negative — or overflows t -
+// width outright — and the slice allocation panics with "makeslice:
+// cap out of range".
 func (w *windower) indicesFor(t int64) []int64 {
+	if t < 0 {
+		return nil
+	}
 	kMax := t / w.cfg.SlideMS
 	kMin := (t-w.cfg.WidthMS)/w.cfg.SlideMS + 1
 	if t < w.cfg.WidthMS {

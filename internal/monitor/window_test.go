@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"math"
 	"testing"
 
 	"github.com/responsible-data-science/rds/internal/frame"
@@ -108,6 +109,45 @@ func TestWindowerLateRowsDropped(t *testing.T) {
 	w.observe(stream.Arrival{TimeMS: 20, Rows: rowsFrame(t, 3)})
 	if w.lateRows != 1 {
 		t.Errorf("lateRows = %d, want 1", w.lateRows)
+	}
+}
+
+// TestWindowerNegativeTimeNeverPanics is the regression test for the
+// negative-time_ms crash: indicesFor used to compute a negative slice
+// capacity for sufficiently negative times ("makeslice: cap out of
+// range", with int64 overflow in the kMin arithmetic near MinInt64) and
+// mis-assigned slightly negative times into window 0. Every negative
+// time now maps to no window: the rows are dropped as late and the
+// watermark never moves.
+func TestWindowerNegativeTimeNeverPanics(t *testing.T) {
+	for _, cfg := range []WindowConfig{
+		{WidthMS: 100},              // tumbling
+		{WidthMS: 100, SlideMS: 40}, // sliding
+	} {
+		w := newWindower(cfg.withDefaults())
+		for _, tm := range []int64{-1, -99, -100, -1_000_000, math.MinInt64 + 1, math.MinInt64} {
+			if got := w.indicesFor(tm); got != nil {
+				t.Errorf("indicesFor(%d) = %v, want nil (no window precedes t=0)", tm, got)
+			}
+			closed := w.observe(stream.Arrival{TimeMS: tm, Rows: rowsFrame(t, 1)})
+			if len(closed) != 0 {
+				t.Errorf("observe(t=%d) closed %d windows, want 0", tm, len(closed))
+			}
+		}
+		if w.lateRows != 6 {
+			t.Errorf("lateRows = %d, want 6 (every negative-time row dropped as late)", w.lateRows)
+		}
+		if len(w.open) != 0 {
+			t.Errorf("negative times opened %d windows, want 0", len(w.open))
+		}
+		if w.started || w.watermark != 0 {
+			t.Errorf("negative times moved the watermark: started=%v watermark=%d", w.started, w.watermark)
+		}
+		// The stream still works normally afterwards.
+		w.observe(stream.Arrival{TimeMS: 10, Rows: rowsFrame(t, 1)})
+		if closed := w.observe(stream.Arrival{TimeMS: 250}); len(closed) == 0 {
+			t.Error("windower broken after negative-time arrivals: nothing closes")
+		}
 	}
 }
 

@@ -12,12 +12,10 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/core"
 	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/httpx"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
-
-// maxBodyBytes bounds an uploaded request body (CSV payloads included).
-const maxBodyBytes = 64 << 20 // 64 MiB
 
 // AuditRequestWire is the JSON body of POST /v1/audit. Exactly one data
 // source must be set: CSV (inline), Path (server-local file), or
@@ -153,71 +151,71 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/metrics":
 		h.metrics(w, r)
 	default:
-		httpError(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
 	}
 }
 
 func (h *Handler) postAudit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes)
 	wire, err := decodeWire(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	req, err := h.buildRequest(wire)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	id, err := h.engine.Submit(req)
 	switch {
 	case errors.Is(err, ErrBusy):
-		httpError(w, http.StatusServiceUnavailable, err)
+		httpx.Error(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err)
+		httpx.Error(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
-		httpError(w, http.StatusBadRequest, err)
+		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	if wire.Async {
 		js, _ := h.engine.Job(id)
-		writeJSON(w, http.StatusAccepted, js)
+		httpx.WriteJSON(w, http.StatusAccepted, js)
 		return
 	}
 	js, err := h.engine.Wait(r.Context(), id)
 	if err != nil {
-		httpError(w, http.StatusGatewayTimeout, fmt.Errorf("job %s still %s: %w", id, js.Status, err))
+		httpx.Error(w, http.StatusGatewayTimeout, fmt.Errorf("job %s still %s: %w", id, js.Status, err))
 		return
 	}
 	if js.Status == StatusFailed {
-		writeJSON(w, http.StatusUnprocessableEntity, js)
+		httpx.WriteJSON(w, http.StatusUnprocessableEntity, js)
 		return
 	}
-	writeJSON(w, http.StatusOK, js)
+	httpx.WriteJSON(w, http.StatusOK, js)
 }
 
 func (h *Handler) getAudit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/audit/")
 	js, ok := h.engine.Job(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, js)
+	httpx.WriteJSON(w, http.StatusOK, js)
 }
 
 func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	httpx.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"workers":        h.engine.Config().Workers,
 		"queue_depth":    h.engine.QueueDepth(),
@@ -232,10 +230,10 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	snap := h.engine.Metrics().Snapshot()
 	if h.MonitorMetrics == nil {
-		writeJSON(w, http.StatusOK, snap)
+		httpx.WriteJSON(w, http.StatusOK, snap)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	httpx.WriteJSON(w, http.StatusOK, struct {
 		Snapshot
 		Monitor any `json:"monitor"`
 	}{snap, h.MonitorMetrics()})
@@ -265,7 +263,7 @@ func decodeWire(r *http.Request) (*AuditRequestWire, error) {
 		}
 		return wireFromQuery(r, b.String())
 	case strings.HasPrefix(ct, "multipart/form-data"):
-		if err := r.ParseMultipartForm(maxBodyBytes); err != nil {
+		if err := r.ParseMultipartForm(httpx.MaxBodyBytes); err != nil {
 			return nil, fmt.Errorf("parsing multipart form: %w", err)
 		}
 		f, _, err := r.FormFile("data")
@@ -357,39 +355,20 @@ func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
 		pol = *wire.Policy
 	}
 	spec := core.TrainSpec{
-		Target:       stringOr(wire.Target, "approved"),
-		Sensitive:    stringOr(wire.Sensitive, "group"),
-		Protected:    stringOr(wire.Protected, "B"),
-		Reference:    stringOr(wire.Reference, "A"),
+		Target:       httpx.StringOr(wire.Target, "approved"),
+		Sensitive:    httpx.StringOr(wire.Sensitive, "group"),
+		Protected:    httpx.StringOr(wire.Protected, "B"),
+		Reference:    httpx.StringOr(wire.Reference, "A"),
 		TestFraction: wire.TestFraction,
 		Mitigation:   mitigation,
 		Epochs:       wire.Epochs,
 	}
 	return &Request{
-		Dataset: stringOr(name, "dataset"),
+		Dataset: httpx.StringOr(name, "dataset"),
 		Data:    data,
 		Policy:  pol,
 		Spec:    spec,
 		Seed:    wire.Seed,
 		Shards:  wire.Shards,
 	}, nil
-}
-
-func stringOr(v, fallback string) string {
-	if v == "" {
-		return fallback
-	}
-	return v
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

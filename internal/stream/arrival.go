@@ -22,6 +22,19 @@ type Arrival struct {
 	Rows *frame.Frame
 }
 
+// Validate rejects arrivals the windowing consumers cannot place: the
+// stream clock starts at zero, so a negative TimeMS is a client error,
+// not a very early batch. Consumers (monitor.Monitor.Ingest, the HTTP
+// ingest path) check this before touching any window state, which is
+// what keeps adversarial timestamps — down to math.MinInt64 — from
+// reaching window-index arithmetic that would overflow or panic.
+func (a Arrival) Validate() error {
+	if a.TimeMS < 0 {
+		return fmt.Errorf("stream: arrival time_ms must be >= 0, got %d", a.TimeMS)
+	}
+	return nil
+}
+
 // FrameArrivals slices f into consecutive batches of batchRows rows and
 // timestamps them gapMS apart starting at startMS, turning a static
 // dataset into a deterministic arrival stream. The final batch may be
@@ -33,6 +46,9 @@ func FrameArrivals(f *frame.Frame, batchRows int, startMS, gapMS int64) ([]Arriv
 	}
 	if batchRows <= 0 {
 		return nil, fmt.Errorf("stream: batch size must be positive, got %d", batchRows)
+	}
+	if startMS < 0 {
+		return nil, fmt.Errorf("stream: arrival start time_ms must be >= 0, got %d", startMS)
 	}
 	if gapMS < 0 {
 		return nil, fmt.Errorf("stream: arrival gap must be >= 0, got %d", gapMS)

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"testing"
 
 	"github.com/responsible-data-science/rds/internal/frame"
@@ -45,6 +46,29 @@ func TestFrameArrivalsRejectsBadInputs(t *testing.T) {
 	}
 	if _, err := FrameArrivals(f, 1, 0, -1); err == nil {
 		t.Error("negative gap accepted")
+	}
+	// The stream clock starts at zero: negative start times (down to
+	// math.MinInt64) are client errors, not very early batches —
+	// unchecked they reach window-index arithmetic that panics.
+	for _, start := range []int64{-1, -60000, math.MinInt64} {
+		if _, err := FrameArrivals(f, 1, start, 0); err == nil {
+			t.Errorf("negative start time %d accepted", start)
+		}
+	}
+}
+
+func TestArrivalValidateRejectsNegativeTime(t *testing.T) {
+	for _, tc := range []struct {
+		timeMS int64
+		ok     bool
+	}{
+		{0, true}, {1, true}, {math.MaxInt64, true},
+		{-1, false}, {-60000, false}, {math.MinInt64, false},
+	} {
+		err := Arrival{TimeMS: tc.timeMS}.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(time_ms=%d) = %v, want ok=%v", tc.timeMS, err, tc.ok)
+		}
 	}
 }
 
