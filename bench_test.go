@@ -14,6 +14,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/causal"
 	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/exec"
 	"github.com/responsible-data-science/rds/internal/experiments"
 	"github.com/responsible-data-science/rds/internal/fairness"
@@ -193,6 +194,88 @@ func BenchmarkShardedAudit(b *testing.B) {
 			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+}
+
+// BenchmarkRegistryResolve measures what the content-addressed dataset
+// registry buys the repeat-audit hot path at 1M rows. Both arms run in
+// the steady state (the report cache already holds the audit), which
+// is exactly the scenario the registry targets: the same institutional
+// dataset audited again and again. "inline-csv" pays the full data
+// shipping cost per request — parse 1M rows of CSV, hash the frame for
+// the cache key — while "dataset-ref" resolves the resident frame by
+// content hash and reuses the ref as the cache key: an O(1) lookup.
+// The gap is the ≥10x the ISSUE acceptance demands; in practice it is
+// several orders of magnitude.
+func BenchmarkRegistryResolve(b *testing.B) {
+	const rows = 1_000_000
+	data, err := synth.Credit(synth.CreditConfig{N: rows, Bias: 0.5, Seed: 47})
+	if err != nil {
+		b.Fatal(err)
+	}
+	csv, err := data.CSVString()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := dataset.NewRegistry(1 << 30)
+	meta, err := reg.Put("credit-1m", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := serve.NewEngine(serve.Config{Workers: 2, JobTimeout: 10 * time.Minute, CacheSize: 8})
+	defer e.Close()
+	spec := core.TrainSpec{
+		Target: "approved", Sensitive: "group",
+		Protected: "B", Reference: "A", Epochs: 3,
+	}
+	submitWait := func(req *serve.Request) serve.JobStatus {
+		id, err := e.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		js, err := e.Wait(context.Background(), id)
+		if err != nil || js.Status != serve.StatusDone {
+			b.Fatalf("job %s: %v %v %s", id, js.Status, err, js.Error)
+		}
+		return js
+	}
+	// One full audit outside the timers fills the report cache.
+	submitWait(&serve.Request{
+		Dataset: "credit-1m", Data: data, DataHash: meta.Ref,
+		Policy: serve.DefaultPolicy(), Spec: spec, Seed: 1,
+	})
+
+	b.Run("inline-csv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parsed, err := frame.ReadCSVString(csv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			js := submitWait(&serve.Request{
+				Dataset: "credit-1m", Data: parsed,
+				Policy: serve.DefaultPolicy(), Spec: spec, Seed: 1,
+			})
+			if !js.CacheHit {
+				b.Fatal("inline submit missed the warmed report cache")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+	b.Run("dataset-ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resident, _, ok := reg.Resolve(meta.Ref)
+			if !ok {
+				b.Fatal("resident dataset missing")
+			}
+			js := submitWait(&serve.Request{
+				Dataset: "credit-1m", Data: resident, DataHash: meta.Ref,
+				Policy: serve.DefaultPolicy(), Spec: spec, Seed: 1,
+			})
+			if !js.CacheHit {
+				b.Fatal("ref submit missed the warmed report cache")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
 }
 
 // BenchmarkDriftBaseline measures what the baseline profile buys the

@@ -11,12 +11,17 @@
 //
 //	rds-serve [-addr :8080] [-workers N] [-shards N] [-queue 64]
 //	          [-timeout 60s] [-cache 128] [-allow-paths]
+//	          [-dataset-budget-bytes 268435456]
 //	          [-monitor-history 64] [-monitor-reaudit 0]
 //
 // Endpoints:
 //
 //	POST   /v1/audit                  audit a dataset (JSON, text/csv, or multipart)
 //	GET    /v1/audit/{id}             async job status / result
+//	POST   /v1/datasets               load a dataset once -> content-hash dataset_ref
+//	GET    /v1/datasets               list resident datasets
+//	GET    /v1/datasets/{ref}         dataset metadata
+//	DELETE /v1/datasets/{ref}         evict a dataset (409 while pinned)
 //	POST   /v1/monitors               register a continuous monitor
 //	GET    /v1/monitors               list monitors
 //	GET    /v1/monitors/{id}          monitor status
@@ -24,11 +29,18 @@
 //	GET    /v1/monitors/{id}/history  per-window reports and drift scores
 //	POST   /v1/monitors/{id}/ingest   feed rows onto the monitor's stream clock
 //	GET    /healthz                   liveness and pool state
-//	GET    /metrics                   engine counters + monitoring gauges
+//	GET    /metrics                   engine counters + monitoring + dataset gauges
 //
 // Example (synthetic demo data, default policy):
 //
 //	curl -s localhost:8080/v1/audit -d '{"synthetic":{"n":5000,"bias":1.0}}'
+//
+// Upload-once workflow — load a dataset, then audit it by ref as often
+// as policies change, without re-shipping or re-parsing the bytes:
+//
+//	ref=$(curl -s localhost:8080/v1/datasets -H 'Content-Type: text/csv' \
+//	      --data-binary @credit.csv | jq -r .ref)
+//	curl -s localhost:8080/v1/audit -d "{\"dataset_ref\":\"$ref\"}"
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/monitor"
 	"github.com/responsible-data-science/rds/internal/serve"
 )
@@ -54,6 +67,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-job wall-clock timeout")
 	cache := flag.Int("cache", 128, "report cache entries (negative disables)")
 	allowPaths := flag.Bool("allow-paths", false, "allow audits of server-local CSV paths")
+	datasetBudget := flag.Int64("dataset-budget-bytes", dataset.DefaultBudgetBytes, "byte budget for registry-resident datasets (LRU-evicted, monitor baselines pinned)")
 	monHistory := flag.Int("monitor-history", monitor.DefaultHistory, "default per-monitor window-history ring size")
 	monReaudit := flag.Duration("monitor-reaudit", 0, "default scheduled re-audit interval for monitors that omit one (0 disables)")
 	flag.Parse()
@@ -65,9 +79,11 @@ func main() {
 		CacheSize:  *cache,
 		Shards:     *shards,
 	})
+	datasets := dataset.NewRegistry(*datasetBudget)
 	registry, err := monitor.NewRegistry(monitor.RegistryConfig{
-		Engine: engine,
-		Sinks:  []monitor.Sink{&monitor.LogSink{}},
+		Engine:   engine,
+		Datasets: datasets,
+		Sinks:    []monitor.Sink{&monitor.LogSink{}},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
@@ -77,6 +93,7 @@ func main() {
 
 	handler := serve.NewHandler(engine)
 	handler.AllowPaths = *allowPaths
+	handler.Datasets = dataset.NewHandler(datasets)
 	monitors := monitor.NewHandler(registry)
 	monitors.DefaultHistory = *monHistory
 	monitors.DefaultReaudit = *monReaudit
@@ -99,8 +116,8 @@ func main() {
 	}()
 
 	cfg := engine.Config()
-	fmt.Printf("rds-serve listening on %s (%d workers, %d shards/audit, queue %d, cache %d, timeout %s, monitor history %d)\n",
-		*addr, cfg.Workers, cfg.Shards, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, *monHistory)
+	fmt.Printf("rds-serve listening on %s (%d workers, %d shards/audit, queue %d, cache %d, timeout %s, dataset budget %d MiB, monitor history %d)\n",
+		*addr, cfg.Workers, cfg.Shards, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, datasets.Budget()>>20, *monHistory)
 	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)

@@ -2,8 +2,10 @@
 // (internal/serve) end to end: it starts the HTTP API on a loopback
 // port, POSTs a batch of audits — a biased and an unbiased synthetic
 // credit population, plus a CSV upload — repeats one request to show the
-// report cache answering from memory, and finishes by printing the
-// service metrics (throughput, cache hit rate, latency quantiles).
+// report cache answering from memory, loads a dataset into the
+// content-addressed registry once and re-audits it by dataset_ref, and
+// finishes by printing the service metrics (throughput, cache hit rate,
+// latency quantiles, dataset gauges).
 //
 //	go run ./examples/auditservice
 package main
@@ -18,12 +20,14 @@ import (
 	"strings"
 	"time"
 
+	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
 
 func main() {
-	// 1. Start the service: 4 workers, a bounded queue, a report cache.
+	// 1. Start the service: 4 workers, a bounded queue, a report cache,
+	// and a 64 MiB dataset registry.
 	engine := serve.NewEngine(serve.Config{
 		Workers:    4,
 		QueueSize:  16,
@@ -31,12 +35,15 @@ func main() {
 		CacheSize:  32,
 	})
 	defer engine.Close()
+	datasets := dataset.NewRegistry(64 << 20)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	server := &http.Server{Handler: serve.NewHandler(engine)}
+	handler := serve.NewHandler(engine)
+	handler.Datasets = dataset.NewHandler(datasets)
+	server := &http.Server{Handler: handler}
 	go func() { _ = server.Serve(ln) }()
 	defer server.Close()
 	base := "http://" + ln.Addr().String()
@@ -80,18 +87,42 @@ func main() {
 	js = post(base, string(upload))
 	fmt.Printf("%-14s -> %-5s (cache hit %v)\n\n", js.Dataset, js.Report.Overall, js.CacheHit)
 
-	// 5. Service metrics.
-	resp, err := http.Get(base + "/metrics")
+	// 5. The upload-once workflow: load the dataset into the
+	// content-addressed registry, get back its content hash, and audit
+	// by dataset_ref — no re-upload, no re-parse, no re-hash.
+	resp, err := http.Post(base+"/v1/datasets?name=resident-credit", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var meta dataset.Meta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nloaded %q once: %d rows resident as ref %.12s…\n", meta.Name, meta.Rows, meta.Ref)
+	for i := 0; i < 2; i++ {
+		js = post(base, fmt.Sprintf(`{"dataset_ref":%q}`, meta.Ref))
+		fmt.Printf("audit by ref   -> %-5s (cache hit %v)\n", js.Report.Overall, js.CacheHit)
+	}
+
+	// 6. Service metrics, including the dataset registry gauges.
+	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var snap serve.Snapshot
+	var snap struct {
+		serve.Snapshot
+		Datasets dataset.Snapshot `json:"datasets"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("metrics: %d jobs completed, cache hit rate %.0f%%, p50 %.1fms, p99 %.1fms\n",
-		snap.JobsCompleted, 100*snap.CacheHitRate, snap.P50Millis, snap.P99Millis)
+	fmt.Printf("\nmetrics: %d jobs completed, cache hit rate %.0f%%, p50 %.1fms, p99 %.1fms, p99 exec %.1fms\n",
+		snap.JobsCompleted, 100*snap.CacheHitRate, snap.P50Millis, snap.P99Millis, snap.P99ExecMillis)
+	fmt.Printf("datasets: %d resident (%d KiB of %d MiB budget), %d hits, %d misses\n",
+		snap.Datasets.Resident, snap.Datasets.Bytes>>10, snap.Datasets.BudgetBytes>>20,
+		snap.Datasets.Hits, snap.Datasets.Misses)
 }
 
 // post sends one synchronous audit request and decodes the job result.

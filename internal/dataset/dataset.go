@@ -1,0 +1,303 @@
+// Package dataset implements the content-addressed dataset registry:
+// load a dataset once, get back its content hash (frame.Hash) as a
+// dataset_ref, and have every later audit or monitor registration
+// resolve the resident frame by ref in O(1) instead of re-uploading and
+// re-parsing the bytes. The registry is byte-budgeted — resident
+// datasets are measured with SizeOf and the least recently used
+// unpinned ones are evicted when a Put would exceed the budget — and
+// pin-aware: the monitoring plane pins its baseline datasets so a
+// standing monitor's 1M-row baseline can never be evicted underneath
+// it.
+//
+// Because the ref IS the content hash, a resolved dataset needs no
+// re-hash on the audit hot path: serve's report-cache key reuses the
+// ref directly, which is what turns repeat-audit latency from
+// O(dataset) parsing into an O(1) lookup (see BenchmarkRegistryResolve).
+package dataset
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// DefaultBudgetBytes is the default registry byte budget: 256 MiB.
+const DefaultBudgetBytes = 256 << 20
+
+// ErrOverBudget is returned by Put when the dataset cannot be made
+// resident: it is larger than the whole budget, or pinned datasets
+// occupy too much of it. The HTTP layer maps it to 507.
+var ErrOverBudget = errors.New("dataset: registry byte budget exceeded")
+
+// ErrPinned is returned by Delete while monitors hold pins on the
+// dataset. The HTTP layer maps it to 409.
+var ErrPinned = errors.New("dataset: dataset is pinned")
+
+// Meta describes one resident dataset, JSON-serializable for the HTTP
+// API. Ref is the frame's content hash — the dataset_ref audit and
+// monitor requests resolve by.
+type Meta struct {
+	Ref   string `json:"ref"`
+	Name  string `json:"name"`
+	Rows  int    `json:"rows"`
+	Cols  int    `json:"cols"`
+	Bytes int64  `json:"bytes"`
+	Pins  int    `json:"pins"`
+	Hits  uint64 `json:"hits"`
+}
+
+// entry is the registry-internal state behind a Meta.
+type entry struct {
+	meta Meta
+	data *frame.Frame
+}
+
+// Registry is the byte-budgeted, content-addressed store of resident
+// datasets with LRU eviction that skips pinned entries. Safe for
+// concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	order  *list.List // front = most recently used; values are *entry
+	byRef  map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// NewRegistry creates an empty registry holding at most budgetBytes of
+// resident dataset payload (DefaultBudgetBytes when <= 0).
+func NewRegistry(budgetBytes int64) *Registry {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	return &Registry{
+		budget: budgetBytes,
+		order:  list.New(),
+		byRef:  map[string]*list.Element{},
+	}
+}
+
+// Budget returns the registry's byte budget.
+func (r *Registry) Budget() int64 { return r.budget }
+
+// Put makes f resident under its content hash and returns its Meta;
+// the returned Ref is the dataset_ref clients audit by. Uploading bytes
+// that already resolve is idempotent: the existing entry is refreshed
+// (most recently used) and returned, keeping its first name. When the
+// dataset does not fit, least-recently-used unpinned entries are
+// evicted until it does; ErrOverBudget reports a dataset that cannot
+// fit even then.
+func (r *Registry) Put(name string, f *frame.Frame) (Meta, error) {
+	if f == nil || f.NumRows() == 0 {
+		return Meta{}, fmt.Errorf("dataset: Put needs a non-empty dataset")
+	}
+	// Hash and measure outside the lock: both are O(dataset) and must
+	// not serialize against hot resolves.
+	ref := f.Hash()
+	size := SizeOf(f)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.byRef[ref]; ok {
+		r.order.MoveToFront(el)
+		return el.Value.(*entry).meta, nil
+	}
+	if size > r.budget {
+		return Meta{}, fmt.Errorf("%w: dataset is %d bytes, budget %d", ErrOverBudget, size, r.budget)
+	}
+	for r.bytes+size > r.budget {
+		if !r.evictOldestUnpinned() {
+			return Meta{}, fmt.Errorf("%w: %d bytes pinned, dataset needs %d of %d",
+				ErrOverBudget, r.bytes, size, r.budget)
+		}
+	}
+	e := &entry{
+		meta: Meta{
+			Ref:   ref,
+			Name:  name,
+			Rows:  f.NumRows(),
+			Cols:  f.NumCols(),
+			Bytes: size,
+		},
+		data: f,
+	}
+	r.byRef[ref] = r.order.PushFront(e)
+	r.bytes += size
+	return e.meta, nil
+}
+
+// evictOldestUnpinned drops the least recently used unpinned entry,
+// reporting whether one existed; callers hold r.mu.
+func (r *Registry) evictOldestUnpinned() bool {
+	for el := r.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.meta.Pins > 0 {
+			continue
+		}
+		r.order.Remove(el)
+		delete(r.byRef, e.meta.Ref)
+		r.bytes -= e.meta.Bytes
+		r.evictions++
+		return true
+	}
+	return false
+}
+
+// Resolve returns the resident dataset for ref, marking it most
+// recently used. The bool reports a hit; misses count toward the
+// dataset_misses gauge.
+func (r *Registry) Resolve(ref string) (*frame.Frame, Meta, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byRef[ref]
+	if !ok {
+		r.misses++
+		return nil, Meta{}, false
+	}
+	r.order.MoveToFront(el)
+	e := el.Value.(*entry)
+	e.meta.Hits++
+	r.hits++
+	return e.data, e.meta, true
+}
+
+// Pin resolves ref and takes one pin on it, shielding it from eviction
+// and deletion until a matching Unpin. Monitors pin their baselines for
+// their whole lifetime. The bool reports whether ref resolved.
+func (r *Registry) Pin(ref string) (*frame.Frame, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byRef[ref]
+	if !ok {
+		r.misses++
+		return nil, false
+	}
+	r.order.MoveToFront(el)
+	e := el.Value.(*entry)
+	e.meta.Pins++
+	e.meta.Hits++
+	r.hits++
+	return e.data, true
+}
+
+// Unpin releases one pin taken by Pin. Unknown refs are a no-op (the
+// registry never evicts pinned entries, so an unknown ref means the
+// caller already released it).
+func (r *Registry) Unpin(ref string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.byRef[ref]; ok {
+		if e := el.Value.(*entry); e.meta.Pins > 0 {
+			e.meta.Pins--
+		}
+	}
+}
+
+// Get returns the Meta for ref without touching recency or counters.
+func (r *Registry) Get(ref string) (Meta, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byRef[ref]
+	if !ok {
+		return Meta{}, false
+	}
+	return el.Value.(*entry).meta, true
+}
+
+// Delete evicts the dataset for ref, reporting whether it existed.
+// Pinned datasets answer ErrPinned: a monitor's baseline cannot be
+// deleted out from under it.
+func (r *Registry) Delete(ref string) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byRef[ref]
+	if !ok {
+		return false, nil
+	}
+	e := el.Value.(*entry)
+	if e.meta.Pins > 0 {
+		return false, fmt.Errorf("%w: %q has %d pins", ErrPinned, ref, e.meta.Pins)
+	}
+	r.order.Remove(el)
+	delete(r.byRef, ref)
+	r.bytes -= e.meta.Bytes
+	return true, nil
+}
+
+// List returns the resident datasets, most recently used first.
+func (r *Registry) List() []Meta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Meta, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).meta)
+	}
+	return out
+}
+
+// Snapshot is the registry's JSON gauge set, merged into GET /metrics
+// under the "datasets" key.
+type Snapshot struct {
+	Resident    int    `json:"datasets_resident"`
+	Pinned      int    `json:"datasets_pinned"`
+	Bytes       int64  `json:"dataset_bytes"`
+	BudgetBytes int64  `json:"dataset_budget_bytes"`
+	Hits        uint64 `json:"dataset_hits"`
+	Misses      uint64 `json:"dataset_misses"`
+	Evictions   uint64 `json:"dataset_evictions"`
+}
+
+// Metrics snapshots the registry gauges.
+func (r *Registry) Metrics() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pinned := 0
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		if el.Value.(*entry).meta.Pins > 0 {
+			pinned++
+		}
+	}
+	return Snapshot{
+		Resident:    r.order.Len(),
+		Pinned:      pinned,
+		Bytes:       r.bytes,
+		BudgetBytes: r.budget,
+		Hits:        r.hits,
+		Misses:      r.misses,
+		Evictions:   r.evictions,
+	}
+}
+
+// SizeOf estimates a frame's resident heap footprint in bytes: payload
+// slices by dtype (8 bytes per numeric, 1 per bool, string header plus
+// text per string cell), a null bitmap when present, and a fixed
+// per-column overhead. The budget arithmetic only needs relative
+// accuracy, so the estimate errs simple rather than exact.
+func SizeOf(f *frame.Frame) int64 {
+	const colOverhead = 96 // Series struct + name + slice headers
+	var n int64
+	for j := 0; j < f.NumCols(); j++ {
+		c := f.ColAt(j)
+		n += colOverhead + int64(len(c.Name()))
+		rows := int64(c.Len())
+		switch c.DType() {
+		case frame.Float64, frame.Int64:
+			n += 8 * rows
+		case frame.Bool:
+			n += rows
+		case frame.String:
+			n += 16 * rows
+			for i := 0; i < c.Len(); i++ {
+				n += int64(len(c.Str(i)))
+			}
+		}
+		if c.NullCount() > 0 {
+			n += rows
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/httpx"
+)
+
+// UploadWire is the JSON body of POST /v1/datasets. Exactly one of CSV
+// or NDJSON must be set; raw text/csv and application/x-ndjson bodies
+// (with ?name=) are also accepted.
+type UploadWire struct {
+	// Name labels the dataset in listings (default "dataset").
+	Name string `json:"name,omitempty"`
+	// CSV is an inline CSV document with a header row.
+	CSV string `json:"csv,omitempty"`
+	// NDJSON is newline-delimited JSON, one flat object per row.
+	NDJSON string `json:"ndjson,omitempty"`
+}
+
+// Handler exposes a Registry over HTTP:
+//
+//	POST   /v1/datasets        load a dataset once -> 201 with its content-hash ref
+//	GET    /v1/datasets        list resident datasets (most recently used first)
+//	GET    /v1/datasets/{ref}  one dataset's metadata
+//	DELETE /v1/datasets/{ref}  evict (409 while pinned by a monitor)
+//
+// The returned "ref" is the dataset_ref audit requests and monitor
+// registrations resolve by. cmd/rds-serve mounts the handler on the
+// audit API's mux; all responses are application/json.
+type Handler struct {
+	reg *Registry
+}
+
+// NewHandler wraps the registry in the HTTP API.
+func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
+
+// Registry returns the underlying registry, so the serving plane can
+// resolve dataset_refs and merge the registry gauges into /metrics.
+func (h *Handler) Registry() *Registry { return h.reg }
+
+// ServeHTTP routes the dataset API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/datasets")
+	if !ok {
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
+		return
+	}
+	rest = strings.Trim(rest, "/")
+	switch {
+	case rest == "" && r.Method == http.MethodPost:
+		h.upload(w, r)
+	case rest == "" && r.Method == http.MethodGet:
+		httpx.WriteJSON(w, http.StatusOK, h.reg.List())
+	case rest == "":
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST or GET required"))
+	default:
+		h.byRef(w, r, rest)
+	}
+}
+
+func (h *Handler) upload(w http.ResponseWriter, r *http.Request) {
+	name, f, err := h.decodeUpload(w, r)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := h.reg.Put(httpx.StringOr(name, "dataset"), f)
+	switch {
+	case errors.Is(err, ErrOverBudget):
+		httpx.Error(w, http.StatusInsufficientStorage, err)
+		return
+	case err != nil:
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, meta)
+}
+
+// decodeUpload parses the upload body into a frame: JSON envelopes
+// as-is, raw text/csv and application/x-ndjson streams directly off
+// the (size-capped) body without an intermediate string.
+func (h *Handler) decodeUpload(w http.ResponseWriter, r *http.Request) (string, *frame.Frame, error) {
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "text/csv"):
+		r.Body = http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes)
+		f, err := frame.ReadCSV(r.Body)
+		return r.URL.Query().Get("name"), f, err
+	case strings.HasPrefix(ct, "application/x-ndjson"):
+		r.Body = http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes)
+		f, err := ReadNDJSON(r.Body)
+		return r.URL.Query().Get("name"), f, err
+	}
+	var wire UploadWire
+	if err := httpx.DecodeJSON(w, r, &wire); err != nil {
+		return "", nil, err
+	}
+	switch {
+	case wire.CSV != "" && wire.NDJSON == "":
+		f, err := frame.ReadCSVString(wire.CSV)
+		return wire.Name, f, err
+	case wire.NDJSON != "" && wire.CSV == "":
+		f, err := ReadNDJSON(strings.NewReader(wire.NDJSON))
+		return wire.Name, f, err
+	}
+	return "", nil, errors.New("exactly one of csv or ndjson must be set")
+}
+
+func (h *Handler) byRef(w http.ResponseWriter, r *http.Request, ref string) {
+	switch r.Method {
+	case http.MethodGet:
+		meta, ok := h.reg.Get(ref)
+		if !ok {
+			httpx.Error(w, http.StatusNotFound, fmt.Errorf("no dataset %q", ref))
+			return
+		}
+		httpx.WriteJSON(w, http.StatusOK, meta)
+	case http.MethodDelete:
+		ok, err := h.reg.Delete(ref)
+		if errors.Is(err, ErrPinned) {
+			httpx.Error(w, http.StatusConflict, err)
+			return
+		}
+		if !ok {
+			httpx.Error(w, http.StatusNotFound, fmt.Errorf("no dataset %q", ref))
+			return
+		}
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"deleted": ref})
+	default:
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET or DELETE required"))
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, budget int64) (*Registry, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry(budget)
+	srv := httptest.NewServer(NewHandler(reg))
+	t.Cleanup(srv.Close)
+	return reg, srv
+}
+
+func decodeMeta(t *testing.T, resp *http.Response, wantStatus int) Meta {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var meta Meta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func TestHTTPUploadJSONAndRawCSV(t *testing.T) {
+	_, srv := newTestServer(t, 1<<20)
+	resp, err := http.Post(srv.URL+"/v1/datasets", "application/json",
+		strings.NewReader(`{"name":"credit","csv":"id,v\n1,2.5\n2,3.5\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := decodeMeta(t, resp, http.StatusCreated)
+	if meta.Ref == "" || meta.Rows != 2 || meta.Name != "credit" {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	// The same bytes as a raw text/csv body answer the same ref.
+	resp, err = http.Post(srv.URL+"/v1/datasets?name=raw", "text/csv",
+		strings.NewReader("id,v\n1,2.5\n2,3.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := decodeMeta(t, resp, http.StatusCreated)
+	if again.Ref != meta.Ref {
+		t.Fatalf("raw upload ref %q != json upload ref %q", again.Ref, meta.Ref)
+	}
+}
+
+func TestHTTPUploadNDJSON(t *testing.T) {
+	_, srv := newTestServer(t, 1<<20)
+	resp, err := http.Post(srv.URL+"/v1/datasets?name=events", "application/x-ndjson",
+		strings.NewReader(`{"id":1,"ok":true}
+{"id":2,"ok":false}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := decodeMeta(t, resp, http.StatusCreated)
+	if meta.Rows != 2 || meta.Cols != 2 || meta.Name != "events" {
+		t.Fatalf("meta = %+v", meta)
+	}
+}
+
+func TestHTTPGetListDelete(t *testing.T) {
+	reg, srv := newTestServer(t, 1<<20)
+	meta, err := reg.Put("a", testFrame(t, 1, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/datasets/" + meta.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeMeta(t, resp, http.StatusOK); got.Ref != meta.Ref {
+		t.Fatalf("get = %+v", got)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []Meta
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/datasets/"+meta.Ref, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", dresp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/datasets/" + meta.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPDeletePinnedConflicts(t *testing.T) {
+	reg, srv := newTestServer(t, 1<<20)
+	meta, err := reg.Put("a", testFrame(t, 1, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Pin(meta.Ref); !ok {
+		t.Fatal("pin failed")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/datasets/"+meta.Ref, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete of pinned dataset = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHTTPOverBudget(t *testing.T) {
+	_, srv := newTestServer(t, 64) // far too small for any dataset
+	var rows strings.Builder
+	rows.WriteString("id,v\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&rows, "%d,%d\n", i, i)
+	}
+	resp, err := http.Post(srv.URL+"/v1/datasets", "text/csv", strings.NewReader(rows.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("over-budget upload = %d, want 507", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadUploads(t *testing.T) {
+	_, srv := newTestServer(t, 1<<20)
+	for name, body := range map[string]string{
+		"both sources": `{"csv":"a\n1\n","ndjson":"{\"a\":1}"}`,
+		"neither":      `{"name":"x"}`,
+		"bad csv":      `{"csv":"a,b\n1\n"}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/datasets", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// jsonKind discriminates the value shapes an NDJSON cell can carry.
+type jsonKind uint8
+
+// NDJSON cell shapes.
+const (
+	kindNull jsonKind = iota
+	kindInt
+	kindFloat
+	kindBool
+	kindString
+)
+
+// jsonCell is one parsed NDJSON value.
+type jsonCell struct {
+	kind jsonKind
+	i    int64
+	f    float64
+	b    bool
+	s    string
+}
+
+// jsonColumn accumulates one NDJSON key's cells across rows, chunked
+// like the CSV loader so a million-row stream never pays geometric
+// append growth.
+type jsonColumn struct {
+	name   string
+	chunks [][]jsonCell
+	n      int
+}
+
+func (c *jsonColumn) push(v jsonCell) {
+	if len(c.chunks) == 0 || len(c.chunks[len(c.chunks)-1]) == cap(c.chunks[len(c.chunks)-1]) {
+		c.chunks = append(c.chunks, make([]jsonCell, 0, ndjsonChunkRows))
+	}
+	last := len(c.chunks) - 1
+	c.chunks[last] = append(c.chunks[last], v)
+	c.n++
+}
+
+// padTo backfills nulls up to row rows (columns that appear late, or
+// rows that omit a key).
+func (c *jsonColumn) padTo(rows int) {
+	for c.n < rows {
+		c.push(jsonCell{kind: kindNull})
+	}
+}
+
+// ndjsonChunkRows is the fixed block size NDJSON cells accumulate in.
+const ndjsonChunkRows = 8192
+
+// ReadNDJSON parses newline-delimited JSON — one flat object per line —
+// into a Frame, streaming through a json.Decoder so the input is never
+// buffered whole. Columns are the union of keys in first-appearance
+// order; rows missing a key get nulls. All-integer number columns
+// become Int64, other all-number columns Float64, booleans Bool, and
+// anything mixed falls back to String (numbers and booleans rendered).
+// Nested objects and arrays are rejected: datasets are tabular.
+func ReadNDJSON(r io.Reader) (*frame.Frame, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+
+	var (
+		cols   []*jsonColumn
+		byName = map[string]*jsonColumn{}
+		rows   int
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading ndjson row %d: %w", rows+1, err)
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			return nil, fmt.Errorf("dataset: ndjson row %d: each line must be a JSON object, got %v", rows+1, tok)
+		}
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("dataset: reading ndjson row %d: %w", rows+1, err)
+			}
+			key := keyTok.(string)
+			cell, err := decodeCell(dec)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: ndjson row %d, key %q: %w", rows+1, key, err)
+			}
+			col, ok := byName[key]
+			if !ok {
+				col = &jsonColumn{name: key}
+				col.padTo(rows)
+				byName[key] = col
+				cols = append(cols, col)
+			}
+			if col.n > rows {
+				return nil, fmt.Errorf("dataset: ndjson row %d repeats key %q", rows+1, key)
+			}
+			col.padTo(rows)
+			col.push(cell)
+		}
+		if _, err := dec.Token(); err != nil { // closing '}'
+			return nil, fmt.Errorf("dataset: reading ndjson row %d: %w", rows+1, err)
+		}
+		rows++
+	}
+	if rows == 0 || len(cols) == 0 {
+		return nil, fmt.Errorf("dataset: ndjson input has no rows")
+	}
+	series := make([]*frame.Series, len(cols))
+	for j, col := range cols {
+		col.padTo(rows)
+		series[j] = buildSeries(col)
+	}
+	return frame.New(series...)
+}
+
+// decodeCell reads one scalar value from the decoder.
+func decodeCell(dec *json.Decoder) (jsonCell, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return jsonCell{}, err
+	}
+	switch v := tok.(type) {
+	case nil:
+		return jsonCell{kind: kindNull}, nil
+	case bool:
+		return jsonCell{kind: kindBool, b: v}, nil
+	case string:
+		return jsonCell{kind: kindString, s: v}, nil
+	case json.Number:
+		if i, err := strconv.ParseInt(v.String(), 10, 64); err == nil {
+			return jsonCell{kind: kindInt, i: i}, nil
+		}
+		f, err := v.Float64()
+		if err != nil {
+			return jsonCell{}, fmt.Errorf("bad number %q: %w", v.String(), err)
+		}
+		return jsonCell{kind: kindFloat, f: f}, nil
+	case json.Delim:
+		return jsonCell{}, fmt.Errorf("nested %v values are not tabular", v)
+	default:
+		return jsonCell{}, fmt.Errorf("unsupported value %v", v)
+	}
+}
+
+// buildSeries unifies one column's cells into the narrowest series
+// type: Int64 ⊂ Float64, Bool, String; any mix falls back to String.
+func buildSeries(col *jsonColumn) *frame.Series {
+	var ints, floats, bools, strs, any int
+	for _, chunk := range col.chunks {
+		for _, c := range chunk {
+			switch c.kind {
+			case kindInt:
+				ints++
+			case kindFloat:
+				floats++
+			case kindBool:
+				bools++
+			case kindString:
+				strs++
+			default:
+				continue
+			}
+			any++
+		}
+	}
+	switch {
+	case any == 0 || ints == any:
+		return buildTyped(col, frame.NewInt64, func(c jsonCell) int64 { return c.i })
+	case ints+floats == any:
+		return buildTyped(col, frame.NewFloat64, func(c jsonCell) float64 {
+			if c.kind == kindInt {
+				return float64(c.i)
+			}
+			return c.f
+		})
+	case bools == any:
+		return buildTyped(col, frame.NewBool, func(c jsonCell) bool { return c.b })
+	case strs == any:
+		return buildTyped(col, frame.NewString, func(c jsonCell) string { return c.s })
+	default:
+		return buildTyped(col, frame.NewString, renderCell)
+	}
+}
+
+// buildTyped materializes a column through one of the frame series
+// constructors, re-marking nulls afterwards.
+func buildTyped[T any](col *jsonColumn, ctor func(string, []T) *frame.Series, get func(jsonCell) T) *frame.Series {
+	vals := make([]T, col.n)
+	nulls := []int(nil)
+	i := 0
+	for _, chunk := range col.chunks {
+		for _, c := range chunk {
+			if c.kind == kindNull {
+				nulls = append(nulls, i)
+			} else {
+				vals[i] = get(c)
+			}
+			i++
+		}
+	}
+	s := ctor(col.name, vals)
+	for _, i := range nulls {
+		s.SetNull(i)
+	}
+	return s
+}
+
+// renderCell formats any scalar cell as text for mixed columns.
+func renderCell(c jsonCell) string {
+	switch c.kind {
+	case kindInt:
+		return strconv.FormatInt(c.i, 10)
+	case kindFloat:
+		return strconv.FormatFloat(c.f, 'g', -1, 64)
+	case kindBool:
+		return strconv.FormatBool(c.b)
+	default:
+		return c.s
+	}
+}

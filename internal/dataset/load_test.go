@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+func TestReadNDJSONTypes(t *testing.T) {
+	f, err := ReadNDJSON(strings.NewReader(
+		`{"id": 1, "score": 0.5, "ok": true, "tag": "x"}
+{"id": 2, "score": 2, "ok": false, "tag": "y"}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]frame.DType{
+		"id": frame.Int64, "score": frame.Float64, "ok": frame.Bool, "tag": frame.String,
+	}
+	for name, dt := range want {
+		if got := f.MustCol(name).DType(); got != dt {
+			t.Errorf("column %q inferred %s, want %s", name, got, dt)
+		}
+	}
+	if f.MustCol("id").Int(1) != 2 || f.MustCol("score").Float(1) != 2 {
+		t.Fatal("values wrong")
+	}
+	// Int widened into a float column.
+	if f.MustCol("score").Float(0) != 0.5 {
+		t.Fatal("float value wrong")
+	}
+	if got := f.Names(); got[0] != "id" || got[3] != "tag" {
+		t.Fatalf("column order %v, want first-appearance", got)
+	}
+}
+
+func TestReadNDJSONMissingAndLateKeys(t *testing.T) {
+	f, err := ReadNDJSON(strings.NewReader(
+		`{"a": 1}
+{"a": 2, "b": "late"}
+{"b": "only"}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := f.MustCol("a"), f.MustCol("b")
+	if !a.IsNull(2) || a.Int(0) != 1 {
+		t.Fatal("missing trailing key not null")
+	}
+	if !b.IsNull(0) || b.Str(1) != "late" {
+		t.Fatal("late column not backfilled")
+	}
+}
+
+func TestReadNDJSONNullsAndMixed(t *testing.T) {
+	f, err := ReadNDJSON(strings.NewReader(
+		`{"v": null, "m": 1}
+{"v": 3, "m": "x"}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.MustCol("v")
+	if !v.IsNull(0) || v.Int(1) != 3 {
+		t.Fatal("null handling wrong")
+	}
+	m := f.MustCol("m")
+	if m.DType() != frame.String || m.Str(0) != "1" || m.Str(1) != "x" {
+		t.Fatalf("mixed column = %s %q %q", m.DType(), m.Str(0), m.Str(1))
+	}
+}
+
+func TestReadNDJSONRejectsNested(t *testing.T) {
+	if _, err := ReadNDJSON(strings.NewReader(`{"a": {"nested": 1}}`)); err == nil {
+		t.Fatal("nested object accepted")
+	}
+	if _, err := ReadNDJSON(strings.NewReader(`{"a": [1,2]}`)); err == nil {
+		t.Fatal("array accepted")
+	}
+	if _, err := ReadNDJSON(strings.NewReader(`[1,2]`)); err == nil {
+		t.Fatal("top-level array accepted")
+	}
+	if _, err := ReadNDJSON(strings.NewReader(``)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadNDJSONBigIntsStayExact(t *testing.T) {
+	f, err := ReadNDJSON(strings.NewReader(
+		`{"n": 9007199254740993}
+{"n": -9007199254740993}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.MustCol("n")
+	if n.DType() != frame.Int64 || n.Int(0) != 9007199254740993 {
+		t.Fatalf("big int column = %s %d", n.DType(), n.Int(0))
+	}
+	if math.Abs(float64(n.Int(0))-9007199254740993) > 2 {
+		t.Fatal("precision sanity")
+	}
+}

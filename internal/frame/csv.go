@@ -1,39 +1,107 @@
 package frame
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
 
-// ReadCSV parses CSV data with a header row into a Frame, inferring column
-// types. Empty cells become nulls. Type inference scans the whole column
-// and picks the narrowest of: Int64, Float64, Bool, String — the same
-// ordering a database loader would use.
-func ReadCSV(r io.Reader) (*Frame, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = false
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("frame: reading csv: %w", err)
+// utf8BOM is the UTF-8 byte-order mark Excel prepends to exported CSVs.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// csvChunkRows is the fixed block size raw column values accumulate in
+// while streaming. Exact-size blocks sidestep append's geometric
+// growth, whose cumulative allocation on a million-row column is
+// several times the final size.
+const csvChunkRows = 8192
+
+// rawColumn accumulates one column's trimmed cell text in fixed-size
+// chunks during the streaming parse.
+type rawColumn struct {
+	chunks [][]string
+	n      int
+}
+
+func (c *rawColumn) push(v string) {
+	if len(c.chunks) == 0 || len(c.chunks[len(c.chunks)-1]) == csvChunkRows {
+		c.chunks = append(c.chunks, make([]string, 0, csvChunkRows))
 	}
-	if len(records) == 0 {
+	last := len(c.chunks) - 1
+	c.chunks[last] = append(c.chunks[last], v)
+	c.n++
+}
+
+// ReadCSV parses CSV data with a header row into a Frame, inferring
+// column types. The parse streams record by record — the whole file is
+// never buffered the way csv.ReadAll would, so peak memory is the
+// column values plus the reader's fixed-size scratch.
+//
+// Cleanup rules, in order:
+//
+//   - A leading UTF-8 byte-order mark (Excel exports) is stripped, so
+//     the first header name is usable with Col as written.
+//   - Header names and cell values are whitespace-trimmed, so padded
+//     numerics like " 42" stay numeric instead of demoting the column
+//     to String.
+//   - Cells empty after trimming become nulls.
+//
+// Type inference scans the whole column and picks the narrowest of:
+// Int64, Float64, Bool, String — the same ordering a database loader
+// would use, with one guard: literal "NaN"/"Inf"/"+Inf"/"-Inf" cells
+// (which strconv.ParseFloat would happily accept) only make a column
+// Float64 when the column also contains at least one finite numeric.
+// A column of nothing but such literals is almost always text (a
+// sentinel export), and coercing it to all-NaN floats silently corrupts
+// drift statistics downstream, so it stays String.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(len(utf8BOM)); err == nil && bytes.Equal(lead, utf8BOM) {
+		if _, err := br.Discard(len(utf8BOM)); err != nil {
+			return nil, fmt.Errorf("frame: reading csv: %w", err)
+		}
+	}
+	cr := csv.NewReader(br)
+	// Each Read allocates one backing string per record and reuses the
+	// field-slice header, so retaining trimmed subslices of the fields
+	// is safe and the [][]string record matrix never materializes.
+	cr.ReuseRecord = true
+
+	header, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("frame: csv has no header row")
 	}
-	header := records[0]
-	rows := records[1:]
-	cols := make([]*Series, len(header))
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading csv header: %w", err)
+	}
+	names := make([]string, len(header))
 	for j, name := range header {
-		raw := make([]string, len(rows))
-		for i, rec := range rows {
-			if j >= len(rec) {
-				return nil, fmt.Errorf("frame: csv row %d has %d fields, header has %d", i+2, len(rec), len(header))
-			}
-			raw[i] = rec[j]
+		names[j] = strings.Clone(strings.TrimSpace(name))
+	}
+
+	raws := make([]rawColumn, len(names))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
 		}
-		cols[j] = inferSeries(strings.TrimSpace(name), raw)
+		if err != nil {
+			// encoding/csv enforces the header's field count, so ragged
+			// rows surface here.
+			return nil, fmt.Errorf("frame: reading csv: %w", err)
+		}
+		for j := range names {
+			raws[j].push(strings.TrimSpace(rec[j]))
+		}
+	}
+
+	cols := make([]*Series, len(names))
+	for j, name := range names {
+		cols[j] = inferChunks(name, &raws[j])
 	}
 	return New(cols...)
 }
@@ -43,70 +111,79 @@ func ReadCSVString(s string) (*Frame, error) {
 	return ReadCSV(strings.NewReader(s))
 }
 
+// inferSeries infers and builds one column from a contiguous slice of
+// trimmed cell text (used by in-memory construction and tests); the
+// streaming reader goes through inferChunks directly.
 func inferSeries(name string, raw []string) *Series {
+	return inferChunks(name, &rawColumn{chunks: [][]string{raw}, n: len(raw)})
+}
+
+// inferChunks scans a chunked raw column twice: one pass to pick the
+// narrowest type (Int64, Float64, Bool, String — with the NaN/Inf guard
+// described on ReadCSV), one pass to build the typed series.
+func inferChunks(name string, raw *rawColumn) *Series {
 	isInt, isFloat, isBool := true, true, true
-	for _, v := range raw {
-		if v == "" {
-			continue
-		}
-		if isInt {
-			if _, err := strconv.ParseInt(v, 10, 64); err != nil {
-				isInt = false
+	hasFinite, hasNonFinite := false, false
+	for _, chunk := range raw.chunks {
+		for _, v := range chunk {
+			if v == "" {
+				continue
 			}
-		}
-		if isFloat {
-			if _, err := strconv.ParseFloat(v, 64); err != nil {
-				isFloat = false
+			if isInt {
+				if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+					isInt = false
+				}
 			}
-		}
-		if isBool {
-			if _, err := strconv.ParseBool(v); err != nil {
-				isBool = false
+			if isFloat {
+				if f, err := strconv.ParseFloat(v, 64); err != nil {
+					isFloat = false
+				} else if math.IsNaN(f) || math.IsInf(f, 0) {
+					hasNonFinite = true
+				} else {
+					hasFinite = true
+				}
+			}
+			if isBool {
+				if _, err := strconv.ParseBool(v); err != nil {
+					isBool = false
+				}
 			}
 		}
 	}
+	var s *Series
+	var set func(i int, v string)
 	switch {
 	case isInt:
-		s := &Series{name: name, dtype: Int64, ints: make([]int64, len(raw))}
-		for i, v := range raw {
-			if v == "" {
-				s.SetNull(i)
-				continue
-			}
-			s.ints[i], _ = strconv.ParseInt(v, 10, 64)
-		}
-		return s
-	case isFloat:
-		s := &Series{name: name, dtype: Float64, floats: make([]float64, len(raw))}
-		for i, v := range raw {
-			if v == "" {
-				s.SetNull(i)
-				continue
-			}
-			s.floats[i], _ = strconv.ParseFloat(v, 64)
-		}
-		return s
+		s = &Series{name: name, dtype: Int64, ints: make([]int64, raw.n)}
+		set = func(i int, v string) { s.ints[i], _ = strconv.ParseInt(v, 10, 64) }
+	// A column whose only parseable floats are NaN/Inf literals falls
+	// through to String: see the ReadCSV doc comment.
+	case isFloat && (hasFinite || !hasNonFinite):
+		s = &Series{name: name, dtype: Float64, floats: make([]float64, raw.n)}
+		set = func(i int, v string) { s.floats[i], _ = strconv.ParseFloat(v, 64) }
 	case isBool:
-		s := &Series{name: name, dtype: Bool, bools: make([]bool, len(raw))}
-		for i, v := range raw {
-			if v == "" {
-				s.SetNull(i)
-				continue
-			}
-			s.bools[i], _ = strconv.ParseBool(v)
-		}
-		return s
+		s = &Series{name: name, dtype: Bool, bools: make([]bool, raw.n)}
+		set = func(i int, v string) { s.bools[i], _ = strconv.ParseBool(v) }
 	default:
-		s := &Series{name: name, dtype: String, strings: make([]string, len(raw))}
-		for i, v := range raw {
+		// Clone: raw cells are subslices of each csv record's shared
+		// backing string, so storing them as-is would pin every row's
+		// full bytes behind one short cell and blow the resident-size
+		// accounting (dataset.SizeOf) the registry budget relies on.
+		s = &Series{name: name, dtype: String, strings: make([]string, raw.n)}
+		set = func(i int, v string) { s.strings[i] = strings.Clone(v) }
+	}
+	i := 0
+	for _, chunk := range raw.chunks {
+		for _, v := range chunk {
 			if v == "" {
 				s.SetNull(i)
-				continue
+			} else {
+				set(i, v)
 			}
-			s.strings[i] = v
+			i++
 		}
-		return s
 	}
+	return s
 }
 
 // WriteCSV serializes the frame as CSV with a header row; nulls render as

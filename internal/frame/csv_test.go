@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -135,6 +136,74 @@ func TestCSVRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReadCSVStripsBOM(t *testing.T) {
+	// Excel-exported CSVs lead with a UTF-8 BOM; TrimSpace alone leaves
+	// it glued to the first header name and Col("id") fails.
+	f, err := ReadCSVString("\uFEFFid,v\n1,2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Col("id")
+	if err != nil {
+		t.Fatalf("BOM left on first header: %v", err)
+	}
+	if c.DType() != Int64 || c.Int(0) != 1 {
+		t.Fatalf("id column = %s %v", c.DType(), c.Value(0))
+	}
+}
+
+func TestReadCSVTrimsCells(t *testing.T) {
+	f, err := ReadCSVString("n, s ,b\n 42 , x ,  \n7,y, true \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.MustCol("n").DType(); got != Int64 {
+		t.Fatalf("padded numeric column inferred %s, want int64", got)
+	}
+	if f.MustCol("n").Int(0) != 42 {
+		t.Fatalf("padded numeric = %v", f.MustCol("n").Value(0))
+	}
+	if got := f.MustCol("s").Str(0); got != "x" {
+		t.Fatalf("string cell = %q, want trimmed", got)
+	}
+	if !f.MustCol("b").IsNull(0) {
+		t.Fatal("whitespace-only cell not null")
+	}
+	if !f.MustCol("b").Boolv(1) {
+		t.Fatal("padded bool not parsed")
+	}
+}
+
+func TestReadCSVNonFiniteLiteralColumnStaysString(t *testing.T) {
+	// strconv.ParseFloat accepts these, but a column of nothing but
+	// NaN/Inf literals is text, not an all-NaN float column.
+	f, err := ReadCSVString("s\nNaN\nInf\n+Inf\n-Inf\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.MustCol("s")
+	if c.DType() != String {
+		t.Fatalf("NaN-literal column inferred %s, want string", c.DType())
+	}
+	if c.Str(0) != "NaN" || c.Str(2) != "+Inf" {
+		t.Fatalf("literal values lost: %q %q", c.Str(0), c.Str(2))
+	}
+}
+
+func TestReadCSVNonFiniteWithNumericsIsFloat(t *testing.T) {
+	f, err := ReadCSVString("v\n1.5\nNaN\n-Inf\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.MustCol("v")
+	if c.DType() != Float64 {
+		t.Fatalf("mixed finite/non-finite column inferred %s, want float64", c.DType())
+	}
+	if c.Float(0) != 1.5 || !math.IsNaN(c.Float(1)) || !math.IsInf(c.Float(2), -1) {
+		t.Fatalf("values = %v %v %v", c.Float(0), c.Float(1), c.Float(2))
 	}
 }
 

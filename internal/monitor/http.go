@@ -40,6 +40,12 @@ type SpecWire struct {
 	// Seed drives each window audit's stochastic steps (default 1).
 	Seed uint64 `json:"seed,omitempty"`
 
+	// BaselineRef pins a registry-resident dataset (its content hash
+	// from POST /v1/datasets) as the drift baseline at registration
+	// time, instead of baselining the first stream window. The dataset
+	// stays pinned — unevictable — until the monitor is deleted.
+	BaselineRef string `json:"baseline_ref,omitempty"`
+
 	// WindowMS is the window width in stream milliseconds
 	// (default 60000).
 	WindowMS int64 `json:"window_ms,omitempty"`
@@ -257,8 +263,9 @@ func (wire *SpecWire) spec() (Spec, error) {
 		sinks = append(sinks, &WebhookSink{URL: wire.Webhook})
 	}
 	return Spec{
-		Name:   wire.Name,
-		Policy: pol,
+		Name:        wire.Name,
+		BaselineRef: wire.BaselineRef,
+		Policy:      pol,
 		Train: core.TrainSpec{
 			Target:       httpx.StringOr(wire.Target, "approved"),
 			Sensitive:    httpx.StringOr(wire.Sensitive, "group"),

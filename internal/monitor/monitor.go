@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/serve"
@@ -36,6 +37,15 @@ type Spec struct {
 	Window WindowConfig
 	// Drift parameterizes PSI/KS scoring against the pinned baseline.
 	Drift DriftConfig
+	// BaselineRef, when set, pins the drift baseline at registration
+	// time from the dataset registry (RegistryConfig.Datasets) instead
+	// of waiting for the first auditable window: the named dataset is
+	// audited once, its drift profile precomputed, and the dataset
+	// pinned in the registry so LRU eviction cannot drop a standing
+	// monitor's baseline. The pin is released when the monitor is
+	// deleted. Every stream window — the first included — is then
+	// scored against this baseline.
+	BaselineRef string
 	// AuditEvery is the audit cadence in windows: 1 audits every window,
 	// N audits every Nth (default 1). Drift breaches force an immediate
 	// off-cadence audit regardless.
@@ -127,6 +137,9 @@ type RegistryConfig struct {
 	// Engine runs the per-window audits. Required; shared with the
 	// request/response plane so both compete fairly for workers.
 	Engine *serve.Engine
+	// Datasets, when set, lets monitor registrations pin a resident
+	// dataset as their drift baseline by content ref (Spec.BaselineRef).
+	Datasets *dataset.Registry
 	// Sinks receive every monitor's alerts (e.g. one LogSink).
 	Sinks []Sink
 }
@@ -215,7 +228,10 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 }
 
 // Register validates the spec, creates the monitor, and starts its
-// re-audit schedule (when configured).
+// re-audit schedule (when configured). A spec carrying a BaselineRef
+// resolves and pins the dataset in the dataset registry, audits it,
+// and precomputes its drift profile before the monitor goes live — a
+// failed baseline audit fails the whole registration.
 func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("monitor: spec needs a name")
@@ -228,15 +244,28 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 		return nil, err
 	}
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return nil, fmt.Errorf("monitor: registry closed")
-	}
-	for _, m := range r.monitors {
-		if m.spec.Name == spec.Name {
-			return nil, fmt.Errorf("monitor: name %q already registered as %s", spec.Name, m.id)
+	// Resolve and pin the baseline before the monitor exists: the pin
+	// shields the dataset from LRU eviction for the monitor's lifetime.
+	var baseline *frame.Frame
+	if spec.BaselineRef != "" {
+		if r.cfg.Datasets == nil {
+			return nil, fmt.Errorf("monitor: spec has baseline_ref %q but the registry has no dataset registry", spec.BaselineRef)
 		}
+		f, ok := r.cfg.Datasets.Pin(spec.BaselineRef)
+		if !ok {
+			return nil, fmt.Errorf("monitor: unknown baseline_ref %q (load it first via POST /v1/datasets)", spec.BaselineRef)
+		}
+		baseline = f
+	}
+
+	// Reserve an id up front; the monitor is NOT published until its
+	// baseline (if any) is pinned, so Get/List/Delete/Ingest can never
+	// observe a half-initialized monitor mid-baseline-audit.
+	r.mu.Lock()
+	if err := r.checkRegistrableLocked(spec.Name); err != nil {
+		r.mu.Unlock()
+		r.unpinDataset(spec.BaselineRef)
+		return nil, err
 	}
 	r.seq++
 	m := &Monitor{
@@ -246,12 +275,57 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 		win:  newWindower(spec.Window),
 		stop: make(chan struct{}),
 	}
+	r.mu.Unlock()
+
+	if baseline != nil {
+		// The baseline audit runs outside r.mu (audits can be slow and
+		// must not block the registry).
+		if err := m.pinBaseline(baseline, spec.BaselineRef); err != nil {
+			m.stopSchedule()
+			m.releasePin()
+			return nil, err
+		}
+	}
+
+	r.mu.Lock()
+	// Re-check: the registry may have closed, or a same-name Register
+	// may have won the race, while the baseline audit ran.
+	if err := r.checkRegistrableLocked(spec.Name); err != nil {
+		r.mu.Unlock()
+		m.stopSchedule()
+		m.releasePin()
+		return nil, err
+	}
 	r.monitors[m.id] = m
 	r.metrics.bump(&r.metrics.monitorsTotal, 1)
+	r.mu.Unlock()
+
 	if spec.ReauditEvery > 0 {
 		go m.reauditLoop(spec.ReauditEvery)
 	}
 	return m, nil
+}
+
+// checkRegistrableLocked rejects registration on a closed registry or
+// a duplicate monitor name; callers hold r.mu.
+func (r *Registry) checkRegistrableLocked(name string) error {
+	if r.closed {
+		return fmt.Errorf("monitor: registry closed")
+	}
+	for _, m := range r.monitors {
+		if m.spec.Name == name {
+			return fmt.Errorf("monitor: name %q already registered as %s", name, m.id)
+		}
+	}
+	return nil
+}
+
+// unpinDataset releases a baseline pin, tolerating an empty ref or an
+// absent dataset registry.
+func (r *Registry) unpinDataset(ref string) {
+	if ref != "" && r.cfg.Datasets != nil {
+		r.cfg.Datasets.Unpin(ref)
+	}
 }
 
 // Get returns the monitor with the given id.
@@ -279,7 +353,8 @@ func (r *Registry) List() []Summary {
 }
 
 // Delete stops and removes the monitor with the given id, reporting
-// whether it existed.
+// whether it existed. A baseline pinned from the dataset registry is
+// released, making the dataset evictable again.
 func (r *Registry) Delete(id string) bool {
 	r.mu.Lock()
 	m, ok := r.monitors[id]
@@ -287,6 +362,7 @@ func (r *Registry) Delete(id string) bool {
 	r.mu.Unlock()
 	if ok {
 		m.stopSchedule()
+		m.releasePin()
 	}
 	return ok
 }
@@ -305,6 +381,7 @@ func (r *Registry) Close() {
 	r.mu.Unlock()
 	for _, m := range ms {
 		m.stopSchedule()
+		m.releasePin()
 	}
 }
 
@@ -389,6 +466,9 @@ type Monitor struct {
 
 	stop     chan struct{}
 	stopOnce sync.Once
+	// releaseOnce guards the baseline dataset unpin so Delete, Close,
+	// and a failed registration cannot double-release the pin.
+	releaseOnce sync.Once
 }
 
 // ID returns the registry-assigned monitor id.
@@ -396,6 +476,44 @@ func (m *Monitor) ID() string { return m.id }
 
 // Spec returns the monitor's effective (defaulted) spec.
 func (m *Monitor) Spec() Spec { return m.spec }
+
+// pinBaseline audits a registry-resident dataset and installs it as
+// the pinned drift baseline at registration time (Spec.BaselineRef).
+// The history entry uses window index -1: the baseline precedes the
+// stream, so every real window — index 0 included — is drift-scored
+// against it. ref doubles as the dataset's content hash, so the audit
+// submit never re-hashes the (possibly 1M-row) frame.
+func (m *Monitor) pinBaseline(f *frame.Frame, ref string) error {
+	m.procMu.Lock()
+	defer m.procMu.Unlock()
+	entry := WindowEntry{Window: -1, Rows: f.NumRows(), Baseline: true}
+	m.audit(f, &entry, ref)
+	if entry.Error != "" {
+		m.appendHistory(entry)
+		return fmt.Errorf("monitor: baseline_ref %q audit failed: %s", ref, entry.Error)
+	}
+	prof, err := NewBaselineProfile(f, m.spec.Drift)
+	if err != nil {
+		entry.Error = err.Error()
+		m.appendHistory(entry)
+		return fmt.Errorf("monitor: baseline_ref %q profile: %w", ref, err)
+	}
+	m.profile = prof
+	m.reg.metrics.bump(&m.reg.metrics.profileBuilds, 1)
+	m.reg.metrics.bumpMillis(&m.reg.metrics.profileBuildMillis, prof.BuildTime())
+	info := prof.Info()
+	m.mu.Lock()
+	m.baseGrade = entry.Grade
+	m.profileInfo = &info
+	m.mu.Unlock()
+	m.appendHistory(entry)
+	return nil
+}
+
+// releasePin releases the baseline dataset pin exactly once.
+func (m *Monitor) releasePin() {
+	m.releaseOnce.Do(func() { m.reg.unpinDataset(m.spec.BaselineRef) })
+}
 
 // Ingest feeds arrivals (in non-decreasing time order) through the
 // windower, auditing every window the advancing watermark closes.
@@ -473,7 +591,7 @@ func (m *Monitor) Reaudit(scheduled bool) {
 		Scheduled: scheduled,
 		Reaudits:  1,
 	}
-	m.audit(m.lastFrame, &entry)
+	m.audit(m.lastFrame, &entry, "")
 	m.recordReaudit(entry)
 }
 
@@ -558,7 +676,7 @@ func (m *Monitor) processWindow(w *closedWindow) {
 		// baseline, and precompute the baseline profile every later
 		// window is scored against.
 		entry.Baseline = true
-		m.audit(f, &entry)
+		m.audit(f, &entry, "")
 		if entry.Error == "" {
 			prof, perr := NewBaselineProfile(f, m.spec.Drift)
 			if perr != nil {
@@ -605,7 +723,7 @@ func (m *Monitor) processWindow(w *closedWindow) {
 		})
 	}
 	if breached || m.sinceAudit >= m.spec.AuditEvery {
-		m.audit(f, &entry)
+		m.audit(f, &entry, "")
 		m.sinceAudit = 0
 	}
 	m.appendHistory(entry)
@@ -613,15 +731,22 @@ func (m *Monitor) processWindow(w *closedWindow) {
 
 // audit runs one FACT audit of f through the shared engine, filling the
 // entry's report/grade and firing grade-regression or failure alerts.
-// Callers hold m.procMu; m.mu is taken only for the state updates, so
-// readers never wait on the engine or on sink delivery.
-func (m *Monitor) audit(f *frame.Frame, entry *WindowEntry) {
+// dataHash, when non-empty, is f's known content hash (a dataset
+// registry ref) and lets the engine skip re-hashing f for its report
+// cache. Callers hold m.procMu; m.mu is taken only for the state
+// updates, so readers never wait on the engine or on sink delivery.
+func (m *Monitor) audit(f *frame.Frame, entry *WindowEntry, dataHash string) {
+	name := fmt.Sprintf("%s/window-%05d", m.spec.Name, entry.Window)
+	if entry.Window < 0 {
+		name = m.spec.Name + "/baseline"
+	}
 	req := &serve.Request{
-		Dataset: fmt.Sprintf("%s/window-%05d", m.spec.Name, entry.Window),
-		Data:    f,
-		Policy:  m.spec.Policy,
-		Spec:    m.spec.Train,
-		Seed:    m.spec.Seed,
+		Dataset:  name,
+		Data:     f,
+		DataHash: dataHash,
+		Policy:   m.spec.Policy,
+		Spec:     m.spec.Train,
+		Seed:     m.spec.Seed,
 	}
 	id, err := m.reg.cfg.Engine.Submit(req)
 	if err == nil {

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/httpx"
 	"github.com/responsible-data-science/rds/internal/policy"
@@ -18,11 +19,18 @@ import (
 )
 
 // AuditRequestWire is the JSON body of POST /v1/audit. Exactly one data
-// source must be set: CSV (inline), Path (server-local file), or
-// Synthetic (generated demo data).
+// source must be set: DatasetRef (a resident dataset's content hash),
+// CSV (inline), Path (server-local file), or Synthetic (generated demo
+// data).
 type AuditRequestWire struct {
-	// Dataset names the data in reports (default "dataset").
+	// Dataset names the data in reports (default "dataset", or the
+	// registry name when auditing by DatasetRef).
 	Dataset string `json:"dataset,omitempty"`
+	// DatasetRef is the content hash of a dataset made resident via
+	// POST /v1/datasets: the audit resolves the loaded frame from the
+	// registry in O(1) instead of re-uploading and re-parsing, and the
+	// ref doubles as the report-cache data hash (no re-hash).
+	DatasetRef string `json:"dataset_ref,omitempty"`
 	// CSV is an inline CSV document with a header row.
 	CSV string `json:"csv,omitempty"`
 	// Path is a server-local CSV file to audit.
@@ -132,6 +140,10 @@ type Handler struct {
 	// MonitorMetrics, when set, contributes the monitoring plane's
 	// gauge snapshot to GET /metrics as the "monitor" field.
 	MonitorMetrics func() any
+	// Datasets, when set, handles every /v1/datasets request and lets
+	// audit requests resolve by "dataset_ref"; its registry gauges are
+	// merged into GET /metrics as the "datasets" field.
+	Datasets *dataset.Handler
 }
 
 // NewHandler wraps the engine in the HTTP API.
@@ -146,6 +158,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.getAudit(w, r)
 	case strings.HasPrefix(r.URL.Path, "/v1/monitors") && h.Monitors != nil:
 		h.Monitors.ServeHTTP(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/datasets") && h.Datasets != nil:
+		h.Datasets.ServeHTTP(w, r)
 	case r.URL.Path == "/healthz":
 		h.healthz(w, r)
 	case r.URL.Path == "/metrics":
@@ -224,19 +238,28 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // metrics renders the engine snapshot, with the monitoring plane's
-// gauges merged in under "monitor" when that plane is mounted. The
-// engine's field names stay at the top level so existing scrapers keep
-// working; see README "Metrics reference" for the stable field list.
+// gauges merged in under "monitor" and the dataset registry's under
+// "datasets" when those planes are mounted. The engine's field names
+// stay at the top level so existing scrapers keep working; see README
+// "Metrics reference" for the stable field list.
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	snap := h.engine.Metrics().Snapshot()
-	if h.MonitorMetrics == nil {
+	if h.MonitorMetrics == nil && h.Datasets == nil {
 		httpx.WriteJSON(w, http.StatusOK, snap)
 		return
 	}
-	httpx.WriteJSON(w, http.StatusOK, struct {
+	merged := struct {
 		Snapshot
-		Monitor any `json:"monitor"`
-	}{snap, h.MonitorMetrics()})
+		Monitor  any `json:"monitor,omitempty"`
+		Datasets any `json:"datasets,omitempty"`
+	}{Snapshot: snap}
+	if h.MonitorMetrics != nil {
+		merged.Monitor = h.MonitorMetrics()
+	}
+	if h.Datasets != nil {
+		merged.Datasets = h.Datasets.Registry().Metrics()
+	}
+	httpx.WriteJSON(w, http.StatusOK, merged)
 }
 
 // decodeWire parses the request body: JSON requests as-is, raw CSV
@@ -307,21 +330,34 @@ func wireFromQuery(r *http.Request, csv string) (*AuditRequestWire, error) {
 // buildRequest materializes the dataset and assembles the engine request.
 func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
 	sources := 0
-	for _, set := range []bool{wire.CSV != "", wire.Path != "", wire.Synthetic != nil} {
+	for _, set := range []bool{wire.DatasetRef != "", wire.CSV != "", wire.Path != "", wire.Synthetic != nil} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, errors.New("exactly one of csv, path, or synthetic must be set")
+		return nil, errors.New("exactly one of dataset_ref, csv, path, or synthetic must be set")
 	}
 
 	var (
-		data *frame.Frame
-		err  error
-		name = wire.Dataset
+		data     *frame.Frame
+		dataHash string
+		err      error
+		name     = wire.Dataset
 	)
 	switch {
+	case wire.DatasetRef != "":
+		if h.Datasets == nil {
+			return nil, errors.New("dataset_ref audits are disabled on this server (no dataset registry)")
+		}
+		f, meta, ok := h.Datasets.Registry().Resolve(wire.DatasetRef)
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset_ref %q (load it first via POST /v1/datasets)", wire.DatasetRef)
+		}
+		data, dataHash = f, meta.Ref
+		if name == "" {
+			name = meta.Name
+		}
 	case wire.CSV != "":
 		data, err = frame.ReadCSVString(wire.CSV)
 	case wire.Path != "":
@@ -364,11 +400,12 @@ func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
 		Epochs:       wire.Epochs,
 	}
 	return &Request{
-		Dataset: httpx.StringOr(name, "dataset"),
-		Data:    data,
-		Policy:  pol,
-		Spec:    spec,
-		Seed:    wire.Seed,
-		Shards:  wire.Shards,
+		Dataset:  httpx.StringOr(name, "dataset"),
+		Data:     data,
+		DataHash: dataHash,
+		Policy:   pol,
+		Spec:     spec,
+		Seed:     wire.Seed,
+		Shards:   wire.Shards,
 	}, nil
 }

@@ -11,9 +11,50 @@ import (
 // estimates are computed over.
 const latencyWindow = 1024
 
-// Metrics aggregates engine counters and a sliding window of job
+// latencyRing is a fixed-capacity sliding window of job latencies;
+// callers synchronize access.
+type latencyRing struct {
+	buf   []time.Duration
+	next  int
+	count int
+}
+
+func newLatencyRing() latencyRing {
+	return latencyRing{buf: make([]time.Duration, latencyWindow)}
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyWindow
+	if r.count < latencyWindow {
+		r.count++
+	}
+}
+
+// quantiles returns the (p50, p99) of the window in milliseconds, or
+// zeros for an empty window.
+func (r *latencyRing) quantiles() (p50, p99 float64) {
+	if r.count == 0 {
+		return 0, 0
+	}
+	window := make([]time.Duration, r.count)
+	copy(window, r.buf[:r.count])
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return quantile(window, 0.50), quantile(window, 0.99)
+}
+
+// Metrics aggregates engine counters and sliding windows of job
 // latencies. All methods are safe for concurrent use; Snapshot renders
 // the current state for /metrics.
+//
+// Latencies are windowed twice: every finished job lands in the
+// combined window (p50_millis/p99_millis), while only executed audits
+// land in the exec window (p50_exec_millis/p99_exec_millis). Cache
+// hits finish in microseconds, so at high hit rates the combined
+// quantiles tell the client story (most requests are instant) while
+// the exec quantiles keep telling the capacity story — before the
+// split, hits dragged the only quantiles toward zero and masked slow
+// audits.
 type Metrics struct {
 	mu            sync.Mutex
 	workers       int
@@ -24,13 +65,12 @@ type Metrics struct {
 	jobsRunning   int
 	cacheHits     uint64
 	cacheMisses   uint64
-	latencies     []time.Duration // ring buffer of the last latencyWindow jobs
-	latNext       int
-	latCount      int
+	all           latencyRing // every finished job, cache hits included
+	exec          latencyRing // executed (non-hit) audits only
 }
 
 func newMetrics(workers int) *Metrics {
-	return &Metrics{workers: workers, latencies: make([]time.Duration, latencyWindow)}
+	return &Metrics{workers: workers, all: newLatencyRing(), exec: newLatencyRing()}
 }
 
 func (m *Metrics) submitted() { m.mu.Lock(); m.jobsSubmitted++; m.mu.Unlock() }
@@ -40,27 +80,32 @@ func (m *Metrics) cacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *Metrics) started()   { m.mu.Lock(); m.jobsRunning++; m.mu.Unlock() }
 func (m *Metrics) stopped()   { m.mu.Lock(); m.jobsRunning--; m.mu.Unlock() }
 
+// completed records one executed audit's latency.
 func (m *Metrics) completed(d time.Duration) {
 	m.mu.Lock()
 	m.jobsCompleted++
-	m.observe(d)
+	m.all.observe(d)
+	m.exec.observe(d)
 	m.mu.Unlock()
 }
 
+// completedHit records a cache-hit job: it counts as completed and
+// lands in the combined window, but stays out of the exec window so
+// the exec quantiles keep measuring real audit latency.
+func (m *Metrics) completedHit(d time.Duration) {
+	m.mu.Lock()
+	m.jobsCompleted++
+	m.all.observe(d)
+	m.mu.Unlock()
+}
+
+// failed records one failed (executed) audit's latency.
 func (m *Metrics) failed(d time.Duration) {
 	m.mu.Lock()
 	m.jobsFailed++
-	m.observe(d)
+	m.all.observe(d)
+	m.exec.observe(d)
 	m.mu.Unlock()
-}
-
-// observe records one latency; callers hold m.mu.
-func (m *Metrics) observe(d time.Duration) {
-	m.latencies[m.latNext] = d
-	m.latNext = (m.latNext + 1) % latencyWindow
-	if m.latCount < latencyWindow {
-		m.latCount++
-	}
 }
 
 // Snapshot is a point-in-time, JSON-serializable view of the metrics.
@@ -78,11 +123,18 @@ type Snapshot struct {
 	CacheHitRate  float64 `json:"cache_hit_rate"` // hits / (hits+misses), 0 when no lookups
 	// LatencyWindow is the sliding-window capacity (in jobs) the
 	// latency quantiles are computed over; LatencySamples is how many
-	// finished jobs currently populate it.
-	LatencyWindow  int     `json:"latency_window"`
-	LatencySamples int     `json:"latency_samples"`
-	P50Millis      float64 `json:"p50_millis"` // median job latency over the window
-	P99Millis      float64 `json:"p99_millis"`
+	// finished jobs currently populate the combined window and
+	// ExecLatencySamples the executed-only window.
+	LatencyWindow      int `json:"latency_window"`
+	LatencySamples     int `json:"latency_samples"`
+	ExecLatencySamples int `json:"exec_latency_samples"`
+	// P50Millis/P99Millis cover every finished job, cache hits
+	// included; P50ExecMillis/P99ExecMillis cover executed audits only,
+	// so a rising hit rate cannot drag them toward zero.
+	P50Millis     float64 `json:"p50_millis"`
+	P99Millis     float64 `json:"p99_millis"`
+	P50ExecMillis float64 `json:"p50_exec_millis"`
+	P99ExecMillis float64 `json:"p99_exec_millis"`
 }
 
 // Snapshot renders the current counters and latency quantiles.
@@ -90,27 +142,23 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Workers:        m.workers,
-		JobsSubmitted:  m.jobsSubmitted,
-		JobsRejected:   m.jobsRejected,
-		JobsCompleted:  m.jobsCompleted,
-		JobsFailed:     m.jobsFailed,
-		JobsRunning:    m.jobsRunning,
-		CacheHits:      m.cacheHits,
-		CacheMisses:    m.cacheMisses,
-		LatencyWindow:  latencyWindow,
-		LatencySamples: m.latCount,
+		Workers:            m.workers,
+		JobsSubmitted:      m.jobsSubmitted,
+		JobsRejected:       m.jobsRejected,
+		JobsCompleted:      m.jobsCompleted,
+		JobsFailed:         m.jobsFailed,
+		JobsRunning:        m.jobsRunning,
+		CacheHits:          m.cacheHits,
+		CacheMisses:        m.cacheMisses,
+		LatencyWindow:      latencyWindow,
+		LatencySamples:     m.all.count,
+		ExecLatencySamples: m.exec.count,
 	}
 	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
 	}
-	if m.latCount > 0 {
-		window := make([]time.Duration, m.latCount)
-		copy(window, m.latencies[:m.latCount])
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		s.P50Millis = quantile(window, 0.50)
-		s.P99Millis = quantile(window, 0.99)
-	}
+	s.P50Millis, s.P99Millis = m.all.quantiles()
+	s.P50ExecMillis, s.P99ExecMillis = m.exec.quantiles()
 	return s
 }
 

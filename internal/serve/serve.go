@@ -106,6 +106,13 @@ type Request struct {
 	// audit's row-scans (0 inherits Config.Shards). Not part of the
 	// cache key: results are shard-invariant by construction.
 	Shards int
+	// DataHash optionally carries Data's precomputed content hash —
+	// a dataset-registry ref (internal/dataset). When set, the engine
+	// trusts it and skips re-hashing Data for the report-cache key, so
+	// a resolve-by-ref submit costs O(1) in dataset size. It MUST equal
+	// Data.Hash(); handing the engine a wrong hash serves mislabeled
+	// cached reports.
+	DataHash string
 }
 
 // Status is a job's lifecycle state.
@@ -276,7 +283,7 @@ func (e *Engine) Submit(req *Request) (string, error) {
 			close(j.done)
 			e.register(j)
 			e.retainFinished(j.id)
-			e.metrics.completed(j.finished.Sub(j.submitted))
+			e.metrics.completedHit(j.finished.Sub(j.submitted))
 			return j.id, nil
 		}
 		e.metrics.cacheMiss()
@@ -454,11 +461,16 @@ func (e *Engine) nextID() string {
 // are cached separately rather than served a mislabeled report. The
 // shard count is deliberately excluded: the exec merge is
 // shard-invariant, so a report computed at any Shards answers requests
-// at every Shards.
+// at every Shards. A request carrying DataHash (a dataset-registry
+// ref IS the content hash) short-circuits the O(dataset) re-hash.
 func cacheKey(req *Request) string {
+	dataHash := req.DataHash
+	if dataHash == "" {
+		dataHash = req.Data.Hash()
+	}
 	return provenance.HashStrings(
 		req.Dataset,
-		req.Data.Hash(),
+		dataHash,
 		req.Policy.Hash(),
 		specHash(req.Spec),
 		strconv.FormatUint(req.Seed, 10),
