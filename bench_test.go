@@ -345,6 +345,113 @@ func BenchmarkDriftBaseline(b *testing.B) {
 	}
 }
 
+// BenchmarkSlidingReaudit measures what the chunk-state cache buys a
+// sliding-window re-audit at a 1M-row window (100 chunks of 10k rows).
+// Per iteration the window advances by delta chunks and is re-scored
+// against the pinned baseline profile. The "rescan" arm is the legacy
+// path the monitor falls back to — materialize the window frame with
+// the same Append chain processWindow uses, then DetectDriftProfiled
+// over the 1M flat rows. The "incremental" arm is ChunkScorer.Score:
+// surviving chunk states come out of the cache, so only the delta rows
+// are scanned and the per-column merge is O(window) pointer-free
+// folding. The two reports are byte-identical — asserted before any
+// timer starts — so only cost moves; at a 1% delta the incremental arm
+// must be ≥10x faster (the acceptance bar BENCH_6.json records).
+func BenchmarkSlidingReaudit(b *testing.B) {
+	const (
+		partRows    = 10_000
+		windowParts = 100 // 1M-row window
+		poolParts   = 200 // ring of distinct chunks the window slides over
+	)
+	pool, err := synth.Credit(synth.CreditConfig{N: poolParts * partRows, Bias: 0.5, Seed: 61})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := make([]monitor.Chunk, poolParts)
+	for i := range parts {
+		rows := pool.Slice(i*partRows, (i+1)*partRows)
+		parts[i] = monitor.Chunk{Rows: rows, Hash: rows.Hash()}
+	}
+	window := func(start int) []monitor.Chunk {
+		out := make([]monitor.Chunk, windowParts)
+		for j := range out {
+			out[j] = parts[(start+j)%poolParts]
+		}
+		return out
+	}
+	materialize := func(chunks []monitor.Chunk) *frame.Frame {
+		out := chunks[0].Rows
+		for _, ch := range chunks[1:] {
+			var err error
+			if out, err = out.Append(ch.Rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return out
+	}
+
+	baseline := materialize(window(0))
+	prof, err := monitor.NewBaselineProfile(baseline, monitor.DriftConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Bit-identity gate: the incremental report must match the rescan
+	// report exactly before either arm is worth timing.
+	{
+		sc, err := monitor.NewChunkScorer(prof, dataset.NewStateCache(dataset.DefaultStateBudgetBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := window(windowParts / 2)
+		inc, err := sc.Score(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want, err := monitor.DetectDriftProfiled(prof, materialize(w))
+		if err != nil {
+			b.Fatal(err)
+		}
+		incJSON, _ := json.Marshal(inc)
+		wantJSON, _ := json.Marshal(want)
+		if string(incJSON) != string(wantJSON) {
+			b.Fatalf("incremental report diverged from rescan:\n%s\nvs\n%s", incJSON, wantJSON)
+		}
+	}
+
+	for _, deltaParts := range []int{1, 10, 100} {
+		pct := deltaParts * 100 / windowParts
+		b.Run(fmt.Sprintf("delta=%d%%/incremental", pct), func(b *testing.B) {
+			cache := dataset.NewStateCache(dataset.DefaultStateBudgetBytes)
+			sc, err := monitor.NewChunkScorer(prof, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sc.Score(window(0)); err != nil { // warm the starting window's states
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Score(window((i + 1) * deltaParts)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(windowParts*partRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+		})
+		b.Run(fmt.Sprintf("delta=%d%%/rescan", pct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := materialize(window((i + 1) * deltaParts))
+				if _, err := monitor.DetectDriftProfiled(prof, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(windowParts*partRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "windows/s")
+		})
+	}
+}
+
 // BenchmarkMonitorWindow measures the monitoring plane's steady-state
 // per-window cost: after a one-time baseline audit, every iteration
 // ingests one 500-row window plus the heartbeat that closes it, paying

@@ -12,6 +12,7 @@
 //	rds-serve [-addr :8080] [-workers N] [-shards N] [-queue 64]
 //	          [-timeout 60s] [-cache 128] [-allow-paths]
 //	          [-dataset-budget-bytes 268435456]
+//	          [-chunk-cache-bytes 67108864]
 //	          [-monitor-history 64] [-monitor-reaudit 0]
 //
 // Endpoints:
@@ -68,6 +69,7 @@ func main() {
 	cache := flag.Int("cache", 128, "report cache entries (negative disables)")
 	allowPaths := flag.Bool("allow-paths", false, "allow audits of server-local CSV paths")
 	datasetBudget := flag.Int64("dataset-budget-bytes", dataset.DefaultBudgetBytes, "byte budget for registry-resident datasets (LRU-evicted, monitor baselines pinned)")
+	chunkCacheBytes := flag.Int64("chunk-cache-bytes", dataset.DefaultStateBudgetBytes, "byte budget for cached per-chunk drift states powering incremental O(delta) sliding-window re-audits (0 disables; a miss falls back to a full rescan)")
 	monHistory := flag.Int("monitor-history", monitor.DefaultHistory, "default per-monitor window-history ring size")
 	monReaudit := flag.Duration("monitor-reaudit", 0, "default scheduled re-audit interval for monitors that omit one (0 disables)")
 	flag.Parse()
@@ -80,10 +82,15 @@ func main() {
 		Shards:     *shards,
 	})
 	datasets := dataset.NewRegistry(*datasetBudget)
+	var chunkStates *dataset.StateCache
+	if *chunkCacheBytes > 0 {
+		chunkStates = dataset.NewStateCache(*chunkCacheBytes)
+	}
 	registry, err := monitor.NewRegistry(monitor.RegistryConfig{
-		Engine:   engine,
-		Datasets: datasets,
-		Sinks:    []monitor.Sink{&monitor.LogSink{}},
+		Engine:      engine,
+		Datasets:    datasets,
+		ChunkStates: chunkStates,
+		Sinks:       []monitor.Sink{&monitor.LogSink{}},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
@@ -99,6 +106,7 @@ func main() {
 	monitors.DefaultReaudit = *monReaudit
 	handler.Monitors = monitors
 	handler.MonitorMetrics = func() any { return registry.Metrics() }
+	handler.ChunkStates = chunkStates
 
 	server := &http.Server{
 		Addr:              *addr,
@@ -116,8 +124,12 @@ func main() {
 	}()
 
 	cfg := engine.Config()
-	fmt.Printf("rds-serve listening on %s (%d workers, %d shards/audit, queue %d, cache %d, timeout %s, dataset budget %d MiB, monitor history %d)\n",
-		*addr, cfg.Workers, cfg.Shards, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, datasets.Budget()>>20, *monHistory)
+	chunkBudget := "off"
+	if chunkStates != nil {
+		chunkBudget = fmt.Sprintf("%d MiB", chunkStates.Budget()>>20)
+	}
+	fmt.Printf("rds-serve listening on %s (%d workers, %d shards/audit, queue %d, cache %d, timeout %s, dataset budget %d MiB, chunk cache %s, monitor history %d)\n",
+		*addr, cfg.Workers, cfg.Shards, cfg.QueueSize, cfg.CacheSize, cfg.JobTimeout, datasets.Budget()>>20, chunkBudget, *monHistory)
 	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)

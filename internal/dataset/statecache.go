@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultStateBudgetBytes is the default chunk-state cache byte
+// budget: 64 MiB. Chunk states are derived data (sorted samples and
+// level counts, not raw rows), so the default sits well below the
+// dataset registry's.
+const DefaultStateBudgetBytes = 64 << 20
+
+// StateCache is the byte-budgeted LRU cache behind incremental
+// sliding-window re-audits: per-chunk kernel states keyed by
+// (chunk hash, profile key), so a window advance re-merges surviving
+// chunk states and only scans the rows that entered. It deliberately
+// knows nothing about what it stores — values are opaque with a
+// caller-measured size — which keeps the dependency arrow pointing
+// the same way as the dataset registry's (monitor builds on dataset,
+// never the reverse).
+//
+// The cache is an optimization, never an oracle: a missing key means
+// the caller recomputes the state from rows it still holds, so
+// eviction can only cost time, not correctness. Safe for concurrent
+// use.
+type StateCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	order  *list.List // front = most recently used; values are *stateEntry
+	byKey  map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// stateEntry is one resident chunk state.
+type stateEntry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// NewStateCache creates an empty cache holding at most budgetBytes of
+// chunk states (DefaultStateBudgetBytes when <= 0).
+func NewStateCache(budgetBytes int64) *StateCache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultStateBudgetBytes
+	}
+	return &StateCache{
+		budget: budgetBytes,
+		order:  list.New(),
+		byKey:  map[string]*list.Element{},
+	}
+}
+
+// Budget returns the cache's byte budget.
+func (c *StateCache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
+}
+
+// Get returns the cached state for key, marking it most recently
+// used. The bool reports a hit; misses count toward the
+// chunk_state_misses gauge.
+func (c *StateCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*stateEntry).val, true
+}
+
+// Put makes val resident under key, evicting least-recently-used
+// entries until it fits. size is the caller's estimate of val's heap
+// footprint. A value larger than the whole budget is silently not
+// cached (the caller keeps working off its own copy); re-putting an
+// existing key replaces the value and refreshes recency.
+func (c *StateCache) Put(key string, val any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*stateEntry)
+		c.bytes += size - e.size
+		e.val, e.size = val, size
+		c.order.MoveToFront(el)
+	} else {
+		e := &stateEntry{key: key, val: val, size: size}
+		c.byKey[key] = c.order.PushFront(e)
+		c.bytes += size
+	}
+	for c.bytes > c.budget {
+		el := c.order.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*stateEntry)
+		c.order.Remove(el)
+		delete(c.byKey, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident states.
+func (c *StateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// StateSnapshot is the chunk-state cache's JSON gauge set, merged into
+// GET /metrics under the "chunk_states" key.
+type StateSnapshot struct {
+	Resident    int    `json:"chunk_states_resident"`
+	Bytes       int64  `json:"chunk_state_bytes"`
+	BudgetBytes int64  `json:"chunk_state_budget_bytes"`
+	Hits        uint64 `json:"chunk_state_hits"`
+	Misses      uint64 `json:"chunk_state_misses"`
+	Evictions   uint64 `json:"chunk_state_evictions"`
+}
+
+// Metrics snapshots the cache gauges.
+func (c *StateCache) Metrics() StateSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StateSnapshot{
+		Resident:    c.order.Len(),
+		Bytes:       c.bytes,
+		BudgetBytes: c.budget,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+	}
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStateCacheBasics(t *testing.T) {
+	c := NewStateCache(100)
+	if c.Budget() != 100 {
+		t.Fatalf("Budget = %d, want 100", c.Budget())
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get on empty cache hit")
+	}
+	c.Put("a", "A", 40)
+	c.Put("b", "B", 40)
+	if v, ok := c.Get("a"); !ok || v.(string) != "A" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	snap := c.Metrics()
+	if snap.Resident != 2 || snap.Bytes != 80 || snap.Hits != 1 || snap.Misses != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestStateCacheDefaultBudget(t *testing.T) {
+	if got := NewStateCache(0).Budget(); got != DefaultStateBudgetBytes {
+		t.Errorf("Budget() = %d, want default %d", got, DefaultStateBudgetBytes)
+	}
+	if got := NewStateCache(-5).Budget(); got != DefaultStateBudgetBytes {
+		t.Errorf("Budget() = %d, want default %d", got, DefaultStateBudgetBytes)
+	}
+}
+
+func TestStateCacheLRUEviction(t *testing.T) {
+	c := NewStateCache(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	c.Get("a")        // "a" most recent; "b" is now the LRU victim
+	c.Put("c", 3, 40) // over budget: evicts "b"
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %q evicted out of LRU order", k)
+		}
+	}
+	snap := c.Metrics()
+	if snap.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", snap.Evictions)
+	}
+	if snap.Bytes != 80 || snap.Bytes > snap.BudgetBytes {
+		t.Errorf("Bytes = %d (budget %d), want 80 within budget", snap.Bytes, snap.BudgetBytes)
+	}
+}
+
+func TestStateCacheReplaceRefreshes(t *testing.T) {
+	c := NewStateCache(100)
+	c.Put("a", 1, 40)
+	c.Put("b", 2, 40)
+	c.Put("a", 10, 60) // replace: new value, new size, now most recent
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("Get(a) after replace = %v, %v", v, ok)
+	}
+	if got := c.Metrics().Bytes; got != 100 {
+		t.Fatalf("Bytes after replace = %d, want 100", got)
+	}
+	c.Put("c", 3, 40) // evicts "b", the LRU after a's refresh
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; replace did not refresh a's recency")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite refresh")
+	}
+}
+
+func TestStateCacheOversizeValueSkipped(t *testing.T) {
+	c := NewStateCache(100)
+	c.Put("a", 1, 40)
+	c.Put("huge", 2, 1000) // larger than the whole budget: not cached
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversize value was cached")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("oversize Put evicted resident entries")
+	}
+	c.Put("neg", 3, -10) // negative size clamps to zero
+	if _, ok := c.Get("neg"); !ok {
+		t.Error("negative-size value not cached")
+	}
+	if got := c.Metrics().Bytes; got != 40 {
+		t.Errorf("Bytes = %d, want 40", got)
+	}
+}
+
+// TestStateCacheConcurrentChurn hammers a tiny cache from many
+// goroutines (the -race suite runs this interleaved): every hit must
+// return the value stored under the key, and residency must respect
+// the budget throughout.
+func TestStateCacheConcurrentChurn(t *testing.T) {
+	c := NewStateCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k-%d", (g*31+i)%24)
+				if v, ok := c.Get(k); ok && v.(string) != k {
+					t.Errorf("Get(%q) returned %v", k, v)
+				}
+				c.Put(k, k, 16)
+				if i%50 == 0 {
+					_ = c.Metrics()
+					_ = c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := c.Metrics()
+	if snap.Bytes > snap.BudgetBytes {
+		t.Errorf("Bytes %d exceeds budget %d after churn", snap.Bytes, snap.BudgetBytes)
+	}
+	if snap.Evictions == 0 {
+		t.Error("churn never evicted")
+	}
+}

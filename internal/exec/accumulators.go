@@ -5,6 +5,22 @@ import (
 	"sort"
 )
 
+// Subtractor is implemented by states whose Merge is exactly
+// invertible: Subtract removes a previously merged state, leaving the
+// receiver bit-identical to a fold that never included it. Only the
+// pure integer-count accumulators (Hist, Levels) qualify — float folds
+// like Moments depend on merge order and cannot be un-merged exactly,
+// Outcomes' ErrRow is a min-fold that loses the runner-up, and
+// Sorted's runs are cheaper to re-merge than to excise.
+// Sliding-window consumers use it to retire chunks that slid out of a
+// window without rebuilding the whole fold.
+type Subtractor interface {
+	State
+	// Subtract removes a previously merged state of the same concrete
+	// type.
+	Subtract(other State)
+}
+
 // --- Moments ---
 
 // Moments is the mergeable count/sum/min/max/mean/variance accumulator
@@ -261,6 +277,15 @@ func (h *Hist) Merge(other State) {
 	}
 }
 
+// Subtract removes a previously merged Hist's bin counts — the exact
+// inverse of Merge, since the counts are integers.
+func (h *Hist) Subtract(other State) {
+	o := other.(*Hist)
+	for i, c := range o.Counts {
+		h.Counts[i] -= c
+	}
+}
+
 // Total returns the number of counted (finite) values.
 func (h *Hist) Total() int64 {
 	var t int64
@@ -313,9 +338,18 @@ func (s *Sorted) Merge(other State) {
 }
 
 // Values merges the collected runs into one sorted slice.
-func (s *Sorted) Values() []float64 {
-	runs := s.runs
-	// Balanced pairwise merging: O(n log k) total over k runs.
+func (s *Sorted) Values() []float64 { return MergeRuns(s.runs) }
+
+// MergeRuns folds sorted runs into one sorted slice with the same
+// balanced pairwise merge Sorted.Values uses — O(n log k) over k runs.
+// It is the re-merge half of an incremental sort: callers that cache
+// each chunk's sorted values (themselves Sorted.Values outputs) can
+// fold surviving chunks with fresh ones and get the slice a full
+// re-sort would produce. For finite data the output is the unique
+// sorted permutation of the inputs regardless of how the values were
+// split into runs. The result may alias an input run; treat both as
+// immutable.
+func MergeRuns(runs [][]float64) []float64 {
 	for len(runs) > 1 {
 		merged := make([][]float64, 0, (len(runs)+1)/2)
 		for i := 0; i < len(runs); i += 2 {
@@ -382,6 +416,19 @@ func (l *Levels) Update(lo, hi int) {
 func (l *Levels) Merge(other State) {
 	for v, c := range other.(*Levels).Counts {
 		l.Counts[v] += c
+	}
+}
+
+// Subtract removes a previously merged Levels' counts, deleting levels
+// that drop to zero so Keys and Counts are bit-identical to a fold
+// that never saw the subtracted state.
+func (l *Levels) Subtract(other State) {
+	for v, c := range other.(*Levels).Counts {
+		if n := l.Counts[v] - c; n == 0 {
+			delete(l.Counts, v)
+		} else {
+			l.Counts[v] = n
+		}
 	}
 }
 

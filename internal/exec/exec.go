@@ -93,7 +93,27 @@ func (o Options) withDefaults() Options {
 // merges the per-chunk states in ascending chunk order. It returns one
 // final state per kernel, in kernel order. n == 0 returns the kernels'
 // empty states.
+//
+// Run is exactly RunChunks followed by MergeStates; callers that want
+// to retain or re-merge the per-chunk states (incremental re-audits)
+// use those two halves directly.
 func Run(n int, opt Options, kernels ...Kernel) ([]State, error) {
+	partials, err := RunChunks(n, opt, kernels...)
+	if err != nil {
+		return nil, err
+	}
+	return MergeStates(kernels, partials)
+}
+
+// RunChunks is the chunk-states plan mode: it evaluates every kernel
+// over every chunk exactly as Run does, but returns the raw per-chunk
+// states — indexed [chunk][kernel] — instead of folding them. The
+// chunk layout depends only on n and opt.ChunkSize, so the returned
+// states are identical at every shard count. Folding them with
+// MergeStates reproduces Run bit for bit; retaining them lets a
+// sliding-window consumer re-merge surviving chunks and rescan only
+// the rows that entered. n == 0 returns an empty (nil) chunk list.
+func RunChunks(n int, opt Options, kernels ...Kernel) ([][]State, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("exec: Run needs n >= 0, got %d", n)
 	}
@@ -107,13 +127,9 @@ func Run(n int, opt Options, kernels ...Kernel) ([]State, error) {
 	}
 	opt = opt.withDefaults()
 
-	final := make([]State, len(kernels))
-	for i, k := range kernels {
-		final[i] = k.New()
-	}
 	chunks := (n + opt.ChunkSize - 1) / opt.ChunkSize
 	if chunks == 0 {
-		return final, nil
+		return nil, nil
 	}
 
 	// Workers pull chunk indices from a shared counter, so a slow chunk
@@ -151,10 +167,32 @@ func Run(n int, opt Options, kernels ...Kernel) ([]State, error) {
 		}()
 	}
 	wg.Wait()
+	return partials, nil
+}
 
-	for c := 0; c < chunks; c++ {
+// MergeStates folds per-chunk states — as returned by RunChunks, or a
+// re-assembled subset of cached chunk states — into one final state
+// per kernel. Chunks are merged strictly in ascending slice order, so
+// for the same chunk sequence the fold is deterministic: handing it
+// RunChunks' full output reproduces Run exactly. Every chunk must
+// carry one state per kernel, in kernel order.
+func MergeStates(kernels []Kernel, chunks [][]State) ([]State, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("exec: MergeStates needs at least one kernel")
+	}
+	final := make([]State, len(kernels))
+	for i, k := range kernels {
+		if k.New == nil {
+			return nil, fmt.Errorf("exec: kernel %d (%q) has no state constructor", i, k.Name)
+		}
+		final[i] = k.New()
+	}
+	for c, states := range chunks {
+		if len(states) != len(kernels) {
+			return nil, fmt.Errorf("exec: chunk %d carries %d states for %d kernels", c, len(states), len(kernels))
+		}
 		for i := range kernels {
-			final[i].Merge(partials[c][i])
+			final[i].Merge(states[i])
 		}
 	}
 	return final, nil

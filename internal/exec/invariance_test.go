@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -103,5 +104,208 @@ func TestShardInvariance(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRunChunksMergeStatesMatchesRun proves the incremental plan's two
+// halves recompose exactly: RunChunks yields one state bundle per chunk
+// regardless of shard count, folding all of them with MergeStates is
+// bit-identical to Run, and folding a chunk-aligned suffix is
+// bit-identical to Run over just those rows — the window-slide re-merge
+// the monitor's chunk-state cache performs.
+func TestRunChunksMergeStatesMatchesRun(t *testing.T) {
+	const chunk = 64
+	for _, n := range sizes {
+		xs := ramp(n, uint64(n)+3)
+		groups := make([]string, n)
+		for i := range groups {
+			groups[i] = string(rune('a' + i%4))
+		}
+		edges := []float64{25, 50, 75}
+		kernels := func(vals []float64, gs []string) []Kernel {
+			return []Kernel{NewMoments(vals), NewHist(vals, edges), NewSorted(vals, true), NewLevels(gs)}
+		}
+
+		for _, shards := range shardCounts {
+			opt := Options{Shards: shards, ChunkSize: chunk}
+			ks := kernels(xs, groups)
+			partials, err := RunChunks(n, opt, ks...)
+			if err != nil {
+				t.Fatalf("n=%d shards=%d: RunChunks: %v", n, shards, err)
+			}
+			wantChunks := (n + chunk - 1) / chunk
+			if len(partials) != wantChunks {
+				t.Fatalf("n=%d shards=%d: %d chunks, want %d", n, shards, len(partials), wantChunks)
+			}
+			merged, err := MergeStates(ks, partials)
+			if err != nil {
+				t.Fatalf("n=%d shards=%d: MergeStates: %v", n, shards, err)
+			}
+			direct, err := Run(n, opt, kernels(xs, groups)...)
+			if err != nil {
+				t.Fatalf("n=%d shards=%d: Run: %v", n, shards, err)
+			}
+			assertStatesEqual(t, "full fold", merged, direct)
+
+			// Window slide: drop the first chunk and re-merge the
+			// survivors; the result must match a fresh Run over the
+			// suffix rows (same chunk size, so the same boundaries).
+			if len(partials) < 2 {
+				continue
+			}
+			suffix, err := MergeStates(ks, partials[1:])
+			if err != nil {
+				t.Fatalf("n=%d shards=%d: suffix MergeStates: %v", n, shards, err)
+			}
+			rescan, err := Run(n-chunk, opt, kernels(xs[chunk:], groups[chunk:])...)
+			if err != nil {
+				t.Fatalf("n=%d shards=%d: suffix Run: %v", n, shards, err)
+			}
+			assertStatesEqual(t, "suffix fold", suffix, rescan)
+		}
+	}
+
+	if _, err := MergeStates(nil, nil); err == nil {
+		t.Error("MergeStates accepted zero kernels")
+	}
+	ks := []Kernel{NewHist(nil, nil)}
+	if _, err := MergeStates(ks, [][]State{{}}); err == nil {
+		t.Error("MergeStates accepted a chunk with missing states")
+	}
+}
+
+// assertStatesEqual compares [Moments, Hist, Sorted, Levels] state
+// bundles bitwise.
+func assertStatesEqual(t *testing.T, label string, got, want []State) {
+	t.Helper()
+	gm, wm := got[0].(*Moments), want[0].(*Moments)
+	if gm.N != wm.N || bits(gm.Sum) != bits(wm.Sum) || bits(gm.Min) != bits(wm.Min) ||
+		bits(gm.Max) != bits(wm.Max) || bits(gm.Variance()) != bits(wm.Variance()) {
+		t.Errorf("%s: Moments diverged: %+v vs %+v", label, gm, wm)
+	}
+	gh, wh := got[1].(*Hist), want[1].(*Hist)
+	for i := range wh.Counts {
+		if gh.Counts[i] != wh.Counts[i] {
+			t.Errorf("%s: Hist bin %d: %d vs %d", label, i, gh.Counts[i], wh.Counts[i])
+		}
+	}
+	gv, wv := got[2].(*Sorted).Values(), want[2].(*Sorted).Values()
+	if len(gv) != len(wv) {
+		t.Fatalf("%s: Sorted lengths %d vs %d", label, len(gv), len(wv))
+	}
+	for i := range wv {
+		if bits(gv[i]) != bits(wv[i]) {
+			t.Errorf("%s: Sorted[%d] %v vs %v", label, i, gv[i], wv[i])
+		}
+	}
+	gl, wl := got[3].(*Levels), want[3].(*Levels)
+	if len(gl.Counts) != len(wl.Counts) {
+		t.Errorf("%s: level sets diverged: %v vs %v", label, gl.Counts, wl.Counts)
+	}
+	for k, c := range wl.Counts {
+		if gl.Counts[k] != c {
+			t.Errorf("%s: level %q %d vs %d", label, k, gl.Counts[k], c)
+		}
+	}
+}
+
+// TestSubtractExact proves Subtract is the exact inverse of Merge for
+// the pure-integer accumulators: folding chunks then subtracting one is
+// bit-identical to a fold that never saw it — including the level-set
+// shape, when the subtracted chunk held a level's only occurrences.
+func TestSubtractExact(t *testing.T) {
+	xs := ramp(300, 9)
+	edges := []float64{25, 50, 75}
+	groups := make([]string, 300)
+	for i := range groups {
+		groups[i] = string(rune('a' + i%3))
+	}
+	// Level "z" lives only in the first chunk: subtracting that chunk
+	// must delete the level, not leave a zero count behind.
+	for i := 0; i < 64; i += 7 {
+		groups[i] = "z"
+	}
+	const chunk = 64
+	opt := Options{Shards: 3, ChunkSize: chunk}
+
+	ks := []Kernel{NewHist(xs, edges), NewLevels(groups)}
+	partials, err := RunChunks(300, opt, ks...)
+	if err != nil {
+		t.Fatalf("RunChunks: %v", err)
+	}
+	full, err := MergeStates(ks, partials)
+	if err != nil {
+		t.Fatalf("MergeStates: %v", err)
+	}
+	full[0].(*Hist).Subtract(partials[0][0])
+	full[1].(*Levels).Subtract(partials[0][1])
+
+	want, err := Run(300-chunk, opt, NewHist(xs[chunk:], edges), NewLevels(groups[chunk:]))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	gh, wh := full[0].(*Hist), want[0].(*Hist)
+	for i := range wh.Counts {
+		if gh.Counts[i] != wh.Counts[i] {
+			t.Errorf("Hist bin %d after Subtract: %d, want %d", i, gh.Counts[i], wh.Counts[i])
+		}
+	}
+	gl, wl := full[1].(*Levels), want[1].(*Levels)
+	if len(gl.Counts) != len(wl.Counts) {
+		t.Fatalf("level sets diverged after Subtract: %v vs %v", gl.Counts, wl.Counts)
+	}
+	if _, ok := gl.Counts["z"]; ok {
+		t.Error(`level "z" survived subtracting its only chunk`)
+	}
+	for k, c := range wl.Counts {
+		if gl.Counts[k] != c {
+			t.Errorf("level %q after Subtract: %d, want %d", k, gl.Counts[k], c)
+		}
+	}
+
+	// Both must satisfy the Subtractor contract the monitor relies on.
+	for i, st := range full {
+		if _, ok := st.(Subtractor); !ok {
+			t.Errorf("state %d does not implement Subtractor", i)
+		}
+	}
+}
+
+// TestMergeRunsMatchesFullSort proves the exported re-merge half of the
+// incremental sort: folding arbitrary pre-sorted runs reproduces the
+// one-shot sort of their concatenation bit for bit, however the values
+// were split.
+func TestMergeRunsMatchesFullSort(t *testing.T) {
+	xs := ramp(500, 17)
+	splits := [][]int{
+		{500},
+		{1, 499},
+		{100, 100, 100, 100, 100},
+		{3, 0, 250, 7, 240},
+		{250, 250},
+	}
+	want := append([]float64(nil), xs...)
+	sort.Float64s(want)
+	for _, split := range splits {
+		runs := make([][]float64, 0, len(split))
+		off := 0
+		for _, w := range split {
+			run := append([]float64(nil), xs[off:off+w]...)
+			sort.Float64s(run)
+			runs = append(runs, run)
+			off += w
+		}
+		got := MergeRuns(runs)
+		if len(got) != len(want) {
+			t.Fatalf("split %v: len %d, want %d", split, len(got), len(want))
+		}
+		for i := range want {
+			if bits(got[i]) != bits(want[i]) {
+				t.Fatalf("split %v: [%d] %v, want %v", split, i, got[i], want[i])
+			}
+		}
+	}
+	if got := MergeRuns(nil); got != nil {
+		t.Errorf("MergeRuns(nil) = %v, want nil", got)
 	}
 }

@@ -99,8 +99,10 @@ type WindowEntry struct {
 	Reaudits int           `json:"reaudits,omitempty"`
 	Grade    *policy.Grade `json:"grade,omitempty"`
 	// DriftMillis is the wall-clock cost of scoring this window's drift
-	// against the pinned baseline profile (0 for the baseline window
-	// itself and for skipped windows).
+	// against the pinned baseline profile — the incremental chunk-state
+	// merge when the registry's chunk-state cache is enabled, the full
+	// rescan otherwise (0 for the baseline window itself and for
+	// skipped windows).
 	DriftMillis float64 `json:"drift_millis,omitempty"`
 	// Regressed marks an audited entry whose grade is worse than the
 	// previously audited grade.
@@ -140,6 +142,15 @@ type RegistryConfig struct {
 	// Datasets, when set, lets monitor registrations pin a resident
 	// dataset as their drift baseline by content ref (Spec.BaselineRef).
 	Datasets *dataset.Registry
+	// ChunkStates, when set, enables incremental sliding-window drift
+	// scoring: per-chunk kernel states are cached under (chunk hash,
+	// profile key), so a window advance re-merges surviving chunk
+	// states and only scans the rows that entered — O(delta) per
+	// slide instead of O(window). Results are bit-identical to the
+	// full-rescan path (the incremental≡rescan property tests
+	// enforce it); a cache miss or any condition the merged path
+	// cannot reproduce silently falls back to the rescan.
+	ChunkStates *dataset.StateCache
 	// Sinks receive every monitor's alerts (e.g. one LogSink).
 	Sinks []Sink
 }
@@ -445,7 +456,10 @@ type Monitor struct {
 	procMu     sync.Mutex
 	win        *windower
 	profile    *BaselineProfile // precomputed pinned-baseline drift state
-	lastFrame  *frame.Frame     // latest materialized window (re-audit target)
+	scorer     *ChunkScorer     // incremental drift scorer (built once per profile)
+	lastFrame  *frame.Frame     // latest window, materialized lazily from lastChunks
+	lastChunks []Chunk          // latest auditable window's chunk identities
+	lastHash   string           // chunk-derived content id of the latest window
 	sinceAudit int              // windows since the last audit (cadence counter)
 
 	// mu guards the read-side state with short critical sections, so
@@ -563,22 +577,28 @@ func (m *Monitor) Flush() {
 	}
 }
 
-// Reaudit re-grades the latest materialized window immediately,
+// Reaudit re-grades the latest auditable window immediately,
 // regardless of cadence; scheduled marks it as driven by the re-audit
-// schedule. It is a no-op before the first window materializes.
-// Unchanged windows are answered by the engine's report cache, so a
-// quiet stream's heartbeat is cheap; consecutive scheduled re-audits
-// with the same outcome coalesce into one history entry whose Reaudits
-// count records the repeated confirmations, so the heartbeat cannot
-// flush real drift history out of the bounded ring.
+// schedule. It is a no-op before the first auditable window closes.
+// The audit submits under the window's chunk-derived content hash, so
+// an unchanged window is answered by the engine's report cache without
+// re-hashing the (possibly 1M-row) flat frame — a quiet stream's
+// heartbeat costs O(chunks), not O(rows). Consecutive scheduled
+// re-audits with the same outcome coalesce into one history entry
+// whose Reaudits count records the repeated confirmations, so the
+// heartbeat cannot flush real drift history out of the bounded ring.
 func (m *Monitor) Reaudit(scheduled bool) {
 	m.procMu.Lock()
 	defer m.procMu.Unlock()
-	if m.lastFrame == nil {
+	if m.lastFrame == nil && len(m.lastChunks) == 0 {
 		return
 	}
 	if scheduled {
 		m.reg.metrics.bump(&m.reg.metrics.scheduledReaudits, 1)
+	}
+	f, err := m.windowFrame()
+	if err != nil || f == nil {
+		return
 	}
 	m.mu.Lock()
 	lastWindow := m.lastWindow
@@ -587,11 +607,11 @@ func (m *Monitor) Reaudit(scheduled bool) {
 		Window:    lastWindow,
 		StartMS:   lastWindow * m.spec.Window.SlideMS,
 		EndMS:     lastWindow*m.spec.Window.SlideMS + m.spec.Window.WidthMS,
-		Rows:      m.lastFrame.NumRows(),
+		Rows:      f.NumRows(),
 		Scheduled: scheduled,
 		Reaudits:  1,
 	}
-	m.audit(m.lastFrame, &entry, "")
+	m.audit(f, &entry, m.lastHash)
 	m.recordReaudit(entry)
 }
 
@@ -656,25 +676,21 @@ func (m *Monitor) processWindow(w *closedWindow) {
 		m.appendHistory(entry)
 		return
 	}
-	f, err := w.materialize()
-	if err != nil || f == nil {
-		if err != nil {
-			entry.Error = err.Error()
-		}
-		entry.Skipped = true
-		m.reg.metrics.bump(&m.reg.metrics.windowsSkipped, 1)
-		m.appendHistory(entry)
-		return
-	}
-	m.lastFrame = f
-	m.mu.Lock()
-	m.lastWindow = w.index
-	m.mu.Unlock()
-
 	if m.profile == nil {
 		// First auditable window: always audit, pin as the drift
 		// baseline, and precompute the baseline profile every later
 		// window is scored against.
+		f, err := w.materialize()
+		if err != nil || f == nil {
+			if err != nil {
+				entry.Error = err.Error()
+			}
+			entry.Skipped = true
+			m.reg.metrics.bump(&m.reg.metrics.windowsSkipped, 1)
+			m.appendHistory(entry)
+			return
+		}
+		m.setLastWindow(w.index, w.chunks(), f)
 		entry.Baseline = true
 		m.audit(f, &entry, "")
 		if entry.Error == "" {
@@ -697,9 +713,44 @@ func (m *Monitor) processWindow(w *closedWindow) {
 		return
 	}
 
+	// Drift path. With a chunk-state cache configured, score the window
+	// incrementally from its chunk states — O(delta) per slide — and
+	// defer materialization until an audit actually needs the flat
+	// frame. Any incremental error (cache type confusion, mid-window
+	// schema change, type drift) falls back to the full rescan, which
+	// re-derives the legacy outcome — including the legacy error —
+	// from the materialized window, so a miss can cost time but never
+	// a wrong or failed grading.
+	chunks := w.chunks()
+	var (
+		f     *frame.Frame
+		drift *DriftReport
+		derr  error
+	)
 	driftStart := time.Now()
-	drift, derr := DetectDriftProfiled(m.profile, f)
+	if m.reg.cfg.ChunkStates != nil {
+		if sc := m.chunkScorer(); sc != nil {
+			if rep, err := sc.Score(chunks); err == nil {
+				drift = rep
+			}
+		}
+	}
+	if drift == nil {
+		var err error
+		f, err = w.materialize()
+		if err != nil || f == nil {
+			if err != nil {
+				entry.Error = err.Error()
+			}
+			entry.Skipped = true
+			m.reg.metrics.bump(&m.reg.metrics.windowsSkipped, 1)
+			m.appendHistory(entry)
+			return
+		}
+		drift, derr = DetectDriftProfiled(m.profile, f)
+	}
 	driftDur := time.Since(driftStart)
+	m.setLastWindow(w.index, chunks, f)
 	entry.DriftMillis = float64(driftDur) / float64(time.Millisecond)
 	m.reg.metrics.bump(&m.reg.metrics.driftWindows, 1)
 	m.reg.metrics.bumpMillis(&m.reg.metrics.driftMillis, driftDur)
@@ -723,10 +774,63 @@ func (m *Monitor) processWindow(w *closedWindow) {
 		})
 	}
 	if breached || m.sinceAudit >= m.spec.AuditEvery {
-		m.audit(f, &entry, "")
+		// The FACT audit trains on the flat window, so the incremental
+		// path materializes here — only when an audit actually fires.
+		// The chunk-derived hash keys the engine's report cache without
+		// an O(rows · cols) re-hash of the window.
+		af, aerr := m.windowFrame()
+		if aerr != nil {
+			entry.Error = aerr.Error()
+			m.reg.metrics.bump(&m.reg.metrics.auditFailures, 1)
+		} else {
+			m.audit(af, &entry, m.lastHash)
+		}
 		m.sinceAudit = 0
 	}
 	m.appendHistory(entry)
+}
+
+// setLastWindow records the latest auditable window as the re-audit
+// target. f may be nil when the incremental drift path deferred
+// materialization; windowFrame rebuilds the flat frame from the
+// retained chunks on first need. Callers hold procMu.
+func (m *Monitor) setLastWindow(index int64, chunks []Chunk, f *frame.Frame) {
+	m.lastFrame = f
+	m.lastChunks = chunks
+	m.lastHash = windowDataHash(chunks)
+	m.mu.Lock()
+	m.lastWindow = index
+	m.mu.Unlock()
+}
+
+// windowFrame returns the latest auditable window's flat frame,
+// materializing it from the retained chunks on first need and
+// memoizing the result. Callers hold procMu.
+func (m *Monitor) windowFrame() (*frame.Frame, error) {
+	if m.lastFrame != nil {
+		return m.lastFrame, nil
+	}
+	m.mu.Lock()
+	index := m.lastWindow
+	m.mu.Unlock()
+	f, err := materializeChunks(m.lastChunks, index)
+	if err != nil {
+		return nil, err
+	}
+	m.lastFrame = f
+	return f, nil
+}
+
+// chunkScorer returns the monitor's incremental drift scorer, built
+// once per pinned profile against the registry's chunk-state cache.
+// Callers hold procMu.
+func (m *Monitor) chunkScorer() *ChunkScorer {
+	if m.scorer == nil && m.profile != nil {
+		if sc, err := NewChunkScorer(m.profile, m.reg.cfg.ChunkStates); err == nil {
+			m.scorer = sc
+		}
+	}
+	return m.scorer
 }
 
 // audit runs one FACT audit of f through the shared engine, filling the

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/stream"
@@ -45,6 +46,23 @@ func (c WindowConfig) validate() error {
 	return nil
 }
 
+// windowPart wraps one arrival batch. Overlapping sliding windows that
+// cover the batch share the same part, so the memoized content hash —
+// the chunk identity the incremental re-audit path caches states under
+// — is computed once per batch no matter how many windows ride it.
+type windowPart struct {
+	rows *frame.Frame
+
+	hashOnce sync.Once
+	hash     string
+}
+
+// contentHash returns the part's frame.Hash, computed on first use.
+func (p *windowPart) contentHash() string {
+	p.hashOnce.Do(func() { p.hash = p.rows.Hash() })
+	return p.hash
+}
+
 // closedWindow is one materializable window handed to the monitor when
 // the watermark passes its end.
 type closedWindow struct {
@@ -52,7 +70,7 @@ type closedWindow struct {
 	startMS int64
 	endMS   int64
 	rows    int
-	parts   []*frame.Frame
+	parts   []*windowPart
 }
 
 // materialize concatenates the window's arrival batches into one frame.
@@ -60,16 +78,46 @@ type closedWindow struct {
 func (w *closedWindow) materialize() (*frame.Frame, error) {
 	var out *frame.Frame
 	for _, p := range w.parts {
-		if p.NumRows() == 0 {
+		if p.rows.NumRows() == 0 {
 			continue
 		}
 		if out == nil {
-			out = p
+			out = p.rows
 			continue
 		}
 		var err error
-		if out, err = out.Append(p); err != nil {
+		if out, err = out.Append(p.rows); err != nil {
 			return nil, fmt.Errorf("monitor: materializing window %d: %w", w.index, err)
+		}
+	}
+	return out, nil
+}
+
+// chunks returns the window's arrival batches as hashed chunk
+// identities, in arrival order — the incremental drift path's input.
+func (w *closedWindow) chunks() []Chunk {
+	out := make([]Chunk, 0, len(w.parts))
+	for _, p := range w.parts {
+		if p.rows.NumRows() == 0 {
+			continue
+		}
+		out = append(out, Chunk{Rows: p.rows, Hash: p.contentHash()})
+	}
+	return out
+}
+
+// materializeChunks concatenates chunk frames into one window frame,
+// nil when empty; index labels errors with the window number.
+func materializeChunks(chunks []Chunk, index int64) (*frame.Frame, error) {
+	var out *frame.Frame
+	for _, ch := range chunks {
+		if out == nil {
+			out = ch.Rows
+			continue
+		}
+		var err error
+		if out, err = out.Append(ch.Rows); err != nil {
+			return nil, fmt.Errorf("monitor: materializing window %d: %w", index, err)
 		}
 	}
 	return out, nil
@@ -111,6 +159,11 @@ func (w *windower) observe(a stream.Arrival) []*closedWindow {
 	}
 	if a.Rows != nil && a.Rows.NumRows() > 0 {
 		placed := false
+		// One shared part per arrival: every window covering the batch
+		// appends the same pointer, so the part's memoized hash — and
+		// any chunk state cached under it — is shared across the
+		// overlapping windows too.
+		part := &windowPart{rows: a.Rows}
 		for _, k := range w.indicesFor(a.TimeMS) {
 			win, ok := w.open[k]
 			if !ok {
@@ -124,7 +177,7 @@ func (w *windower) observe(a stream.Arrival) []*closedWindow {
 				}
 				w.open[k] = win
 			}
-			win.parts = append(win.parts, a.Rows)
+			win.parts = append(win.parts, part)
 			win.rows += a.Rows.NumRows()
 			placed = true
 		}

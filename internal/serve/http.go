@@ -144,6 +144,10 @@ type Handler struct {
 	// audit requests resolve by "dataset_ref"; its registry gauges are
 	// merged into GET /metrics as the "datasets" field.
 	Datasets *dataset.Handler
+	// ChunkStates, when set, contributes the monitoring plane's
+	// chunk-state cache gauges (incremental sliding-window re-audits)
+	// to GET /metrics as the "chunk_states" field.
+	ChunkStates *dataset.StateCache
 }
 
 // NewHandler wraps the engine in the HTTP API.
@@ -238,26 +242,31 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // metrics renders the engine snapshot, with the monitoring plane's
-// gauges merged in under "monitor" and the dataset registry's under
-// "datasets" when those planes are mounted. The engine's field names
+// gauges merged in under "monitor", the dataset registry's under
+// "datasets", and the chunk-state cache's under "chunk_states" when
+// those planes are mounted. The engine's field names
 // stay at the top level so existing scrapers keep working; see README
 // "Metrics reference" for the stable field list.
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	snap := h.engine.Metrics().Snapshot()
-	if h.MonitorMetrics == nil && h.Datasets == nil {
+	if h.MonitorMetrics == nil && h.Datasets == nil && h.ChunkStates == nil {
 		httpx.WriteJSON(w, http.StatusOK, snap)
 		return
 	}
 	merged := struct {
 		Snapshot
-		Monitor  any `json:"monitor,omitempty"`
-		Datasets any `json:"datasets,omitempty"`
+		Monitor     any `json:"monitor,omitempty"`
+		Datasets    any `json:"datasets,omitempty"`
+		ChunkStates any `json:"chunk_states,omitempty"`
 	}{Snapshot: snap}
 	if h.MonitorMetrics != nil {
 		merged.Monitor = h.MonitorMetrics()
 	}
 	if h.Datasets != nil {
 		merged.Datasets = h.Datasets.Registry().Metrics()
+	}
+	if h.ChunkStates != nil {
+		merged.ChunkStates = h.ChunkStates.Metrics()
 	}
 	httpx.WriteJSON(w, http.StatusOK, merged)
 }

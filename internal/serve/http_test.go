@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
@@ -265,5 +266,51 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	}
 	if snap.P50Millis <= 0 {
 		t.Errorf("metrics P50Millis = %v, want > 0", snap.P50Millis)
+	}
+}
+
+func TestHTTPMetricsChunkStates(t *testing.T) {
+	e := NewEngine(Config{Workers: 1, JobTimeout: 30 * time.Second})
+	h := NewHandler(e)
+	h.ChunkStates = dataset.NewStateCache(1 << 20)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	h.ChunkStates.Put("k", 1, 100)
+	h.ChunkStates.Get("k")
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged struct {
+		ChunkStates *dataset.StateSnapshot `json:"chunk_states"`
+	}
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &merged); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if merged.ChunkStates == nil {
+		t.Fatal("/metrics omitted chunk_states despite a configured cache")
+	}
+	if merged.ChunkStates.Resident != 1 || merged.ChunkStates.Hits != 1 {
+		t.Errorf("chunk_states = %+v, want 1 resident, 1 hit", *merged.ChunkStates)
+	}
+
+	// Without a cache the gauge group must stay absent.
+	srv2, _ := newTestServer(t)
+	resp, err = http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["chunk_states"]; ok {
+		t.Error("/metrics emitted chunk_states with no cache configured")
 	}
 }

@@ -106,12 +106,15 @@ type Request struct {
 	// audit's row-scans (0 inherits Config.Shards). Not part of the
 	// cache key: results are shard-invariant by construction.
 	Shards int
-	// DataHash optionally carries Data's precomputed content hash —
-	// a dataset-registry ref (internal/dataset). When set, the engine
+	// DataHash optionally carries a precomputed, collision-free content
+	// identifier for Data — a dataset-registry ref (internal/dataset),
+	// or the monitor's chunk-derived window hash (a hash of the
+	// window's per-chunk frame.Hash values). When set, the engine
 	// trusts it and skips re-hashing Data for the report-cache key, so
-	// a resolve-by-ref submit costs O(1) in dataset size. It MUST equal
-	// Data.Hash(); handing the engine a wrong hash serves mislabeled
-	// cached reports.
+	// a resolve-by-ref submit or a window re-audit costs O(1) in
+	// dataset size. It MUST identify Data's content uniquely: handing
+	// the engine a hash that two different datasets share serves
+	// mislabeled cached reports.
 	DataHash string
 }
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/responsible-data-science/rds
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSlidingReaudit/delta=1%/incremental         	       3	 332322845 ns/op	   3009160 rows/s	         3.009 windows/s
+BenchmarkSlidingReaudit/delta=1%/rescan              	       1	8709246862 ns/op	    114821 rows/s	         0.1148 windows/s
+BenchmarkShardedAudit/shards=8-8   	      12	  95000000 ns/op	  10526315 rows/s	    1024 B/op	       7 allocs/op
+PASS
+ok  	github.com/responsible-data-science/rds	53.843s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("context = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(doc.Entries))
+	}
+	e := doc.Entries[0]
+	if e.Name != "BenchmarkSlidingReaudit/delta=1%/incremental" {
+		t.Errorf("name = %q", e.Name)
+	}
+	if e.Pkg != "github.com/responsible-data-science/rds" {
+		t.Errorf("pkg = %q", e.Pkg)
+	}
+	if e.Iterations != 3 || e.NsPerOp != 332322845 {
+		t.Errorf("iters/ns = %d/%v", e.Iterations, e.NsPerOp)
+	}
+	if e.Metrics["rows/s"] != 3009160 || e.Metrics["windows/s"] != 3.009 {
+		t.Errorf("metrics = %v", e.Metrics)
+	}
+	sharded := doc.Entries[2]
+	if sharded.Name != "BenchmarkShardedAudit/shards=8" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", sharded.Name)
+	}
+	if sharded.Metrics["B/op"] != 1024 || sharded.Metrics["allocs/op"] != 7 {
+		t.Errorf("benchmem metrics = %v", sharded.Metrics)
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",                   // name printed alone before result
+		"BenchmarkFoo 12",                // no measurements
+		"BenchmarkFoo twelve 3 ns/op x",  // non-numeric iterations
+		"BenchmarkFoo 12 abc ns/op junk", // non-numeric value
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+	e, ok := parseLine("BenchmarkBare-16 5 100 ns/op")
+	if !ok || e.Name != "BenchmarkBare" || e.NsPerOp != 100 || len(e.Metrics) != 0 {
+		t.Errorf("parseLine minimal = %+v, %v", e, ok)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	doc, err := parse(strings.NewReader("PASS\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Entries) != 0 {
+		t.Fatalf("entries = %d, want 0", len(doc.Entries))
+	}
+}
