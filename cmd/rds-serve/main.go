@@ -14,6 +14,12 @@
 //	          [-dataset-budget-bytes 268435456]
 //	          [-chunk-cache-bytes 67108864]
 //	          [-monitor-history 64] [-monitor-reaudit 0]
+//	          [-state-dir DIR]
+//
+// With -state-dir, registered monitors, pinned baseline profiles, and
+// registry-resident datasets persist to crash-safe JSON under DIR and
+// are restored on the next boot (see OPERATIONS.md "Durability").
+// Without it, all state is in-memory and dies with the process.
 //
 // Endpoints:
 //
@@ -58,6 +64,9 @@ import (
 	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/monitor"
 	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/store"
+	"github.com/responsible-data-science/rds/internal/store/fsjson"
+	"github.com/responsible-data-science/rds/internal/store/memory"
 )
 
 func main() {
@@ -72,7 +81,25 @@ func main() {
 	chunkCacheBytes := flag.Int64("chunk-cache-bytes", dataset.DefaultStateBudgetBytes, "byte budget for cached per-chunk drift states powering incremental O(delta) sliding-window re-audits (0 disables; a miss falls back to a full rescan)")
 	monHistory := flag.Int("monitor-history", monitor.DefaultHistory, "default per-monitor window-history ring size")
 	monReaudit := flag.Duration("monitor-reaudit", 0, "default scheduled re-audit interval for monitors that omit one (0 disables)")
+	stateDir := flag.String("state-dir", "", "directory for durable state (monitors, baseline profiles, resident datasets); empty keeps all state in memory")
 	flag.Parse()
+
+	// The state store: crash-safe JSON under -state-dir, or a process-
+	// lifetime in-memory store when the flag is empty (today's
+	// behavior). A corrupt state directory refuses to start — the error
+	// names the offending file; repair or move it rather than letting
+	// the service run on partial state.
+	var st store.Store
+	if *stateDir != "" {
+		fs, err := fsjson.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rds-serve:", err)
+			os.Exit(1)
+		}
+		st = fs
+	} else {
+		st = memory.New()
+	}
 
 	engine := serve.NewEngine(serve.Config{
 		Workers:    *workers,
@@ -91,12 +118,29 @@ func main() {
 		Datasets:    datasets,
 		ChunkStates: chunkStates,
 		Sinks:       []monitor.Sink{&monitor.LogSink{}},
+		Store:       st,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)
 	}
 	defer registry.Close()
+
+	// Restore order matters: datasets first (so monitors can re-pin
+	// their baselines), then monitors — all before the listener opens.
+	if err := datasets.AttachStore(st); err != nil {
+		fmt.Fprintln(os.Stderr, "rds-serve:", err)
+		os.Exit(1)
+	}
+	restored, err := registry.Restore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rds-serve:", err)
+		os.Exit(1)
+	}
+	if *stateDir != "" {
+		fmt.Printf("rds-serve restored %d monitors and %d datasets from %s\n",
+			restored, len(datasets.List()), *stateDir)
+	}
 
 	handler := serve.NewHandler(engine)
 	handler.AllowPaths = *allowPaths

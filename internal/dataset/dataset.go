@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/store"
 )
 
 // DefaultBudgetBytes is the default registry byte budget: 256 MiB.
@@ -65,7 +66,11 @@ type Registry struct {
 	order  *list.List // front = most recently used; values are *entry
 	byRef  map[string]*list.Element
 
-	hits, misses, evictions uint64
+	// store, when non-nil, durably mirrors the resident set (see
+	// AttachStore in persist.go).
+	store store.Store
+
+	hits, misses, evictions, persistErrors uint64
 }
 
 // NewRegistry creates an empty registry holding at most budgetBytes of
@@ -125,6 +130,16 @@ func (r *Registry) Put(name string, f *frame.Frame) (Meta, error) {
 		},
 		data: f,
 	}
+	if r.store != nil {
+		// Durability before visibility: a Put the caller saw succeed
+		// must survive a restart, so the store write happens first and
+		// a failure fails the Put. Encoding under the lock keeps the
+		// store ordered with the resident set; uploads are already
+		// O(dataset) so the extra pass does not change their shape.
+		if err := r.saveLocked(e); err != nil {
+			return Meta{}, fmt.Errorf("dataset: persisting %q: %w", ref, err)
+		}
+	}
 	r.byRef[ref] = r.order.PushFront(e)
 	r.bytes += size
 	return e.meta, nil
@@ -142,6 +157,7 @@ func (r *Registry) evictOldestUnpinned() bool {
 		delete(r.byRef, e.meta.Ref)
 		r.bytes -= e.meta.Bytes
 		r.evictions++
+		r.dropStoredLocked(e.meta.Ref)
 		return true
 	}
 	return false
@@ -222,6 +238,13 @@ func (r *Registry) Delete(ref string) (bool, error) {
 	if e.meta.Pins > 0 {
 		return false, fmt.Errorf("%w: %q has %d pins", ErrPinned, ref, e.meta.Pins)
 	}
+	if r.store != nil {
+		// Durable copy goes first: a Delete that reported success must
+		// not resurface the dataset on restart.
+		if err := r.store.Delete(store.KindDataset, ref); err != nil {
+			return false, fmt.Errorf("dataset: deleting persisted %q: %w", ref, err)
+		}
+	}
 	r.order.Remove(el)
 	delete(r.byRef, ref)
 	r.bytes -= e.meta.Bytes
@@ -249,6 +272,10 @@ type Snapshot struct {
 	Hits        uint64 `json:"dataset_hits"`
 	Misses      uint64 `json:"dataset_misses"`
 	Evictions   uint64 `json:"dataset_evictions"`
+	// PersistErrors counts best-effort store mirror operations that
+	// failed (eviction-path deletes); Put/Delete persist failures are
+	// returned to the caller instead of counted here.
+	PersistErrors uint64 `json:"dataset_persist_errors"`
 }
 
 // Metrics snapshots the registry gauges.
@@ -262,13 +289,14 @@ func (r *Registry) Metrics() Snapshot {
 		}
 	}
 	return Snapshot{
-		Resident:    r.order.Len(),
-		Pinned:      pinned,
-		Bytes:       r.bytes,
-		BudgetBytes: r.budget,
-		Hits:        r.hits,
-		Misses:      r.misses,
-		Evictions:   r.evictions,
+		Resident:      r.order.Len(),
+		Pinned:        pinned,
+		Bytes:         r.bytes,
+		BudgetBytes:   r.budget,
+		Hits:          r.hits,
+		Misses:        r.misses,
+		Evictions:     r.evictions,
+		PersistErrors: r.persistErrors,
 	}
 }
 

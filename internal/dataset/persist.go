@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/store"
+)
+
+// Persistence. With a store attached, the registry mirrors its
+// resident set durably: Put writes the dataset (exact frame codec,
+// keyed by its content hash) before reporting success, Delete removes
+// the durable copy before the resident one, and evictions drop both.
+// The invariant is simple — the store holds exactly the resident set —
+// so a restart restores exactly what was resident, and the content
+// hash doubles as an integrity check: a restored frame that no longer
+// hashes to its key is refused as corrupt.
+
+// datasetDoc is the persisted form of one resident dataset.
+type datasetDoc struct {
+	// Name is the upload name shown in Meta.
+	Name string `json:"name"`
+	// Frame is the exact frame encoding (frame.WriteJSON).
+	Frame json.RawMessage `json:"frame"`
+}
+
+// AttachStore restores every persisted dataset into the registry and
+// mirrors all later mutations into st. Call it once, before serving
+// traffic and before monitor restore (monitors re-pin their baselines
+// out of what AttachStore made resident). Restored entries arrive in
+// ref order and are subject to the byte budget: if the budget shrank
+// between boots, least recently restored unpinned entries are evicted
+// — durably, keeping the store equal to the resident set.
+//
+// A payload that fails to decode, or decodes to a frame whose hash is
+// not its key, aborts the restore with an error naming the record:
+// corrupt state is refused, not silently dropped.
+func (r *Registry) AttachStore(st store.Store) error {
+	items, err := st.List(store.KindDataset)
+	if err != nil {
+		return fmt.Errorf("dataset: restoring registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+	for _, it := range items {
+		var doc datasetDoc
+		if err := json.Unmarshal(it.Payload, &doc); err != nil {
+			return fmt.Errorf("dataset: restoring %q: %w (%v)", it.ID, store.ErrCorrupt, err)
+		}
+		f, err := frame.ReadJSON(bytes.NewReader(doc.Frame))
+		if err != nil {
+			return fmt.Errorf("dataset: restoring %q: %w (%v)", it.ID, store.ErrCorrupt, err)
+		}
+		if got := f.Hash(); got != it.ID {
+			return fmt.Errorf("dataset: restoring %q: frame hashes to %s: %w", it.ID, got, store.ErrCorrupt)
+		}
+		size := SizeOf(f)
+		if size > r.budget {
+			// The budget shrank below this dataset since it was
+			// persisted. Keep the invariant (store == resident set):
+			// drop it durably rather than carry unreachable state.
+			if derr := st.Delete(store.KindDataset, it.ID); derr != nil {
+				return fmt.Errorf("dataset: restoring %q: dropping over-budget dataset: %v", it.ID, derr)
+			}
+			r.evictions++
+			continue
+		}
+		for r.bytes+size > r.budget {
+			if !r.evictOldestUnpinned() {
+				break
+			}
+		}
+		e := &entry{
+			meta: Meta{
+				Ref:   it.ID,
+				Name:  doc.Name,
+				Rows:  f.NumRows(),
+				Cols:  f.NumCols(),
+				Bytes: size,
+			},
+			data: f,
+		}
+		r.byRef[it.ID] = r.order.PushFront(e)
+		r.bytes += size
+	}
+	return nil
+}
+
+// saveLocked persists e's dataset under its ref; callers hold r.mu and
+// have checked r.store != nil.
+func (r *Registry) saveLocked(e *entry) error {
+	var buf bytes.Buffer
+	if err := e.data.WriteJSON(&buf); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(datasetDoc{Name: e.meta.Name, Frame: buf.Bytes()})
+	if err != nil {
+		return err
+	}
+	return r.store.Save(store.KindDataset, e.meta.Ref, payload)
+}
+
+// dropStoredLocked removes ref's durable copy, counting (not
+// propagating) failures; callers hold r.mu. Used on the eviction path,
+// where the in-memory eviction has already happened and the worst case
+// of a leftover record is re-residency on the next boot.
+func (r *Registry) dropStoredLocked(ref string) {
+	if r.store == nil {
+		return
+	}
+	if err := r.store.Delete(store.KindDataset, ref); err != nil {
+		r.persistErrors++
+	}
+}

@@ -1,0 +1,192 @@
+package frame
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"unicode/utf8"
+)
+
+// Exact JSON codec. The CSV codec is for interchange and is lossy by
+// design (dtype narrowing, null spelling); this codec exists for
+// persistence, where the bar is exact round-tripping: for any frame f,
+// ReadJSON(WriteJSON(f)) has the same frame.Hash — every value bit,
+// null mask, dtype, and column order preserved. Float columns are
+// encoded as base64 little-endian IEEE-754 bits (JSON numbers cannot
+// carry NaN, and NaN payload bits participate in the content hash);
+// string columns fall back to per-value base64 only when a value is
+// not valid UTF-8 (encoding/json would silently replace invalid bytes
+// with U+FFFD). The dataset registry persists resident frames in this
+// format, keyed by content hash, and refuses a reloaded frame whose
+// hash no longer matches its key.
+
+// frameDoc is the serialized form of a Frame.
+type frameDoc struct {
+	// Rows is the frame's row count, kept explicit so empty columns
+	// reconstruct at the right length.
+	Rows int `json:"rows"`
+	// Cols are the columns in frame order.
+	Cols []seriesDoc `json:"cols"`
+}
+
+// seriesDoc is the serialized form of one Series. Exactly one payload
+// field is populated, matching DType.
+type seriesDoc struct {
+	Name  string `json:"name"`
+	DType string `json:"dtype"`
+	// Floats is the column's float64 bits: base64 of the little-endian
+	// IEEE-754 encoding, 8 bytes per row. Bit-exact for NaN and ±Inf.
+	Floats string `json:"floats,omitempty"`
+	// Ints are the int64 values (JSON integers round-trip exactly).
+	Ints []int64 `json:"ints,omitempty"`
+	// Strings are the string values, used when every value is valid
+	// UTF-8 (the common case; human-readable at rest).
+	Strings []string `json:"strings,omitempty"`
+	// StringsB64 replaces Strings when any value contains invalid
+	// UTF-8, which encoding/json cannot carry losslessly: every value
+	// is base64-encoded.
+	StringsB64 []string `json:"strings_b64,omitempty"`
+	// Bools are the bool values.
+	Bools []bool `json:"bools,omitempty"`
+	// Nulls are the null-mask row indices, ascending.
+	Nulls []int `json:"nulls,omitempty"`
+}
+
+// WriteJSON serializes the frame in the exact persistence format.
+func (f *Frame) WriteJSON(w io.Writer) error {
+	doc := frameDoc{Rows: f.NumRows(), Cols: make([]seriesDoc, 0, f.NumCols())}
+	for _, c := range f.cols {
+		sd := seriesDoc{Name: c.name, DType: c.dtype.String()}
+		switch c.dtype {
+		case Float64:
+			buf := make([]byte, 8*len(c.floats))
+			for i, v := range c.floats {
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+			}
+			sd.Floats = base64.StdEncoding.EncodeToString(buf)
+		case Int64:
+			sd.Ints = c.ints
+			if sd.Ints == nil {
+				sd.Ints = []int64{}
+			}
+		case String:
+			allUTF8 := true
+			for _, v := range c.strings {
+				if !utf8.ValidString(v) {
+					allUTF8 = false
+					break
+				}
+			}
+			if allUTF8 {
+				sd.Strings = c.strings
+				if sd.Strings == nil {
+					sd.Strings = []string{}
+				}
+			} else {
+				sd.StringsB64 = make([]string, len(c.strings))
+				for i, v := range c.strings {
+					sd.StringsB64[i] = base64.StdEncoding.EncodeToString([]byte(v))
+				}
+			}
+		case Bool:
+			sd.Bools = c.bools
+			if sd.Bools == nil {
+				sd.Bools = []bool{}
+			}
+		default:
+			return fmt.Errorf("frame: WriteJSON: column %q has unknown dtype %v", c.name, c.dtype)
+		}
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				sd.Nulls = append(sd.Nulls, i)
+			}
+		}
+		doc.Cols = append(doc.Cols, sd)
+	}
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("frame: encoding frame: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a frame written by WriteJSON, re-validating
+// shape: known dtypes, per-column lengths matching the row count, and
+// in-range null indices. The result hashes identically to the frame
+// that was written.
+func ReadJSON(r io.Reader) (*Frame, error) {
+	var doc frameDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("frame: decoding frame: %w", err)
+	}
+	if doc.Rows < 0 {
+		return nil, fmt.Errorf("frame: decoding frame: negative row count %d", doc.Rows)
+	}
+	cols := make([]*Series, 0, len(doc.Cols))
+	for _, sd := range doc.Cols {
+		var s *Series
+		switch sd.DType {
+		case Float64.String():
+			raw, err := base64.StdEncoding.DecodeString(sd.Floats)
+			if err != nil {
+				return nil, fmt.Errorf("frame: column %q: decoding float bits: %w", sd.Name, err)
+			}
+			if len(raw) != 8*doc.Rows {
+				return nil, fmt.Errorf("frame: column %q has %d float bytes, want %d", sd.Name, len(raw), 8*doc.Rows)
+			}
+			vals := make([]float64, doc.Rows)
+			for i := range vals {
+				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			}
+			s = NewFloat64(sd.Name, vals)
+		case Int64.String():
+			if len(sd.Ints) != doc.Rows {
+				return nil, fmt.Errorf("frame: column %q has %d ints, want %d", sd.Name, len(sd.Ints), doc.Rows)
+			}
+			s = NewInt64(sd.Name, sd.Ints)
+		case String.String():
+			vals := sd.Strings
+			if sd.StringsB64 != nil {
+				vals = make([]string, len(sd.StringsB64))
+				for i, b := range sd.StringsB64 {
+					raw, err := base64.StdEncoding.DecodeString(b)
+					if err != nil {
+						return nil, fmt.Errorf("frame: column %q: decoding string %d: %w", sd.Name, i, err)
+					}
+					vals[i] = string(raw)
+				}
+			}
+			if len(vals) != doc.Rows {
+				return nil, fmt.Errorf("frame: column %q has %d strings, want %d", sd.Name, len(vals), doc.Rows)
+			}
+			s = NewString(sd.Name, vals)
+		case Bool.String():
+			if len(sd.Bools) != doc.Rows {
+				return nil, fmt.Errorf("frame: column %q has %d bools, want %d", sd.Name, len(sd.Bools), doc.Rows)
+			}
+			s = NewBool(sd.Name, sd.Bools)
+		default:
+			return nil, fmt.Errorf("frame: column %q has unknown dtype %q", sd.Name, sd.DType)
+		}
+		prev := -1
+		for _, i := range sd.Nulls {
+			if i < 0 || i >= doc.Rows || i <= prev {
+				return nil, fmt.Errorf("frame: column %q has invalid null index %d", sd.Name, i)
+			}
+			prev = i
+			s.SetNull(i)
+		}
+		cols = append(cols, s)
+	}
+	f, err := New(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("frame: decoding frame: %w", err)
+	}
+	if f.NumCols() > 0 && f.NumRows() != doc.Rows {
+		return nil, fmt.Errorf("frame: decoded %d rows, document says %d", f.NumRows(), doc.Rows)
+	}
+	return f, nil
+}

@@ -1,0 +1,128 @@
+package frame
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// roundTrip encodes f with WriteJSON and decodes it back, failing the
+// test on either error.
+func roundTrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	g, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	return g
+}
+
+// TestCodecHashIdentity is the codec's contract: the decoded frame
+// hashes identically to the original, across every dtype and the
+// values JSON itself cannot carry (NaN with payload bits, ±Inf,
+// negative zero, invalid UTF-8, nulls).
+func TestCodecHashIdentity(t *testing.T) {
+	quietNaN := math.NaN()
+	payloadNaN := math.Float64frombits(math.Float64bits(quietNaN) ^ 0x0f)
+	fl := NewFloat64("f", []float64{0, math.Copysign(0, -1), quietNaN, payloadNaN, math.Inf(1), math.Inf(-1), 0.1, math.MaxFloat64, math.SmallestNonzeroFloat64})
+	fl.SetNull(6)
+	in := NewInt64("i", []int64{math.MinInt64, -1, 0, 1, math.MaxInt64, 42, 42, 42, 42})
+	in.SetNull(0)
+	st := NewString("s", []string{"", "plain", "uniçode", "with\nnewline", `qu"ote`, "tab\t", "nul\x00byte", "ok", "ok"})
+	st.SetNull(8)
+	bo := NewBool("b", []bool{true, false, true, false, true, false, true, false, true})
+	f, err := New(fl, in, st, bo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := roundTrip(t, f)
+	if g.Hash() != f.Hash() {
+		t.Fatalf("hash mismatch after round trip: %s != %s", g.Hash(), f.Hash())
+	}
+	// Hash covers bits and nulls; spot-check the trickiest value too.
+	if got := math.Float64bits(g.MustCol("f").Float(3)); got != math.Float64bits(payloadNaN) {
+		t.Fatalf("NaN payload bits not preserved: %x", got)
+	}
+}
+
+// TestCodecInvalidUTF8 pins the base64 fallback: a string column with
+// invalid UTF-8 survives exactly, where plain encoding/json would have
+// substituted U+FFFD.
+func TestCodecInvalidUTF8(t *testing.T) {
+	bad := string([]byte{0xff, 0xfe, 'x'})
+	st := NewString("s", []string{"fine", bad})
+	f, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"strings_b64"`) {
+		t.Fatalf("invalid UTF-8 column not base64-encoded: %s", buf.String())
+	}
+	g, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Hash() != f.Hash() {
+		t.Fatal("hash mismatch for invalid-UTF-8 strings")
+	}
+	if got := g.MustCol("s").Str(1); got != bad {
+		t.Fatalf("invalid UTF-8 value mangled: %q", got)
+	}
+}
+
+// TestCodecEmptyFrames covers the degenerate shapes: zero columns and
+// zero rows.
+func TestCodecEmptyFrames(t *testing.T) {
+	empty, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := roundTrip(t, empty); g.NumRows() != 0 || g.NumCols() != 0 {
+		t.Fatalf("empty frame round-tripped to %dx%d", g.NumRows(), g.NumCols())
+	}
+
+	zeroRows, err := New(NewFloat64("f", nil), NewString("s", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := roundTrip(t, zeroRows)
+	if g.Hash() != zeroRows.Hash() {
+		t.Fatal("zero-row frame hash mismatch")
+	}
+}
+
+// TestCodecRejectsMalformed pins the validation errors: length
+// mismatches, unknown dtypes, bad null indices, bad base64.
+func TestCodecRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not-json":        `{"rows":`,
+		"negative-rows":   `{"rows":-1,"cols":[]}`,
+		"unknown-dtype":   `{"rows":1,"cols":[{"name":"x","dtype":"decimal128"}]}`,
+		"short-floats":    `{"rows":2,"cols":[{"name":"x","dtype":"float64","floats":"AAAAAAAAAAA="}]}`,
+		"bad-base64":      `{"rows":1,"cols":[{"name":"x","dtype":"float64","floats":"!!!"}]}`,
+		"short-ints":      `{"rows":2,"cols":[{"name":"x","dtype":"int64","ints":[1]}]}`,
+		"short-strings":   `{"rows":2,"cols":[{"name":"x","dtype":"string","strings":["a"]}]}`,
+		"bad-strings-b64": `{"rows":1,"cols":[{"name":"x","dtype":"string","strings_b64":["!!!"]}]}`,
+		"short-bools":     `{"rows":2,"cols":[{"name":"x","dtype":"bool","bools":[true]}]}`,
+		"null-oob":        `{"rows":1,"cols":[{"name":"x","dtype":"int64","ints":[1],"nulls":[1]}]}`,
+		"null-negative":   `{"rows":1,"cols":[{"name":"x","dtype":"int64","ints":[1],"nulls":[-1]}]}`,
+		"null-dup":        `{"rows":1,"cols":[{"name":"x","dtype":"int64","ints":[1],"nulls":[0,0]}]}`,
+		"dup-columns":     `{"rows":1,"cols":[{"name":"x","dtype":"int64","ints":[1]},{"name":"x","dtype":"int64","ints":[2]}]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+				t.Fatalf("ReadJSON accepted malformed document %s", doc)
+			}
+		})
+	}
+}

@@ -26,6 +26,10 @@ const (
 	// AlertAuditFailure fires when a window audit errors or is rejected
 	// by a saturated engine.
 	AlertAuditFailure AlertKind = "audit_failure"
+	// AlertBaselineMissing fires when a restored monitor's BaselineRef
+	// no longer resolves in the dataset registry (or its re-audit
+	// fails): the monitor runs degraded instead of being dropped.
+	AlertBaselineMissing AlertKind = "baseline_missing"
 )
 
 // Alert is one monitoring observation delivered to sinks. The JSON form

@@ -12,6 +12,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/store"
 	"github.com/responsible-data-science/rds/internal/stream"
 )
 
@@ -120,6 +121,13 @@ type Summary struct {
 	// and pinned for drift comparison.
 	BaselinePinned bool          `json:"baseline_pinned"`
 	BaselineGrade  *policy.Grade `json:"baseline_grade,omitempty"`
+	// Degraded marks a restored monitor whose BaselineRef dataset was
+	// no longer resident after restart (or failed its re-audit): the
+	// monitor keeps running — on its persisted profile when one
+	// survived, otherwise re-baselining from the stream — but the
+	// registration-time pin is gone until the dataset is re-uploaded
+	// and the monitor re-registered.
+	Degraded bool `json:"degraded,omitempty"`
 	// ProfileBuildMillis is the one-time cost of precomputing the
 	// pinned baseline's drift profile (0 until a baseline is pinned).
 	ProfileBuildMillis float64       `json:"profile_build_millis,omitempty"`
@@ -153,6 +161,10 @@ type RegistryConfig struct {
 	ChunkStates *dataset.StateCache
 	// Sinks receive every monitor's alerts (e.g. one LogSink).
 	Sinks []Sink
+	// Store, when set, durably persists monitor specs and pinned
+	// baseline profiles so Restore can rebuild the monitoring plane
+	// after a restart (see persist.go for exactly what survives).
+	Store store.Store
 }
 
 // Registry owns the live monitors: registration, lookup, deletion,
@@ -187,6 +199,7 @@ type registryMetrics struct {
 	profileBuildMillis  float64
 	driftWindows        uint64
 	driftMillis         float64
+	persistFailures     uint64
 }
 
 func (m *registryMetrics) bump(field *uint64, by uint64) {
@@ -228,6 +241,11 @@ type MetricsSnapshot struct {
 	// latency.
 	DriftWindows uint64  `json:"drift_windows_scored"`
 	DriftMillis  float64 `json:"drift_millis_total"`
+	// PersistFailures counts best-effort store writes/deletes that
+	// failed (stream-pinned profile saves, post-delete record removal);
+	// persist failures on the registration path fail the registration
+	// instead of counting here.
+	PersistFailures uint64 `json:"persist_failures"`
 }
 
 // NewRegistry creates an empty registry backed by the given engine.
@@ -311,6 +329,20 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	r.metrics.bump(&r.metrics.monitorsTotal, 1)
 	r.mu.Unlock()
 
+	// Durability before success: a registration the caller saw succeed
+	// must survive a restart, so a failed persist unwinds the whole
+	// registration (Delete also clears any partial records).
+	err := r.persistSpec(m)
+	if err == nil {
+		m.procMu.Lock()
+		err = r.persistProfileLocked(m)
+		m.procMu.Unlock()
+	}
+	if err != nil {
+		r.Delete(m.id)
+		return nil, fmt.Errorf("monitor: persisting %s: %w", m.id, err)
+	}
+
 	if spec.ReauditEvery > 0 {
 		go m.reauditLoop(spec.ReauditEvery)
 	}
@@ -374,6 +406,7 @@ func (r *Registry) Delete(id string) bool {
 	if ok {
 		m.stopSchedule()
 		m.releasePin()
+		r.dropPersisted(id)
 	}
 	return ok
 }
@@ -421,6 +454,7 @@ func (r *Registry) Metrics() MetricsSnapshot {
 		ProfileBuildMillis:  m.profileBuildMillis,
 		DriftWindows:        m.driftWindows,
 		DriftMillis:         m.driftMillis,
+		PersistFailures:     m.persistFailures,
 	}
 }
 
@@ -469,6 +503,7 @@ type Monitor struct {
 	lastWindow  int64
 	lastGrade   *policy.Grade // last audited grade
 	baseGrade   *policy.Grade
+	degraded    bool         // restored with a missing baseline dataset
 	profileInfo *ProfileInfo // snapshot of the pinned profile's summary
 	history     []WindowEntry
 	rows        uint64
@@ -648,6 +683,7 @@ func (m *Monitor) Status() Summary {
 		Name:               m.spec.Name,
 		BaselinePinned:     m.baseGrade != nil,
 		BaselineGrade:      m.baseGrade,
+		Degraded:           m.degraded,
 		ProfileBuildMillis: buildMS,
 		LastGrade:          m.lastGrade,
 		LastWindow:         m.lastWindow,
@@ -706,6 +742,12 @@ func (m *Monitor) processWindow(w *closedWindow) {
 				m.baseGrade = entry.Grade
 				m.profileInfo = &info
 				m.mu.Unlock()
+				// Best-effort: the stream-pinned baseline keeps scoring
+				// in memory either way; a failed save only costs the
+				// profile a re-pin from the stream after a restart.
+				if perr := m.reg.persistProfileLocked(m); perr != nil {
+					m.reg.metrics.bump(&m.reg.metrics.persistFailures, 1)
+				}
 			}
 		}
 		m.sinceAudit = 0

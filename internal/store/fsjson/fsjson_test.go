@@ -1,0 +1,295 @@
+package fsjson
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/store"
+	"github.com/responsible-data-science/rds/internal/store/contract"
+)
+
+// open opens a store at dir, failing the test on error.
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+// TestContract runs the cross-adapter contract suite against the
+// filesystem adapter. Reopen genuinely reopens the state directory —
+// the restart path every durability property rides on — and Corrupt
+// flips a byte in the record file on disk.
+func TestContract(t *testing.T) {
+	contract.Run(t, contract.Adapter{
+		Make: func(t *testing.T) store.Store { return open(t, t.TempDir()) },
+		Reopen: func(t *testing.T, s store.Store) store.Store {
+			return open(t, s.(*Store).Root())
+		},
+		Corrupt: func(t *testing.T, s store.Store, kind store.Kind, id string) store.Store {
+			fs := s.(*Store)
+			path := filepath.Join(fs.Root(), fs.gen, string(kind), recordFile(id))
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading record to corrupt: %v", err)
+			}
+			// Flip one byte inside the payload region.
+			i := bytes.Index(raw, []byte(`"payload"`))
+			if i < 0 || i+12 >= len(raw) {
+				t.Fatalf("no payload region to corrupt in %s", path)
+			}
+			raw[i+12] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatalf("writing corrupted record: %v", err)
+			}
+			return open(t, fs.Root())
+		},
+	})
+}
+
+// TestFreshBootEmptyDir pins the defined behavior for empty state: a
+// missing directory and an existing-but-empty directory are both a
+// fresh boot, not an error.
+func TestFreshBootEmptyDir(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created")
+	s := open(t, missing)
+	items, err := s.List(store.KindMonitor)
+	if err != nil || len(items) != 0 {
+		t.Fatalf("fresh store lists (%v, %v), want empty", items, err)
+	}
+
+	empty := t.TempDir() // exists, no contents
+	s2 := open(t, empty)
+	if err := s2.Save(store.KindMonitor, "m1", []byte(`{"a":1}`)); err != nil {
+		t.Fatalf("Save on fresh store: %v", err)
+	}
+}
+
+// TestTruncatedCurrentRefused pins the defined behavior for a
+// truncated CURRENT pointer: refuse to start, naming the file.
+func TestTruncatedCurrentRefused(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir).Close()
+	for name, contents := range map[string]string{
+		"empty":    "",
+		"garbage":  "not-a-generation\n",
+		"dangling": "gen-000099\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			cur := filepath.Join(dir, currentFile)
+			orig, err := os.ReadFile(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(cur, orig, 0o644)
+			if err := os.WriteFile(cur, []byte(contents), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = Open(dir)
+			if err == nil {
+				t.Fatal("Open accepted a corrupt CURRENT file")
+			}
+			if !strings.Contains(err.Error(), currentFile) {
+				t.Fatalf("error %q does not name the offending file", err)
+			}
+		})
+	}
+}
+
+// TestTruncatedRecordRefused pins the defined behavior for an empty or
+// truncated record file: Find and List refuse with ErrCorrupt naming
+// the file, and a fresh Open still succeeds (corruption is surfaced at
+// read time, where the caller knows which record it needed).
+func TestTruncatedRecordRefused(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(store.KindMonitor, "m1", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, s.gen, string(store.KindMonitor), "m1.json")
+	for name, truncate := range map[string]func([]byte) []byte{
+		"empty":   func([]byte) []byte { return nil },
+		"halfway": func(b []byte) []byte { return b[:len(b)/2] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(path, orig, 0o644)
+			if err := os.WriteFile(path, truncate(orig), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s2 := open(t, dir)
+			if _, _, err := s2.Find(store.KindMonitor, "m1"); !errors.Is(err, store.ErrCorrupt) {
+				t.Fatalf("Find over truncated record: %v, want ErrCorrupt", err)
+			} else if !strings.Contains(err.Error(), "m1.json") {
+				t.Fatalf("error %q does not name the file", err)
+			}
+			if _, err := s2.List(store.KindMonitor); !errors.Is(err, store.ErrCorrupt) {
+				t.Fatalf("List over truncated record: %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestUnrecognizedDirRefused proves Open will not adopt (or wipe) a
+// directory that holds anything that is not state-dir shaped.
+func TestUnrecognizedDirRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "precious.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "precious.txt") {
+		t.Fatalf("Open adopted a foreign directory: %v", err)
+	}
+}
+
+// TestFaultInjectedWriteLeavesPriorRecord proves the crash-safe write:
+// when the data write fails partway (an error-injecting writer standing
+// in for a full disk or a crash before rename), the half-written temp
+// file never replaces the record and the previous contents survive —
+// across a reopen, exactly as after a real crash.
+func TestFaultInjectedWriteLeavesPriorRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(store.KindMonitor, "m1", []byte(`{"rev":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	prev := newWriter
+	newWriter = func(f *os.File) interface{ Write([]byte) (int, error) } {
+		return failingWriter{f: f, after: 10}
+	}
+	err := s.Save(store.KindMonitor, "m1", []byte(`{"rev":2}`))
+	newWriter = prev
+	if err == nil {
+		t.Fatal("Save with a failing writer reported success")
+	}
+
+	for label, st := range map[string]*Store{"same-process": s, "reopened": open(t, dir)} {
+		got, ok, ferr := st.Find(store.KindMonitor, "m1")
+		if ferr != nil || !ok || !bytes.Contains(got, []byte(`"rev":1`)) {
+			t.Fatalf("%s: previous record did not survive failed write: (%q, %v, %v)", label, got, ok, ferr)
+		}
+	}
+}
+
+// failingWriter writes `after` bytes then fails — a simulated crash in
+// the middle of the payload.
+type failingWriter struct {
+	f     *os.File
+	after int
+}
+
+func (w failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.after {
+		p = p[:w.after]
+	}
+	n, _ := w.f.Write(p)
+	return n, fmt.Errorf("injected write fault after %d bytes", n)
+}
+
+// TestCrashBetweenWriteAndRename simulates the other half of the
+// fault: a complete temp file that was never renamed into place (the
+// process died between write and rename). The record must read as its
+// previous generation and Open must clear the debris.
+func TestCrashBetweenWriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(store.KindMonitor, "m1", []byte(`{"rev":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft the orphaned temp file a crash leaves behind.
+	kindDir := filepath.Join(dir, s.gen, string(store.KindMonitor))
+	orphan := filepath.Join(kindDir, tmpPrefix+"m1.json-12345")
+	if err := os.WriteFile(orphan, []byte(`{"kind":"monitors","id":"m1","sha256":"bogus","payload":{"rev":2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	got, ok, err := s2.Find(store.KindMonitor, "m1")
+	if err != nil || !ok || !bytes.Contains(got, []byte(`"rev":1`)) {
+		t.Fatalf("previous record did not survive orphaned temp file: (%q, %v, %v)", got, ok, err)
+	}
+	items, err := s2.List(store.KindMonitor)
+	if err != nil || len(items) != 1 {
+		t.Fatalf("orphaned temp file leaked into List: (%v, %v)", items, err)
+	}
+}
+
+// TestCrashMidSnapshotKeepsPreviousGeneration simulates a kill in the
+// middle of Snapshot: a fully-written next generation that never
+// flipped CURRENT. Open must keep serving the previous generation and
+// garbage-collect the unreferenced one.
+func TestCrashMidSnapshotKeepsPreviousGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(store.KindMonitor, "m1", []byte(`{"rev":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A next generation that exists but is not referenced by CURRENT —
+	// the state after a crash between the generation rename and the
+	// CURRENT flip.
+	next := filepath.Join(dir, "gen-000002", string(store.KindMonitor))
+	if err := os.MkdirAll(next, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	env, err := encodeEnvelope(store.KindMonitor, "m1", []byte(`{"rev":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(next, "m1.json"), env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	got, _, err := s2.Find(store.KindMonitor, "m1")
+	if err != nil || !bytes.Contains(got, []byte(`"rev":1`)) {
+		t.Fatalf("previous generation not served after crashed snapshot: (%q, %v)", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gen-000002")); !os.IsNotExist(err) {
+		t.Fatalf("unreferenced generation not garbage-collected: %v", err)
+	}
+}
+
+// TestSnapshotAdvancesGeneration covers the happy snapshot path at the
+// filesystem level: the generation advances, the old directory is
+// gone, and CURRENT points at the new one.
+func TestSnapshotAdvancesGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save(store.KindMonitor, "old", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	state := map[store.Kind][]store.Item{
+		store.KindMonitor: {{ID: "m1", Payload: []byte(`{"a":2}`)}},
+	}
+	if err := s.Snapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	if s.gen != "gen-000002" {
+		t.Fatalf("generation is %s, want gen-000002", s.gen)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gen-000001")); !os.IsNotExist(err) {
+		t.Fatalf("old generation not removed: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if err != nil || strings.TrimSpace(string(raw)) != "gen-000002" {
+		t.Fatalf("CURRENT = %q (err %v), want gen-000002", raw, err)
+	}
+	// Mixed snapshot + incremental saves keep working in the new
+	// generation.
+	if err := s.Save(store.KindProfile, "p1", []byte(`{"b":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir)
+	if _, ok, err := s2.Find(store.KindProfile, "p1"); !ok || err != nil {
+		t.Fatalf("post-snapshot Save lost on reopen: ok=%v err=%v", ok, err)
+	}
+}

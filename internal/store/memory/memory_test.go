@@ -1,0 +1,48 @@
+package memory
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/store"
+	"github.com/responsible-data-science/rds/internal/store/contract"
+)
+
+// TestContract runs the cross-adapter contract suite against the
+// in-memory adapter. Reopen is the identity: the medium is the
+// process, so "restart" hands back the same instance and the
+// reload-facing properties degenerate to plain reads.
+func TestContract(t *testing.T) {
+	contract.Run(t, contract.Adapter{
+		Make: func(t *testing.T) store.Store { return New() },
+		Reopen: func(t *testing.T, s store.Store) store.Store {
+			return s
+		},
+		Corrupt: func(t *testing.T, s store.Store, kind store.Kind, id string) store.Store {
+			if !s.(*Store).Corrupt(kind, id) {
+				t.Fatalf("Corrupt(%s, %s): no such record", kind, id)
+			}
+			return s
+		},
+	})
+}
+
+// TestCorruptMissing covers the tamper hook's miss path.
+func TestCorruptMissing(t *testing.T) {
+	if New().Corrupt(store.KindMonitor, "nope") {
+		t.Fatal("Corrupt reported success for an absent record")
+	}
+}
+
+// TestCloseEmpties verifies Close drops the contents.
+func TestCloseEmpties(t *testing.T) {
+	s := New()
+	if err := s.Save(store.KindMonitor, "m1", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Find(store.KindMonitor, "m1"); ok || err != nil {
+		t.Fatalf("record survived Close: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Process-level durability smoke: boot rds-serve with -state-dir,
+# upload a dataset and register a baseline_ref monitor over HTTP,
+# kill -9 the process, boot a fresh one over the same directory, and
+# assert the dataset and the pinned monitor came back. This is the
+# shell-level twin of internal/e2e TestRestartEndToEnd — it exercises
+# the real binary and a real SIGKILL instead of an in-process stop.
+#
+# Usage: scripts/restart_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+STATE_DIR="$(mktemp -d)"
+BIN="$(mktemp -d)/rds-serve"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "${SERVER_PID}" ] && kill -9 "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${STATE_DIR}" "$(dirname "${BIN}")"
+}
+trap cleanup EXIT
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "restart_smoke: server on ${ADDR} never became ready" >&2
+  exit 1
+}
+
+# Extract a top-level string field from a JSON object without jq.
+json_field() { # json_field <field-name>
+  sed -n "s/.*\"$1\"[[:space:]]*:[[:space:]]*\"\([^\"]*\)\".*/\1/p" | head -1
+}
+
+go build -o "${BIN}" ./cmd/rds-serve
+
+csv="income,group,approved
+50000,A,1
+32000,B,0
+71000,A,1
+28000,B,0
+64000,A,1
+30000,B,1
+55000,A,0
+45000,B,1"
+
+# ---- First life ----------------------------------------------------
+"${BIN}" -addr "${ADDR}" -state-dir "${STATE_DIR}" &
+SERVER_PID=$!
+wait_ready
+
+ref=$(curl -fsS "${BASE}/v1/datasets" -H 'Content-Type: text/csv' \
+  --data-binary "${csv}" | json_field ref)
+[ -n "${ref}" ] || { echo "restart_smoke: dataset upload returned no ref" >&2; exit 1; }
+
+mon=$(curl -fsS "${BASE}/v1/monitors" -H 'Content-Type: application/json' \
+  -d "{\"name\":\"smoke\",\"baseline_ref\":\"${ref}\",\"window_ms\":1000,\"epochs\":2}" \
+  | json_field id)
+[ -n "${mon}" ] || { echo "restart_smoke: monitor registration returned no id" >&2; exit 1; }
+
+echo "restart_smoke: first life registered dataset ${ref} and monitor ${mon}; sending SIGKILL"
+kill -9 "${SERVER_PID}"
+wait "${SERVER_PID}" 2>/dev/null || true
+SERVER_PID=""
+
+# ---- Second life ---------------------------------------------------
+"${BIN}" -addr "${ADDR}" -state-dir "${STATE_DIR}" &
+SERVER_PID=$!
+wait_ready
+
+status=$(curl -fsS "${BASE}/v1/monitors/${mon}")
+echo "${status}" | tr -d ' ' | grep -q '"baseline_pinned":true' || {
+  echo "restart_smoke: restored monitor lost its pinned baseline: ${status}" >&2; exit 1; }
+echo "${status}" | tr -d ' ' | grep -q '"degraded":true' && {
+  echo "restart_smoke: restored monitor is degraded: ${status}" >&2; exit 1; }
+curl -fsS "${BASE}/v1/datasets/${ref}" >/dev/null || {
+  echo "restart_smoke: baseline dataset did not survive restart" >&2; exit 1; }
+
+echo "restart_smoke: OK — monitor ${mon} and dataset ${ref} survived kill -9"
