@@ -162,10 +162,13 @@ func BenchmarkAuditCache(b *testing.B) {
 // BenchmarkShardedAudit measures the execution plane (internal/exec) on
 // the audit hot path at 1M synthetic rows: per iteration it runs the
 // row-scan kernels every audit routes through — the fairness group
-// tallies, the descriptive profile of a numeric column (parallel chunk
-// sorts + mergeable moments), and the drift scorers' PSI/KS inputs —
-// sweeping 1, 4, and 16 shards. Results are bit-identical across the
-// sweep (see TestRunAuditShardInvariance); only wall-clock time moves.
+// tallies over the dictionary-encoded group column (the code-indexed
+// path Pipeline.Audit takes), the descriptive profile of a numeric
+// column (parallel chunk sorts + mergeable moments), and the drift
+// scorers' PSI/KS inputs — sweeping 1, 4, and 16 shards. Results are
+// bit-identical across the sweep (see TestRunAuditShardInvariance) and
+// to the string-keyed kernels (the frame package's dict-identity
+// property tests); only wall-clock time moves.
 func BenchmarkShardedAudit(b *testing.B) {
 	const rows = 1_000_000
 	f, err := synth.Credit(synth.CreditConfig{N: rows, Bias: 0.5, Seed: 41})
@@ -173,13 +176,16 @@ func BenchmarkShardedAudit(b *testing.B) {
 		b.Fatal(err)
 	}
 	y := f.MustCol("approved").Floats()
-	groups := f.MustCol("group").Strings()
+	groupCol := f.MustCol("group")
+	if _, _, ok := groupCol.DictView(); !ok {
+		b.Fatal("synth group column should be dictionary-encoded")
+	}
 	income := f.MustCol("income").Floats()
 	edges := []float64{20000, 40000, 60000, 80000, 100000}
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := fairness.EvaluateSharded(y, y, groups, "B", "A", shards); err != nil {
+				if _, err := fairness.EvaluateSeriesSharded(y, y, groupCol, "B", "A", shards); err != nil {
 					b.Fatal(err)
 				}
 				if s := stats.DescribeSharded(income, shards); s.N != rows {

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServe stands in for rds-serve: healthy /healthz, configurable
+// audit status, and a minimal monitor lifecycle (register → ingest →
+// delete) so the ingest arm runs end to end.
+type fakeServe struct {
+	auditStatus int32 // atomic; HTTP status for POST /v1/audit
+	audits      int64
+	registers   int64
+	ingests     int64
+	deletes     int64
+}
+
+func (f *fakeServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&f.audits, 1)
+		w.WriteHeader(int(atomic.LoadInt32(&f.auditStatus)))
+	})
+	mux.HandleFunc("/v1/monitors", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&f.registers, 1)
+		json.NewEncoder(w).Encode(map[string]string{"id": "mon-1"})
+	})
+	mux.HandleFunc("/v1/monitors/mon-1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&f.ingests, 1)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/monitors/mon-1", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodDelete {
+			atomic.AddInt64(&f.deletes, 1)
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func newFake(status int) (*fakeServe, *httptest.Server) {
+	f := &fakeServe{auditStatus: int32(status)}
+	return f, httptest.NewServer(f.handler())
+}
+
+func TestRunSweepHappyPath(t *testing.T) {
+	f, srv := newFake(http.StatusOK)
+	defer srv.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "sweep.json")
+	var stdout, stderr bytes.Buffer
+	// The ingest arm's ticker fires once per second, so the second cell
+	// runs just past a tick to drive the ingest loop body.
+	code := run([]string{
+		"-url", srv.URL, "-duration", "1100ms", "-clients", "2",
+		"-audit-rows", "50", "-ingest-rate", "0,40",
+		"-epochs", "2", "-json", jsonPath, "-max-p99", "1h",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, stderr.String())
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading -json output: %v", err)
+	}
+	var doc sweepDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if len(doc.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(doc.Cells))
+	}
+	if doc.MaxSustainedAuditsPerS <= 0 {
+		t.Fatalf("max sustained %v, want > 0", doc.MaxSustainedAuditsPerS)
+	}
+	for _, c := range doc.Cells {
+		if c.Audits == 0 || c.Status5xx != 0 {
+			t.Fatalf("cell %+v: want audits > 0 and zero 5xx", c)
+		}
+	}
+	if atomic.LoadInt64(&f.registers) != 1 || atomic.LoadInt64(&f.deletes) != 1 {
+		t.Fatalf("monitor lifecycle: registers=%d deletes=%d, want 1/1",
+			f.registers, f.deletes)
+	}
+	if !strings.Contains(stdout.String(), "max sustained:") {
+		t.Fatalf("stdout missing summary line: %q", stdout.String())
+	}
+}
+
+func TestRunFailsOnServerErrors(t *testing.T) {
+	_, srv := newFake(http.StatusInternalServerError)
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "200ms", "-clients", "1",
+		"-audit-rows", "50", "-ingest-rate", "0",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 on 5xx responses", code)
+	}
+	if !strings.Contains(stderr.String(), "5xx") {
+		t.Fatalf("stderr should name the 5xx failure: %q", stderr.String())
+	}
+	// A cell whose every audit fails also completes zero audits.
+	if !strings.Contains(stderr.String(), "completed no audits") {
+		t.Fatalf("stderr should flag the empty cell: %q", stderr.String())
+	}
+}
+
+func TestRunFailsOnP99Budget(t *testing.T) {
+	_, srv := newFake(http.StatusOK)
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "200ms", "-clients", "1",
+		"-audit-rows", "50", "-ingest-rate", "0", "-max-p99", "1ns",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 when p99 exceeds the budget", code)
+	}
+	if !strings.Contains(stderr.String(), "budget") {
+		t.Fatalf("stderr should name the budget breach: %q", stderr.String())
+	}
+}
+
+func TestRunFlagAndArgumentErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown flag: run = %d, want 2", code)
+	}
+	cases := [][]string{
+		{"-audit-rows", "x"},
+		{"-ingest-rate", "-3"},
+		{"-clients", "0"},
+		{"-duration", "0s"},
+	}
+	for _, args := range cases {
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("args %v: run = %d, want 1", args, code)
+		}
+	}
+}
+
+func TestWaitHealthyTimesOut(t *testing.T) {
+	oldPoll, oldBudget := healthPollInterval, healthBudget
+	healthPollInterval, healthBudget = 5*time.Millisecond, 50*time.Millisecond
+	defer func() { healthPollInterval, healthBudget = oldPoll, oldBudget }()
+
+	// A server that is up but never healthy exercises the retry loop.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if err := waitHealthy(srv.URL, 30*time.Millisecond); err == nil {
+		t.Fatal("waitHealthy should fail against an unhealthy service")
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-url", srv.URL, "-duration", "100ms"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 when the service never turns healthy", code)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	ms := []float64{40, 10, 30, 20}
+	if got := percentile(ms, 0.50); got != 30 {
+		t.Fatalf("p50 of 10..40 = %v, want 30 (nearest rank)", got)
+	}
+	if got := percentile(ms, 0.99); got != 40 {
+		t.Fatalf("p99 of 10..40 = %v, want 40", got)
+	}
+}
+
+func TestMsString(t *testing.T) {
+	if got := msString(42.4); got != "42ms" {
+		t.Fatalf("msString(42.4) = %q", got)
+	}
+	if got := msString(1500); got != "1.50s" {
+		t.Fatalf("msString(1500) = %q", got)
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList(" 2000, 20000 ,0")
+	if err != nil {
+		t.Fatalf("parseIntList: %v", err)
+	}
+	if len(got) != 3 || got[0] != 2000 || got[1] != 20000 || got[2] != 0 {
+		t.Fatalf("parseIntList = %v", got)
+	}
+	for _, bad := range []string{"", "x", "-1", "1.5"} {
+		if _, err := parseIntList(bad); err == nil {
+			t.Fatalf("parseIntList(%q) should fail", bad)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/responsible-data-science/rds/internal/fairness"
+	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/ml"
 	"github.com/responsible-data-science/rds/internal/provenance"
 )
@@ -69,13 +70,17 @@ type TrainedModel struct {
 	Spec       TrainSpec
 	Test       *ml.Dataset
 	TestGroups []string
-	TestProbs  []float64
-	TestPreds  []float64
-	Thresholds *fairness.GroupThresholds // non-nil for MitigateThreshold
-	Accuracy   float64
-	AUC        float64
-	Card       *provenance.ModelCard
-	LineageID  string
+	// TestGroupCol is the sensitive column restricted to the test split —
+	// the same values as TestGroups, but keeping the column's
+	// dictionary encoding so the fairness kernel can tally by code.
+	TestGroupCol *frame.Series
+	TestProbs    []float64
+	TestPreds    []float64
+	Thresholds   *fairness.GroupThresholds // non-nil for MitigateThreshold
+	Accuracy     float64
+	AUC          float64
+	Card         *provenance.ModelCard
+	LineageID    string
 }
 
 // Train fits a logistic model on the working frame per spec, with the
@@ -103,7 +108,8 @@ func (p *Pipeline) Train(spec TrainSpec) (*TrainedModel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding features: %w", err)
 	}
-	groups := p.data.MustCol(spec.Sensitive).Strings()
+	groupCol := p.data.MustCol(spec.Sensitive)
+	groups := groupCol.Strings()
 
 	// Deterministic split that keeps group labels aligned with rows.
 	perm := p.src.Perm(ds.N())
@@ -137,11 +143,12 @@ func (p *Pipeline) Train(spec TrainSpec) (*TrainedModel, error) {
 	}
 
 	tm := &TrainedModel{
-		Model:      model,
-		Spec:       spec,
-		Test:       testSet,
-		TestGroups: testGroups,
-		TestProbs:  ml.PredictProbaAll(model, testSet.X),
+		Model:        model,
+		Spec:         spec,
+		Test:         testSet,
+		TestGroups:   testGroups,
+		TestGroupCol: groupCol.Take(testIdx),
+		TestProbs:    ml.PredictProbaAll(model, testSet.X),
 	}
 	if spec.Mitigation == MitigateThreshold {
 		th, err := fairness.OptimizeThresholds(testSet.Y, tm.TestProbs, testGroups,

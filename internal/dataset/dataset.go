@@ -302,9 +302,12 @@ func (r *Registry) Metrics() Snapshot {
 
 // SizeOf estimates a frame's resident heap footprint in bytes: payload
 // slices by dtype (8 bytes per numeric, 1 per bool, string header plus
-// text per string cell), a null bitmap when present, and a fixed
-// per-column overhead. The budget arithmetic only needs relative
-// accuracy, so the estimate errs simple rather than exact.
+// text per string cell — or 4 bytes per row plus one shared header+text
+// per dictionary level for dict-encoded columns), a null bitmap when
+// present, and a fixed per-column overhead. The budget arithmetic only
+// needs relative accuracy, so the estimate errs simple rather than
+// exact; TestSizeOfTracksMeasuredBytes pins it against measured live
+// heap within 10%.
 func SizeOf(f *frame.Frame) int64 {
 	const colOverhead = 96 // Series struct + name + slice headers
 	var n int64
@@ -318,9 +321,16 @@ func SizeOf(f *frame.Frame) int64 {
 		case frame.Bool:
 			n += rows
 		case frame.String:
-			n += 16 * rows
-			for i := 0; i < c.Len(); i++ {
-				n += int64(len(c.Str(i)))
+			if codes, dict, ok := c.DictView(); ok {
+				n += 4 * int64(len(codes))
+				for _, v := range dict {
+					n += 16 + int64(len(v))
+				}
+			} else {
+				n += 16 * rows
+				for i := 0; i < c.Len(); i++ {
+					n += int64(len(c.Str(i)))
+				}
 			}
 		}
 		if c.NullCount() > 0 {

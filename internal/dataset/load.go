@@ -188,9 +188,9 @@ func buildSeries(col *jsonColumn) *frame.Series {
 	case bools == any:
 		return buildTyped(col, frame.NewBool, func(c jsonCell) bool { return c.b })
 	case strs == any:
-		return buildTyped(col, frame.NewString, func(c jsonCell) string { return c.s })
+		return buildTyped(col, frame.NewString, func(c jsonCell) string { return c.s }).InternIngest()
 	default:
-		return buildTyped(col, frame.NewString, renderCell)
+		return buildTyped(col, frame.NewString, renderCell).InternIngest()
 	}
 }
 

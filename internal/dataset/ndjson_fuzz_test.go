@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// FuzzReadNDJSON throws arbitrary bytes at the NDJSON loader. Malformed
+// input may be rejected with an error but must never panic; any frame
+// the loader does produce must be rectangular, deterministic across
+// re-parses, hash-stable, and must survive the frame JSON codec with
+// values and dictionary encoding intact.
+func FuzzReadNDJSON(f *testing.F) {
+	seeds := []string{
+		"",
+		"{}",
+		`{"a":1}`,
+		"{\"a\":1,\"b\":\"x\"}\n{\"a\":2,\"b\":\"y\"}\n",
+		"{\"a\":1}\n{\"b\":2}\n",          // disjoint keys: null backfill
+		"{\"a\":null}\n{\"a\":\"\"}\n",    // null vs empty-string value
+		"{\"a\":1}\n{\"a\":1.5}\n",        // int widened to float
+		"{\"a\":1}\n{\"a\":\"x\"}\n",      // mixed types fall back to string
+		"{\"a\":true}\n{\"a\":false}\n",   // bool column
+		"{\"a\":9223372036854775807}\n",   // int64 max
+		"{\"a\":1e309}\n",                 // float overflow
+		"{\"a\":{\"nested\":1}}\n",        // nested object: rejected
+		"{\"a\":[1,2]}\n",                 // array: rejected
+		"{\"a\":1,\"a\":2}\n",             // duplicate key: rejected
+		"{\"é\":\"ü\"}\n{\"é\":\"群体\"}\n", // unicode keys and values
+		// Dictionary stress: levels differing only by case/whitespace.
+		"{\"g\":\"x\"}\n{\"g\":\"X\"}\n{\"g\":\" x\"}\n{\"g\":\"x \"}\n{\"g\":\"x\"}\n",
+		"{\"a\":1}\n{\"a\":2}{\"a\":3}\n", // objects without newline separator
+		"{\"a\":1}\ngarbage\n",            // trailing garbage
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		fr, err := ReadNDJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		rows, cols := fr.NumRows(), fr.NumCols()
+		if cols == 0 {
+			t.Fatalf("parsed frame has no columns: %q", input)
+		}
+		for j := 0; j < cols; j++ {
+			c := fr.ColAt(j)
+			if c.Len() != rows {
+				t.Fatalf("column %q has %d rows, frame has %d: %q", c.Name(), c.Len(), rows, input)
+			}
+			for i := 0; i < rows; i++ {
+				_ = c.Value(i)
+			}
+			if _, dict, ok := c.DictView(); ok {
+				seen := make(map[string]bool, len(dict))
+				for _, lv := range dict {
+					if seen[lv] {
+						t.Fatalf("column %q dict repeats level %q: %q", c.Name(), lv, input)
+					}
+					seen[lv] = true
+				}
+			}
+		}
+		if h1, h2 := fr.Hash(), fr.Hash(); h1 != h2 {
+			t.Fatalf("Hash not deterministic: %s vs %s", h1, h2)
+		}
+		again, err := ReadNDJSON(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("re-parse of accepted input failed: %v: %q", err, input)
+		}
+		if !fr.Equal(again) || fr.Hash() != again.Hash() {
+			t.Fatalf("re-parse not deterministic: %q", input)
+		}
+		var buf bytes.Buffer
+		if err := fr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON of parsed frame failed: %v: %q", err, input)
+		}
+		back, err := frame.ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("codec round-trip failed: %v: %q", err, input)
+		}
+		if !back.Equal(fr) || back.Hash() != fr.Hash() {
+			t.Fatalf("codec round-trip changed the frame: %q", input)
+		}
+		for j := 0; j < cols; j++ {
+			_, _, wantDict := fr.ColAt(j).DictView()
+			_, _, gotDict := back.ColAt(j).DictView()
+			if wantDict != gotDict {
+				t.Fatalf("codec round-trip changed column %q representation: %q", fr.ColAt(j).Name(), input)
+			}
+		}
+	})
+}

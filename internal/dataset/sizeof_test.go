@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/frame"
+)
+
+// buildSizedFrame materializes a registry-shaped frame — numeric
+// columns, a low-cardinality dict-encoded categorical, a null-carrying
+// categorical — through the CSV ingest path, returning only the frame
+// so construction temporaries are collectible before measurement.
+func buildSizedFrame(tb testing.TB, rows int) *frame.Frame {
+	tb.Helper()
+	var sb strings.Builder
+	sb.Grow(rows * 32)
+	sb.WriteString("income,age,group,region\n")
+	for i := 0; i < rows; i++ {
+		region := ""
+		if i%7 != 0 {
+			region = fmt.Sprintf("region-%02d", i%40)
+		}
+		fmt.Fprintf(&sb, "%d.5,%d,%s,%s\n", 20000+i%80000, 18+i%60, string(rune('A'+i%4)), region)
+	}
+	f, err := frame.ReadCSVString(sb.String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, _, ok := f.MustCol("group").DictView(); !ok {
+		tb.Fatal("group column should ingest dictionary-encoded")
+	}
+	return f
+}
+
+// TestSizeOfTracksMeasuredBytes pins the registry's budget arithmetic
+// to reality: SizeOf's estimate for an ingested frame — including the
+// dict-column footprint the codec and registry must agree on — has to
+// land within 10% of the measured live-heap growth of materializing
+// that frame. A drift past that means the byte budget admits far more
+// or less data than it claims.
+func TestSizeOfTracksMeasuredBytes(t *testing.T) {
+	const rows = 200_000
+	measure := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	before := measure()
+	f := buildSizedFrame(t, rows)
+	after := measure()
+	measured := float64(after - before)
+	est := float64(SizeOf(f))
+	runtime.KeepAlive(f)
+	if measured <= 0 {
+		t.Fatalf("heap measurement collapsed: before=%d after=%d", before, after)
+	}
+	ratio := est / measured
+	t.Logf("SizeOf=%.0f measured=%.0f ratio=%.3f", est, measured, ratio)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("SizeOf %.0f vs measured %.0f bytes: ratio %.3f outside [0.9, 1.1]", est, measured, ratio)
+	}
+}

@@ -3,6 +3,8 @@ package exec
 import (
 	"math"
 	"sort"
+
+	"github.com/responsible-data-science/rds/internal/frame"
 )
 
 // Subtractor is implemented by states whose Merge is exactly
@@ -155,6 +157,16 @@ type Outcomes struct {
 	groups       []string
 	only         []string
 
+	// codes/dict/nullMask/keep are the typed fast path over a
+	// dict-encoded group column (NewOutcomesSeries): rows tally into a
+	// code-indexed array with a precomputed per-code restriction mask —
+	// no string hash or group-name comparison per row — and fold into
+	// Counts once per chunk.
+	codes    []int32
+	dict     []string
+	nullMask []bool
+	keep     []bool
+
 	// Counts maps group label to its tallies. Groups outside the
 	// restriction never appear.
 	Counts map[string]*OutcomeCounts
@@ -178,8 +190,44 @@ func NewOutcomes(yTrue, yPred []float64, groups []string, only ...string) Kernel
 	}}
 }
 
+// NewOutcomesSeries is NewOutcomes keyed on a group column instead of
+// pre-rendered strings: dict-encoded columns take the typed code path
+// (bit-identical tallies, no per-row string work — see Outcomes), plain
+// columns fall back to NewOutcomes over the rendered values.
+func NewOutcomesSeries(yTrue, yPred []float64, groups *frame.Series, only ...string) Kernel {
+	codes, dict, ok := groups.DictView()
+	if !ok {
+		return NewOutcomes(yTrue, yPred, groups.Strings(), only...)
+	}
+	nullMask := groups.NullMask()
+	var keep []bool
+	if len(only) > 0 {
+		keep = make([]bool, len(dict))
+		for i, v := range dict {
+			for _, name := range only {
+				if v == name {
+					keep[i] = true
+					break
+				}
+			}
+		}
+	}
+	return Kernel{Name: "outcomes", New: func() State {
+		return &Outcomes{
+			yTrue: yTrue, yPred: yPred, only: only,
+			codes: codes, dict: dict, nullMask: nullMask, keep: keep,
+			Counts: make(map[string]*OutcomeCounts, len(only)+2),
+			ErrRow: -1,
+		}
+	}}
+}
+
 // Update absorbs rows [lo, hi).
 func (o *Outcomes) Update(lo, hi int) {
+	if o.codes != nil {
+		o.updateCodes(lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		g := o.groups[i]
 		if len(o.only) > 0 {
@@ -217,20 +265,89 @@ func (o *Outcomes) Update(lo, hi int) {
 	}
 }
 
+// updateCodes is the typed Update over a dict-encoded group column:
+// rows tally into a chunk-local code-indexed array (null rows into the
+// "" group they render as), folded into Counts once at the end. The
+// fold order over codes is fixed, and the tallies are the integer
+// counts a per-row map insert would have produced, so the resulting
+// Counts map is identical to the string-keyed path's.
+func (o *Outcomes) updateCodes(lo, hi int) {
+	tally := make([]OutcomeCounts, len(o.dict))
+	var nullTally OutcomeCounts
+	nullKept := true
+	if o.keep != nil {
+		nullKept = false
+		for _, name := range o.only {
+			if name == "" {
+				nullKept = true
+				break
+			}
+		}
+	}
+	errRow := -1
+	for i := lo; i < hi; i++ {
+		var c *OutcomeCounts
+		if o.nullMask != nil && o.nullMask[i] {
+			if !nullKept {
+				continue
+			}
+			c = &nullTally
+		} else {
+			code := o.codes[i]
+			if o.keep != nil && !o.keep[code] {
+				continue
+			}
+			c = &tally[code]
+		}
+		c.N++
+		yt, yp := o.yTrue[i], o.yPred[i]
+		switch {
+		case yt == 1 && yp == 1:
+			c.TP++
+		case yt == 0 && yp == 1:
+			c.FP++
+		case yt == 0 && yp == 0:
+			c.TN++
+		case yt == 1 && yp == 0:
+			c.FN++
+		default:
+			if errRow < 0 {
+				errRow = i // i ascends, so the first bad row is the smallest
+			}
+		}
+	}
+	for code := range tally {
+		if t := &tally[code]; t.N > 0 {
+			o.addCounts(o.dict[code], t)
+		}
+	}
+	if nullTally.N > 0 {
+		o.addCounts("", &nullTally)
+	}
+	if errRow >= 0 && (o.ErrRow < 0 || errRow < o.ErrRow) {
+		o.ErrRow = errRow
+	}
+}
+
+// addCounts accumulates t into the named group's entry of Counts.
+func (o *Outcomes) addCounts(g string, t *OutcomeCounts) {
+	a := o.Counts[g]
+	if a == nil {
+		a = &OutcomeCounts{}
+		o.Counts[g] = a
+	}
+	a.N += t.N
+	a.TP += t.TP
+	a.FP += t.FP
+	a.TN += t.TN
+	a.FN += t.FN
+}
+
 // Merge absorbs another Outcomes state, keeping the smallest error row.
 func (o *Outcomes) Merge(other State) {
 	b := other.(*Outcomes)
 	for g, c := range b.Counts {
-		a := o.Counts[g]
-		if a == nil {
-			a = &OutcomeCounts{}
-			o.Counts[g] = a
-		}
-		a.N += c.N
-		a.TP += c.TP
-		a.FP += c.FP
-		a.TN += c.TN
-		a.FN += c.FN
+		o.addCounts(g, c)
 	}
 	if b.ErrRow >= 0 && (o.ErrRow < 0 || b.ErrRow < o.ErrRow) {
 		o.ErrRow = b.ErrRow
@@ -259,8 +376,28 @@ func NewHist(xs, edges []float64) Kernel {
 	}}
 }
 
+// histLinearMaxEdges is the edge count below which Update scans edges
+// linearly: for the decile grids drift uses, a predictable short scan
+// beats binary-search branching.
+const histLinearMaxEdges = 16
+
 // Update absorbs rows [lo, hi).
 func (h *Hist) Update(lo, hi int) {
+	if len(h.edges) <= histLinearMaxEdges {
+		for _, x := range h.xs[lo:hi] {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// First bin whose edge is >= x: the index
+			// sort.SearchFloat64s(h.edges, x) returns.
+			b := 0
+			for b < len(h.edges) && h.edges[b] < x {
+				b++
+			}
+			h.Counts[b]++
+		}
+		return
+	}
 	for _, x := range h.xs[lo:hi] {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			continue
@@ -297,15 +434,22 @@ func (h *Hist) Total() int64 {
 
 // --- Sorted ---
 
-// Sorted collects a column's values fully sorted: chunks sort locally
-// in parallel, Merge gathers the sorted runs, and Values performs one
-// deterministic k-way merge. For finite data the output is the unique
-// sorted permutation, identical to a sequential sort.
+// Sorted collects a column's values fully sorted: chunks gather their
+// values into runs in parallel, Merge collects the runs, and Values
+// produces the final sorted slice. When the data carries no NaN and no
+// negative zero, Values takes one radix sort over the gathered values
+// (see radixSortFloat64 for why that is bit-identical to sorting with
+// the standard library); otherwise each run is sorted with
+// sort.Float64s and folded with the deterministic balanced merge, the
+// original path, whose NaN placement and -0/+0 tie order downstream
+// hashes depend on. For finite data the output is the unique sorted
+// permutation, identical to a sequential sort either way.
 type Sorted struct {
 	xs         []float64
 	finiteOnly bool
 
-	runs [][]float64
+	runs               [][]float64
+	hasNaN, hasNegZero bool
 }
 
 // NewSorted returns a kernel sorting xs; with finiteOnly, NaN and ±Inf
@@ -316,29 +460,117 @@ func NewSorted(xs []float64, finiteOnly bool) Kernel {
 	}}
 }
 
-// Update sorts rows [lo, hi) into a run.
+// Update gathers rows [lo, hi) into a run, noting the values that would
+// make a radix sort diverge from sort.Float64s.
 func (s *Sorted) Update(lo, hi int) {
 	vals := make([]float64, 0, hi-lo)
 	for _, x := range s.xs[lo:hi] {
-		if s.finiteOnly && (math.IsNaN(x) || math.IsInf(x, 0)) {
-			continue
+		if math.IsNaN(x) {
+			if s.finiteOnly {
+				continue
+			}
+			s.hasNaN = true
+		} else if math.IsInf(x, 0) {
+			if s.finiteOnly {
+				continue
+			}
+		} else if x == 0 && math.Signbit(x) {
+			s.hasNegZero = true
 		}
 		vals = append(vals, x)
 	}
 	if len(vals) == 0 {
 		return
 	}
-	sort.Float64s(vals)
 	s.runs = append(s.runs, vals)
 }
 
 // Merge gathers the other state's runs, preserving chunk order.
 func (s *Sorted) Merge(other State) {
-	s.runs = append(s.runs, other.(*Sorted).runs...)
+	o := other.(*Sorted)
+	s.runs = append(s.runs, o.runs...)
+	s.hasNaN = s.hasNaN || o.hasNaN
+	s.hasNegZero = s.hasNegZero || o.hasNegZero
 }
 
-// Values merges the collected runs into one sorted slice.
-func (s *Sorted) Values() []float64 { return MergeRuns(s.runs) }
+// Values returns the collected values as one sorted slice.
+func (s *Sorted) Values() []float64 {
+	total := 0
+	for _, r := range s.runs {
+		total += len(r)
+	}
+	if !s.hasNaN && !s.hasNegZero && total >= radixMinLen {
+		all := make([]float64, 0, total)
+		for _, r := range s.runs {
+			all = append(all, r...)
+		}
+		radixSortFloat64(all)
+		return all
+	}
+	for _, r := range s.runs {
+		// Idempotence: a prior Values call (or a caller handing in
+		// pre-sorted runs) leaves runs sorted; Float64sAreSorted uses
+		// the same NaN-first order sort.Float64s establishes.
+		if !sort.Float64sAreSorted(r) {
+			sort.Float64s(r)
+		}
+	}
+	return MergeRuns(s.runs)
+}
+
+// Count returns the number of collected values (after any finiteOnly
+// filtering), without sorting them.
+func (s *Sorted) Count() int {
+	total := 0
+	for _, r := range s.runs {
+		total += len(r)
+	}
+	return total
+}
+
+// OrderStats returns the k-th smallest collected value for each rank
+// in ks (0-based, strictly ascending) under the exact ordering Values
+// reports, without materializing the full sort: ranks are located by
+// introselect over the same order-preserving uint64 keys the radix
+// sort uses, O(n) expected per call instead of the sort's O(n log n).
+// ok is false — callers fall back to Values — when any rank is out of
+// range or the sample carries NaN or negative-zero values, whose rank
+// positions among equal-comparing ties are the comparison sort's to
+// decide; under the gate equal values have equal bits, so each rank's
+// value is unique and bit-identical to indexing the sorted slice. The
+// collected runs are not disturbed.
+func (s *Sorted) OrderStats(ks []int) ([]float64, bool) {
+	if s.hasNaN || s.hasNegZero {
+		return nil, false
+	}
+	total := s.Count()
+	for i, k := range ks {
+		if k < 0 || k >= total || (i > 0 && k <= ks[i-1]) {
+			return nil, false
+		}
+	}
+	if len(ks) == 0 {
+		return nil, true
+	}
+	keys := make([]uint64, 0, total)
+	for _, r := range s.runs {
+		for _, v := range r {
+			b := math.Float64bits(v)
+			keys = append(keys, b^(uint64(int64(b)>>63)|(1<<63)))
+		}
+	}
+	out := make([]float64, len(ks))
+	lo := 0
+	for i, k := range ks {
+		// Ranks below a previous selection are already in place, so
+		// each pass narrows to the unresolved suffix.
+		selectKth(keys, lo, len(keys), k)
+		kk := keys[k]
+		out[i] = math.Float64frombits(kk ^ (((kk >> 63) - 1) | (1 << 63)))
+		lo = k + 1
+	}
+	return out, true
+}
 
 // MergeRuns folds sorted runs into one sorted slice with the same
 // balanced pairwise merge Sorted.Values uses — O(n log k) over k runs.
@@ -394,6 +626,14 @@ func mergeSorted(a, b []float64) []float64 {
 type Levels struct {
 	vals []string
 
+	// codes/dict/nullMask are the typed fast path over a dict-encoded
+	// column (NewLevelsSeries): rows tally into a code-indexed array —
+	// one map insert per observed level per chunk instead of one per
+	// row — and fold into Counts at the end of each chunk's Update.
+	codes    []int32
+	dict     []string
+	nullMask []bool
+
 	// Counts maps level to frequency.
 	Counts map[string]int64
 }
@@ -405,8 +645,50 @@ func NewLevels(vals []string) Kernel {
 	}}
 }
 
+// NewLevelsSeries is NewLevels over a column instead of pre-rendered
+// strings: dict-encoded columns tally by code (bit-identical counts,
+// no per-row hashing or materialized []string), plain columns fall
+// back to NewLevels(s.Strings()). Null rows count toward "", the value
+// they render as.
+func NewLevelsSeries(s *frame.Series) Kernel {
+	codes, dict, ok := s.DictView()
+	if !ok {
+		return NewLevels(s.Strings())
+	}
+	nullMask := s.NullMask()
+	return Kernel{Name: "levels", New: func() State {
+		return &Levels{codes: codes, dict: dict, nullMask: nullMask, Counts: map[string]int64{}}
+	}}
+}
+
 // Update absorbs rows [lo, hi).
 func (l *Levels) Update(lo, hi int) {
+	if l.codes != nil {
+		tally := make([]int64, len(l.dict))
+		var nulls int64
+		if l.nullMask == nil {
+			for _, c := range l.codes[lo:hi] {
+				tally[c]++
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if l.nullMask[i] {
+					nulls++
+				} else {
+					tally[l.codes[i]]++
+				}
+			}
+		}
+		for code, n := range tally {
+			if n != 0 {
+				l.Counts[l.dict[code]] += n
+			}
+		}
+		if nulls != 0 {
+			l.Counts[""] += nulls
+		}
+		return
+	}
 	for _, v := range l.vals[lo:hi] {
 		l.Counts[v]++
 	}
@@ -441,12 +723,15 @@ func (l *Levels) Total() int64 {
 	return t
 }
 
-// Detach drops the state's reference to the input column, for final
+// Detach drops the state's references to the input column, for final
 // states that outlive the scan (the monitor's baseline profile holds
 // its Levels for the life of a monitor) — without it a retained state
 // pins the entire raw column. The counts stay valid; Update must not
 // be called after Detach.
-func (l *Levels) Detach() { l.vals = nil }
+func (l *Levels) Detach() {
+	l.vals = nil
+	l.codes, l.dict, l.nullMask = nil, nil, nil
+}
 
 // Keys returns the observed levels in sorted order, so downstream
 // float folds over levels are deterministic.

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"math"
+	mathbits "math/bits"
+	"slices"
+)
+
+// radixMinLen is the value count below which Sorted.Values keeps the
+// comparison-sort path: the radix pass allocates two key buffers and
+// walks fixed histograms, overhead that only amortizes on larger
+// columns.
+const radixMinLen = 4096
+
+// radixSortFloat64 sorts vals ascending in place with an LSD radix
+// sort over order-preserving uint64 keys: flipping the sign bit of
+// non-negative floats and all bits of negative ones makes unsigned key
+// order equal IEEE-754 total order, so the sorted keys decode to the
+// exact float ordering sort.Float64s produces — including ±Inf —
+// PROVIDED the input holds no NaN (whose keys interleave with real
+// values, while sort.Float64s places all NaNs first) and no negative
+// zero (whose key differs from +0's, while sort.Float64s treats them
+// as equal and orders ties arbitrarily). Sorted.Values enforces both
+// preconditions and falls back to sort.Float64s otherwise; under them
+// equal values have equal bits, so the output is bit-identical to the
+// comparison sort's.
+//
+// Keys are consumed 11 bits at a time (6 passes over 2048-count
+// histograms, all tallied in one read of the data); passes whose digit
+// is constant across the input — common when data spans a narrow
+// exponent range — are skipped.
+func radixSortFloat64(vals []float64) {
+	n := len(vals)
+	if n < 2 {
+		return
+	}
+	keys := make([]uint64, n)
+	tmp := make([]uint64, n)
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		keys[i] = b ^ (uint64(int64(b)>>63) | (1 << 63))
+	}
+	const digits = 6
+	const bucketBits = 11
+	const buckets = 1 << bucketBits
+	var counts [digits][buckets]int32
+	for _, k := range keys {
+		counts[0][k&(buckets-1)]++
+		counts[1][(k>>bucketBits)&(buckets-1)]++
+		counts[2][(k>>(2*bucketBits))&(buckets-1)]++
+		counts[3][(k>>(3*bucketBits))&(buckets-1)]++
+		counts[4][(k>>(4*bucketBits))&(buckets-1)]++
+		counts[5][(k>>(5*bucketBits))&(buckets-1)]++
+	}
+	for d := 0; d < digits; d++ {
+		c := &counts[d]
+		// A digit whose first occupied bucket holds every key is
+		// constant: the scatter would be the identity.
+		constant := false
+		for b := 0; b < buckets; b++ {
+			if c[b] != 0 {
+				constant = int(c[b]) == n
+				break
+			}
+		}
+		if constant {
+			continue
+		}
+		var pos [buckets]int32
+		var sum int32
+		for b := 0; b < buckets; b++ {
+			pos[b] = sum
+			sum += c[b]
+		}
+		shift := uint(bucketBits * d)
+		for _, k := range keys {
+			b := (k >> shift) & (buckets - 1)
+			tmp[pos[b]] = k
+			pos[b]++
+		}
+		keys, tmp = tmp, keys
+	}
+	for i, k := range keys {
+		vals[i] = math.Float64frombits(k ^ (((k >> 63) - 1) | (1 << 63)))
+	}
+}
+
+// selectKth partially orders keys[lo:hi] so keys[k] holds the value
+// rank k would receive in a full ascending sort, with everything left
+// of k no greater and everything right no smaller — introselect:
+// median-of-three quickselect with a depth limit that falls back to a
+// full sort of the remaining range, so the worst case stays O(n log n)
+// while the expected cost is O(hi-lo).
+func selectKth(keys []uint64, lo, hi, k int) {
+	limit := 2 * mathbits.Len(uint(hi-lo))
+	for hi-lo > 16 {
+		if limit == 0 {
+			slices.Sort(keys[lo:hi])
+			return
+		}
+		limit--
+		p := median3(keys[lo], keys[lo+(hi-lo)/2], keys[hi-1])
+		i, j := lo-1, hi
+		for {
+			i++
+			for keys[i] < p {
+				i++
+			}
+			j--
+			for keys[j] > p {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+		// Hoare partition: [lo, j] <= p <= [j+1, hi).
+		if k <= j {
+			hi = j + 1
+		} else {
+			lo = j + 1
+		}
+	}
+	for a := lo + 1; a < hi; a++ {
+		for b := a; b > lo && keys[b] < keys[b-1]; b-- {
+			keys[b], keys[b-1] = keys[b-1], keys[b]
+		}
+	}
+}
+
+// median3 returns the median of its three arguments.
+func median3(a, b, c uint64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

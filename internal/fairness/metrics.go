@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"github.com/responsible-data-science/rds/internal/exec"
+	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/ml"
 )
 
@@ -81,15 +82,41 @@ func EvaluateSharded(yTrue, yPred []float64, groups []string, protected, referen
 		return Report{}, fmt.Errorf("fairness: length mismatch: %d labels, %d predictions, %d groups",
 			len(yTrue), len(yPred), len(groups))
 	}
-	st, err := exec.RunOne(len(yTrue), exec.Options{Shards: shards},
-		exec.NewOutcomes(yTrue, yPred, groups, protected, reference))
+	kernel := exec.NewOutcomes(yTrue, yPred, groups, protected, reference)
+	return reportFromKernel(kernel, yTrue, yPred, func(i int) string { return groups[i] }, protected, reference, shards)
+}
+
+// EvaluateSeries is Evaluate keyed on the group column itself instead
+// of pre-rendered strings: dictionary-encoded columns tally by int32
+// code — no string hash per row — and the report is bit-identical to
+// the string-keyed path (property-tested).
+func EvaluateSeries(yTrue, yPred []float64, groups *frame.Series, protected, reference string) (Report, error) {
+	return EvaluateSeriesSharded(yTrue, yPred, groups, protected, reference, 0)
+}
+
+// EvaluateSeriesSharded is EvaluateSeries on an explicit shard count;
+// see EvaluateSharded for the parallelism contract.
+func EvaluateSeriesSharded(yTrue, yPred []float64, groups *frame.Series, protected, reference string, shards int) (Report, error) {
+	if len(yTrue) != len(yPred) || len(yTrue) != groups.Len() {
+		return Report{}, fmt.Errorf("fairness: length mismatch: %d labels, %d predictions, %d groups",
+			len(yTrue), len(yPred), groups.Len())
+	}
+	kernel := exec.NewOutcomesSeries(yTrue, yPred, groups, protected, reference)
+	return reportFromKernel(kernel, yTrue, yPred, groups.Str, protected, reference, shards)
+}
+
+// reportFromKernel runs an outcomes kernel and derives the two-group
+// report — the shared tail of the string-keyed and column-keyed
+// evaluations. groupAt names row i's group for error messages only.
+func reportFromKernel(kernel exec.Kernel, yTrue, yPred []float64, groupAt func(int) string, protected, reference string, shards int) (Report, error) {
+	st, err := exec.RunOne(len(yTrue), exec.Options{Shards: shards}, kernel)
 	if err != nil {
 		return Report{}, fmt.Errorf("fairness: %w", err)
 	}
 	out := st.(*exec.Outcomes)
 	if i := out.ErrRow; i >= 0 {
 		return Report{}, fmt.Errorf("fairness: group %q: non-binary label/prediction at row %d: %v/%v",
-			groups[i], i, yTrue[i], yPred[i])
+			groupAt(i), i, yTrue[i], yPred[i])
 	}
 	prot, err := groupStats(out, protected)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/responsible-data-science/rds/internal/exec"
+	"github.com/responsible-data-science/rds/internal/frame"
 )
 
 // MultiReport evaluates fairness across an arbitrary number of groups,
@@ -40,14 +41,38 @@ func EvaluateAllSharded(yTrue, yPred []float64, groups []string, shards int) (*M
 	if len(yTrue) != len(yPred) || len(yTrue) != len(groups) {
 		return nil, fmt.Errorf("fairness: EvaluateAll length mismatch")
 	}
-	st, err := exec.RunOne(len(yTrue), exec.Options{Shards: shards}, exec.NewOutcomes(yTrue, yPred, groups))
+	kernel := exec.NewOutcomes(yTrue, yPred, groups)
+	return multiFromKernel(kernel, yTrue, yPred, func(i int) string { return groups[i] }, shards)
+}
+
+// EvaluateAllSeries is EvaluateAll keyed on the group column itself;
+// dictionary-encoded columns tally by code (see EvaluateSeries).
+func EvaluateAllSeries(yTrue, yPred []float64, groups *frame.Series) (*MultiReport, error) {
+	return EvaluateAllSeriesSharded(yTrue, yPred, groups, 0)
+}
+
+// EvaluateAllSeriesSharded is EvaluateAllSeries on an explicit shard
+// count; see EvaluateAllSharded for the parallelism contract.
+func EvaluateAllSeriesSharded(yTrue, yPred []float64, groups *frame.Series, shards int) (*MultiReport, error) {
+	if len(yTrue) != len(yPred) || len(yTrue) != groups.Len() {
+		return nil, fmt.Errorf("fairness: EvaluateAll length mismatch")
+	}
+	kernel := exec.NewOutcomesSeries(yTrue, yPred, groups)
+	return multiFromKernel(kernel, yTrue, yPred, groups.Str, shards)
+}
+
+// multiFromKernel runs an outcomes kernel and derives the multi-group
+// report — the shared tail of the string-keyed and column-keyed
+// evaluations. groupAt names row i's group for error messages only.
+func multiFromKernel(kernel exec.Kernel, yTrue, yPred []float64, groupAt func(int) string, shards int) (*MultiReport, error) {
+	st, err := exec.RunOne(len(yTrue), exec.Options{Shards: shards}, kernel)
 	if err != nil {
 		return nil, fmt.Errorf("fairness: %w", err)
 	}
 	out := st.(*exec.Outcomes)
 	if i := out.ErrRow; i >= 0 {
 		return nil, fmt.Errorf("fairness: group %q: non-binary label/prediction at row %d: %v/%v",
-			groups[i], i, yTrue[i], yPred[i])
+			groupAt(i), i, yTrue[i], yPred[i])
 	}
 	if len(out.Counts) < 2 {
 		return nil, fmt.Errorf("fairness: EvaluateAll needs >= 2 groups, got %d", len(out.Counts))

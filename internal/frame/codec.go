@@ -49,10 +49,33 @@ type seriesDoc struct {
 	// UTF-8, which encoding/json cannot carry losslessly: every value
 	// is base64-encoded.
 	StringsB64 []string `json:"strings_b64,omitempty"`
+	// DictEncoded marks a dictionary-encoded string column: Codes
+	// carries the per-row codes and Dict (or DictB64) the dictionary.
+	// The representation — not just the values — survives the round
+	// trip, so a reloaded registry keeps the interned footprint that
+	// dataset.SizeOf budgeted for.
+	DictEncoded bool `json:"dict_encoded,omitempty"`
+	// Dict is the dictionary of a dict-encoded column, in code order.
+	Dict []string `json:"dict,omitempty"`
+	// DictB64 replaces Dict when any level contains invalid UTF-8.
+	DictB64 []string `json:"dict_b64,omitempty"`
+	// Codes is base64 of the little-endian int32 codes, 4 bytes per row.
+	Codes string `json:"codes,omitempty"`
 	// Bools are the bool values.
 	Bools []bool `json:"bools,omitempty"`
 	// Nulls are the null-mask row indices, ascending.
 	Nulls []int `json:"nulls,omitempty"`
+}
+
+// allValidUTF8 reports whether every string is valid UTF-8, i.e.
+// encoding/json can carry all of them losslessly.
+func allValidUTF8(vals []string) bool {
+	for _, v := range vals {
+		if !utf8.ValidString(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // WriteJSON serializes the frame in the exact persistence format.
@@ -73,14 +96,27 @@ func (f *Frame) WriteJSON(w io.Writer) error {
 				sd.Ints = []int64{}
 			}
 		case String:
-			allUTF8 := true
-			for _, v := range c.strings {
-				if !utf8.ValidString(v) {
-					allUTF8 = false
-					break
+			if c.dict != nil {
+				sd.DictEncoded = true
+				buf := make([]byte, 4*len(c.codes))
+				for i, code := range c.codes {
+					binary.LittleEndian.PutUint32(buf[4*i:], uint32(code))
 				}
+				sd.Codes = base64.StdEncoding.EncodeToString(buf)
+				if allValidUTF8(c.dict) {
+					sd.Dict = c.dict
+					if sd.Dict == nil {
+						sd.Dict = []string{}
+					}
+				} else {
+					sd.DictB64 = make([]string, len(c.dict))
+					for i, v := range c.dict {
+						sd.DictB64[i] = base64.StdEncoding.EncodeToString([]byte(v))
+					}
+				}
+				break
 			}
-			if allUTF8 {
+			if allValidUTF8(c.strings) {
 				sd.Strings = c.strings
 				if sd.Strings == nil {
 					sd.Strings = []string{}
@@ -148,6 +184,35 @@ func ReadJSON(r io.Reader) (*Frame, error) {
 			}
 			s = NewInt64(sd.Name, sd.Ints)
 		case String.String():
+			if sd.DictEncoded {
+				dict := sd.Dict
+				if sd.DictB64 != nil {
+					dict = make([]string, len(sd.DictB64))
+					for i, b := range sd.DictB64 {
+						raw, err := base64.StdEncoding.DecodeString(b)
+						if err != nil {
+							return nil, fmt.Errorf("frame: column %q: decoding dict level %d: %w", sd.Name, i, err)
+						}
+						dict[i] = string(raw)
+					}
+				}
+				raw, err := base64.StdEncoding.DecodeString(sd.Codes)
+				if err != nil {
+					return nil, fmt.Errorf("frame: column %q: decoding codes: %w", sd.Name, err)
+				}
+				if len(raw) != 4*doc.Rows {
+					return nil, fmt.Errorf("frame: column %q has %d code bytes, want %d", sd.Name, len(raw), 4*doc.Rows)
+				}
+				codes := make([]int32, doc.Rows)
+				for i := range codes {
+					codes[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+				}
+				s, err = NewStringDict(sd.Name, codes, dict)
+				if err != nil {
+					return nil, err
+				}
+				break
+			}
 			vals := sd.Strings
 			if sd.StringsB64 != nil {
 				vals = make([]string, len(sd.StringsB64))

@@ -152,6 +152,7 @@ func inferChunks(name string, raw *rawColumn) *Series {
 	}
 	var s *Series
 	var set func(i int, v string)
+	var finish func()
 	switch {
 	case isInt:
 		s = &Series{name: name, dtype: Int64, ints: make([]int64, raw.n)}
@@ -165,12 +166,7 @@ func inferChunks(name string, raw *rawColumn) *Series {
 		s = &Series{name: name, dtype: Bool, bools: make([]bool, raw.n)}
 		set = func(i int, v string) { s.bools[i], _ = strconv.ParseBool(v) }
 	default:
-		// Clone: raw cells are subslices of each csv record's shared
-		// backing string, so storing them as-is would pin every row's
-		// full bytes behind one short cell and blow the resident-size
-		// accounting (dataset.SizeOf) the registry budget relies on.
-		s = &Series{name: name, dtype: String, strings: make([]string, raw.n)}
-		set = func(i int, v string) { s.strings[i] = strings.Clone(v) }
+		s, set, finish = dictColumn(name, raw.n)
 	}
 	i := 0
 	for _, chunk := range raw.chunks {
@@ -183,15 +179,77 @@ func inferChunks(name string, raw *rawColumn) *Series {
 			i++
 		}
 	}
+	if finish != nil {
+		finish()
+	}
 	return s
+}
+
+// dictFallbackMinRows is the smallest column the mostly-unique
+// heuristic in dictColumn applies to; shorter columns always encode
+// (the dictionary is tiny either way).
+const dictFallbackMinRows = 16
+
+// dictColumn builds a String column dictionary-encoded as it streams:
+// each distinct cell is cloned once into the dictionary (raw cells are
+// subslices of each csv record's shared backing string — storing them
+// as-is would pin every row's full bytes behind one short cell and blow
+// the resident-size accounting the registry budget relies on) and rows
+// store int32 codes. finish() applies the cardinality guard: columns
+// that are mostly unique (ID-like — more than half the rows distinct,
+// at dictFallbackMinRows rows or more) or that exceed dictMaxLevels
+// fall back to the plain representation, where each cell shares the
+// dictionary's cloned string.
+func dictColumn(name string, n int) (s *Series, set func(int, string), finish func()) {
+	s = &Series{name: name, dtype: String, codes: make([]int32, n), dict: []string{}}
+	idx := make(map[string]int32, 16)
+	lookup := func(v string) int32 {
+		c, ok := idx[v]
+		if !ok {
+			c = int32(len(s.dict))
+			s.dict = append(s.dict, strings.Clone(v))
+			idx[s.dict[c]] = c
+		}
+		return c
+	}
+	set = func(i int, v string) { s.codes[i] = lookup(v) }
+	finish = func() {
+		// Null rows carry the code of "" so every code indexes the
+		// dictionary (and renders as the null's "" either way).
+		if s.nulls != nil {
+			for i, isNull := range s.nulls {
+				if isNull {
+					s.codes[i] = lookup("")
+				}
+			}
+		}
+		if len(s.dict) > dictMaxLevels || (n >= dictFallbackMinRows && 2*len(s.dict) > n) {
+			plain := make([]string, n)
+			for i, c := range s.codes {
+				plain[i] = s.dict[c]
+			}
+			s.strings, s.codes, s.dict = plain, nil, nil
+		}
+	}
+	return s, set, finish
 }
 
 // WriteCSV serializes the frame as CSV with a header row; nulls render as
 // empty cells, making WriteCSV/ReadCSV a lossless round trip for frames
 // whose string columns contain no empty strings.
 func (f *Frame) WriteCSV(w io.Writer) error {
+	names := f.Names()
+	// ReadCSV strips one leading UTF-8 BOM from its input (the Excel
+	// convention), which would swallow the first character of a column
+	// name that itself begins with U+FEFF. Emitting a sacrificial BOM
+	// keeps such a header intact through the round trip.
+	if len(names) > 0 && strings.HasPrefix(names[0], "\uFEFF") {
+		if _, err := w.Write(utf8BOM); err != nil {
+			return fmt.Errorf("frame: writing csv header: %w", err)
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(f.Names()); err != nil {
+	if err := cw.Write(names); err != nil {
 		return fmt.Errorf("frame: writing csv header: %w", err)
 	}
 	rec := make([]string, f.NumCols())

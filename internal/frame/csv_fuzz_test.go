@@ -28,6 +28,15 @@ func FuzzReadCSV(f *testing.F) {
 		"x\n1e309\n",                         // float overflow
 		"x\ntrue\nfalse\n\n",                 // bools with trailing blank line
 		"héader,ü\n√,∞\n",                    // non-ASCII
+		// Dictionary-encoding stress: levels differing only by case or
+		// by surrounding whitespace must stay distinct levels.
+		"g\nx\nX\n\" x\"\n\"x \"\nx\nX\n",
+		// Empty-string level next to a null cell: in a multi-column row
+		// "" is a value for string columns, absence for typed ones.
+		"g,h\na,1\n\"\",2\nb,\n,4\n",
+		// Mostly-unique column: the ingest cardinality policy must keep
+		// ID-like columns plain rather than building a useless dict.
+		"id,g\nu-001,x\nu-002,x\nu-003,y\nu-004,y\nu-005,x\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -48,6 +57,30 @@ func FuzzReadCSV(f *testing.F) {
 			}
 			for i := 0; i < rows; i++ {
 				_ = c.Value(i) // every cell must be addressable without panic
+			}
+			if _, dict, ok := c.DictView(); ok {
+				// Dictionary invariants: bounded, distinct levels, and a
+				// value-identical plain rebuild (representation must be
+				// invisible to Equal).
+				if len(dict) > rows+1 {
+					t.Fatalf("column %q dict has %d levels for %d rows: %q", c.Name(), len(dict), rows, input)
+				}
+				seen := make(map[string]bool, len(dict))
+				for _, lv := range dict {
+					if seen[lv] {
+						t.Fatalf("column %q dict repeats level %q: %q", c.Name(), lv, input)
+					}
+					seen[lv] = true
+				}
+				plain := NewString(c.Name(), c.Strings())
+				for i := 0; i < rows; i++ {
+					if c.IsNull(i) {
+						plain.SetNull(i)
+					}
+				}
+				if !c.Equal(plain) {
+					t.Fatalf("column %q: dict and plain rebuild disagree: %q", c.Name(), input)
+				}
 			}
 		}
 		if h1, h2 := fr.Hash(), fr.Hash(); h1 != h2 {

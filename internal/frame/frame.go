@@ -280,7 +280,7 @@ func compareRows(s *Series, i, j int) int {
 		}
 		return 0
 	case String:
-		return strings.Compare(s.strings[i], s.strings[j])
+		return strings.Compare(s.strAt(i), s.strAt(j))
 	case Bool:
 		a, b := s.bools[i], s.bools[j]
 		switch {
@@ -310,8 +310,10 @@ func (f *Frame) Append(g *Frame) (*Frame, error) {
 		merged := &Series{name: c.Name(), dtype: c.DType()}
 		merged.floats = append(append([]float64(nil), c.floats...), o.floats...)
 		merged.ints = append(append([]int64(nil), c.ints...), o.ints...)
-		merged.strings = append(append([]string(nil), c.strings...), o.strings...)
 		merged.bools = append(append([]bool(nil), c.bools...), o.bools...)
+		if c.DType() == String {
+			appendStringPayload(merged, c, o)
+		}
 		if c.nulls != nil || o.nulls != nil {
 			merged.nulls = make([]bool, c.Len()+o.Len())
 			for i := 0; i < c.Len(); i++ {

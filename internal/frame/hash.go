@@ -41,7 +41,7 @@ func (f *Frame) Hash() string {
 			case Int64:
 				writeUint(uint64(c.ints[i]))
 			case String:
-				writeStr(c.strings[i])
+				writeStr(c.strAt(i))
 			case Bool:
 				if c.bools[i] {
 					h.Write([]byte{1})

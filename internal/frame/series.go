@@ -50,6 +50,15 @@ func (d DType) String() string {
 
 // Series is a named, typed column with an optional null mask.
 // Exactly one of the payload slices is non-nil, matching DType.
+//
+// String columns have two interchangeable representations: plain (one
+// string per row in strings) and dictionary-encoded (per-row int32
+// codes into a dict of distinct values). The representation is
+// invisible to value semantics — Str, Hash, Equal, Levels and the
+// codecs observe identical values either way — but dict-encoded
+// columns let hot kernels tally by array index instead of hashing a
+// string per row, and shrink the resident footprint of categorical
+// columns from one string header per row to four bytes per row.
 type Series struct {
 	name    string
 	dtype   DType
@@ -57,8 +66,30 @@ type Series struct {
 	ints    []int64
 	strings []string
 	bools   []bool
+	// codes/dict form the dictionary-encoded String representation:
+	// the value at row i is dict[codes[i]]. dict is never mutated after
+	// construction, so derived series (Take, clone) share it. When a
+	// constructor encodes a column containing nulls, the null rows
+	// carry the code of "" to keep every code a valid dict index.
+	codes []int32
+	dict  []string
 	// nulls[i] == true means row i is missing. nil means "no nulls".
 	nulls []bool
+}
+
+// dictMaxLevels caps how many distinct levels a dictionary may hold
+// before encoding constructors keep the column plain: far below the
+// int32 code range, past it a dictionary is all overhead (ID-like
+// columns get no sharing and kernels no small tally arrays).
+const dictMaxLevels = 1 << 20
+
+// strAt returns the string payload at row i without the null check,
+// reading whichever String representation is populated.
+func (s *Series) strAt(i int) string {
+	if s.dict != nil {
+		return s.dict[s.codes[i]]
+	}
+	return s.strings[i]
 }
 
 // NewFloat64 constructs a float64 series. The slice is copied.
@@ -81,6 +112,88 @@ func NewBool(name string, values []bool) *Series {
 	return &Series{name: name, dtype: Bool, bools: append([]bool(nil), values...)}
 }
 
+// NewStringDict constructs a dictionary-encoded string series: the
+// value at row i is dict[codes[i]]. Both slices are copied. Every code
+// must index into dict; dict entries need not be distinct (the codec
+// restores whatever dictionary was written), though encoding
+// constructors always produce distinct ones.
+func NewStringDict(name string, codes []int32, dict []string) (*Series, error) {
+	for i, c := range codes {
+		if c < 0 || int(c) >= len(dict) {
+			return nil, fmt.Errorf("frame: column %q: code %d at row %d outside dictionary of %d levels",
+				name, c, i, len(dict))
+		}
+	}
+	return &Series{
+		name:  name,
+		dtype: String,
+		codes: append(make([]int32, 0, len(codes)), codes...),
+		dict:  append(make([]string, 0, len(dict)), dict...),
+	}, nil
+}
+
+// Intern returns a dictionary-encoded copy of a plain String column.
+// Non-string columns, already-encoded columns, and columns whose
+// cardinality exceeds the dictionary guard return the receiver
+// unchanged. Null rows are assigned the code of "" (matching their
+// rendered value), so interning never changes observable values, Hash,
+// or Equal.
+func (s *Series) Intern() *Series {
+	if s.dtype != String || s.dict != nil {
+		return s
+	}
+	codes := make([]int32, len(s.strings))
+	idx := make(map[string]int32, 16)
+	dict := []string{}
+	for i, v := range s.strings {
+		if s.nulls != nil && s.nulls[i] {
+			v = ""
+		}
+		c, ok := idx[v]
+		if !ok {
+			if len(dict) >= dictMaxLevels {
+				return s
+			}
+			c = int32(len(dict))
+			dict = append(dict, v)
+			idx[v] = c
+		}
+		codes[i] = c
+	}
+	out := &Series{name: s.name, dtype: String, codes: codes, dict: dict}
+	if s.nulls != nil {
+		out.nulls = append([]bool(nil), s.nulls...)
+	}
+	return out
+}
+
+// InternIngest dictionary-encodes a plain String column under the
+// ingest cardinality policy: mostly-unique columns (more than half the
+// rows distinct, at dictFallbackMinRows rows or more) stay plain — an
+// ID-like column gets no sharing from a dictionary, only overhead.
+// Ingest paths (CSV, NDJSON) share this policy.
+func (s *Series) InternIngest() *Series {
+	if s.dtype != String || s.dict != nil {
+		return s
+	}
+	enc := s.Intern()
+	if _, dict, ok := enc.DictView(); ok && s.Len() >= dictFallbackMinRows && 2*len(dict) > s.Len() {
+		return s
+	}
+	return enc
+}
+
+// DictView exposes the dictionary-encoded representation of a String
+// column: per-row codes and the dictionary they index, with ok=false
+// for every other column. The returned slices are the series' own
+// storage — callers must treat them as read-only.
+func (s *Series) DictView() (codes []int32, dict []string, ok bool) {
+	if s.dtype != String || s.dict == nil {
+		return nil, nil, false
+	}
+	return s.codes, s.dict, true
+}
+
 // Name returns the column name.
 func (s *Series) Name() string { return s.name }
 
@@ -95,6 +208,9 @@ func (s *Series) Len() int {
 	case Int64:
 		return len(s.ints)
 	case String:
+		if s.dict != nil {
+			return len(s.codes)
+		}
 		return len(s.strings)
 	case Bool:
 		return len(s.bools)
@@ -115,6 +231,8 @@ func (s *Series) clone() *Series {
 	c.ints = append([]int64(nil), s.ints...)
 	c.strings = append([]string(nil), s.strings...)
 	c.bools = append([]bool(nil), s.bools...)
+	c.codes = append([]int32(nil), s.codes...)
+	c.dict = s.dict // immutable after construction; shared
 	if s.nulls != nil {
 		c.nulls = append([]bool(nil), s.nulls...)
 	}
@@ -132,6 +250,17 @@ func (s *Series) SetNull(i int) {
 // IsNull reports whether row i is missing.
 func (s *Series) IsNull(i int) bool {
 	return s.nulls != nil && s.nulls[i]
+}
+
+// NullMask exposes the column's null bitmap, nil when no row is null,
+// so typed kernels can branch per chunk instead of calling IsNull per
+// cell. The slice is the series' own storage — callers must treat it
+// as read-only.
+func (s *Series) NullMask() []bool {
+	if s.NullCount() == 0 {
+		return nil
+	}
+	return s.nulls
 }
 
 // NullCount returns the number of missing rows.
@@ -182,7 +311,7 @@ func (s *Series) Str(i int) string {
 	if s.dtype != String {
 		panic(fmt.Sprintf("frame: Str on %s column %q", s.dtype, s.name))
 	}
-	return s.strings[i]
+	return s.strAt(i)
 }
 
 // Boolv returns the bool value at row i. Panics for non-bool columns. Null
@@ -208,7 +337,7 @@ func (s *Series) Value(i int) any {
 	case Int64:
 		return s.ints[i]
 	case String:
-		return s.strings[i]
+		return s.strAt(i)
 	case Bool:
 		return s.bools[i]
 	}
@@ -226,7 +355,7 @@ func (s *Series) FormatValue(i int) string {
 	case Int64:
 		return strconv.FormatInt(s.ints[i], 10)
 	case String:
-		return s.strings[i]
+		return s.strAt(i)
 	case Bool:
 		return strconv.FormatBool(s.bools[i])
 	}
@@ -234,20 +363,65 @@ func (s *Series) FormatValue(i int) string {
 }
 
 // Floats returns a copy of the column as float64s (Int64 columns widened),
-// with nulls as NaN. Panics for String/Bool columns.
+// with nulls as NaN. Panics for String/Bool columns. The copy dispatches
+// on the column type once, not per cell.
 func (s *Series) Floats() []float64 {
 	out := make([]float64, s.Len())
-	for i := range out {
-		out[i] = s.Float(i)
+	switch s.dtype {
+	case Float64:
+		copy(out, s.floats)
+	case Int64:
+		for i, v := range s.ints {
+			out[i] = float64(v)
+		}
+	default:
+		for i := range out {
+			out[i] = s.Float(i) // panics with the per-cell message
+		}
+	}
+	if s.nulls != nil {
+		for i, isNull := range s.nulls {
+			if isNull {
+				out[i] = math.NaN()
+			}
+		}
 	}
 	return out
 }
 
-// Strings returns a copy of the column rendered as strings.
+// Strings returns a copy of the column rendered as strings (nulls as "",
+// matching FormatValue). The copy dispatches on the column type once,
+// not per cell.
 func (s *Series) Strings() []string {
 	out := make([]string, s.Len())
-	for i := range out {
-		out[i] = s.FormatValue(i)
+	switch s.dtype {
+	case Float64:
+		for i, v := range s.floats {
+			out[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	case Int64:
+		for i, v := range s.ints {
+			out[i] = strconv.FormatInt(v, 10)
+		}
+	case String:
+		if s.dict != nil {
+			for i, c := range s.codes {
+				out[i] = s.dict[c]
+			}
+		} else {
+			copy(out, s.strings)
+		}
+	case Bool:
+		for i, v := range s.bools {
+			out[i] = strconv.FormatBool(v)
+		}
+	}
+	if s.nulls != nil {
+		for i, isNull := range s.nulls {
+			if isNull {
+				out[i] = ""
+			}
+		}
 	}
 	return out
 }
@@ -268,9 +442,17 @@ func (s *Series) Take(idx []int) *Series {
 			c.ints[j] = s.ints[i]
 		}
 	case String:
-		c.strings = make([]string, len(idx))
-		for j, i := range idx {
-			c.strings[j] = s.strings[i]
+		if s.dict != nil {
+			c.codes = make([]int32, len(idx))
+			for j, i := range idx {
+				c.codes[j] = s.codes[i]
+			}
+			c.dict = s.dict // immutable after construction; shared
+		} else {
+			c.strings = make([]string, len(idx))
+			for j, i := range idx {
+				c.strings[j] = s.strings[i]
+			}
 		}
 	case Bool:
 		c.bools = make([]bool, len(idx))
@@ -323,7 +505,7 @@ func (s *Series) Equal(o *Series) bool {
 				return false
 			}
 		case String:
-			if s.strings[i] != o.strings[i] {
+			if s.strAt(i) != o.strAt(i) {
 				return false
 			}
 		case Bool:
@@ -337,8 +519,21 @@ func (s *Series) Equal(o *Series) bool {
 
 // Levels returns the distinct non-null values of the column rendered as
 // strings, in first-appearance order. Used for categorical handling
-// (sensitive groups, one-hot encoding).
+// (sensitive groups, one-hot encoding). Dict-encoded columns scan
+// codes against a seen-bitmap instead of hashing every value.
 func (s *Series) Levels() []string {
+	if s.dict != nil {
+		seen := make([]bool, len(s.dict))
+		var out []string
+		for i, c := range s.codes {
+			if seen[c] || (s.nulls != nil && s.nulls[i]) {
+				continue
+			}
+			seen[c] = true
+			out = append(out, s.dict[c])
+		}
+		return out
+	}
 	seen := map[string]bool{}
 	var out []string
 	for i := 0; i < s.Len(); i++ {
@@ -352,6 +547,49 @@ func (s *Series) Levels() []string {
 		}
 	}
 	return out
+}
+
+// appendStringPayload fills merged with the concatenated string payload
+// of a and b (same-schema String columns). When both sides are
+// dict-encoded the result keeps a's dictionary extended with b's novel
+// levels and remaps b's codes — O(levels) dictionary work, O(rows) code
+// copies, no per-row hashing. Mixed representations materialize plain.
+func appendStringPayload(merged, a, b *Series) {
+	switch {
+	case a.dict != nil && b.dict != nil:
+		dict := append(make([]string, 0, len(a.dict)), a.dict...)
+		idx := make(map[string]int32, len(dict))
+		for i, v := range dict {
+			idx[v] = int32(i)
+		}
+		remap := make([]int32, len(b.dict))
+		for i, v := range b.dict {
+			c, ok := idx[v]
+			if !ok {
+				c = int32(len(dict))
+				dict = append(dict, v)
+				idx[v] = c
+			}
+			remap[i] = c
+		}
+		codes := make([]int32, 0, len(a.codes)+len(b.codes))
+		codes = append(codes, a.codes...)
+		for _, c := range b.codes {
+			codes = append(codes, remap[c])
+		}
+		merged.codes, merged.dict = codes, dict
+	case a.dict == nil && b.dict == nil:
+		merged.strings = append(append(make([]string, 0, len(a.strings)+len(b.strings)), a.strings...), b.strings...)
+	default:
+		out := make([]string, 0, a.Len()+b.Len())
+		for i := 0; i < a.Len(); i++ {
+			out = append(out, a.strAt(i))
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.strAt(i))
+		}
+		merged.strings = out
+	}
 }
 
 // Map returns a new float64 series with fn applied to every non-null row of

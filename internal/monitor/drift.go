@@ -144,7 +144,7 @@ func DetectDrift(baseline, current *frame.Frame, cfg DriftConfig) (*DriftReport,
 			cd.KS = ksStatistic(bv, cv)
 			cd.KSPValue = ksPValue(cd.KS, len(bv), len(cv))
 		default:
-			psiVal, err := categoricalPSI(b.Strings(), c.Strings(), opt)
+			psiVal, err := categoricalPSI(b, c, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -219,13 +219,14 @@ func histSorted(sorted, edges []float64) []float64 {
 
 // categoricalPSI computes PSI over mergeable level counts of both
 // sides, folded over the sorted union of levels so the float result is
-// deterministic.
-func categoricalPSI(baseline, current []string, opt exec.Options) (float64, error) {
-	bs, err := exec.RunOne(len(baseline), opt, exec.NewLevels(baseline))
+// deterministic. The kernels tally dictionary-encoded columns by int32
+// code — no per-row string materialization or map lookup.
+func categoricalPSI(baseline, current *frame.Series, opt exec.Options) (float64, error) {
+	bs, err := exec.RunOne(baseline.Len(), opt, exec.NewLevelsSeries(baseline))
 	if err != nil {
 		return 0, fmt.Errorf("monitor: drift levels: %w", err)
 	}
-	cs, err := exec.RunOne(len(current), opt, exec.NewLevels(current))
+	cs, err := exec.RunOne(current.Len(), opt, exec.NewLevelsSeries(current))
 	if err != nil {
 		return 0, fmt.Errorf("monitor: drift levels: %w", err)
 	}

@@ -211,8 +211,8 @@ func TestKSPValueBounds(t *testing.T) {
 }
 
 func TestCategoricalPSIVanishingLevelStaysFinite(t *testing.T) {
-	a := []string{"x", "x", "y", "y"}
-	b := []string{"x", "x", "x", "x"}
+	a := frame.NewString("a", []string{"x", "x", "y", "y"})
+	b := frame.NewString("b", []string{"x", "x", "x", "x"})
 	got, err := categoricalPSI(a, b, exec.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -136,8 +136,7 @@ func (s *ChunkScorer) buildState(rows *frame.Frame) (*chunkState, error) {
 			}
 			cc.sorted = sorted.(*exec.Sorted).Values()
 		} else {
-			vals := c.Strings()
-			lv, err := exec.RunOne(len(vals), opt, exec.NewLevels(vals))
+			lv, err := exec.RunOne(c.Len(), opt, exec.NewLevelsSeries(c))
 			if err != nil {
 				return nil, fmt.Errorf("monitor: chunk state %q: %w", pc.name, err)
 			}

@@ -101,8 +101,7 @@ func NewBaselineProfile(baseline *frame.Frame, cfg DriftConfig) (*BaselineProfil
 				pc.moments = ms.(*exec.Moments)
 			}
 		default:
-			vals := b.Strings()
-			st, err := exec.RunOne(len(vals), opt, exec.NewLevels(vals))
+			st, err := exec.RunOne(b.Len(), opt, exec.NewLevelsSeries(b))
 			if err != nil {
 				return nil, fmt.Errorf("monitor: baseline profile %q: %w", name, err)
 			}
@@ -172,7 +171,7 @@ func DetectDriftProfiled(p *BaselineProfile, current *frame.Frame) (*DriftReport
 			cd.KS = ksStatistic(pc.sorted, cv)
 			cd.KSPValue = ksPValue(cd.KS, len(pc.sorted), len(cv))
 		} else {
-			st, err := exec.RunOne(c.Len(), opt, exec.NewLevels(c.Strings()))
+			st, err := exec.RunOne(c.Len(), opt, exec.NewLevelsSeries(c))
 			if err != nil {
 				return nil, fmt.Errorf("monitor: drift levels: %w", err)
 			}

@@ -31,7 +31,7 @@ func DescribeSharded(xs []float64, shards int) Summary {
 		return Describe(nil)
 	}
 	m := states[0].(*exec.Moments)
-	sorted := states[1].(*exec.Sorted).Values()
+	sorted := states[1].(*exec.Sorted)
 	s := Summary{
 		N:      int(m.N),
 		Mean:   m.Mean(),
@@ -42,10 +42,63 @@ func DescribeSharded(xs []float64, shards int) Summary {
 	if m.N > 0 {
 		s.Min, s.Max = m.Min, m.Max
 	}
-	s.Q25 = quantileSorted(sorted, 0.25)
-	s.Median = quantileSorted(sorted, 0.5)
-	s.Q75 = quantileSorted(sorted, 0.75)
+	if qs, ok := quantileOrderStats(sorted, []float64{0.25, 0.5, 0.75}); ok {
+		s.Q25, s.Median, s.Q75 = qs[0], qs[1], qs[2]
+	} else {
+		vals := sorted.Values()
+		s.Q25 = quantileSorted(vals, 0.25)
+		s.Median = quantileSorted(vals, 0.5)
+		s.Q75 = quantileSorted(vals, 0.75)
+	}
 	return s
+}
+
+// quantileOrderStats computes type-7 quantiles for the ascending qs
+// through Sorted.OrderStats — selection over the gathered sample
+// instead of a full sort, the win that keeps the audit profile's
+// per-column cost linear. The interpolation is the same arithmetic as
+// quantileSorted over the same (unique, per the OrderStats gate) order
+// statistics, so an ok result is bit-identical to the sorted path; ok
+// is false on an empty sample or when OrderStats declines (NaN or
+// negative zero present) and the caller takes the Values route.
+func quantileOrderStats(sorted *exec.Sorted, qs []float64) ([]float64, bool) {
+	n := sorted.Count()
+	if n == 0 {
+		return nil, false
+	}
+	ks := make([]int, 0, 2*len(qs))
+	for _, q := range qs {
+		pos := q * float64(n-1)
+		for _, k := range []int{int(math.Floor(pos)), int(math.Ceil(pos))} {
+			if len(ks) == 0 || k > ks[len(ks)-1] {
+				ks = append(ks, k)
+			}
+		}
+	}
+	vals, ok := sorted.OrderStats(ks)
+	if !ok {
+		return nil, false
+	}
+	at := func(k int) float64 {
+		for i, kk := range ks {
+			if kk == k {
+				return vals[i]
+			}
+		}
+		return math.NaN()
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		pos := q * float64(n-1)
+		lo, hi := int(math.Floor(pos)), int(math.Ceil(pos))
+		if lo == hi {
+			out[i] = at(lo)
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = at(lo)*(1-frac) + at(hi)*frac
+	}
+	return out, true
 }
 
 // QuantileSharded returns the q-quantile computed over a sharded
@@ -60,5 +113,9 @@ func QuantileSharded(xs []float64, q float64, shards int) float64 {
 	if err != nil {
 		return math.NaN()
 	}
-	return quantileSorted(st.(*exec.Sorted).Values(), q)
+	sorted := st.(*exec.Sorted)
+	if out, ok := quantileOrderStats(sorted, []float64{q}); ok {
+		return out[0]
+	}
+	return quantileSorted(sorted.Values(), q)
 }

@@ -125,11 +125,11 @@ func Credit(cfg CreditConfig) (*frame.Frame, error) {
 		}
 	}
 	return frame.New(
-		frame.NewString("group", group),
+		frame.NewString("group", group).Intern(),
 		frame.NewFloat64("income", income),
 		frame.NewFloat64("debt_ratio", debt),
 		frame.NewFloat64("employment_years", tenure),
-		frame.NewString("neighborhood", neighborhood),
+		frame.NewString("neighborhood", neighborhood).Intern(),
 		frame.NewInt64("late_payments", late),
 		frame.NewInt64("approved", approved),
 	)
@@ -192,9 +192,9 @@ func Hospital(cfg HospitalConfig) (*frame.Frame, error) {
 	}
 	return frame.New(
 		frame.NewInt64("age", age),
-		frame.NewString("sex", sex),
-		frame.NewString("zip", zip),
-		frame.NewString("diagnosis", diagnosis),
+		frame.NewString("sex", sex).Intern(),
+		frame.NewString("zip", zip).Intern(),
+		frame.NewString("diagnosis", diagnosis).Intern(),
 		frame.NewFloat64("length_of_stay", los),
 		frame.NewFloat64("charges", charges),
 		frame.NewInt64("readmitted", readmitted),
@@ -276,7 +276,7 @@ func AdCampaign(cfg AdCampaignConfig) (*frame.Frame, error) {
 	}
 	return frame.New(
 		frame.NewFloat64("activity", activity),
-		frame.NewString("age_bracket", ageBracket),
+		frame.NewString("age_bracket", ageBracket).Intern(),
 		frame.NewInt64("exposed", exposed),
 		frame.NewInt64("converted", converted),
 		frame.NewFloat64("base_p", baseP),
@@ -402,7 +402,7 @@ func Admissions(cfg AdmissionsConfig) (*frame.Frame, error) {
 	}
 	return frame.New(
 		frame.NewInt64("grp", grp),
-		frame.NewString("dept", dept),
+		frame.NewString("dept", dept).Intern(),
 		frame.NewInt64("admitted", admitted),
 	)
 }
