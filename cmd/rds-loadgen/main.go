@@ -21,10 +21,19 @@
 //	            [-clients 4] [-audit-rows 2000,20000]
 //	            [-ingest-rate 0,1000] [-epochs 20] [-seed 1]
 //	            [-json out.json] [-max-p99 0]
+//	            [-tenants 1] [-max-tenant-p99-spread 0]
+//
+// With -tenants N > 1, the closed-loop clients split round-robin
+// across N tenant identities (X-RDS-Tenant: t0..tN-1) and the cell
+// reports per-tenant audit counts and latency percentiles plus the
+// p99 spread (slowest tenant p99 over fastest) — the fairness figure
+// the multi-tenant soak asserts on.
 //
 // Soak assertions: the process exits non-zero when any request
-// returned a 5xx, or when -max-p99 is set and any cell's audit p99
-// exceeds it. CI runs a 60s sweep with both assertions on.
+// returned a 5xx, when -max-p99 is set and any cell's audit p99
+// exceeds it, or when -max-tenant-p99-spread is set and any cell's
+// tenant p99 spread exceeds it. CI runs a 60s sweep with the
+// assertions on.
 package main
 
 import (
@@ -61,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "base seed; every request derives a unique seed so the report cache never hits")
 	jsonOut := fs.String("json", "", "write the machine-readable sweep results to this path")
 	maxP99 := fs.Duration("max-p99", 0, "fail (exit 1) when any cell's audit p99 exceeds this; 0 disables")
+	tenants := fs.Int("tenants", 1, "spread the closed-loop clients across this many tenant identities (X-RDS-Tenant: t0..tN-1)")
+	maxSpread := fs.Float64("max-tenant-p99-spread", 0, "fail (exit 1) when any cell's slowest-tenant p99 exceeds its fastest-tenant p99 by more than this factor; 0 disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *clients < 1 || *duration <= 0 {
 		return fail("-clients and -duration must be positive")
 	}
+	if *tenants < 1 {
+		return fail("-tenants must be positive")
+	}
 	if err := waitHealthy(*url, healthBudget); err != nil {
 		return fail("%v", err)
 	}
@@ -91,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cell, err := runCell(cellConfig{
 				url: *url, duration: *duration, clients: *clients,
 				auditRows: r, ingestRate: rate, epochs: *epochs, seedBase: &seq,
+				tenants: *tenants,
 			})
 			if err != nil {
 				return fail("cell rows=%d rate=%d: %v", r, rate, err)
@@ -100,6 +115,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				cell.AuditRows, *clients, cell.IngestRate, cell.AuditsPerS,
 				msString(cell.P50MS), msString(cell.P99MS),
 				cell.Status2xx, cell.Status4xx, cell.Status5xx, cell.Ingest5xx)
+			if *tenants > 1 {
+				fmt.Fprintf(stdout, "  tenant p99 spread %.2fx across %d tenants\n", cell.TenantP99Spread, len(cell.Tenants))
+			}
 		}
 	}
 
@@ -132,6 +150,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *maxP99 > 0 && c.Audits > 0 && time.Duration(c.P99MS*float64(time.Millisecond)) > *maxP99 {
 			fmt.Fprintf(stderr, "rds-loadgen: cell rows=%d rate=%d p99 %.1fms over the %s budget\n",
 				c.AuditRows, c.IngestRate, c.P99MS, *maxP99)
+			failed = true
+		}
+		if *maxSpread > 0 && c.TenantP99Spread > *maxSpread {
+			fmt.Fprintf(stderr, "rds-loadgen: cell rows=%d rate=%d tenant p99 spread %.2fx over the %.2fx budget\n",
+				c.AuditRows, c.IngestRate, c.TenantP99Spread, *maxSpread)
 			failed = true
 		}
 		if c.Audits == 0 {
@@ -167,6 +190,19 @@ type cellResult struct {
 	Status5xx  int64   `json:"status_5xx"`
 	IngestReqs int64   `json:"ingest_reqs"`
 	Ingest5xx  int64   `json:"ingest_5xx"`
+	// Tenants holds per-tenant latency stats when -tenants > 1;
+	// TenantP99Spread is the slowest tenant's p99 over the fastest's
+	// (1.0 = perfectly even, 0 when fewer than two tenants completed
+	// audits).
+	Tenants         map[string]tenantStats `json:"tenants,omitempty"`
+	TenantP99Spread float64                `json:"tenant_p99_spread,omitempty"`
+}
+
+// tenantStats is one tenant identity's slice of a cell result.
+type tenantStats struct {
+	Audits int64   `json:"audits"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
 }
 
 // cellConfig parameterizes one sweep cell.
@@ -178,6 +214,7 @@ type cellConfig struct {
 	ingestRate int
 	epochs     int
 	seedBase   *uint64
+	tenants    int
 }
 
 // runCell runs one (audit size, ingest rate) cell: clients closed-loop
@@ -196,6 +233,7 @@ func runCell(cfg cellConfig) (cellResult, error) {
 	var (
 		mu         sync.Mutex
 		latencies  []float64
+		perTenant  = map[string][]float64{}
 		c2, c4, c5 int64
 	)
 	deadline := time.Now().Add(cfg.duration)
@@ -203,6 +241,10 @@ func runCell(cfg cellConfig) (cellResult, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.clients; w++ {
 		wg.Add(1)
+		ten := ""
+		if cfg.tenants > 1 {
+			ten = fmt.Sprintf("t%d", w%cfg.tenants)
+		}
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
@@ -214,13 +256,17 @@ func runCell(cfg cellConfig) (cellResult, error) {
 					"seed":      s,
 				})
 				t0 := time.Now()
-				status := post(hc, cfg.url+"/v1/audit", body)
+				status := post(hc, cfg.url+"/v1/audit", body, ten)
 				dt := time.Since(t0)
 				mu.Lock()
 				switch {
 				case status >= 200 && status < 300:
 					c2++
-					latencies = append(latencies, float64(dt)/float64(time.Millisecond))
+					ms := float64(dt) / float64(time.Millisecond)
+					latencies = append(latencies, ms)
+					if ten != "" {
+						perTenant[ten] = append(perTenant[ten], ms)
+					}
 				case status >= 500 || status < 0:
 					c5++
 				default:
@@ -240,6 +286,27 @@ func runCell(cfg cellConfig) (cellResult, error) {
 	}
 	res.P50MS = percentile(latencies, 0.50)
 	res.P99MS = percentile(latencies, 0.99)
+	if len(perTenant) > 0 {
+		res.Tenants = map[string]tenantStats{}
+		minP99, maxP99 := 0.0, 0.0
+		for ten, ms := range perTenant {
+			p99 := percentile(ms, 0.99)
+			res.Tenants[ten] = tenantStats{
+				Audits: int64(len(ms)),
+				P50MS:  percentile(ms, 0.50),
+				P99MS:  p99,
+			}
+			if minP99 == 0 || p99 < minP99 {
+				minP99 = p99
+			}
+			if p99 > maxP99 {
+				maxP99 = p99
+			}
+		}
+		if len(perTenant) > 1 && minP99 > 0 {
+			res.TenantP99Spread = maxP99 / minP99
+		}
+	}
 	return res, nil
 }
 
@@ -301,7 +368,7 @@ func startIngestor(hc *http.Client, cfg cellConfig, res *cellResult) (func(), er
 				"time_ms":   t,
 				"synthetic": map[string]any{"n": cfg.ingestRate, "seed": s},
 			})
-			status := post(hc, cfg.url+"/v1/monitors/"+reg.ID+"/ingest", body)
+			status := post(hc, cfg.url+"/v1/monitors/"+reg.ID+"/ingest", body, "")
 			atomic.AddInt64(&res.IngestReqs, 1)
 			if status >= 500 || status < 0 {
 				atomic.AddInt64(&res.Ingest5xx, 1)
@@ -321,10 +388,18 @@ func startIngestor(hc *http.Client, cfg cellConfig, res *cellResult) (func(), er
 	}, nil
 }
 
-// post sends a JSON body and returns the status code, or -1 on
-// transport error.
-func post(hc *http.Client, url string, body []byte) int {
-	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+// post sends a JSON body (as tenant ten when non-empty) and returns
+// the status code, or -1 on transport error.
+func post(hc *http.Client, url string, body []byte, ten string) int {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return -1
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ten != "" {
+		req.Header.Set("X-RDS-Tenant", ten)
+	}
+	resp, err := hc.Do(req)
 	if err != nil {
 		return -1
 	}

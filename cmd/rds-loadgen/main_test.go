@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -138,6 +139,94 @@ func TestRunFailsOnP99Budget(t *testing.T) {
 	}
 }
 
+// TestRunMultiTenantSweep drives the -tenants arm: the closed-loop
+// clients split round-robin across tenant identities, each request
+// carries its tenant header, per-tenant stats land in the JSON
+// document, and a generous spread budget passes.
+func TestRunMultiTenantSweep(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Header.Get("X-RDS-Tenant")]++
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "sweep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "300ms", "-clients", "3",
+		"-audit-rows", "50", "-ingest-rate", "0",
+		"-tenants", "3", "-max-tenant-p99-spread", "1000",
+		"-json", jsonPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	var doc sweepDoc
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(doc.Cells))
+	}
+	cell := doc.Cells[0]
+	if len(cell.Tenants) != 3 || cell.TenantP99Spread <= 0 {
+		t.Fatalf("cell tenants = %+v spread %.2f, want 3 tenant slices and a positive spread", cell.Tenants, cell.TenantP99Spread)
+	}
+	for _, ten := range []string{"t0", "t1", "t2"} {
+		if cell.Tenants[ten].Audits == 0 {
+			t.Fatalf("tenant %s completed no audits: %+v", ten, cell.Tenants)
+		}
+		mu.Lock()
+		n := seen[ten]
+		mu.Unlock()
+		if n == 0 {
+			t.Fatalf("server never saw the %s header; saw %v", ten, seen)
+		}
+	}
+	if !strings.Contains(stdout.String(), "tenant p99 spread") {
+		t.Fatalf("stdout missing the spread line: %q", stdout.String())
+	}
+}
+
+// TestRunFailsOnTenantSpread injects latency for one tenant identity
+// and asserts the spread gate trips.
+func TestRunFailsOnTenantSpread(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-RDS-Tenant") == "t1" {
+			time.Sleep(30 * time.Millisecond)
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "300ms", "-clients", "2",
+		"-audit-rows", "50", "-ingest-rate", "0",
+		"-tenants", "2", "-max-tenant-p99-spread", "1.5",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 when one tenant is 30ms slower", code)
+	}
+	if !strings.Contains(stderr.String(), "tenant p99 spread") {
+		t.Fatalf("stderr should name the spread breach: %q", stderr.String())
+	}
+}
+
 func TestRunFlagAndArgumentErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
@@ -148,6 +237,7 @@ func TestRunFlagAndArgumentErrors(t *testing.T) {
 		{"-ingest-rate", "-3"},
 		{"-clients", "0"},
 		{"-duration", "0s"},
+		{"-tenants", "0"},
 	}
 	for _, args := range cases {
 		if code := run(args, &stdout, &stderr); code != 1 {

@@ -15,11 +15,20 @@
 //	          [-chunk-cache-bytes 67108864]
 //	          [-monitor-history 64] [-monitor-reaudit 0]
 //	          [-state-dir DIR]
+//	          [-tenant-rate 0] [-tenant-burst 0] [-tenant-max-queue 0]
 //
-// With -state-dir, registered monitors, pinned baseline profiles, and
-// registry-resident datasets persist to crash-safe JSON under DIR and
-// are restored on the next boot (see OPERATIONS.md "Durability").
-// Without it, all state is in-memory and dies with the process.
+// With -state-dir, registered monitors, pinned baseline profiles,
+// registry-resident datasets, and tenant quota overrides persist to
+// crash-safe JSON under DIR and are restored on the next boot (see
+// OPERATIONS.md "Durability"). Without it, all state is in-memory and
+// dies with the process.
+//
+// Every request may carry a tenant id (X-RDS-Tenant header or a
+// "tenant" body/query field; absent means the "default" tenant).
+// Tenants get isolated queues drained weighted-fairly, token-bucket
+// admission (-tenant-rate/-tenant-burst service defaults; per-tenant
+// overrides via PUT /v1/tenants/{id}), resource quotas, and their own
+// responsibility report (see OPERATIONS.md "Multi-tenancy").
 //
 // Endpoints:
 //
@@ -35,6 +44,11 @@
 //	DELETE /v1/monitors/{id}          stop and remove a monitor
 //	GET    /v1/monitors/{id}/history  per-window reports and drift scores
 //	POST   /v1/monitors/{id}/ingest   feed rows onto the monitor's stream clock
+//	GET    /v1/tenants                tenant quota defaults + overrides
+//	GET    /v1/tenants/{id}           one tenant's effective quotas
+//	PUT    /v1/tenants/{id}           install a quota override
+//	DELETE /v1/tenants/{id}           remove a quota override
+//	GET    /v1/tenants/{id}/report    per-tenant responsibility report
 //	GET    /healthz                   liveness and pool state
 //	GET    /metrics                   engine counters + monitoring + dataset gauges
 //
@@ -67,6 +81,8 @@ import (
 	"github.com/responsible-data-science/rds/internal/store"
 	"github.com/responsible-data-science/rds/internal/store/fsjson"
 	"github.com/responsible-data-science/rds/internal/store/memory"
+	"github.com/responsible-data-science/rds/internal/tenant"
+	"github.com/responsible-data-science/rds/internal/tenantapi"
 )
 
 func main() {
@@ -81,7 +97,10 @@ func main() {
 	chunkCacheBytes := flag.Int64("chunk-cache-bytes", dataset.DefaultStateBudgetBytes, "byte budget for cached per-chunk drift states powering incremental O(delta) sliding-window re-audits (0 disables; a miss falls back to a full rescan)")
 	monHistory := flag.Int("monitor-history", monitor.DefaultHistory, "default per-monitor window-history ring size")
 	monReaudit := flag.Duration("monitor-reaudit", 0, "default scheduled re-audit interval for monitors that omit one (0 disables)")
-	stateDir := flag.String("state-dir", "", "directory for durable state (monitors, baseline profiles, resident datasets); empty keeps all state in memory")
+	stateDir := flag.String("state-dir", "", "directory for durable state (monitors, baseline profiles, resident datasets, tenant quotas); empty keeps all state in memory")
+	tenantRate := flag.Float64("tenant-rate", 0, "default per-tenant sustained submissions/sec (token bucket; 0 disables)")
+	tenantBurst := flag.Int("tenant-burst", 0, "default per-tenant submission burst (0 derives from -tenant-rate)")
+	tenantMaxQueue := flag.Int("tenant-max-queue", 0, "default per-tenant queued-job bound (0 = aggregate -queue bound only)")
 	flag.Parse()
 
 	// The state store: crash-safe JSON under -state-dir, or a process-
@@ -101,14 +120,29 @@ func main() {
 		st = memory.New()
 	}
 
+	// The tenant quota registry is the source of truth every plane
+	// consults; it restores persisted overrides first so the dataset
+	// and monitor restores below run under the right quotas.
+	tenants := tenant.NewRegistry(tenant.Quotas{
+		RatePerSec: *tenantRate,
+		Burst:      *tenantBurst,
+		MaxQueue:   *tenantMaxQueue,
+	})
+	if err := tenants.AttachStore(st); err != nil {
+		fmt.Fprintln(os.Stderr, "rds-serve:", err)
+		os.Exit(1)
+	}
+
 	engine := serve.NewEngine(serve.Config{
-		Workers:    *workers,
-		QueueSize:  *queue,
-		JobTimeout: *timeout,
-		CacheSize:  *cache,
-		Shards:     *shards,
+		Workers:      *workers,
+		QueueSize:    *queue,
+		JobTimeout:   *timeout,
+		CacheSize:    *cache,
+		Shards:       *shards,
+		TenantQuotas: tenants.Quotas,
 	})
 	datasets := dataset.NewRegistry(*datasetBudget)
+	datasets.UseQuotas(tenants.Quotas)
 	var chunkStates *dataset.StateCache
 	if *chunkCacheBytes > 0 {
 		chunkStates = dataset.NewStateCache(*chunkCacheBytes)
@@ -119,6 +153,7 @@ func main() {
 		ChunkStates: chunkStates,
 		Sinks:       []monitor.Sink{&monitor.LogSink{}},
 		Store:       st,
+		Quotas:      tenants.Quotas,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
@@ -126,8 +161,9 @@ func main() {
 	}
 	defer registry.Close()
 
-	// Restore order matters: datasets first (so monitors can re-pin
-	// their baselines), then monitors — all before the listener opens.
+	// Restore order matters: tenants restored above (quotas first),
+	// then datasets (so monitors can re-pin their baselines), then
+	// monitors — all before the listener opens.
 	if err := datasets.AttachStore(st); err != nil {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)
@@ -151,6 +187,11 @@ func main() {
 	handler.Monitors = monitors
 	handler.MonitorMetrics = func() any { return registry.Metrics() }
 	handler.ChunkStates = chunkStates
+	handler.Tenants = &tenantapi.Handler{
+		Tenants:  tenants,
+		Datasets: datasets,
+		Monitors: registry,
+	}
 
 	server := &http.Server{
 		Addr:              *addr,

@@ -23,6 +23,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/store"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // DefaultBudgetBytes is the default registry byte budget: 256 MiB.
@@ -39,15 +40,18 @@ var ErrPinned = errors.New("dataset: dataset is pinned")
 
 // Meta describes one resident dataset, JSON-serializable for the HTTP
 // API. Ref is the frame's content hash — the dataset_ref audit and
-// monitor requests resolve by.
+// monitor requests resolve by — and Tenant is the owning tenant:
+// datasets are scoped, so the same content uploaded by two tenants is
+// two entries, each charged to its owner's quota.
 type Meta struct {
-	Ref   string `json:"ref"`
-	Name  string `json:"name"`
-	Rows  int    `json:"rows"`
-	Cols  int    `json:"cols"`
-	Bytes int64  `json:"bytes"`
-	Pins  int    `json:"pins"`
-	Hits  uint64 `json:"hits"`
+	Ref    string `json:"ref"`
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	Rows   int    `json:"rows"`
+	Cols   int    `json:"cols"`
+	Bytes  int64  `json:"bytes"`
+	Pins   int    `json:"pins"`
+	Hits   uint64 `json:"hits"`
 }
 
 // entry is the registry-internal state behind a Meta.
@@ -56,15 +60,35 @@ type entry struct {
 	data *frame.Frame
 }
 
+// refKey addresses one resident dataset: content hashes are scoped per
+// tenant, so tenants can neither see nor unpin each other's refs.
+type refKey struct {
+	tenant string
+	ref    string
+}
+
+// tenantUsage is one tenant's slice of the registry accounting.
+type tenantUsage struct {
+	resident int
+	bytes    int64
+}
+
 // Registry is the byte-budgeted, content-addressed store of resident
-// datasets with LRU eviction that skips pinned entries. Safe for
-// concurrent use.
+// datasets with LRU eviction that skips pinned entries. Entries are
+// tenant-scoped: every operation resolves within one tenant's
+// namespace, the shared byte budget and LRU order span all tenants,
+// and per-tenant quotas (bytes, count) bound each tenant's share when
+// a quota source is attached. Safe for concurrent use.
 type Registry struct {
 	mu     sync.Mutex
 	budget int64
 	bytes  int64
 	order  *list.List // front = most recently used; values are *entry
-	byRef  map[string]*list.Element
+	byRef  map[refKey]*list.Element
+	usage  map[string]*tenantUsage
+
+	// quotas resolves a tenant's resource quotas; nil means unlimited.
+	quotas func(string) tenant.Quotas
 
 	// store, when non-nil, durably mirrors the resident set (see
 	// AttachStore in persist.go).
@@ -82,23 +106,66 @@ func NewRegistry(budgetBytes int64) *Registry {
 	return &Registry{
 		budget: budgetBytes,
 		order:  list.New(),
-		byRef:  map[string]*list.Element{},
+		byRef:  map[refKey]*list.Element{},
+		usage:  map[string]*tenantUsage{},
 	}
 }
 
 // Budget returns the registry's byte budget.
 func (r *Registry) Budget() int64 { return r.budget }
 
-// Put makes f resident under its content hash and returns its Meta;
-// the returned Ref is the dataset_ref clients audit by. Uploading bytes
-// that already resolve is idempotent: the existing entry is refreshed
-// (most recently used) and returned, keeping its first name. When the
-// dataset does not fit, least-recently-used unpinned entries are
-// evicted until it does; ErrOverBudget reports a dataset that cannot
-// fit even then.
+// UseQuotas attaches the per-tenant quota source (typically
+// (*tenant.Registry).Quotas). PutAs enforces MaxRegistryBytes and
+// MaxDatasets against it; nil (the default) means no per-tenant bound.
+func (r *Registry) UseQuotas(q func(string) tenant.Quotas) {
+	r.mu.Lock()
+	r.quotas = q
+	r.mu.Unlock()
+}
+
+// usageLocked returns ten's accounting, creating it on first sight.
+func (r *Registry) usageLocked(ten string) *tenantUsage {
+	u := r.usage[ten]
+	if u == nil {
+		u = &tenantUsage{}
+		r.usage[ten] = u
+	}
+	return u
+}
+
+// chargeLocked adjusts ten's accounting by one entry of size bytes
+// (negative on removal), dropping empty tenants from the map.
+func (r *Registry) chargeLocked(ten string, entries int, size int64) {
+	u := r.usageLocked(ten)
+	u.resident += entries
+	u.bytes += size
+	if u.resident <= 0 && u.bytes <= 0 {
+		delete(r.usage, ten)
+	}
+}
+
+// Put makes f resident for the default tenant; see PutAs.
 func (r *Registry) Put(name string, f *frame.Frame) (Meta, error) {
+	return r.PutAs(tenant.Default, name, f)
+}
+
+// PutAs makes f resident for ten under its content hash and returns
+// its Meta; the returned Ref is the dataset_ref clients audit by.
+// Uploading bytes the tenant already has resident is idempotent: the
+// existing entry is refreshed (most recently used) and returned,
+// keeping its first name. The tenant's quotas (bytes, dataset count)
+// are checked first — a violation is tenant.ErrQuota (HTTP 429), the
+// tenant's own budget. Then the shared byte budget applies: least
+// recently used unpinned entries of any tenant are evicted until the
+// dataset fits; ErrOverBudget (HTTP 507) reports one that cannot fit
+// even then.
+func (r *Registry) PutAs(ten, name string, f *frame.Frame) (Meta, error) {
 	if f == nil || f.NumRows() == 0 {
 		return Meta{}, fmt.Errorf("dataset: Put needs a non-empty dataset")
+	}
+	ten, err := tenant.Normalize(ten)
+	if err != nil {
+		return Meta{}, err
 	}
 	// Hash and measure outside the lock: both are O(dataset) and must
 	// not serialize against hot resolves.
@@ -107,9 +174,22 @@ func (r *Registry) Put(name string, f *frame.Frame) (Meta, error) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if el, ok := r.byRef[ref]; ok {
+	key := refKey{ten, ref}
+	if el, ok := r.byRef[key]; ok {
 		r.order.MoveToFront(el)
 		return el.Value.(*entry).meta, nil
+	}
+	if r.quotas != nil {
+		quo := r.quotas(ten)
+		u := r.usageLocked(ten)
+		if quo.MaxDatasets > 0 && u.resident >= quo.MaxDatasets {
+			return Meta{}, fmt.Errorf("%w: tenant %q has %d of %d datasets resident",
+				tenant.ErrQuota, ten, u.resident, quo.MaxDatasets)
+		}
+		if quo.MaxRegistryBytes > 0 && u.bytes+size > quo.MaxRegistryBytes {
+			return Meta{}, fmt.Errorf("%w: tenant %q would hold %d of %d registry bytes",
+				tenant.ErrQuota, ten, u.bytes+size, quo.MaxRegistryBytes)
+		}
 	}
 	if size > r.budget {
 		return Meta{}, fmt.Errorf("%w: dataset is %d bytes, budget %d", ErrOverBudget, size, r.budget)
@@ -122,11 +202,12 @@ func (r *Registry) Put(name string, f *frame.Frame) (Meta, error) {
 	}
 	e := &entry{
 		meta: Meta{
-			Ref:   ref,
-			Name:  name,
-			Rows:  f.NumRows(),
-			Cols:  f.NumCols(),
-			Bytes: size,
+			Ref:    ref,
+			Tenant: ten,
+			Name:   name,
+			Rows:   f.NumRows(),
+			Cols:   f.NumCols(),
+			Bytes:  size,
 		},
 		data: f,
 	}
@@ -140,13 +221,14 @@ func (r *Registry) Put(name string, f *frame.Frame) (Meta, error) {
 			return Meta{}, fmt.Errorf("dataset: persisting %q: %w", ref, err)
 		}
 	}
-	r.byRef[ref] = r.order.PushFront(e)
+	r.byRef[key] = r.order.PushFront(e)
 	r.bytes += size
+	r.chargeLocked(ten, 1, size)
 	return e.meta, nil
 }
 
-// evictOldestUnpinned drops the least recently used unpinned entry,
-// reporting whether one existed; callers hold r.mu.
+// evictOldestUnpinned drops the least recently used unpinned entry of
+// any tenant, reporting whether one existed; callers hold r.mu.
 func (r *Registry) evictOldestUnpinned() bool {
 	for el := r.order.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry)
@@ -154,22 +236,29 @@ func (r *Registry) evictOldestUnpinned() bool {
 			continue
 		}
 		r.order.Remove(el)
-		delete(r.byRef, e.meta.Ref)
+		delete(r.byRef, refKey{e.meta.Tenant, e.meta.Ref})
 		r.bytes -= e.meta.Bytes
+		r.chargeLocked(e.meta.Tenant, -1, -e.meta.Bytes)
 		r.evictions++
-		r.dropStoredLocked(e.meta.Ref)
+		r.dropStoredLocked(e.meta.Tenant, e.meta.Ref)
 		return true
 	}
 	return false
 }
 
-// Resolve returns the resident dataset for ref, marking it most
-// recently used. The bool reports a hit; misses count toward the
-// dataset_misses gauge.
+// Resolve resolves ref in the default tenant's namespace; see ResolveAs.
 func (r *Registry) Resolve(ref string) (*frame.Frame, Meta, bool) {
+	return r.ResolveAs(tenant.Default, ref)
+}
+
+// ResolveAs returns ten's resident dataset for ref, marking it most
+// recently used. The bool reports a hit; misses — including another
+// tenant's ref, indistinguishable from absent — count toward the
+// dataset_misses gauge.
+func (r *Registry) ResolveAs(ten, ref string) (*frame.Frame, Meta, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	el, ok := r.byRef[ref]
+	el, ok := r.byRef[refKey{ten, ref}]
 	if !ok {
 		r.misses++
 		return nil, Meta{}, false
@@ -181,13 +270,19 @@ func (r *Registry) Resolve(ref string) (*frame.Frame, Meta, bool) {
 	return e.data, e.meta, true
 }
 
-// Pin resolves ref and takes one pin on it, shielding it from eviction
-// and deletion until a matching Unpin. Monitors pin their baselines for
-// their whole lifetime. The bool reports whether ref resolved.
+// Pin pins ref in the default tenant's namespace; see PinAs.
 func (r *Registry) Pin(ref string) (*frame.Frame, bool) {
+	return r.PinAs(tenant.Default, ref)
+}
+
+// PinAs resolves ten's ref and takes one pin on it, shielding it from
+// eviction and deletion until a matching UnpinAs. Monitors pin their
+// baselines for their whole lifetime. The bool reports whether ref
+// resolved within ten's namespace.
+func (r *Registry) PinAs(ten, ref string) (*frame.Frame, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	el, ok := r.byRef[ref]
+	el, ok := r.byRef[refKey{ten, ref}]
 	if !ok {
 		r.misses++
 		return nil, false
@@ -200,37 +295,53 @@ func (r *Registry) Pin(ref string) (*frame.Frame, bool) {
 	return e.data, true
 }
 
-// Unpin releases one pin taken by Pin. Unknown refs are a no-op (the
-// registry never evicts pinned entries, so an unknown ref means the
-// caller already released it).
-func (r *Registry) Unpin(ref string) {
+// Unpin releases a default-tenant pin; see UnpinAs.
+func (r *Registry) Unpin(ref string) { r.UnpinAs(tenant.Default, ref) }
+
+// UnpinAs releases one pin taken by PinAs. Unknown refs are a no-op
+// (the registry never evicts pinned entries, so an unknown ref means
+// the caller already released it).
+func (r *Registry) UnpinAs(ten, ref string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if el, ok := r.byRef[ref]; ok {
+	if el, ok := r.byRef[refKey{ten, ref}]; ok {
 		if e := el.Value.(*entry); e.meta.Pins > 0 {
 			e.meta.Pins--
 		}
 	}
 }
 
-// Get returns the Meta for ref without touching recency or counters.
+// Get returns the default tenant's Meta for ref; see GetAs.
 func (r *Registry) Get(ref string) (Meta, bool) {
+	return r.GetAs(tenant.Default, ref)
+}
+
+// GetAs returns ten's Meta for ref without touching recency or
+// counters.
+func (r *Registry) GetAs(ten, ref string) (Meta, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	el, ok := r.byRef[ref]
+	el, ok := r.byRef[refKey{ten, ref}]
 	if !ok {
 		return Meta{}, false
 	}
 	return el.Value.(*entry).meta, true
 }
 
-// Delete evicts the dataset for ref, reporting whether it existed.
-// Pinned datasets answer ErrPinned: a monitor's baseline cannot be
-// deleted out from under it.
+// Delete evicts the default tenant's ref; see DeleteAs.
 func (r *Registry) Delete(ref string) (bool, error) {
+	return r.DeleteAs(tenant.Default, ref)
+}
+
+// DeleteAs evicts ten's dataset for ref, reporting whether it existed
+// in ten's namespace — another tenant's ref reads as absent, so
+// tenants cannot delete each other's data. Pinned datasets answer
+// ErrPinned: a monitor's baseline cannot be deleted out from under it.
+func (r *Registry) DeleteAs(ten, ref string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	el, ok := r.byRef[ref]
+	key := refKey{ten, ref}
+	el, ok := r.byRef[key]
 	if !ok {
 		return false, nil
 	}
@@ -241,23 +352,30 @@ func (r *Registry) Delete(ref string) (bool, error) {
 	if r.store != nil {
 		// Durable copy goes first: a Delete that reported success must
 		// not resurface the dataset on restart.
-		if err := r.store.Delete(store.KindDataset, ref); err != nil {
+		if err := r.store.Delete(store.KindDataset, storeID(ten, ref)); err != nil {
 			return false, fmt.Errorf("dataset: deleting persisted %q: %w", ref, err)
 		}
 	}
 	r.order.Remove(el)
-	delete(r.byRef, ref)
+	delete(r.byRef, key)
 	r.bytes -= e.meta.Bytes
+	r.chargeLocked(ten, -1, -e.meta.Bytes)
 	return true, nil
 }
 
-// List returns the resident datasets, most recently used first.
-func (r *Registry) List() []Meta {
+// List returns the default tenant's resident datasets; see ListAs.
+func (r *Registry) List() []Meta { return r.ListAs(tenant.Default) }
+
+// ListAs returns ten's resident datasets, most recently used first.
+// The listing is scoped: no tenant can enumerate another's refs.
+func (r *Registry) ListAs(ten string) []Meta {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Meta, 0, r.order.Len())
+	out := []Meta{}
 	for el := r.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*entry).meta)
+		if m := el.Value.(*entry).meta; m.Tenant == ten {
+			out = append(out, m)
+		}
 	}
 	return out
 }
@@ -276,6 +394,17 @@ type Snapshot struct {
 	// failed (eviction-path deletes); Put/Delete persist failures are
 	// returned to the caller instead of counted here.
 	PersistErrors uint64 `json:"dataset_persist_errors"`
+	// Tenants is each tenant's slice of the registry accounting, keyed
+	// by tenant id; tenants with nothing resident are omitted.
+	Tenants map[string]TenantUsage `json:"tenants,omitempty"`
+}
+
+// TenantUsage is one tenant's registry footprint.
+type TenantUsage struct {
+	// Resident is the tenant's resident dataset count.
+	Resident int `json:"resident"`
+	// Bytes is the tenant's resident payload bytes.
+	Bytes int64 `json:"bytes"`
 }
 
 // Metrics snapshots the registry gauges.
@@ -288,7 +417,7 @@ func (r *Registry) Metrics() Snapshot {
 			pinned++
 		}
 	}
-	return Snapshot{
+	s := Snapshot{
 		Resident:      r.order.Len(),
 		Pinned:        pinned,
 		Bytes:         r.bytes,
@@ -298,6 +427,13 @@ func (r *Registry) Metrics() Snapshot {
 		Evictions:     r.evictions,
 		PersistErrors: r.persistErrors,
 	}
+	if len(r.usage) > 0 {
+		s.Tenants = make(map[string]TenantUsage, len(r.usage))
+		for id, u := range r.usage {
+			s.Tenants[id] = TenantUsage{Resident: u.resident, Bytes: u.bytes}
+		}
+	}
+	return s
 }
 
 // SizeOf estimates a frame's resident heap footprint in bytes: payload

@@ -8,6 +8,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/httpx"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // UploadWire is the JSON body of POST /v1/datasets. Exactly one of CSV
@@ -16,6 +17,9 @@ import (
 type UploadWire struct {
 	// Name labels the dataset in listings (default "dataset").
 	Name string `json:"name,omitempty"`
+	// Tenant is the uploading tenant's id; the X-RDS-Tenant header
+	// takes precedence, both empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// CSV is an inline CSV document with a header row.
 	CSV string `json:"csv,omitempty"`
 	// NDJSON is newline-delimited JSON, one flat object per row.
@@ -43,8 +47,16 @@ func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
 // resolve dataset_refs and merge the registry gauges into /metrics.
 func (h *Handler) Registry() *Registry { return h.reg }
 
-// ServeHTTP routes the dataset API.
+// ServeHTTP routes the dataset API. Every operation is tenant-scoped:
+// the tenant comes from the X-RDS-Tenant header (validated here, so
+// the handler is safe to mount standalone), the "tenant" wire/query
+// field, or defaults.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, err := httpx.Tenant(r)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/datasets")
 	if !ok {
 		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
@@ -55,7 +67,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case rest == "" && r.Method == http.MethodPost:
 		h.upload(w, r)
 	case rest == "" && r.Method == http.MethodGet:
-		httpx.WriteJSON(w, http.StatusOK, h.reg.List())
+		ten, err := tenant.Or(r.Context(), r.URL.Query().Get("tenant"))
+		if err != nil {
+			httpx.Error(w, http.StatusBadRequest, err)
+			return
+		}
+		httpx.WriteJSON(w, http.StatusOK, h.reg.ListAs(ten))
 	case rest == "":
 		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST or GET required"))
 	default:
@@ -64,13 +81,22 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) upload(w http.ResponseWriter, r *http.Request) {
-	name, f, err := h.decodeUpload(w, r)
+	name, wireTenant, f, err := h.decodeUpload(w, r)
 	if err != nil {
 		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	meta, err := h.reg.Put(httpx.StringOr(name, "dataset"), f)
+	ten, err := tenant.Or(r.Context(), wireTenant)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := h.reg.PutAs(ten, httpx.StringOr(name, "dataset"), f)
 	switch {
+	case errors.Is(err, tenant.ErrQuota):
+		// The tenant's own budget, not the service's: 429.
+		httpx.Error(w, http.StatusTooManyRequests, err)
+		return
 	case errors.Is(err, ErrOverBudget):
 		httpx.Error(w, http.StatusInsufficientStorage, err)
 		return
@@ -81,47 +107,55 @@ func (h *Handler) upload(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusCreated, meta)
 }
 
-// decodeUpload parses the upload body into a frame: JSON envelopes
-// as-is, raw text/csv and application/x-ndjson streams directly off
-// the (size-capped) body without an intermediate string.
-func (h *Handler) decodeUpload(w http.ResponseWriter, r *http.Request) (string, *frame.Frame, error) {
+// decodeUpload parses the upload body into a frame plus the wire-level
+// tenant hint: JSON envelopes as-is, raw text/csv and
+// application/x-ndjson streams directly off the (size-capped) body
+// without an intermediate string (?name= and ?tenant= from the query).
+func (h *Handler) decodeUpload(w http.ResponseWriter, r *http.Request) (name, wireTenant string, f *frame.Frame, err error) {
 	ct := r.Header.Get("Content-Type")
 	switch {
 	case strings.HasPrefix(ct, "text/csv"):
 		r.Body = http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes)
 		f, err := frame.ReadCSV(r.Body)
-		return r.URL.Query().Get("name"), f, err
+		return r.URL.Query().Get("name"), r.URL.Query().Get("tenant"), f, err
 	case strings.HasPrefix(ct, "application/x-ndjson"):
 		r.Body = http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes)
 		f, err := ReadNDJSON(r.Body)
-		return r.URL.Query().Get("name"), f, err
+		return r.URL.Query().Get("name"), r.URL.Query().Get("tenant"), f, err
 	}
 	var wire UploadWire
 	if err := httpx.DecodeJSON(w, r, &wire); err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	switch {
 	case wire.CSV != "" && wire.NDJSON == "":
 		f, err := frame.ReadCSVString(wire.CSV)
-		return wire.Name, f, err
+		return wire.Name, wire.Tenant, f, err
 	case wire.NDJSON != "" && wire.CSV == "":
 		f, err := ReadNDJSON(strings.NewReader(wire.NDJSON))
-		return wire.Name, f, err
+		return wire.Name, wire.Tenant, f, err
 	}
-	return "", nil, errors.New("exactly one of csv or ndjson must be set")
+	return "", "", nil, errors.New("exactly one of csv or ndjson must be set")
 }
 
 func (h *Handler) byRef(w http.ResponseWriter, r *http.Request, ref string) {
+	ten, err := tenant.Or(r.Context(), r.URL.Query().Get("tenant"))
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
-		meta, ok := h.reg.Get(ref)
+		meta, ok := h.reg.GetAs(ten, ref)
 		if !ok {
+			// Another tenant's ref reads as absent — no cross-tenant
+			// probing.
 			httpx.Error(w, http.StatusNotFound, fmt.Errorf("no dataset %q", ref))
 			return
 		}
 		httpx.WriteJSON(w, http.StatusOK, meta)
 	case http.MethodDelete:
-		ok, err := h.reg.Delete(ref)
+		ok, err := h.reg.DeleteAs(ten, ref)
 		if errors.Is(err, ErrPinned) {
 			httpx.Error(w, http.StatusConflict, err)
 			return

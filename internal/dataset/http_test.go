@@ -7,6 +7,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/responsible-data-science/rds/internal/httpx"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 func newTestServer(t *testing.T, budget int64) (*Registry, *httptest.Server) {
@@ -168,5 +171,99 @@ func TestHTTPBadUploads(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s: status = %d, want 400", name, resp.StatusCode)
 		}
+	}
+}
+
+// TestHTTPTenantScoping pins the data plane's multi-tenant HTTP
+// contract: uploads owned by the header's tenant, tenant-scoped lists,
+// cross-tenant refs answering 404, per-tenant dataset-count quotas
+// answering 429, and tenant validation at the edge.
+func TestHTTPTenantScoping(t *testing.T) {
+	reg, srv := newTestServer(t, 1<<20)
+	reg.UseQuotas(func(id string) tenant.Quotas {
+		if id == "acme" {
+			return tenant.Quotas{MaxDatasets: 1}
+		}
+		return tenant.Quotas{}
+	})
+	upload := func(ten, csv string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/datasets?name=d", strings.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		if ten != "" {
+			req.Header.Set(httpx.TenantHeader, ten)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	meta := decodeMeta(t, upload("acme", "id,v\n1,2.5\n"), http.StatusCreated)
+
+	// acme is at its MaxDatasets of 1: the next distinct upload is 429.
+	resp := upload("acme", "id,v\n1,9.5\n")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota upload = %d, want 429", resp.StatusCode)
+	}
+	// Other tenants are unaffected by acme's quota.
+	decodeMeta(t, upload("other", "id,v\n1,9.5\n"), http.StatusCreated)
+
+	// Lists are tenant-scoped (?tenant= is the headerless spelling).
+	var list []Meta
+	get := func(url, ten string) int {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if ten != "" {
+			req.Header.Set(httpx.TenantHeader, ten)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		list = nil
+		json.NewDecoder(resp.Body).Decode(&list)
+		return resp.StatusCode
+	}
+	if code := get(srv.URL+"/v1/datasets", "acme"); code != http.StatusOK || len(list) != 1 || list[0].Ref != meta.Ref {
+		t.Fatalf("acme list = %d %+v, want just %s", code, list, meta.Ref)
+	}
+	if code := get(srv.URL+"/v1/datasets?tenant=acme", ""); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("?tenant=acme list = %d %+v", code, list)
+	}
+	if code := get(srv.URL+"/v1/datasets", ""); code != http.StatusOK || len(list) != 0 {
+		t.Fatalf("default list = %d %+v, want empty", code, list)
+	}
+
+	// Cross-tenant refs read as absent, for GET and DELETE alike.
+	if code := get(srv.URL+"/v1/datasets/"+meta.Ref, ""); code != http.StatusNotFound {
+		t.Fatalf("default tenant GET of acme's ref = %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/datasets/"+meta.Ref, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("default tenant DELETE of acme's ref = %d, want 404", resp.StatusCode)
+	}
+
+	// Tenant validation happens once at the edge: a malformed header or
+	// query tenant is a 400, not a silent fallback to default.
+	if code := get(srv.URL+"/v1/datasets", "Bad.Tenant"); code != http.StatusBadRequest {
+		t.Fatalf("bad tenant header = %d, want 400", code)
+	}
+	if code := get(srv.URL+"/v1/datasets?tenant=Bad.Tenant", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad tenant query = %d, want 400", code)
+	}
+	if code := get(srv.URL+"/v1/datasets/"+meta.Ref+"?tenant=Bad.Tenant", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad tenant query on ref = %d, want 400", code)
 	}
 }

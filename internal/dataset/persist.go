@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/store"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // Persistence. With a store attached, the registry mirrors its
@@ -18,12 +20,38 @@ import (
 // hash doubles as an integrity check: a restored frame that no longer
 // hashes to its key is refused as corrupt.
 
-// datasetDoc is the persisted form of one resident dataset.
+// datasetDoc is the persisted form of one resident dataset. Ownership
+// lives here, on the resource record itself — not in a separate
+// tenant→refs list — so a crash can never leave a dataset and its
+// ownership disagreeing.
 type datasetDoc struct {
 	// Name is the upload name shown in Meta.
 	Name string `json:"name"`
+	// Tenant is the owning tenant (omitted for the default tenant,
+	// keeping pre-multi-tenant state directories readable).
+	Tenant string `json:"tenant,omitempty"`
 	// Frame is the exact frame encoding (frame.WriteJSON).
 	Frame json.RawMessage `json:"frame"`
+}
+
+// storeID is the KindDataset record key for (ten, ref): the bare ref
+// for the default tenant — bit-compatible with state directories
+// written before tenancy existed — and "ten.ref" otherwise. Tenant ids
+// cannot contain '.', and refs are fixed-width hex, so the first dot
+// splits unambiguously.
+func storeID(ten, ref string) string {
+	if ten == tenant.Default {
+		return ref
+	}
+	return ten + "." + ref
+}
+
+// parseStoreID inverts storeID.
+func parseStoreID(id string) (ten, ref string) {
+	if i := strings.IndexByte(id, '.'); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return tenant.Default, id
 }
 
 // AttachStore restores every persisted dataset into the registry and
@@ -50,11 +78,15 @@ func (r *Registry) AttachStore(st store.Store) error {
 		if err := json.Unmarshal(it.Payload, &doc); err != nil {
 			return fmt.Errorf("dataset: restoring %q: %w (%v)", it.ID, store.ErrCorrupt, err)
 		}
+		ten, ref := parseStoreID(it.ID)
+		if doc.Tenant != "" && doc.Tenant != ten {
+			return fmt.Errorf("dataset: restoring %q: record claims tenant %q: %w", it.ID, doc.Tenant, store.ErrCorrupt)
+		}
 		f, err := frame.ReadJSON(bytes.NewReader(doc.Frame))
 		if err != nil {
 			return fmt.Errorf("dataset: restoring %q: %w (%v)", it.ID, store.ErrCorrupt, err)
 		}
-		if got := f.Hash(); got != it.ID {
+		if got := f.Hash(); got != ref {
 			return fmt.Errorf("dataset: restoring %q: frame hashes to %s: %w", it.ID, got, store.ErrCorrupt)
 		}
 		size := SizeOf(f)
@@ -75,43 +107,49 @@ func (r *Registry) AttachStore(st store.Store) error {
 		}
 		e := &entry{
 			meta: Meta{
-				Ref:   it.ID,
-				Name:  doc.Name,
-				Rows:  f.NumRows(),
-				Cols:  f.NumCols(),
-				Bytes: size,
+				Ref:    ref,
+				Tenant: ten,
+				Name:   doc.Name,
+				Rows:   f.NumRows(),
+				Cols:   f.NumCols(),
+				Bytes:  size,
 			},
 			data: f,
 		}
-		r.byRef[it.ID] = r.order.PushFront(e)
+		r.byRef[refKey{ten, ref}] = r.order.PushFront(e)
 		r.bytes += size
+		r.chargeLocked(ten, 1, size)
 	}
 	return nil
 }
 
-// saveLocked persists e's dataset under its ref; callers hold r.mu and
-// have checked r.store != nil.
+// saveLocked persists e's dataset under its tenant-scoped store id;
+// callers hold r.mu and have checked r.store != nil.
 func (r *Registry) saveLocked(e *entry) error {
 	var buf bytes.Buffer
 	if err := e.data.WriteJSON(&buf); err != nil {
 		return err
 	}
-	payload, err := json.Marshal(datasetDoc{Name: e.meta.Name, Frame: buf.Bytes()})
+	doc := datasetDoc{Name: e.meta.Name, Frame: buf.Bytes()}
+	if e.meta.Tenant != tenant.Default {
+		doc.Tenant = e.meta.Tenant
+	}
+	payload, err := json.Marshal(doc)
 	if err != nil {
 		return err
 	}
-	return r.store.Save(store.KindDataset, e.meta.Ref, payload)
+	return r.store.Save(store.KindDataset, storeID(e.meta.Tenant, e.meta.Ref), payload)
 }
 
-// dropStoredLocked removes ref's durable copy, counting (not
+// dropStoredLocked removes (ten, ref)'s durable copy, counting (not
 // propagating) failures; callers hold r.mu. Used on the eviction path,
 // where the in-memory eviction has already happened and the worst case
 // of a leftover record is re-residency on the next boot.
-func (r *Registry) dropStoredLocked(ref string) {
+func (r *Registry) dropStoredLocked(ten, ref string) {
 	if r.store == nil {
 		return
 	}
-	if err := r.store.Delete(store.KindDataset, ref); err != nil {
+	if err := r.store.Delete(store.KindDataset, storeID(ten, ref)); err != nil {
 		r.persistErrors++
 	}
 }

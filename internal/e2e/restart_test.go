@@ -25,6 +25,8 @@ import (
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/store/fsjson"
 	"github.com/responsible-data-science/rds/internal/synth"
+	"github.com/responsible-data-science/rds/internal/tenant"
+	"github.com/responsible-data-science/rds/internal/tenantapi"
 )
 
 // service is one booted instance of the full stack over a state dir.
@@ -32,18 +34,25 @@ type service struct {
 	srv      *httptest.Server
 	engine   *serve.Engine
 	registry *monitor.Registry
+	tenants  *tenant.Registry
 }
 
 // boot assembles the stack exactly as cmd/rds-serve does: open the
-// state store, restore datasets then monitors, mount the handler.
+// state store, restore tenant quotas, then datasets, then monitors,
+// and mount the handler with every plane (including /v1/tenants).
 func boot(t *testing.T, stateDir string) *service {
 	t.Helper()
 	st, err := fsjson.Open(stateDir)
 	if err != nil {
 		t.Fatalf("fsjson.Open(%s): %v", stateDir, err)
 	}
-	engine := serve.NewEngine(serve.Config{Workers: 2, QueueSize: 32, JobTimeout: time.Minute})
+	tenants := tenant.NewRegistry(tenant.Quotas{})
+	if err := tenants.AttachStore(st); err != nil {
+		t.Fatalf("tenant AttachStore: %v", err)
+	}
+	engine := serve.NewEngine(serve.Config{Workers: 2, QueueSize: 32, JobTimeout: time.Minute, TenantQuotas: tenants.Quotas})
 	datasets := dataset.NewRegistry(0)
+	datasets.UseQuotas(tenants.Quotas)
 	if err := datasets.AttachStore(st); err != nil {
 		t.Fatalf("AttachStore: %v", err)
 	}
@@ -51,6 +60,7 @@ func boot(t *testing.T, stateDir string) *service {
 		Engine:   engine,
 		Datasets: datasets,
 		Store:    st,
+		Quotas:   tenants.Quotas,
 	})
 	if err != nil {
 		t.Fatalf("NewRegistry: %v", err)
@@ -62,7 +72,8 @@ func boot(t *testing.T, stateDir string) *service {
 	handler.Datasets = dataset.NewHandler(datasets)
 	handler.Monitors = monitor.NewHandler(registry)
 	handler.MonitorMetrics = func() any { return registry.Metrics() }
-	return &service{srv: httptest.NewServer(handler), engine: engine, registry: registry}
+	handler.Tenants = &tenantapi.Handler{Tenants: tenants, Datasets: datasets, Monitors: registry}
+	return &service{srv: httptest.NewServer(handler), engine: engine, registry: registry, tenants: tenants}
 }
 
 // hardStop kills the instance without any graceful persistence pass —

@@ -1,0 +1,218 @@
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/dataset"
+	"github.com/responsible-data-science/rds/internal/httpx"
+	"github.com/responsible-data-science/rds/internal/monitor"
+	"github.com/responsible-data-science/rds/internal/synth"
+	"github.com/responsible-data-science/rds/internal/tenant"
+)
+
+// tenantReq issues one HTTP request as the given tenant (empty = no
+// header, i.e. the default tenant / operator) and returns the raw
+// outcome. Unlike post/get it never fails on a non-2xx status, so
+// tests can assert rejections and their headers.
+func tenantReq(t *testing.T, method, url, ten, contentType string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	r, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		r.Header.Set("Content-Type", contentType)
+	}
+	if ten != "" {
+		r.Header.Set(httpx.TenantHeader, ten)
+	}
+	resp, err := http.DefaultClient.Do(r)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, raw
+}
+
+// TestTenantIsolationEndToEnd is the multi-tenant acceptance test: a
+// tenant that exhausts its own token bucket is answered 429 with a
+// Retry-After header on every further submission, while another
+// tenant's audits keep completing against the same engine — one
+// tenant's saturation never bleeds into a neighbor's service.
+func TestTenantIsolationEndToEnd(t *testing.T) {
+	svc := boot(t, t.TempDir())
+	defer svc.hardStop()
+
+	// Throttle alpha hard: a burst of 2 submissions, then a refill so
+	// slow the bucket is effectively empty for the rest of the test.
+	code, _, body := tenantReq(t, http.MethodPut, svc.srv.URL+"/v1/tenants/alpha", "",
+		"application/json", []byte(`{"rate_per_sec":0.001,"burst":2}`))
+	if code != http.StatusOK {
+		t.Fatalf("installing alpha quota: %d %s", code, body)
+	}
+
+	// Every audit uses a distinct seed: an identical request would be
+	// answered from the report cache, which never reaches admission.
+	seed := 0
+	audit := func() []byte {
+		seed++
+		return []byte(fmt.Sprintf(`{"synthetic":{"n":300,"seed":%d}}`, seed))
+	}
+	for i := 0; i < 2; i++ {
+		code, _, body := tenantReq(t, http.MethodPost, svc.srv.URL+"/v1/audit", "alpha", "application/json", audit())
+		if code != http.StatusOK {
+			t.Fatalf("alpha audit #%d within burst: %d %s", i, code, body)
+		}
+	}
+
+	// Alpha is saturated: every further submission is 429 + Retry-After.
+	assertThrottled := func(when string) {
+		t.Helper()
+		code, hdr, body := tenantReq(t, http.MethodPost, svc.srv.URL+"/v1/audit", "alpha", "application/json", audit())
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("saturated alpha %s: %d %s, want 429", when, code, body)
+		}
+		secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+		if err != nil || secs < 1 {
+			t.Fatalf("429 %s carries Retry-After %q, want an integer >= 1", when, hdr.Get("Retry-After"))
+		}
+	}
+	assertThrottled("before beta's audits")
+
+	// Beta's audits complete normally alongside alpha's rejections.
+	for i := 0; i < 3; i++ {
+		code, _, raw := tenantReq(t, http.MethodPost, svc.srv.URL+"/v1/audit", "beta", "application/json", audit())
+		if code != http.StatusOK {
+			t.Fatalf("beta audit #%d while alpha throttled: %d %s", i, code, raw)
+		}
+		var js struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(raw, &js); err != nil || js.Status != "done" {
+			t.Fatalf("beta audit #%d status = %q (%v): %s", i, js.Status, err, raw)
+		}
+	}
+	assertThrottled("after beta's audits")
+}
+
+// TestTenantStateSurvivesRestart proves the tenancy plane is durable:
+// a quota override installed over HTTP and the ownership of a
+// tenant's dataset and monitor all survive a hard stop — and the
+// restored override still enforces.
+func TestTenantStateSurvivesRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	base, err := synth.Credit(synth.CreditConfig{N: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := base.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- First life -------------------------------------------------
+	a := boot(t, stateDir)
+
+	code, _, body := tenantReq(t, http.MethodPut, a.srv.URL+"/v1/tenants/acme", "",
+		"application/json", []byte(`{"weight":2,"max_monitors":1}`))
+	if code != http.StatusOK {
+		t.Fatalf("installing acme quota: %d %s", code, body)
+	}
+
+	var ds struct {
+		Ref string `json:"ref"`
+	}
+	code, _, raw := tenantReq(t, http.MethodPost, a.srv.URL+"/v1/datasets", "acme", "text/csv", []byte(csv))
+	if code/100 != 2 {
+		t.Fatalf("acme upload: %d %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &ds); err != nil || ds.Ref == "" {
+		t.Fatalf("acme upload response %s (%v)", raw, err)
+	}
+
+	regBody, _ := json.Marshal(map[string]any{
+		"name":         "prod",
+		"baseline_ref": ds.Ref,
+		"window_ms":    100,
+		"epochs":       5,
+	})
+	var mon struct {
+		ID string `json:"id"`
+	}
+	code, _, raw = tenantReq(t, http.MethodPost, a.srv.URL+"/v1/monitors", "acme", "application/json", regBody)
+	if code/100 != 2 {
+		t.Fatalf("acme register: %d %s", code, raw)
+	}
+	if err := json.Unmarshal(raw, &mon); err != nil || mon.ID == "" {
+		t.Fatalf("acme register response %s (%v)", raw, err)
+	}
+
+	a.hardStop()
+
+	// ---- Second life ------------------------------------------------
+	b := boot(t, stateDir)
+	defer b.hardStop()
+	defer b.registry.Close()
+
+	// The quota override survived the reboot.
+	var info tenant.Info
+	get(t, b.srv.URL+"/v1/tenants/acme", &info)
+	if !info.Override || info.Quotas.Weight != 2 || info.Quotas.MaxMonitors != 1 {
+		t.Fatalf("acme quotas after restart = %+v, want the persisted override", info)
+	}
+
+	// Ownership survived: acme sees its dataset and monitor; the
+	// default tenant sees neither — acme's ref reads as absent.
+	code, _, raw = tenantReq(t, http.MethodGet, b.srv.URL+"/v1/datasets", "acme", "", nil)
+	var metas []dataset.Meta
+	if code != http.StatusOK || json.Unmarshal(raw, &metas) != nil || len(metas) != 1 || metas[0].Ref != ds.Ref {
+		t.Fatalf("acme datasets after restart: %d %s, want just %s", code, raw, ds.Ref)
+	}
+	if code, _, _ := tenantReq(t, http.MethodGet, b.srv.URL+"/v1/datasets/"+ds.Ref, "", "", nil); code != http.StatusNotFound {
+		t.Fatalf("default tenant reads acme's dataset: %d, want 404", code)
+	}
+
+	code, _, raw = tenantReq(t, http.MethodGet, b.srv.URL+"/v1/monitors", "acme", "", nil)
+	var sums []monitor.Summary
+	if code != http.StatusOK || json.Unmarshal(raw, &sums) != nil || len(sums) != 1 {
+		t.Fatalf("acme monitors after restart: %d %s", code, raw)
+	}
+	if sums[0].Name != "prod" || sums[0].Tenant != "acme" || !sums[0].BaselinePinned {
+		t.Fatalf("restored monitor = %+v, want acme's pinned prod monitor", sums[0])
+	}
+	code, _, raw = tenantReq(t, http.MethodGet, b.srv.URL+"/v1/monitors", "", "", nil)
+	var defSums []monitor.Summary
+	if code != http.StatusOK || json.Unmarshal(raw, &defSums) != nil || len(defSums) != 0 {
+		t.Fatalf("default tenant's monitor list after restart: %d %s, want empty", code, raw)
+	}
+	if code, _, _ := tenantReq(t, http.MethodGet, b.srv.URL+"/v1/monitors/"+mon.ID, "", "", nil); code != http.StatusNotFound {
+		t.Fatalf("default tenant reads acme's monitor: %d, want 404", code)
+	}
+
+	// The restored override still enforces: acme sits at max_monitors,
+	// so a second register is a quota rejection, not a dup-name error.
+	second, _ := json.Marshal(map[string]any{
+		"name":         "prod-2",
+		"baseline_ref": ds.Ref,
+		"window_ms":    100,
+		"epochs":       5,
+	})
+	code, _, raw = tenantReq(t, http.MethodPost, b.srv.URL+"/v1/monitors", "acme", "application/json", second)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("register over restored quota: %d %s, want 429", code, raw)
+	}
+	if !bytes.Contains(raw, []byte("at monitor quota")) {
+		t.Fatalf("quota rejection body %s, want it to name the quota", raw)
+	}
+}

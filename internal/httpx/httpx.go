@@ -10,11 +10,36 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // MaxBodyBytes bounds one uploaded request body (CSV payloads
 // included) across every API plane: 64 MiB.
 const MaxBodyBytes = 64 << 20
+
+// TenantHeader is the request header naming the calling tenant. A
+// request without it runs as tenant.Default (single-tenant clients
+// keep working unchanged); an invalid value is a 400 at the edge.
+const TenantHeader = "X-RDS-Tenant"
+
+// Tenant validates the request's TenantHeader once at the HTTP edge
+// and, when present, returns a request whose context carries the
+// explicit tenant id (tenant.NewContext). Without the header the
+// request is returned untouched so wire-level "tenant" fields can
+// still apply via tenant.Or. The error, when non-nil, is a client
+// error — map it to 400.
+func Tenant(r *http.Request) (*http.Request, error) {
+	raw := r.Header.Get(TenantHeader)
+	if raw == "" {
+		return r, nil
+	}
+	id, err := tenant.Normalize(raw)
+	if err != nil {
+		return r, err
+	}
+	return r.WithContext(tenant.NewContext(r.Context(), id)), nil
+}
 
 // WriteJSON renders v as indented application/json with the given
 // status. Every response on every plane — success and error alike —

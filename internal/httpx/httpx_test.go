@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 func TestWriteJSONAndErrorEnvelope(t *testing.T) {
@@ -45,6 +47,36 @@ func TestDecodeJSONRejectsUnknownFields(t *testing.T) {
 	req = httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"known":7}`))
 	if err := DecodeJSON(httptest.NewRecorder(), req, &v); err != nil || v.Known != 7 {
 		t.Fatalf("DecodeJSON = %v, known = %d, want nil and 7", err, v.Known)
+	}
+}
+
+func TestTenantHeader(t *testing.T) {
+	// No header: request unchanged, no explicit tenant in context.
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	got, err := Tenant(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tenant.FromContext(got.Context()); ok {
+		t.Fatal("tenant set in context without header")
+	}
+
+	// Valid header: context carries the explicit id.
+	req = httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(TenantHeader, "acme")
+	got, err = Tenant(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := tenant.FromContext(got.Context()); !ok || id != "acme" {
+		t.Fatalf("tenant in context = %q, %v; want acme, true", id, ok)
+	}
+
+	// Invalid header: client error.
+	req = httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(TenantHeader, "Not Valid")
+	if _, err := Tenant(req); !errors.Is(err, tenant.ErrInvalidID) {
+		t.Fatalf("Tenant err = %v, want ErrInvalidID", err)
 	}
 }
 

@@ -13,12 +13,17 @@ import (
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/stream"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // SpecWire is the JSON body of POST /v1/monitors.
 type SpecWire struct {
-	// Name labels the monitored dataset. Required; unique.
+	// Name labels the monitored dataset. Required; unique within the
+	// owning tenant.
 	Name string `json:"name"`
+	// Tenant is the owning tenant's id; the X-RDS-Tenant header takes
+	// precedence, both empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Policy holds the FACT thresholds; serve.DefaultPolicy when
 	// omitted.
 	Policy *policy.FACTPolicy `json:"policy,omitempty"`
@@ -115,8 +120,16 @@ type Handler struct {
 // NewHandler wraps the registry in the HTTP API.
 func NewHandler(reg *Registry) *Handler { return &Handler{reg: reg} }
 
-// ServeHTTP routes the monitor API.
+// ServeHTTP routes the monitor API. Every operation is tenant-scoped:
+// the tenant comes from the X-RDS-Tenant header (validated here, so
+// the handler is safe to mount standalone), the "tenant" wire/query
+// field, or defaults; another tenant's monitor ids read as 404.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, err := httpx.Tenant(r)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/monitors")
 	if !ok {
 		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
@@ -129,7 +142,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case http.MethodPost:
 			h.register(w, r)
 		case http.MethodGet:
-			httpx.WriteJSON(w, http.StatusOK, h.reg.List())
+			ten, err := tenant.Or(r.Context(), r.URL.Query().Get("tenant"))
+			if err != nil {
+				httpx.Error(w, http.StatusBadRequest, err)
+				return
+			}
+			httpx.WriteJSON(w, http.StatusOK, h.reg.ListAs(ten))
 		default:
 			httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST or GET required"))
 		}
@@ -153,6 +171,12 @@ func (h *Handler) register(w http.ResponseWriter, r *http.Request) {
 		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
+	ten, err := tenant.Or(r.Context(), wire.Tenant)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	spec.Tenant = ten
 	if spec.History == 0 {
 		spec.History = h.DefaultHistory
 	}
@@ -160,6 +184,10 @@ func (h *Handler) register(w http.ResponseWriter, r *http.Request) {
 		spec.ReauditEvery = h.DefaultReaudit
 	}
 	m, err := h.reg.Register(spec)
+	if errors.Is(err, tenant.ErrQuota) {
+		httpx.Error(w, http.StatusTooManyRequests, err)
+		return
+	}
 	if err != nil {
 		httpx.Error(w, http.StatusBadRequest, err)
 		return
@@ -167,10 +195,27 @@ func (h *Handler) register(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusCreated, m.Status())
 }
 
-func (h *Handler) byID(w http.ResponseWriter, r *http.Request, id string) {
+// getOwned resolves id to a monitor the request's tenant owns, writing
+// the error response itself on failure. A monitor owned by another
+// tenant is indistinguishable from an absent one (404) — no
+// cross-tenant probing.
+func (h *Handler) getOwned(w http.ResponseWriter, r *http.Request, id string) (*Monitor, bool) {
+	ten, err := tenant.Or(r.Context(), r.URL.Query().Get("tenant"))
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return nil, false
+	}
 	m, ok := h.reg.Get(id)
-	if !ok {
+	if !ok || m.spec.Tenant != ten {
 		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
+		return nil, false
+	}
+	return m, true
+}
+
+func (h *Handler) byID(w http.ResponseWriter, r *http.Request, id string) {
+	m, ok := h.getOwned(w, r, id)
+	if !ok {
 		return
 	}
 	switch r.Method {
@@ -189,9 +234,8 @@ func (h *Handler) history(w http.ResponseWriter, r *http.Request, id string) {
 		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	m, ok := h.reg.Get(id)
+	m, ok := h.getOwned(w, r, id)
 	if !ok {
-		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, map[string]any{
@@ -206,9 +250,8 @@ func (h *Handler) ingest(w http.ResponseWriter, r *http.Request, id string) {
 		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	m, ok := h.reg.Get(id)
+	m, ok := h.getOwned(w, r, id)
 	if !ok {
-		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no monitor %q", id))
 		return
 	}
 	var wire IngestWire

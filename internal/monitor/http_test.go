@@ -14,6 +14,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // newTestService stands up the full two-plane service the way
@@ -298,4 +299,72 @@ func TestWebhookSinkGivesUpAfterMaxAttempts(t *testing.T) {
 	if got != 3 {
 		t.Errorf("attempts = %d, want 3", got)
 	}
+}
+
+// TestHTTPMonitorTenantScoping pins the monitoring plane's
+// multi-tenant HTTP contract: registrations owned by the wire tenant,
+// tenant-scoped lists, cross-tenant ids answering 404 on every
+// subresource, and per-tenant monitor-count quotas answering 429.
+func TestHTTPMonitorTenantScoping(t *testing.T) {
+	engine := serve.NewEngine(serve.Config{Workers: 2, QueueSize: 32})
+	t.Cleanup(engine.Close)
+	reg, err := NewRegistry(RegistryConfig{
+		Engine: engine,
+		Quotas: func(id string) tenant.Quotas {
+			if id == "acme" {
+				return tenant.Quotas{MaxMonitors: 1}
+			}
+			return tenant.Quotas{}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	t.Cleanup(reg.Close)
+	handler := serve.NewHandler(engine)
+	handler.Monitors = NewHandler(reg)
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+
+	var sum Summary
+	doJSON(t, http.MethodPost, srv.URL+"/v1/monitors",
+		`{"name":"prod","window_ms":60000,"tenant":"acme"}`, http.StatusCreated, &sum)
+	if sum.Tenant != "acme" || sum.ID == "" {
+		t.Fatalf("registration summary = %+v, want tenant acme", sum)
+	}
+
+	// acme is at its MaxMonitors of 1: the next registration is 429.
+	doJSON(t, http.MethodPost, srv.URL+"/v1/monitors",
+		`{"name":"prod-2","window_ms":60000,"tenant":"acme"}`, http.StatusTooManyRequests, nil)
+	// Other tenants are unaffected by acme's quota.
+	var other Summary
+	doJSON(t, http.MethodPost, srv.URL+"/v1/monitors",
+		`{"name":"prod","window_ms":60000,"tenant":"beta"}`, http.StatusCreated, &other)
+
+	// Lists are tenant-scoped; names only need to be unique per tenant.
+	var sums []Summary
+	doJSON(t, http.MethodGet, srv.URL+"/v1/monitors?tenant=acme", "", http.StatusOK, &sums)
+	if len(sums) != 1 || sums[0].ID != sum.ID {
+		t.Fatalf("acme list = %+v, want just %s", sums, sum.ID)
+	}
+	doJSON(t, http.MethodGet, srv.URL+"/v1/monitors", "", http.StatusOK, &sums)
+	if len(sums) != 0 {
+		t.Fatalf("default list = %+v, want empty", sums)
+	}
+
+	// Cross-tenant ids read as absent on every subresource.
+	base := srv.URL + "/v1/monitors/" + sum.ID
+	doJSON(t, http.MethodGet, base, "", http.StatusNotFound, nil)
+	doJSON(t, http.MethodGet, base+"/history", "", http.StatusNotFound, nil)
+	doJSON(t, http.MethodPost, base+"/ingest",
+		`{"time_ms":0,"synthetic":{"n":100}}`, http.StatusNotFound, nil)
+	doJSON(t, http.MethodDelete, base, "", http.StatusNotFound, nil)
+
+	// The owner reaches all of them.
+	doJSON(t, http.MethodGet, base+"?tenant=acme", "", http.StatusOK, &sum)
+	doJSON(t, http.MethodGet, base+"/history?tenant=acme", "", http.StatusOK, nil)
+	doJSON(t, http.MethodDelete, base+"?tenant=acme", "", http.StatusOK, nil)
+
+	// Tenant validation at the edge: malformed ids answer 400.
+	doJSON(t, http.MethodGet, srv.URL+"/v1/monitors?tenant=Bad.Tenant", "", http.StatusBadRequest, nil)
 }

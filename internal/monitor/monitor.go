@@ -14,6 +14,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/store"
 	"github.com/responsible-data-science/rds/internal/stream"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // DefaultHistory is the default per-monitor window-history ring size.
@@ -26,8 +27,13 @@ const alertTimeout = 30 * time.Second
 // the stream, when to re-audit, and how to score drift.
 type Spec struct {
 	// Name labels the monitored dataset in reports and alerts. Required;
-	// unique among the registry's live monitors.
+	// unique among the owning tenant's live monitors (two tenants may
+	// each have a monitor named "prod").
 	Name string
+	// Tenant is the owning tenant's id ("" means the default tenant).
+	// It scopes name uniqueness, baseline-ref resolution, the monitor
+	// count quota, and which audits the monitor's windows bill to.
+	Tenant string
 	// Policy holds the FACT thresholds each window is graded against.
 	Policy policy.FACTPolicy
 	// Train describes the training run audited per window.
@@ -115,8 +121,9 @@ type WindowEntry struct {
 
 // Summary is a monitor's point-in-time status for listings and alerts.
 type Summary struct {
-	ID   string `json:"id"`
-	Name string `json:"name"`
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Tenant string `json:"tenant"`
 	// BaselinePinned reports whether a baseline window has been audited
 	// and pinned for drift comparison.
 	BaselinePinned bool          `json:"baseline_pinned"`
@@ -161,6 +168,10 @@ type RegistryConfig struct {
 	ChunkStates *dataset.StateCache
 	// Sinks receive every monitor's alerts (e.g. one LogSink).
 	Sinks []Sink
+	// Quotas, when set, resolves a tenant's quota config at
+	// registration time; a tenant at its MaxMonitors limit gets
+	// tenant.ErrQuota instead of a new monitor. Nil means unlimited.
+	Quotas func(string) tenant.Quotas
 	// Store, when set, durably persists monitor specs and pinned
 	// baseline profiles so Restore can rebuild the monitoring plane
 	// after a restart (see persist.go for exactly what survives).
@@ -246,6 +257,9 @@ type MetricsSnapshot struct {
 	// persist failures on the registration path fail the registration
 	// instead of counting here.
 	PersistFailures uint64 `json:"persist_failures"`
+	// Tenants maps tenant id to that tenant's live monitor count
+	// (tenants with no monitors are omitted).
+	Tenants map[string]int `json:"tenants,omitempty"`
 }
 
 // NewRegistry creates an empty registry backed by the given engine.
@@ -265,6 +279,11 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("monitor: spec needs a name")
 	}
+	ten, err := tenant.Normalize(spec.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	spec.Tenant = ten
 	if err := spec.Policy.Validate(); err != nil {
 		return nil, err
 	}
@@ -280,7 +299,7 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 		if r.cfg.Datasets == nil {
 			return nil, fmt.Errorf("monitor: spec has baseline_ref %q but the registry has no dataset registry", spec.BaselineRef)
 		}
-		f, ok := r.cfg.Datasets.Pin(spec.BaselineRef)
+		f, ok := r.cfg.Datasets.PinAs(spec.Tenant, spec.BaselineRef)
 		if !ok {
 			return nil, fmt.Errorf("monitor: unknown baseline_ref %q (load it first via POST /v1/datasets)", spec.BaselineRef)
 		}
@@ -291,9 +310,9 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	// baseline (if any) is pinned, so Get/List/Delete/Ingest can never
 	// observe a half-initialized monitor mid-baseline-audit.
 	r.mu.Lock()
-	if err := r.checkRegistrableLocked(spec.Name); err != nil {
+	if err := r.checkRegistrableLocked(spec.Tenant, spec.Name); err != nil {
 		r.mu.Unlock()
-		r.unpinDataset(spec.BaselineRef)
+		r.unpinDataset(spec.Tenant, spec.BaselineRef)
 		return nil, err
 	}
 	r.seq++
@@ -319,7 +338,7 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	r.mu.Lock()
 	// Re-check: the registry may have closed, or a same-name Register
 	// may have won the race, while the baseline audit ran.
-	if err := r.checkRegistrableLocked(spec.Name); err != nil {
+	if err := r.checkRegistrableLocked(spec.Tenant, spec.Name); err != nil {
 		r.mu.Unlock()
 		m.stopSchedule()
 		m.releasePin()
@@ -332,7 +351,7 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	// Durability before success: a registration the caller saw succeed
 	// must survive a restart, so a failed persist unwinds the whole
 	// registration (Delete also clears any partial records).
-	err := r.persistSpec(m)
+	err = r.persistSpec(m)
 	if err == nil {
 		m.procMu.Lock()
 		err = r.persistProfileLocked(m)
@@ -349,25 +368,47 @@ func (r *Registry) Register(spec Spec) (*Monitor, error) {
 	return m, nil
 }
 
-// checkRegistrableLocked rejects registration on a closed registry or
-// a duplicate monitor name; callers hold r.mu.
-func (r *Registry) checkRegistrableLocked(name string) error {
-	if r.closed {
-		return fmt.Errorf("monitor: registry closed")
+// checkRegistrableLocked rejects registration on a closed registry, a
+// duplicate monitor name within the tenant, or a tenant already at its
+// MaxMonitors quota; callers hold r.mu.
+func (r *Registry) checkRegistrableLocked(ten, name string) error {
+	owned, err := r.checkRestorableLocked(ten, name)
+	if err != nil {
+		return err
 	}
-	for _, m := range r.monitors {
-		if m.spec.Name == name {
-			return fmt.Errorf("monitor: name %q already registered as %s", name, m.id)
+	if r.cfg.Quotas != nil {
+		if q := r.cfg.Quotas(ten); q.MaxMonitors > 0 && owned >= q.MaxMonitors {
+			return fmt.Errorf("monitor: tenant %q at monitor quota (%d): %w", ten, q.MaxMonitors, tenant.ErrQuota)
 		}
 	}
 	return nil
 }
 
-// unpinDataset releases a baseline pin, tolerating an empty ref or an
-// absent dataset registry.
-func (r *Registry) unpinDataset(ref string) {
+// checkRestorableLocked is checkRegistrableLocked minus the quota
+// check (Restore must not refuse monitors a lowered quota now
+// excludes); it returns the tenant's current monitor count so the
+// registration path can apply the quota on top. Callers hold r.mu.
+func (r *Registry) checkRestorableLocked(ten, name string) (owned int, err error) {
+	if r.closed {
+		return 0, fmt.Errorf("monitor: registry closed")
+	}
+	for _, m := range r.monitors {
+		if m.spec.Tenant != ten {
+			continue
+		}
+		owned++
+		if m.spec.Name == name {
+			return owned, fmt.Errorf("monitor: name %q already registered as %s", name, m.id)
+		}
+	}
+	return owned, nil
+}
+
+// unpinDataset releases a tenant's baseline pin, tolerating an empty
+// ref or an absent dataset registry.
+func (r *Registry) unpinDataset(ten, ref string) {
 	if ref != "" && r.cfg.Datasets != nil {
-		r.cfg.Datasets.Unpin(ref)
+		r.cfg.Datasets.UnpinAs(ten, ref)
 	}
 }
 
@@ -392,6 +433,18 @@ func (r *Registry) List() []Summary {
 		out = append(out, m.Status())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ListAs returns summaries of the tenant's live monitors, ordered by
+// id. Other tenants' monitors are invisible.
+func (r *Registry) ListAs(ten string) []Summary {
+	out := make([]Summary, 0)
+	for _, s := range r.List() {
+		if s.Tenant == ten {
+			out = append(out, s)
+		}
+	}
 	return out
 }
 
@@ -433,6 +486,13 @@ func (r *Registry) Close() {
 func (r *Registry) Metrics() MetricsSnapshot {
 	r.mu.Lock()
 	active := len(r.monitors)
+	var perTenant map[string]int
+	if active > 0 {
+		perTenant = make(map[string]int)
+		for _, mon := range r.monitors {
+			perTenant[mon.spec.Tenant]++
+		}
+	}
 	r.mu.Unlock()
 	m := &r.metrics
 	m.mu.Lock()
@@ -455,6 +515,7 @@ func (r *Registry) Metrics() MetricsSnapshot {
 		DriftWindows:        m.driftWindows,
 		DriftMillis:         m.driftMillis,
 		PersistFailures:     m.persistFailures,
+		Tenants:             perTenant,
 	}
 }
 
@@ -561,7 +622,7 @@ func (m *Monitor) pinBaseline(f *frame.Frame, ref string) error {
 
 // releasePin releases the baseline dataset pin exactly once.
 func (m *Monitor) releasePin() {
-	m.releaseOnce.Do(func() { m.reg.unpinDataset(m.spec.BaselineRef) })
+	m.releaseOnce.Do(func() { m.reg.unpinDataset(m.spec.Tenant, m.spec.BaselineRef) })
 }
 
 // Ingest feeds arrivals (in non-decreasing time order) through the
@@ -681,6 +742,7 @@ func (m *Monitor) Status() Summary {
 	return Summary{
 		ID:                 m.id,
 		Name:               m.spec.Name,
+		Tenant:             m.spec.Tenant,
 		BaselinePinned:     m.baseGrade != nil,
 		BaselineGrade:      m.baseGrade,
 		Degraded:           m.degraded,
@@ -887,6 +949,7 @@ func (m *Monitor) audit(f *frame.Frame, entry *WindowEntry, dataHash string) {
 		name = m.spec.Name + "/baseline"
 	}
 	req := &serve.Request{
+		Tenant:   m.spec.Tenant,
 		Dataset:  name,
 		Data:     f,
 		DataHash: dataHash,

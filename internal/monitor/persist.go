@@ -11,6 +11,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/store"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // Persistence. With RegistryConfig.Store set, the registry keeps two
@@ -39,7 +40,12 @@ import (
 // effective defaulted values, so a restored monitor behaves exactly
 // like the one that was running.
 type specDoc struct {
-	Name           string            `json:"name"`
+	Name string `json:"name"`
+	// Tenant is the owning tenant (omitted for the default tenant,
+	// keeping pre-multi-tenant state directories readable). Ownership
+	// lives on the resource record itself, not in a separate list, so
+	// a crash cannot leave spec and ownership disagreeing.
+	Tenant         string            `json:"tenant,omitempty"`
 	Policy         policy.FACTPolicy `json:"policy"`
 	Train          core.TrainSpec    `json:"train"`
 	Seed           uint64            `json:"seed,omitempty"`
@@ -68,6 +74,9 @@ func specDocFrom(spec Spec) specDoc {
 		ReauditEveryMS: spec.ReauditEvery.Milliseconds(),
 		History:        spec.History,
 	}
+	if spec.Tenant != tenant.Default {
+		doc.Tenant = spec.Tenant
+	}
 	for _, s := range spec.Sinks {
 		if w, ok := s.(*WebhookSink); ok {
 			doc.Webhooks = append(doc.Webhooks, w.URL)
@@ -80,6 +89,7 @@ func specDocFrom(spec Spec) specDoc {
 func (d specDoc) spec() Spec {
 	spec := Spec{
 		Name:         d.Name,
+		Tenant:       d.Tenant,
 		Policy:       d.Policy,
 		Train:        d.Train,
 		Seed:         d.Seed,
@@ -291,6 +301,11 @@ func (r *Registry) Restore() (int, error) {
 			return restored, fmt.Errorf("monitor: restoring %s: %w: %v", it.ID, store.ErrCorrupt, err)
 		}
 		spec := doc.spec().withDefaults()
+		ten, terr := tenant.Normalize(doc.Tenant)
+		if terr != nil {
+			return restored, fmt.Errorf("monitor: restoring %s: %w: %v", it.ID, store.ErrCorrupt, terr)
+		}
+		spec.Tenant = ten
 		m := &Monitor{
 			id:   it.ID,
 			spec: spec,
@@ -321,7 +336,10 @@ func (r *Registry) Restore() (int, error) {
 		}
 
 		r.mu.Lock()
-		if err := r.checkRegistrableLocked(spec.Name); err != nil {
+		// Restore enforces name uniqueness but not the MaxMonitors
+		// quota: a quota lowered between boots must not refuse to
+		// restore monitors that were registered legitimately.
+		if _, err := r.checkRestorableLocked(spec.Tenant, spec.Name); err != nil {
 			r.mu.Unlock()
 			m.stopSchedule()
 			m.releasePin()
@@ -357,7 +375,7 @@ func (r *Registry) Restore() (int, error) {
 func (r *Registry) repinBaseline(m *Monitor) error {
 	ref := m.spec.BaselineRef
 	if r.cfg.Datasets != nil {
-		if f, ok := r.cfg.Datasets.Pin(ref); ok {
+		if f, ok := r.cfg.Datasets.PinAs(m.spec.Tenant, ref); ok {
 			if m.profile != nil {
 				return nil
 			}

@@ -16,6 +16,7 @@ import (
 	"github.com/responsible-data-science/rds/internal/httpx"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/synth"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
 // AuditRequestWire is the JSON body of POST /v1/audit. Exactly one data
@@ -23,6 +24,10 @@ import (
 // CSV (inline), Path (server-local file), or Synthetic (generated demo
 // data).
 type AuditRequestWire struct {
+	// Tenant is the submitting tenant's id. The X-RDS-Tenant header,
+	// validated at the edge, takes precedence; both empty means the
+	// default tenant (single-tenant clients keep working unchanged).
+	Tenant string `json:"tenant,omitempty"`
 	// Dataset names the data in reports (default "dataset", or the
 	// registry name when auditing by DatasetRef).
 	Dataset string `json:"dataset,omitempty"`
@@ -148,13 +153,25 @@ type Handler struct {
 	// chunk-state cache gauges (incremental sliding-window re-audits)
 	// to GET /metrics as the "chunk_states" field.
 	ChunkStates *dataset.StateCache
+	// Tenants, when set, handles every /v1/tenants request — quota
+	// administration and the per-tenant responsibility report
+	// (internal/report.Handler). Kept as a plain http.Handler so serve
+	// does not depend on the report plane.
+	Tenants http.Handler
 }
 
 // NewHandler wraps the engine in the HTTP API.
 func NewHandler(e *Engine) *Handler { return &Handler{engine: e} }
 
-// ServeHTTP routes the audit API.
+// ServeHTTP routes the audit API. The tenant header is validated once
+// here, for every route — downstream planes read the id from the
+// request context.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, err := httpx.Tenant(r)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
 	switch {
 	case r.URL.Path == "/v1/audit":
 		h.postAudit(w, r)
@@ -164,6 +181,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.Monitors.ServeHTTP(w, r)
 	case strings.HasPrefix(r.URL.Path, "/v1/datasets") && h.Datasets != nil:
 		h.Datasets.ServeHTTP(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/tenants") && h.Tenants != nil:
+		h.Tenants.ServeHTTP(w, r)
 	case r.URL.Path == "/healthz":
 		h.healthz(w, r)
 	case r.URL.Path == "/metrics":
@@ -184,14 +203,27 @@ func (h *Handler) postAudit(w http.ResponseWriter, r *http.Request) {
 		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	req, err := h.buildRequest(wire)
+	ten, err := tenant.Or(r.Context(), wire.Tenant)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := h.buildRequest(ten, wire)
 	if err != nil {
 		httpx.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	id, err := h.engine.Submit(req)
 	switch {
+	case errors.Is(err, ErrTenantBusy):
+		// Only this tenant is over budget: 429, with the suggested wait.
+		setRetryAfter(w, err)
+		httpx.Error(w, http.StatusTooManyRequests, err)
+		return
 	case errors.Is(err, ErrBusy):
+		// The service itself is saturated: 503, with the estimated
+		// queue-drain time.
+		setRetryAfter(w, err)
 		httpx.Error(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -223,21 +255,40 @@ func (h *Handler) getAudit(w http.ResponseWriter, r *http.Request) {
 		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	ten, err := tenant.Or(r.Context(), r.URL.Query().Get("tenant"))
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/audit/")
 	js, ok := h.engine.Job(id)
-	if !ok {
+	if !ok || js.Tenant != ten {
+		// A job owned by another tenant is indistinguishable from an
+		// absent one: 404, not 403, so ids can't be probed across
+		// tenants.
 		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, js)
 }
 
+// setRetryAfter stamps the Retry-After header from an admission
+// rejection's suggested backoff (see serve.RetryAfter).
+func setRetryAfter(w http.ResponseWriter, err error) {
+	if secs, ok := RetryAfter(err); ok {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+}
+
+// healthz reports pool liveness. queue_capacity reads the engine's
+// construction-time snapshot (Engine.QueueCapacity), never the Config
+// copy, so the gauge can't drift from the enforced bound.
 func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"workers":        h.engine.Config().Workers,
 		"queue_depth":    h.engine.QueueDepth(),
-		"queue_capacity": h.engine.Config().QueueSize,
+		"queue_capacity": h.engine.QueueCapacity(),
 	})
 }
 
@@ -248,7 +299,7 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 // stay at the top level so existing scrapers keep working; see README
 // "Metrics reference" for the stable field list.
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	snap := h.engine.Metrics().Snapshot()
+	snap := h.engine.MetricsSnapshot()
 	if h.MonitorMetrics == nil && h.Datasets == nil && h.ChunkStates == nil {
 		httpx.WriteJSON(w, http.StatusOK, snap)
 		return
@@ -318,6 +369,7 @@ func wireFromQuery(r *http.Request, csv string) (*AuditRequestWire, error) {
 	q := r.URL.Query()
 	wire := &AuditRequestWire{
 		CSV:        csv,
+		Tenant:     q.Get("tenant"),
 		Dataset:    q.Get("dataset"),
 		Target:     q.Get("target"),
 		Sensitive:  q.Get("sensitive"),
@@ -336,8 +388,10 @@ func wireFromQuery(r *http.Request, csv string) (*AuditRequestWire, error) {
 	return wire, nil
 }
 
-// buildRequest materializes the dataset and assembles the engine request.
-func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
+// buildRequest materializes the dataset and assembles the engine
+// request for the given (already-normalized) tenant. dataset_ref
+// resolution is tenant-scoped: another tenant's ref is an unknown ref.
+func (h *Handler) buildRequest(ten string, wire *AuditRequestWire) (*Request, error) {
 	sources := 0
 	for _, set := range []bool{wire.DatasetRef != "", wire.CSV != "", wire.Path != "", wire.Synthetic != nil} {
 		if set {
@@ -359,7 +413,7 @@ func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
 		if h.Datasets == nil {
 			return nil, errors.New("dataset_ref audits are disabled on this server (no dataset registry)")
 		}
-		f, meta, ok := h.Datasets.Registry().Resolve(wire.DatasetRef)
+		f, meta, ok := h.Datasets.Registry().ResolveAs(ten, wire.DatasetRef)
 		if !ok {
 			return nil, fmt.Errorf("unknown dataset_ref %q (load it first via POST /v1/datasets)", wire.DatasetRef)
 		}
@@ -409,6 +463,7 @@ func (h *Handler) buildRequest(wire *AuditRequestWire) (*Request, error) {
 		Epochs:       wire.Epochs,
 	}
 	return &Request{
+		Tenant:   ten,
 		Dataset:  httpx.StringOr(name, "dataset"),
 		Data:     data,
 		DataHash: dataHash,

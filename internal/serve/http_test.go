@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
+	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"github.com/responsible-data-science/rds/internal/dataset"
+	"github.com/responsible-data-science/rds/internal/httpx"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/synth"
 )
@@ -312,5 +315,158 @@ func TestHTTPMetricsChunkStates(t *testing.T) {
 	resp.Body.Close()
 	if _, ok := raw["chunk_states"]; ok {
 		t.Error("/metrics emitted chunk_states with no cache configured")
+	}
+}
+
+// TestHTTPAuditTenantScoping pins the serving plane's multi-tenant
+// HTTP contract: jobs are owned by the submitting tenant (another
+// tenant's job id answers 404), the tenant header is validated at the
+// edge, and /metrics carries the per-tenant counter slices.
+func TestHTTPAuditTenantScoping(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	postAs := func(ten, body string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/audit", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if ten != "" {
+			req.Header.Set(httpx.TenantHeader, ten)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp, readAll(t, resp)
+	}
+
+	resp, body := postAs("acme", `{"synthetic":{"n":400,"seed":21},"epochs":3,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("acme async audit = %d: %s", resp.StatusCode, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal([]byte(body), &js); err != nil || js.ID == "" {
+		t.Fatalf("async response %s (%v)", body, err)
+	}
+	if js.Tenant != "acme" {
+		t.Fatalf("job tenant = %q, want acme", js.Tenant)
+	}
+
+	// Another tenant's job id reads as absent; the owner polls fine.
+	resp, err := http.Get(srv.URL + "/v1/audit/" + js.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("default tenant polling acme's job = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/audit/" + js.ID + "?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner polling = %d, want 200", resp.StatusCode)
+	}
+
+	// A malformed tenant header answers 400 at the edge.
+	resp, _ = postAs("Bad.Tenant", `{"synthetic":{"n":400}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tenant header = %d, want 400", resp.StatusCode)
+	}
+
+	// /metrics slices the counters per tenant.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Tenants["acme"].Submitted == 0 {
+		t.Fatalf("metrics tenants = %+v, want an acme slice", snap.Tenants)
+	}
+}
+
+// TestHTTPMultipartAndQuerySpec drives the multipart upload arm of
+// decodeWire and the full query-parameter spec of wireFromQuery —
+// tenant, seed, async, and mitigation all arrive as query params when
+// the body is a raw file.
+func TestHTTPMultipartAndQuerySpec(t *testing.T) {
+	srv, _ := newTestServer(t)
+	data, err := synth.Credit(synth.CreditConfig{N: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := data.CSVString()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("data", "upload.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(fw, csv); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+
+	q := url.Values{
+		"dataset": {"upload"}, "target": {"approved"}, "sensitive": {"group"},
+		"protected": {"B"}, "reference": {"A"},
+		"tenant": {"acme"}, "seed": {"11"}, "async": {"1"},
+	}
+	resp, err := http.Post(srv.URL+"/v1/audit?"+q.Encode(), mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("multipart async = %d, want 202: %s", resp.StatusCode, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal([]byte(body), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Tenant != "acme" || js.Dataset != "upload" {
+		t.Fatalf("job = %+v, want tenant acme dataset upload", js)
+	}
+
+	// The ?tenant= fallback also scopes polling, same as the header.
+	r, err := http.Get(srv.URL + "/v1/audit/" + js.ID + "?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("owner poll via query = %d, want 200", r.StatusCode)
+	}
+
+	// Malformed raw-body requests fail before admission.
+	for _, tc := range []struct {
+		name, ct, q, body string
+	}{
+		{"bad seed", "text/csv", "?target=approved&seed=x", "a\n1"},
+		{"unsupported content type", "application/xml", "", "<a/>"},
+		{"multipart missing data field", mw.FormDataContentType(), "", "--x--"},
+	} {
+		resp, err := http.Post(srv.URL+"/v1/audit"+tc.q, tc.ct, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
 	}
 }

@@ -67,23 +67,63 @@ type Metrics struct {
 	cacheMisses   uint64
 	all           latencyRing // every finished job, cache hits included
 	exec          latencyRing // executed (non-hit) audits only
+	// tenants holds the per-tenant counter slices, keyed by tenant id;
+	// a tenant appears on its first submission or rejection.
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's slice of the engine counters: what it
+// submitted, what actually executed for it (cache hits included), and
+// what admission rejected.
+type tenantCounters struct {
+	submitted uint64
+	executed  uint64
+	rejected  uint64
 }
 
 func newMetrics(workers int) *Metrics {
-	return &Metrics{workers: workers, all: newLatencyRing(), exec: newLatencyRing()}
+	return &Metrics{
+		workers: workers,
+		all:     newLatencyRing(),
+		exec:    newLatencyRing(),
+		tenants: map[string]*tenantCounters{},
+	}
 }
 
-func (m *Metrics) submitted() { m.mu.Lock(); m.jobsSubmitted++; m.mu.Unlock() }
-func (m *Metrics) rejected()  { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+// tenantLocked returns ten's counters, creating them on first sight.
+func (m *Metrics) tenantLocked(ten string) *tenantCounters {
+	tc := m.tenants[ten]
+	if tc == nil {
+		tc = &tenantCounters{}
+		m.tenants[ten] = tc
+	}
+	return tc
+}
+
+func (m *Metrics) submitted(ten string) {
+	m.mu.Lock()
+	m.jobsSubmitted++
+	m.tenantLocked(ten).submitted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) rejected(ten string) {
+	m.mu.Lock()
+	m.jobsRejected++
+	m.tenantLocked(ten).rejected++
+	m.mu.Unlock()
+}
+
 func (m *Metrics) cacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) cacheMiss() { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *Metrics) started()   { m.mu.Lock(); m.jobsRunning++; m.mu.Unlock() }
 func (m *Metrics) stopped()   { m.mu.Lock(); m.jobsRunning--; m.mu.Unlock() }
 
 // completed records one executed audit's latency.
-func (m *Metrics) completed(d time.Duration) {
+func (m *Metrics) completed(ten string, d time.Duration) {
 	m.mu.Lock()
 	m.jobsCompleted++
+	m.tenantLocked(ten).executed++
 	m.all.observe(d)
 	m.exec.observe(d)
 	m.mu.Unlock()
@@ -92,20 +132,31 @@ func (m *Metrics) completed(d time.Duration) {
 // completedHit records a cache-hit job: it counts as completed and
 // lands in the combined window, but stays out of the exec window so
 // the exec quantiles keep measuring real audit latency.
-func (m *Metrics) completedHit(d time.Duration) {
+func (m *Metrics) completedHit(ten string, d time.Duration) {
 	m.mu.Lock()
 	m.jobsCompleted++
+	m.tenantLocked(ten).executed++
 	m.all.observe(d)
 	m.mu.Unlock()
 }
 
 // failed records one failed (executed) audit's latency.
-func (m *Metrics) failed(d time.Duration) {
+func (m *Metrics) failed(ten string, d time.Duration) {
 	m.mu.Lock()
 	m.jobsFailed++
+	m.tenantLocked(ten).executed++
 	m.all.observe(d)
 	m.exec.observe(d)
 	m.mu.Unlock()
+}
+
+// execP50 returns the executed-audit p50 latency (0 with no samples);
+// the engine's backoff estimator uses it as the per-job drain cost.
+func (m *Metrics) execP50() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p50, _ := m.exec.quantiles()
+	return time.Duration(p50 * float64(time.Millisecond))
 }
 
 // Snapshot is a point-in-time, JSON-serializable view of the metrics.
@@ -135,6 +186,26 @@ type Snapshot struct {
 	P99Millis     float64 `json:"p99_millis"`
 	P50ExecMillis float64 `json:"p50_exec_millis"`
 	P99ExecMillis float64 `json:"p99_exec_millis"`
+	// Tenants is the per-tenant slice of the engine counters, keyed by
+	// tenant id (JSON maps marshal in sorted key order, so the
+	// rendering is deterministic). Queued is filled by the engine from
+	// the live scheduler; the other fields come from the counters.
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's slice of the engine metrics.
+type TenantSnapshot struct {
+	// Queued is the tenant's current scheduler queue depth.
+	Queued int `json:"queued"`
+	// Submitted counts the tenant's accepted submissions (cache hits
+	// included).
+	Submitted uint64 `json:"submitted"`
+	// Executed counts the tenant's finished jobs (done, failed, or
+	// cache-served).
+	Executed uint64 `json:"executed"`
+	// Rejected counts the tenant's admission rejections (429s and the
+	// tenant's share of 503s).
+	Rejected uint64 `json:"rejected"`
 }
 
 // Snapshot renders the current counters and latency quantiles.
@@ -159,6 +230,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	s.P50Millis, s.P99Millis = m.all.quantiles()
 	s.P50ExecMillis, s.P99ExecMillis = m.exec.quantiles()
+	if len(m.tenants) > 0 {
+		s.Tenants = make(map[string]TenantSnapshot, len(m.tenants))
+		for id, tc := range m.tenants {
+			s.Tenants[id] = TenantSnapshot{
+				Submitted: tc.submitted,
+				Executed:  tc.executed,
+				Rejected:  tc.rejected,
+			}
+		}
+	}
 	return s
 }
 

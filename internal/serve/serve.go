@@ -29,10 +29,16 @@ import (
 	"github.com/responsible-data-science/rds/internal/frame"
 	"github.com/responsible-data-science/rds/internal/policy"
 	"github.com/responsible-data-science/rds/internal/provenance"
+	"github.com/responsible-data-science/rds/internal/tenant"
 )
 
-// ErrBusy is returned by Submit when the job queue is full. Clients
-// should back off and retry; the HTTP layer maps it to 503.
+// ErrBusy is returned by Submit when the service-wide job queue is
+// full — every tenant is affected, the service itself is saturated.
+// The retry contract: Submit wraps it in a *RetryError whose After is
+// the engine-suggested backoff (estimated queue drain time), the HTTP
+// layer maps it to 503 with a Retry-After header, and clients should
+// wait at least that long before retrying. Contrast ErrTenantBusy
+// (429): only the submitting tenant is over budget.
 var ErrBusy = errors.New("serve: job queue full")
 
 // ErrClosed is returned by Submit after Close.
@@ -64,6 +70,17 @@ type Config struct {
 	// chunk order — which is why shard count is excluded from the
 	// report-cache key.
 	Shards int
+	// TenantQuotas resolves a tenant id to its admission quotas
+	// (weight, token-bucket rate, queue bound) — typically
+	// (*tenant.Registry).Quotas. Nil applies the zero Quotas to every
+	// tenant: weight 1, no rate limit, no per-tenant bound, which is
+	// exactly the historical single-queue behavior.
+	TenantQuotas func(string) tenant.Quotas
+	// Now is the scheduler's clock (default time.Now). Tests inject a
+	// fake so token-bucket admission is deterministic. Scheduling order
+	// never affects audit results — only which rejection a submission
+	// gets and when.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +108,12 @@ func (c Config) withDefaults() Config {
 // Request describes one audit: the dataset, the training spec for the
 // model under audit, and the FACT policy to grade against.
 type Request struct {
+	// Tenant is the submitting tenant's id ("" means tenant.Default).
+	// It selects the scheduler queue, admission budget, and metrics
+	// slice the job lands in — and nothing else: audit results are a
+	// pure function of the fields below, never of who submitted or how
+	// the scheduler interleaved the work.
+	Tenant string
 	// Dataset names the data for reports and logs.
 	Dataset string
 	// Data is the dataset to audit. Required.
@@ -137,6 +160,7 @@ const (
 // JSON-serializable for the HTTP API.
 type JobStatus struct {
 	ID       string           `json:"id"`
+	Tenant   string           `json:"tenant"`
 	Dataset  string           `json:"dataset"`
 	Status   Status           `json:"status"`
 	CacheHit bool             `json:"cache_hit"`
@@ -149,6 +173,7 @@ type JobStatus struct {
 // job is the engine-internal mutable state behind a JobStatus.
 type job struct {
 	id       string
+	tenant   string
 	dataset  string
 	cacheKey string
 
@@ -169,6 +194,7 @@ func (j *job) snapshot() JobStatus {
 	defer j.mu.Unlock()
 	s := JobStatus{
 		ID:       j.id,
+		Tenant:   j.tenant,
 		Dataset:  j.dataset,
 		Status:   j.status,
 		CacheHit: j.cacheHit,
@@ -187,20 +213,21 @@ func (j *job) snapshot() JobStatus {
 // NewEngine, submit work with Submit, and stop it with Close. All
 // methods are safe for concurrent use.
 type Engine struct {
-	cfg     Config
-	queue   chan *job
-	cache   *ReportCache
-	metrics *Metrics
+	cfg   Config
+	sched *scheduler
+	cache *ReportCache
+	// queueCap is the scheduler's aggregate capacity, snapshotted once
+	// at construction: the /healthz and /metrics queue_capacity gauge
+	// reads this field, never Config().QueueSize, so a future config
+	// copy or mutation can't drift from the capacity actually enforced.
+	queueCap int
+	metrics  *Metrics
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	finished []string // finished job ids, oldest first, for bounded retention
 	seq      uint64
 
-	// closeMu serializes queue sends against Close so a Submit racing
-	// shutdown returns ErrClosed instead of panicking on a closed
-	// channel.
-	closeMu   sync.RWMutex
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -214,12 +241,13 @@ func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:      cfg,
-		queue:    make(chan *job, cfg.QueueSize),
+		queueCap: cfg.QueueSize,
 		jobs:     map[string]*job{},
 		closed:   make(chan struct{}),
 		metrics:  newMetrics(cfg.Workers),
 		runAudit: RunAudit,
 	}
+	e.sched = newScheduler(cfg.QueueSize, cfg.Now, cfg.TenantQuotas, e.busyBackoff)
 	if cfg.CacheSize > 0 {
 		e.cache = NewReportCache(cfg.CacheSize)
 	}
@@ -236,16 +264,69 @@ func (e *Engine) Config() Config { return e.cfg }
 // Metrics returns the engine's live metrics.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
-// QueueDepth reports how many jobs are waiting for a worker.
-func (e *Engine) QueueDepth() int { return len(e.queue) }
+// MetricsSnapshot renders the engine metrics with each tenant's live
+// queued gauge filled in from the scheduler — the view /metrics
+// serves.
+func (e *Engine) MetricsSnapshot() Snapshot {
+	s := e.metrics.Snapshot()
+	for id, d := range e.sched.tenantDepths() {
+		if s.Tenants == nil {
+			s.Tenants = map[string]TenantSnapshot{}
+		}
+		ts := s.Tenants[id]
+		ts.Queued = d
+		s.Tenants[id] = ts
+	}
+	return s
+}
 
-// Submit validates and enqueues one audit request, returning the job id.
-// A cache hit completes the job immediately without queueing. A full
-// queue returns ErrBusy.
+// QueueDepth reports how many jobs are waiting for a worker, across
+// all tenants.
+func (e *Engine) QueueDepth() int { return e.sched.queueDepth() }
+
+// QueueCapacity reports the aggregate queue bound, snapshotted at
+// construction (see Engine.queueCap).
+func (e *Engine) QueueCapacity() int { return e.queueCap }
+
+// TenantQueueDepths reports each tenant's queued-job count (tenants
+// with empty queues omitted).
+func (e *Engine) TenantQueueDepths() map[string]int { return e.sched.tenantDepths() }
+
+// busyBackoff estimates how long a rejected client should wait for the
+// aggregate queue to make room: queued work over drain rate, using the
+// executed-audit p50 as the per-job cost. With no latency history yet
+// it suggests one second.
+func (e *Engine) busyBackoff(depth int) time.Duration {
+	p50 := e.metrics.execP50()
+	if p50 <= 0 {
+		return time.Second
+	}
+	wait := time.Duration(depth/e.cfg.Workers+1) * p50
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > time.Minute {
+		wait = time.Minute
+	}
+	return wait
+}
+
+// Submit validates and enqueues one audit request, returning the job
+// id. The request's tenant ("" = tenant.Default) selects the scheduler
+// queue and admission budget. A cache hit completes the job
+// immediately without consuming admission budget. Rejections are
+// *RetryError values wrapping ErrBusy (aggregate queue full, all
+// tenants affected) or ErrTenantBusy (this tenant's token bucket or
+// queue bound exhausted), each carrying a suggested backoff.
 func (e *Engine) Submit(req *Request) (string, error) {
 	if req == nil || req.Data == nil || req.Data.NumRows() == 0 {
 		return "", fmt.Errorf("serve: Submit needs a non-empty dataset")
 	}
+	ten, err := tenant.Normalize(req.Tenant)
+	if err != nil {
+		return "", err
+	}
+	req.Tenant = ten
 	if req.Dataset == "" {
 		req.Dataset = "dataset"
 	}
@@ -266,6 +347,7 @@ func (e *Engine) Submit(req *Request) (string, error) {
 
 	j := &job{
 		id:        e.nextID(),
+		tenant:    ten,
 		dataset:   req.Dataset,
 		req:       req,
 		cacheKey:  cacheKey(req),
@@ -273,7 +355,7 @@ func (e *Engine) Submit(req *Request) (string, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	e.metrics.submitted()
+	e.metrics.submitted(ten)
 
 	if e.cache != nil {
 		if rep, ok := e.cache.Get(j.cacheKey); ok {
@@ -286,31 +368,21 @@ func (e *Engine) Submit(req *Request) (string, error) {
 			close(j.done)
 			e.register(j)
 			e.retainFinished(j.id)
-			e.metrics.completedHit(j.finished.Sub(j.submitted))
+			e.metrics.completedHit(ten, j.finished.Sub(j.submitted))
 			return j.id, nil
 		}
 		e.metrics.cacheMiss()
 	}
 
 	e.register(j)
-	// The read lock excludes Close's close(e.queue), so this send can
-	// never hit a closed channel.
-	e.closeMu.RLock()
-	defer e.closeMu.RUnlock()
-	select {
-	case <-e.closed:
+	if err := e.sched.enqueue(ten, j); err != nil {
 		e.unregister(j.id)
-		return "", ErrClosed
-	default:
+		if !errors.Is(err, ErrClosed) {
+			e.metrics.rejected(ten)
+		}
+		return "", err
 	}
-	select {
-	case e.queue <- j:
-		return j.id, nil
-	default:
-		e.unregister(j.id)
-		e.metrics.rejected()
-		return "", ErrBusy
-	}
+	return j.id, nil
 }
 
 // Job returns a snapshot of the job with the given id.
@@ -345,17 +417,19 @@ func (e *Engine) Wait(ctx context.Context, id string) (JobStatus, error) {
 // to drain, and stops the workers.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		e.closeMu.Lock()
 		close(e.closed)
-		close(e.queue)
-		e.closeMu.Unlock()
+		e.sched.close()
 	})
 	e.wg.Wait()
 }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for j := range e.queue {
+	for {
+		j, ok := e.sched.dequeue()
+		if !ok {
+			return
+		}
 		e.execute(j)
 	}
 }
@@ -402,12 +476,12 @@ func (e *Engine) execute(j *job) {
 	j.mu.Unlock()
 
 	if out.err != nil {
-		e.metrics.failed(elapsed)
+		e.metrics.failed(j.tenant, elapsed)
 	} else {
 		if e.cache != nil {
 			e.cache.Put(j.cacheKey, out.rep)
 		}
-		e.metrics.completed(elapsed)
+		e.metrics.completed(j.tenant, elapsed)
 	}
 	close(j.done)
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -130,7 +131,11 @@ func TestEngineQueueBackpressure(t *testing.T) {
 		switch {
 		case err == nil:
 			accepted++
-		case err == ErrBusy:
+		case errors.Is(err, ErrBusy):
+			// The rejection must carry a usable Retry-After hint.
+			if secs, ok := RetryAfter(err); !ok || secs < 1 {
+				t.Fatalf("ErrBusy without Retry-After hint: %v", err)
+			}
 			sawBusy = true
 		default:
 			t.Fatal(err)
@@ -308,8 +313,8 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 
 func TestMetricsQuantilesSmallSample(t *testing.T) {
 	m := newMetrics(1)
-	m.completed(1 * time.Millisecond)
-	m.completed(100 * time.Millisecond)
+	m.completed("default", 1*time.Millisecond)
+	m.completed("default", 100*time.Millisecond)
 	s := m.Snapshot()
 	if s.P50Millis != 1 {
 		t.Errorf("p50 = %v, want 1 (lower median of 2 samples)", s.P50Millis)

@@ -42,8 +42,12 @@ const (
 	// owning monitor's id.
 	KindProfile Kind = "profiles"
 	// KindDataset holds dataset-registry entries keyed by content hash
-	// (the dataset_ref).
+	// (the dataset_ref), prefixed "tenant." for non-default tenants.
 	KindDataset Kind = "datasets"
+	// KindTenant holds per-tenant quota-override records keyed by
+	// tenant id. Restored first at boot — datasets and monitors restore
+	// into a world where every tenant's quotas are already known.
+	KindTenant Kind = "tenants"
 )
 
 // ErrCorrupt marks a record whose at-rest bytes fail validation — a
