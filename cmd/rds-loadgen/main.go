@@ -22,17 +22,32 @@
 //	            [-ingest-rate 0,1000] [-epochs 20] [-seed 1]
 //	            [-json out.json] [-max-p99 0]
 //	            [-tenants 1] [-max-tenant-p99-spread 0]
+//	            [-pipelines 0]
 //
 // With -tenants N > 1, the closed-loop clients split round-robin
 // across N tenant identities (X-RDS-Tenant: t0..tN-1) and the cell
 // reports per-tenant audit counts and latency percentiles plus the
 // p99 spread (slowest tenant p99 over fastest) — the fairness figure
-// the multi-tenant soak asserts on.
+// the multi-tenant soak asserts on. After a multi-tenant sweep the
+// service's own /metrics tenant slices are asserted too: every
+// loadgen tenant must carry server-computed p50_millis/p99_millis
+// gauges, so the soak fails if those fields ever regress to
+// client-side-only computation.
+//
+// With -pipelines N > 0, each cell also runs N closed-loop pipeline
+// clients: a synthetic biased dataset is uploaded once, and each
+// client submits the default seven-stage remediation curriculum
+// (train → audit → mitigate → re-audit → ldp-privatize → retrain →
+// re-audit) against it with a unique seed, polling the run record to
+// completion — the remediation plane measured alongside audit and
+// ingest load, not in isolation.
 //
 // Soak assertions: the process exits non-zero when any request
-// returned a 5xx, when -max-p99 is set and any cell's audit p99
-// exceeds it, or when -max-tenant-p99-spread is set and any cell's
-// tenant p99 spread exceeds it. CI runs a 60s sweep with the
+// returned a 5xx, when any pipeline run fails, when -max-p99 is set
+// and any cell's audit p99 exceeds it, when -max-tenant-p99-spread
+// is set and any cell's tenant p99 spread exceeds it, or when a
+// multi-tenant sweep finds a loadgen tenant without server-side
+// latency quantiles in /metrics. CI runs a 60s sweep with the
 // assertions on.
 package main
 
@@ -50,6 +65,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/responsible-data-science/rds/internal/synth"
 )
 
 func main() {
@@ -72,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxP99 := fs.Duration("max-p99", 0, "fail (exit 1) when any cell's audit p99 exceeds this; 0 disables")
 	tenants := fs.Int("tenants", 1, "spread the closed-loop clients across this many tenant identities (X-RDS-Tenant: t0..tN-1)")
 	maxSpread := fs.Float64("max-tenant-p99-spread", 0, "fail (exit 1) when any cell's slowest-tenant p99 exceeds its fastest-tenant p99 by more than this factor; 0 disables")
+	pipelines := fs.Int("pipelines", 0, "closed-loop clients per cell submitting the default remediation curriculum to /v1/pipelines; 0 disables the pipeline arm")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -94,8 +112,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tenants < 1 {
 		return fail("-tenants must be positive")
 	}
+	if *pipelines < 0 {
+		return fail("-pipelines must be non-negative")
+	}
 	if err := waitHealthy(*url, healthBudget); err != nil {
 		return fail("%v", err)
+	}
+
+	// The pipeline arm audits a fixed biased dataset by ref (uploaded
+	// once), so every run exercises the full mitigation curriculum.
+	pipelineRef := ""
+	if *pipelines > 0 {
+		ref, err := uploadPipelineDataset(*url, *seed)
+		if err != nil {
+			return fail("uploading pipeline dataset: %v", err)
+		}
+		pipelineRef = ref
 	}
 
 	doc := sweepDoc{URL: *url, DurationS: duration.Seconds(), Clients: *clients}
@@ -105,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cell, err := runCell(cellConfig{
 				url: *url, duration: *duration, clients: *clients,
 				auditRows: r, ingestRate: rate, epochs: *epochs, seedBase: &seq,
-				tenants: *tenants,
+				tenants: *tenants, pipelines: *pipelines, pipelineRef: pipelineRef,
 			})
 			if err != nil {
 				return fail("cell rows=%d rate=%d: %v", r, rate, err)
@@ -117,6 +149,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				cell.Status2xx, cell.Status4xx, cell.Status5xx, cell.Ingest5xx)
 			if *tenants > 1 {
 				fmt.Fprintf(stdout, "  tenant p99 spread %.2fx across %d tenants\n", cell.TenantP99Spread, len(cell.Tenants))
+			}
+			if *pipelines > 0 {
+				fmt.Fprintf(stdout, "  pipelines done=%d failed=%d p50=%s p99=%s\n",
+					cell.Pipelines, cell.PipelinesFailed,
+					msString(cell.PipelineP50MS), msString(cell.PipelineP99MS))
 			}
 		}
 	}
@@ -161,11 +198,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "rds-loadgen: cell rows=%d rate=%d completed no audits\n", c.AuditRows, c.IngestRate)
 			failed = true
 		}
+		if *pipelines > 0 && (c.PipelinesFailed > 0 || c.Pipelines == 0) {
+			fmt.Fprintf(stderr, "rds-loadgen: cell rows=%d rate=%d pipelines done=%d failed=%d, want >= 1 done and 0 failed\n",
+				c.AuditRows, c.IngestRate, c.Pipelines, c.PipelinesFailed)
+			failed = true
+		}
+	}
+	// The server now computes per-tenant latency quantiles itself; a
+	// multi-tenant soak asserts the /metrics tenant slices carry them so
+	// the gauges cannot silently regress to client-side-only numbers.
+	if *tenants > 1 {
+		if err := checkTenantMetrics(*url, *tenants); err != nil {
+			fmt.Fprintf(stderr, "rds-loadgen: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// checkTenantMetrics fetches /metrics and verifies every loadgen
+// tenant identity (t0..tN-1) has a slice with server-computed latency
+// quantiles: a populated sample window with p50_millis > 0 and
+// p99_millis >= p50_millis.
+func checkTenantMetrics(url string, tenants int) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(url + "/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var snap struct {
+		Tenants map[string]struct {
+			P50Millis      float64 `json:"p50_millis"`
+			P99Millis      float64 `json:"p99_millis"`
+			LatencySamples int     `json:"latency_samples"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding /metrics: %w", err)
+	}
+	for i := 0; i < tenants; i++ {
+		ten := fmt.Sprintf("t%d", i)
+		ts, ok := snap.Tenants[ten]
+		if !ok {
+			return fmt.Errorf("/metrics has no tenant slice for %s", ten)
+		}
+		if ts.LatencySamples <= 0 || ts.P50Millis <= 0 || ts.P99Millis < ts.P50Millis {
+			return fmt.Errorf("/metrics tenant %s quantiles = p50 %.2fms p99 %.2fms over %d samples, want a populated window with p99 >= p50 > 0",
+				ten, ts.P50Millis, ts.P99Millis, ts.LatencySamples)
+		}
+	}
+	return nil
 }
 
 // sweepDoc is the machine-readable result the -json flag writes.
@@ -196,6 +285,14 @@ type cellResult struct {
 	// audits).
 	Tenants         map[string]tenantStats `json:"tenants,omitempty"`
 	TenantP99Spread float64                `json:"tenant_p99_spread,omitempty"`
+	// Pipelines counts remediation curricula the pipeline arm completed
+	// (status done), PipelinesFailed the runs that finished failed or
+	// whose submission errored; the quantiles are end-to-end wall time
+	// from POST to terminal record.
+	Pipelines       int64   `json:"pipelines,omitempty"`
+	PipelinesFailed int64   `json:"pipelines_failed,omitempty"`
+	PipelineP50MS   float64 `json:"pipeline_p50_ms,omitempty"`
+	PipelineP99MS   float64 `json:"pipeline_p99_ms,omitempty"`
 }
 
 // tenantStats is one tenant identity's slice of a cell result.
@@ -215,6 +312,10 @@ type cellConfig struct {
 	epochs     int
 	seedBase   *uint64
 	tenants    int
+	// pipelines is the number of closed-loop pipeline clients; they
+	// submit the default curriculum against pipelineRef.
+	pipelines   int
+	pipelineRef string
 }
 
 // runCell runs one (audit size, ingest rate) cell: clients closed-loop
@@ -235,10 +336,33 @@ func runCell(cfg cellConfig) (cellResult, error) {
 		latencies  []float64
 		perTenant  = map[string][]float64{}
 		c2, c4, c5 int64
+		pipeLat    []float64
 	)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
 	var wg sync.WaitGroup
+	for w := 0; w < cfg.pipelines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				s := atomic.AddUint64(cfg.seedBase, 1)
+				ms, ok, err := runOnePipeline(hc, cfg, s, deadline)
+				if err != nil {
+					atomic.AddInt64(&res.PipelinesFailed, 1)
+					continue
+				}
+				if !ok {
+					// Still running at the deadline — abandoned, not failed.
+					return
+				}
+				atomic.AddInt64(&res.Pipelines, 1)
+				mu.Lock()
+				pipeLat = append(pipeLat, ms)
+				mu.Unlock()
+			}
+		}()
+	}
 	for w := 0; w < cfg.clients; w++ {
 		wg.Add(1)
 		ten := ""
@@ -286,6 +410,8 @@ func runCell(cfg cellConfig) (cellResult, error) {
 	}
 	res.P50MS = percentile(latencies, 0.50)
 	res.P99MS = percentile(latencies, 0.99)
+	res.PipelineP50MS = percentile(pipeLat, 0.50)
+	res.PipelineP99MS = percentile(pipeLat, 0.99)
 	if len(perTenant) > 0 {
 		res.Tenants = map[string]tenantStats{}
 		minP99, maxP99 := 0.0, 0.0
@@ -308,6 +434,92 @@ func runCell(cfg cellConfig) (cellResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// uploadPipelineDataset generates the biased synthetic credit
+// population the pipeline arm mitigates and uploads it once, returning
+// its registry ref. Bias 1.0 makes the unmitigated audit fail the
+// fairness policy, so every curriculum run does real mitigation work
+// rather than rubber-stamping already-fair data.
+func uploadPipelineDataset(url string, seed uint64) (string, error) {
+	data, err := synth.Credit(synth.CreditConfig{N: 2000, Bias: 1.0, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	csv, err := data.CSVString()
+	if err != nil {
+		return "", err
+	}
+	hc := &http.Client{Timeout: time.Minute}
+	resp, err := hc.Post(url+"/v1/datasets", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("POST /v1/datasets: %s: %s", resp.Status, raw)
+	}
+	var ds struct {
+		Ref string `json:"ref"`
+	}
+	if err := json.Unmarshal(raw, &ds); err != nil || ds.Ref == "" {
+		return "", fmt.Errorf("bad dataset response %q", raw)
+	}
+	return ds.Ref, nil
+}
+
+// runOnePipeline submits one default-curriculum run against the
+// uploaded dataset and polls its record to a terminal status. It
+// returns the end-to-end wall time in milliseconds with ok=true when
+// the run finished done, ok=false when the cell deadline passed while
+// the run was still in flight (abandoned, not failed), and an error
+// when submission was rejected or the run finished failed.
+func runOnePipeline(hc *http.Client, cfg cellConfig, seed uint64, deadline time.Time) (float64, bool, error) {
+	body, _ := json.Marshal(map[string]any{
+		"dataset_ref": cfg.pipelineRef,
+		"epochs":      cfg.epochs,
+		"seed":        seed,
+	})
+	t0 := time.Now()
+	resp, err := hc.Post(cfg.url+"/v1/pipelines", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, false, fmt.Errorf("submit pipeline: %s: %s", resp.Status, raw)
+	}
+	var rec struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil || rec.ID == "" {
+		return 0, false, fmt.Errorf("bad pipeline response %q", raw)
+	}
+	for {
+		switch rec.Status {
+		case "done":
+			return float64(time.Since(t0)) / float64(time.Millisecond), true, nil
+		case "failed":
+			return 0, false, fmt.Errorf("pipeline %s failed: %s", rec.ID, rec.Error)
+		}
+		if time.Now().After(deadline) {
+			return 0, false, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := hc.Get(cfg.url + "/v1/pipelines/" + rec.ID)
+		if err != nil {
+			return 0, false, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if err != nil {
+			return 0, false, fmt.Errorf("polling pipeline %s: %w", rec.ID, err)
+		}
+	}
 }
 
 // startIngestor registers a fresh monitor and feeds it synthetic rows

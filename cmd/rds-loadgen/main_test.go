@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -139,10 +140,26 @@ func TestRunFailsOnP99Budget(t *testing.T) {
 	}
 }
 
+// tenantMetricsHandler serves the /metrics shape the soak asserts on:
+// a tenants map with server-computed latency quantiles for each of the
+// n loadgen identities.
+func tenantMetricsHandler(n int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		slices := map[string]any{}
+		for i := 0; i < n; i++ {
+			slices[fmt.Sprintf("t%d", i)] = map[string]any{
+				"p50_millis": 1.5, "p99_millis": 3.0, "latency_samples": 10,
+			}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"tenants": slices})
+	}
+}
+
 // TestRunMultiTenantSweep drives the -tenants arm: the closed-loop
 // clients split round-robin across tenant identities, each request
 // carries its tenant header, per-tenant stats land in the JSON
-// document, and a generous spread budget passes.
+// document, the server-side /metrics tenant quantiles are asserted,
+// and a generous spread budget passes.
 func TestRunMultiTenantSweep(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[string]int{}
@@ -154,6 +171,7 @@ func TestRunMultiTenantSweep(t *testing.T) {
 		mu.Unlock()
 		w.WriteHeader(http.StatusOK)
 	})
+	mux.HandleFunc("/metrics", tenantMetricsHandler(3))
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -210,6 +228,7 @@ func TestRunFailsOnTenantSpread(t *testing.T) {
 		}
 		w.WriteHeader(http.StatusOK)
 	})
+	mux.HandleFunc("/metrics", tenantMetricsHandler(2))
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -227,6 +246,136 @@ func TestRunFailsOnTenantSpread(t *testing.T) {
 	}
 }
 
+// TestRunFailsOnMissingTenantQuantiles proves a multi-tenant soak
+// fails when the service's /metrics tenant slices stop carrying the
+// server-computed latency quantiles — the regression the assertion
+// exists to catch.
+func TestRunFailsOnMissingTenantQuantiles(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/audit", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Tenant slices present but quantile-free: counters only.
+		json.NewEncoder(w).Encode(map[string]any{"tenants": map[string]any{
+			"t0": map[string]any{"submitted": 5},
+			"t1": map[string]any{"submitted": 5},
+		}})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "200ms", "-clients", "2",
+		"-audit-rows", "50", "-ingest-rate", "0", "-tenants", "2",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 when /metrics lacks tenant quantiles", code)
+	}
+	if !strings.Contains(stderr.String(), "/metrics") {
+		t.Fatalf("stderr should name the /metrics assertion: %q", stderr.String())
+	}
+}
+
+// TestRunPipelineArm drives -pipelines against a fake remediation
+// plane: the biased dataset uploads once, each client's run polls to
+// done, and the cell reports completed curricula with latency
+// quantiles.
+func TestRunPipelineArm(t *testing.T) {
+	var uploads, submits, polls int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/audit", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&uploads, 1)
+		json.NewEncoder(w).Encode(map[string]string{"ref": "sha256:abc"})
+	})
+	mux.HandleFunc("/v1/pipelines", func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&submits, 1)
+		var spec struct {
+			DatasetRef string `json:"dataset_ref"`
+		}
+		json.NewDecoder(r.Body).Decode(&spec)
+		if spec.DatasetRef != "sha256:abc" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "pl-000001", "status": "running"})
+	})
+	mux.HandleFunc("/v1/pipelines/pl-000001", func(w http.ResponseWriter, r *http.Request) {
+		// First poll still running, then done — exercises the poll loop.
+		st := "done"
+		if atomic.AddInt64(&polls, 1) == 1 {
+			st = "running"
+		}
+		json.NewEncoder(w).Encode(map[string]string{"id": "pl-000001", "status": st})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "sweep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "300ms", "-clients", "1",
+		"-audit-rows", "50", "-ingest-rate", "0",
+		"-pipelines", "1", "-json", jsonPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if atomic.LoadInt64(&uploads) != 1 {
+		t.Fatalf("dataset uploads = %d, want exactly 1 (shared across runs)", uploads)
+	}
+	if atomic.LoadInt64(&submits) == 0 {
+		t.Fatal("pipeline arm never submitted a run")
+	}
+	var doc sweepDoc
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	cell := doc.Cells[0]
+	if cell.Pipelines == 0 || cell.PipelinesFailed != 0 || cell.PipelineP99MS < cell.PipelineP50MS {
+		t.Fatalf("pipeline cell = %+v, want completed runs, no failures, p99 >= p50", cell)
+	}
+	if !strings.Contains(stdout.String(), "pipelines done=") {
+		t.Fatalf("stdout missing the pipeline line: %q", stdout.String())
+	}
+}
+
+// TestRunFailsOnPipelineFailure: a run that finishes failed trips the
+// soak gate.
+func TestRunFailsOnPipelineFailure(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/audit", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc("/v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"ref": "sha256:abc"})
+	})
+	mux.HandleFunc("/v1/pipelines", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "pl-000001", "status": "failed", "error": "train: boom"})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-url", srv.URL, "-duration", "200ms", "-clients", "1",
+		"-audit-rows", "50", "-ingest-rate", "0", "-pipelines", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 when pipeline runs fail", code)
+	}
+	if !strings.Contains(stderr.String(), "pipelines") {
+		t.Fatalf("stderr should name the pipeline failures: %q", stderr.String())
+	}
+}
+
 func TestRunFlagAndArgumentErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
@@ -238,6 +387,7 @@ func TestRunFlagAndArgumentErrors(t *testing.T) {
 		{"-clients", "0"},
 		{"-duration", "0s"},
 		{"-tenants", "0"},
+		{"-pipelines", "-1"},
 	}
 	for _, args := range cases {
 		if code := run(args, &stdout, &stderr); code != 1 {

@@ -38,6 +38,9 @@
 //	GET    /v1/datasets               list resident datasets
 //	GET    /v1/datasets/{ref}         dataset metadata
 //	DELETE /v1/datasets/{ref}         evict a dataset (409 while pinned)
+//	POST   /v1/pipelines              submit a staged train/audit/mitigate run
+//	GET    /v1/pipelines              list staged runs
+//	GET    /v1/pipelines/{id}         staged run status + per-stage results
 //	POST   /v1/monitors               register a continuous monitor
 //	GET    /v1/monitors               list monitors
 //	GET    /v1/monitors/{id}          monitor status
@@ -77,6 +80,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/monitor"
+	"github.com/responsible-data-science/rds/internal/pipeline"
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/store"
 	"github.com/responsible-data-science/rds/internal/store/fsjson"
@@ -173,6 +177,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rds-serve:", err)
 		os.Exit(1)
 	}
+	// Pipelines restore last: an interrupted run resumes by replaying
+	// its completed stages against the referenced dataset, so the
+	// dataset registry must already be resident.
+	pipelines := pipeline.NewRegistry(engine, datasets, tenants.Quotas)
+	if err := pipelines.AttachStore(st); err != nil {
+		fmt.Fprintln(os.Stderr, "rds-serve:", err)
+		os.Exit(1)
+	}
 	if *stateDir != "" {
 		fmt.Printf("rds-serve restored %d monitors and %d datasets from %s\n",
 			restored, len(datasets.List()), *stateDir)
@@ -187,10 +199,12 @@ func main() {
 	handler.Monitors = monitors
 	handler.MonitorMetrics = func() any { return registry.Metrics() }
 	handler.ChunkStates = chunkStates
+	handler.Pipelines = pipeline.NewHandler(pipelines)
 	handler.Tenants = &tenantapi.Handler{
-		Tenants:  tenants,
-		Datasets: datasets,
-		Monitors: registry,
+		Tenants:   tenants,
+		Datasets:  datasets,
+		Monitors:  registry,
+		Pipelines: pipelines,
 	}
 
 	server := &http.Server{

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/privacy"
+)
+
+func TestPipelineAccessors(t *testing.T) {
+	p, err := New(Config{Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Budget() != nil {
+		t.Errorf("fresh pipeline Budget = %v, want nil", p.Budget())
+	}
+	b, err := privacy.NewBudget(1.0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachBudget(b)
+	if p.Budget() != b {
+		t.Error("Budget() did not return the attached accountant")
+	}
+	if p.Ledger() == nil {
+		t.Error("Ledger() = nil, want the pipeline's hypothesis ledger")
+	}
+	if p.Lineage() == nil || p.AuditLog() == nil {
+		t.Error("Lineage/AuditLog should be non-nil on a fresh pipeline")
+	}
+}

@@ -61,17 +61,30 @@ type TrainSpec struct {
 	TestFraction float64  // default 0.3
 	Mitigation   Mitigation
 	Epochs       int // logistic epochs (default 40)
+	// TrueGroups optionally names a column holding the auditor's
+	// ground-truth sensitive attribute — the curriculum's "auditor's
+	// check" when Sensitive has been privatized (e.g. LDP randomized
+	// response): mitigation and thresholds see only the noisy Sensitive
+	// column, but the fairness evaluation groups by TrueGroups, so the
+	// audit measures real disparate impact, not disparate impact among
+	// the noise. Always excluded from features. Empty means Sensitive
+	// is the truth (the historical behavior).
+	TrueGroups string
 }
 
 // TrainedModel is the result of Pipeline.Train: the model, its held-out
 // evaluation artifacts, and the transparency card.
 type TrainedModel struct {
-	Model      ml.Classifier
-	Spec       TrainSpec
-	Test       *ml.Dataset
+	Model ml.Classifier
+	Spec  TrainSpec
+	Test  *ml.Dataset
+	// TestGroups is the fairness-evaluation grouping restricted to the
+	// test split: the Sensitive column, or TrueGroups when the spec
+	// sets it (the auditor's ground-truth check over a privatized
+	// attribute).
 	TestGroups []string
-	// TestGroupCol is the sensitive column restricted to the test split —
-	// the same values as TestGroups, but keeping the column's
+	// TestGroupCol is the evaluation column restricted to the test
+	// split — the same values as TestGroups, but keeping the column's
 	// dictionary encoding so the fairness kernel can tally by code.
 	TestGroupCol *frame.Series
 	TestProbs    []float64
@@ -104,12 +117,26 @@ func (p *Pipeline) Train(spec TrainSpec) (*TrainedModel, error) {
 	}
 
 	exclude := append([]string{spec.Sensitive}, spec.Exclude...)
+	if spec.TrueGroups != "" {
+		exclude = append(exclude, spec.TrueGroups)
+	}
 	ds, err := ml.FromFrame(p.data, spec.Target, exclude...)
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding features: %w", err)
 	}
 	groupCol := p.data.MustCol(spec.Sensitive)
 	groups := groupCol.Strings()
+	// evalCol carries the fairness-evaluation grouping: the true
+	// attribute when TrueGroups is set, otherwise Sensitive itself.
+	evalCol, evalGroups := groupCol, groups
+	if spec.TrueGroups != "" {
+		c, err := p.data.Col(spec.TrueGroups)
+		if err != nil {
+			return nil, fmt.Errorf("core: TrueGroups column: %w", err)
+		}
+		evalCol = c
+		evalGroups = c.Strings()
+	}
 
 	// Deterministic split that keeps group labels aligned with rows.
 	perm := p.src.Perm(ds.N())
@@ -120,9 +147,16 @@ func (p *Pipeline) Train(spec TrainSpec) (*TrainedModel, error) {
 	testIdx, trainIdx := perm[:nTest], perm[nTest:]
 	trainSet := ds.Subset(trainIdx)
 	testSet := ds.Subset(testIdx)
+	// testGroups follows Sensitive — it drives mitigation (thresholds
+	// are keyed by the attribute the served model can actually see);
+	// testEval follows evalCol and drives the fairness evaluation.
 	testGroups := make([]string, len(testIdx))
 	for i, idx := range testIdx {
 		testGroups[i] = groups[idx]
+	}
+	testEval := make([]string, len(testIdx))
+	for i, idx := range testIdx {
+		testEval[i] = evalGroups[idx]
 	}
 	trainGroups := make([]string, len(trainIdx))
 	for i, idx := range trainIdx {
@@ -146,8 +180,8 @@ func (p *Pipeline) Train(spec TrainSpec) (*TrainedModel, error) {
 		Model:        model,
 		Spec:         spec,
 		Test:         testSet,
-		TestGroups:   testGroups,
-		TestGroupCol: groupCol.Take(testIdx),
+		TestGroups:   testEval,
+		TestGroupCol: evalCol.Take(testIdx),
 		TestProbs:    ml.PredictProbaAll(model, testSet.X),
 	}
 	if spec.Mitigation == MitigateThreshold {

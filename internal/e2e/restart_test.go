@@ -22,6 +22,7 @@ import (
 
 	"github.com/responsible-data-science/rds/internal/dataset"
 	"github.com/responsible-data-science/rds/internal/monitor"
+	"github.com/responsible-data-science/rds/internal/pipeline"
 	"github.com/responsible-data-science/rds/internal/serve"
 	"github.com/responsible-data-science/rds/internal/store/fsjson"
 	"github.com/responsible-data-science/rds/internal/synth"
@@ -31,15 +32,17 @@ import (
 
 // service is one booted instance of the full stack over a state dir.
 type service struct {
-	srv      *httptest.Server
-	engine   *serve.Engine
-	registry *monitor.Registry
-	tenants  *tenant.Registry
+	srv       *httptest.Server
+	engine    *serve.Engine
+	registry  *monitor.Registry
+	tenants   *tenant.Registry
+	pipelines *pipeline.Registry
 }
 
 // boot assembles the stack exactly as cmd/rds-serve does: open the
 // state store, restore tenant quotas, then datasets, then monitors,
-// and mount the handler with every plane (including /v1/tenants).
+// then pipelines, and mount the handler with every plane (including
+// /v1/tenants and /v1/pipelines).
 func boot(t *testing.T, stateDir string) *service {
 	t.Helper()
 	st, err := fsjson.Open(stateDir)
@@ -68,12 +71,17 @@ func boot(t *testing.T, stateDir string) *service {
 	if _, err := registry.Restore(); err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
+	pipelines := pipeline.NewRegistry(engine, datasets, tenants.Quotas)
+	if err := pipelines.AttachStore(st); err != nil {
+		t.Fatalf("pipeline AttachStore: %v", err)
+	}
 	handler := serve.NewHandler(engine)
 	handler.Datasets = dataset.NewHandler(datasets)
 	handler.Monitors = monitor.NewHandler(registry)
 	handler.MonitorMetrics = func() any { return registry.Metrics() }
-	handler.Tenants = &tenantapi.Handler{Tenants: tenants, Datasets: datasets, Monitors: registry}
-	return &service{srv: httptest.NewServer(handler), engine: engine, registry: registry, tenants: tenants}
+	handler.Pipelines = pipeline.NewHandler(pipelines)
+	handler.Tenants = &tenantapi.Handler{Tenants: tenants, Datasets: datasets, Monitors: registry, Pipelines: pipelines}
+	return &service{srv: httptest.NewServer(handler), engine: engine, registry: registry, tenants: tenants, pipelines: pipelines}
 }
 
 // hardStop kills the instance without any graceful persistence pass —

@@ -1,0 +1,104 @@
+package fairness
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// A report with zero predicted positives in the protected group
+// carries NaN precision and NaN predictive-parity difference by
+// design. It must still encode — non-finite values become null — and
+// null must decode back to NaN.
+func TestReportJSONNonFinite(t *testing.T) {
+	yTrue := []float64{1, 0, 1, 1, 1, 0, 1, 0}
+	yPred := []float64{1, 0, 1, 1, 0, 0, 0, 0}
+	groups := []string{"A", "A", "A", "A", "B", "B", "B", "B"}
+	rep, err := Evaluate(yTrue, yPred, groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rep.Protected.Precision) {
+		t.Fatalf("Protected.Precision = %v, want NaN (no predicted positives)", rep.Protected.Precision)
+	}
+	if !math.IsNaN(rep.PredictiveParityDifference) {
+		t.Fatalf("PredictiveParityDifference = %v, want NaN", rep.PredictiveParityDifference)
+	}
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report with NaN fields: %v", err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"Precision":null`) {
+		t.Fatalf("NaN precision not encoded as null: %s", s)
+	}
+	if !strings.Contains(s, `"PredictiveParityDifference":null`) {
+		t.Fatalf("NaN parity difference not encoded as null: %s", s)
+	}
+
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !math.IsNaN(back.Protected.Precision) || !math.IsNaN(back.PredictiveParityDifference) {
+		t.Fatalf("null did not decode back to NaN: %+v", back)
+	}
+	// Finite fields round-trip exactly.
+	if back.Reference.Precision != rep.Reference.Precision {
+		t.Fatalf("Reference.Precision %v != %v", back.Reference.Precision, rep.Reference.Precision)
+	}
+	if back.StatisticalParityDifference != rep.StatisticalParityDifference {
+		t.Fatalf("StatisticalParityDifference %v != %v",
+			back.StatisticalParityDifference, rep.StatisticalParityDifference)
+	}
+	if back.Protected.N != rep.Protected.N || back.Protected.Group != rep.Protected.Group {
+		t.Fatalf("group identity lost: %+v", back.Protected)
+	}
+}
+
+// +Inf disparate impact (zero reference positive rate) encodes as
+// null too: JSON has no Inf literal, and the wire contract is
+// "non-finite means undefined".
+func TestReportJSONInfDisparateImpact(t *testing.T) {
+	yTrue := []float64{1, 1, 0, 0}
+	yPred := []float64{0, 0, 1, 1}
+	groups := []string{"ref", "ref", "prot", "prot"}
+	rep, err := Evaluate(yTrue, yPred, groups, "prot", "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.DisparateImpact, 1) {
+		t.Fatalf("DisparateImpact = %v, want +Inf", rep.DisparateImpact)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report with +Inf DI: %v", err)
+	}
+	if !strings.Contains(string(b), `"DisparateImpact":null`) {
+		t.Fatalf("+Inf DI not encoded as null: %s", b)
+	}
+}
+
+// A fully finite report round-trips value-exact through JSON.
+func TestReportJSONFiniteRoundTrip(t *testing.T) {
+	yTrue := []float64{1, 0, 1, 0, 1, 0, 1, 1}
+	yPred := []float64{1, 0, 1, 1, 1, 0, 0, 1}
+	groups := []string{"A", "A", "A", "A", "B", "B", "B", "B"}
+	rep, err := Evaluate(yTrue, yPred, groups, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("finite report changed across JSON round-trip:\n got %+v\nwant %+v", back, rep)
+	}
+}

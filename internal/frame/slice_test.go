@@ -1,0 +1,70 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesSlice(t *testing.T) {
+	s := NewFloat64("x", []float64{1, 2, 3, 4, 5})
+	c := s.Slice(1, 4)
+	if c.Len() != 3 {
+		t.Fatalf("Slice len = %d, want 3", c.Len())
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if got := c.Float(i); got != want {
+			t.Errorf("Slice row %d = %v, want %v", i, got, want)
+		}
+	}
+	if e := s.Slice(2, 2); e.Len() != 0 {
+		t.Errorf("empty Slice len = %d, want 0", e.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Slice(3, 2) did not panic")
+		}
+	}()
+	s.Slice(3, 2)
+}
+
+func TestSeriesTypedAccessors(t *testing.T) {
+	ints := NewInt64("n", []int64{7, -2})
+	if got := ints.Int(1); got != -2 {
+		t.Errorf("Int(1) = %d, want -2", got)
+	}
+	strs := NewString("s", []string{"a", "b"})
+	if got := strs.Str(1); got != "b" {
+		t.Errorf("Str(1) = %q, want b", got)
+	}
+	bools := NewBool("b", []bool{false, true})
+	if !bools.Boolv(1) || bools.Boolv(0) {
+		t.Errorf("Boolv = %v,%v, want false,true", bools.Boolv(0), bools.Boolv(1))
+	}
+
+	// Floats widens Int64 columns and copies Float64 ones.
+	got := ints.Floats()
+	if got[0] != 7 || got[1] != -2 {
+		t.Errorf("Int64 Floats = %v", got)
+	}
+	fs := NewFloat64("f", []float64{1.5, math.NaN()})
+	got = fs.Floats()
+	if got[0] != 1.5 || !math.IsNaN(got[1]) {
+		t.Errorf("Float64 Floats = %v", got)
+	}
+
+	// Wrong-dtype accessors panic with the column name.
+	for name, fn := range map[string]func(){
+		"Int on float":   func() { fs.Int(0) },
+		"Str on float":   func() { fs.Str(0) },
+		"Boolv on float": func() { fs.Boolv(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

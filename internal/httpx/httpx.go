@@ -43,13 +43,20 @@ func Tenant(r *http.Request) (*http.Request, error) {
 
 // WriteJSON renders v as indented application/json with the given
 // status. Every response on every plane — success and error alike —
-// goes through here, so clients can always parse the body.
+// goes through here, so clients can always parse the body. Encoding
+// happens before the status line is written: a value that cannot
+// marshal answers 500 with the error envelope instead of a success
+// status over an empty body.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		status = http.StatusInternalServerError
+		body, _ = json.MarshalIndent(map[string]string{"error": "encoding response: " + err.Error()}, "", "  ")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte("\n"))
 }
 
 // Error renders err in the service-wide JSON error envelope

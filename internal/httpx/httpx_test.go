@@ -3,6 +3,7 @@ package httpx
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -86,5 +87,20 @@ func TestStringOr(t *testing.T) {
 	}
 	if got := StringOr("x", "fb"); got != "x" {
 		t.Errorf("StringOr(\"x\") = %q, want x", got)
+	}
+}
+
+func TestWriteJSONUnencodableValueAnswers500(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusOK, math.NaN())
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (encoding must fail before the status line)", rec.Code)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("500 body is not the JSON error envelope: %v: %q", err, rec.Body.String())
+	}
+	if !strings.Contains(env["error"], "encoding response") {
+		t.Fatalf("error envelope = %q, want an encoding-response message", env["error"])
 	}
 }

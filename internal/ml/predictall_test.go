@@ -1,0 +1,17 @@
+package ml
+
+import "testing"
+
+func TestLinearModelPredictAllRows(t *testing.T) {
+	m := &LinearModel{Bias: 1, Weights: []float64{2, -1}}
+	got := m.PredictAllRows([][]float64{{1, 0}, {0, 1}, {3, 2}})
+	want := []float64{3, 0, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := m.PredictAllRows(nil); len(out) != 0 {
+		t.Errorf("nil input -> %v, want empty", out)
+	}
+}

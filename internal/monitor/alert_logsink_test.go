@@ -1,0 +1,38 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/policy"
+)
+
+func TestLogSinkDeliver(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &LogSink{Logger: log.New(&buf, "", 0)}
+
+	from, to := policy.Green, policy.Red
+	if err := sink.Deliver(context.Background(), Alert{
+		Monitor: "mon-1", Kind: AlertGradeRegression, Window: 3,
+		Message: "grade fell", From: &from, To: &to,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Deliver(context.Background(), Alert{
+		Monitor: "mon-1", Kind: AlertDriftBreach, Window: 4,
+		Message: "drift", Drift: &DriftReport{MaxPSI: 0.42, MaxKS: 0.17},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, "GREEN→RED") {
+		t.Errorf("grade transition missing from log: %q", out)
+	}
+	if !strings.Contains(out, "max PSI 0.420") || !strings.Contains(out, "max KS 0.170") {
+		t.Errorf("drift summary missing from log: %q", out)
+	}
+}

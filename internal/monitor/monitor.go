@@ -956,6 +956,11 @@ func (m *Monitor) audit(f *frame.Frame, entry *WindowEntry, dataHash string) {
 		Policy:   m.spec.Policy,
 		Spec:     m.spec.Train,
 		Seed:     m.spec.Seed,
+		// Window audits are system work scheduled on the tenant's
+		// behalf, not tenant submissions: the system-monitor class keeps
+		// them off the tenant's token bucket, so a tight rate_per_sec
+		// cannot starve the tenant's own drift scoring.
+		Class: serve.ClassSystem,
 	}
 	id, err := m.reg.cfg.Engine.Submit(req)
 	if err == nil {

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/frame"
+	"github.com/responsible-data-science/rds/internal/serve"
+)
+
+// skewedApprovalCSV builds a dataset whose trained model predicts no
+// positives for group B: incomes separate the groups cleanly and B
+// approves at 20%, so the audit report carries NaN precision for the
+// protected group ("NaN when nothing was predicted positive").
+func skewedApprovalCSV() string {
+	var sb strings.Builder
+	sb.WriteString("income,group,approved\n")
+	for i := 0; i < 150; i++ {
+		aAp, bAp := 1, 0
+		if i%5 == 4 {
+			aAp, bAp = 0, 1
+		}
+		fmt.Fprintf(&sb, "%d,A,%d\n%d,B,%d\n", 40013+13*i, aAp, 30011+11*i, bAp)
+	}
+	return sb.String()
+}
+
+// An audit whose report carries NaN group metrics must still produce
+// a marshalable stage detail — this is the exact shape that used to
+// drop audit-stage details from pipeline records and empty the
+// /v1/audit response body.
+func TestAuditDetailWithNaNMetricsMarshals(t *testing.T) {
+	f, err := frame.ReadCSVString(skewedApprovalCSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := serve.RunAudit(context.Background(), &serve.Request{
+		Dataset: "credit", Data: f, Seed: 1,
+		Spec: core.TrainSpec{Target: "approved", Sensitive: "group", Protected: "B", Reference: "A"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rep.Fairness.Report.Protected.Precision) {
+		t.Fatalf("Protected.Precision = %v, want NaN — the regression scenario no longer reproduces; rebuild the dataset",
+			rep.Fairness.Report.Protected.Precision)
+	}
+
+	detail := &AuditDetail{
+		Overall:         rep.Overall,
+		DisparateImpact: rep.Fairness.Report.DisparateImpact,
+		Accuracy:        rep.Accuracy.Accuracy,
+		Report:          rep,
+	}
+	b := marshalDetail(detail)
+	if b == nil {
+		t.Fatal("marshalDetail returned nil")
+	}
+	s := string(b)
+	if strings.Contains(s, "detail_error") {
+		t.Fatalf("audit detail fell back to the error object: %s", s)
+	}
+	if !strings.Contains(s, `"Precision":null`) {
+		t.Fatalf("NaN precision not encoded as null in stage detail: %s", s)
+	}
+	if !strings.Contains(s, `"overall"`) {
+		t.Fatalf("stage detail missing audit fields: %s", s)
+	}
+}
+
+// A detail that genuinely cannot marshal is recorded as an error
+// object, never dropped from the stage record.
+func TestMarshalDetailRecordsFailure(t *testing.T) {
+	b := marshalDetail(map[string]any{"ch": make(chan int)})
+	var env map[string]string
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("fallback detail is not JSON: %v: %q", err, b)
+	}
+	if env["detail_error"] == "" {
+		t.Fatalf("fallback detail missing detail_error: %q", b)
+	}
+}

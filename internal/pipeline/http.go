@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/responsible-data-science/rds/internal/httpx"
+	"github.com/responsible-data-science/rds/internal/serve"
+	"github.com/responsible-data-science/rds/internal/tenant"
+)
+
+// Handler exposes the pipeline plane over HTTP:
+//
+//	POST /v1/pipelines       submit a staged run (202 + initial record)
+//	GET  /v1/pipelines       list visible runs, newest first
+//	GET  /v1/pipelines/{id}  one run's record (spec + per-stage results)
+//
+// Submission is always async — pipelines are minutes of work, not a
+// request-response exchange; poll the record (or the per-stage history)
+// for progress. Tenant-scoped requests see only their own runs; a
+// foreign id answers 404, indistinguishable from an absent one.
+type Handler struct {
+	// Runs is the pipeline registry. Required.
+	Runs *Registry
+}
+
+// NewHandler wraps the registry in the HTTP API.
+func NewHandler(runs *Registry) *Handler { return &Handler{Runs: runs} }
+
+// ServeHTTP routes the pipelines API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r, err := httpx.Tenant(r)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/pipelines")
+	if !ok {
+		httpx.Error(w, http.StatusNotFound, fmt.Errorf("no route %s", r.URL.Path))
+		return
+	}
+	rest = strings.Trim(rest, "/")
+	switch {
+	case rest == "" && r.Method == http.MethodPost:
+		h.post(w, r)
+	case rest == "" && r.Method == http.MethodGet:
+		httpx.WriteJSON(w, http.StatusOK, map[string]any{
+			"pipelines": h.Runs.List(viewer(r)),
+		})
+	case rest == "":
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET or POST required"))
+	case r.Method == http.MethodGet:
+		rec, ok := h.Runs.Get(viewer(r), rest)
+		if !ok {
+			httpx.Error(w, http.StatusNotFound, fmt.Errorf("no pipeline %q", rest))
+			return
+		}
+		httpx.WriteJSON(w, http.StatusOK, rec)
+	default:
+		httpx.Error(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+	}
+}
+
+// viewer resolves the request's visibility scope: the context tenant
+// when the edge validated one, "" (operator, sees all) otherwise.
+func viewer(r *http.Request) string {
+	ten, ok := tenant.FromContext(r.Context())
+	if !ok {
+		return ""
+	}
+	return ten
+}
+
+func (h *Handler) post(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes)
+	var spec Spec
+	if err := httpx.DecodeJSON(w, r, &spec); err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	ten, err := tenant.Or(r.Context(), spec.Tenant)
+	if err != nil {
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	spec.Tenant = ten
+	rec, err := h.Runs.Submit(spec)
+	switch {
+	case errors.Is(err, tenant.ErrQuota), errors.Is(err, serve.ErrTenantBusy):
+		setRetryAfter(w, err)
+		httpx.Error(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, serve.ErrBusy):
+		setRetryAfter(w, err)
+		httpx.Error(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, serve.ErrClosed):
+		httpx.Error(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpx.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusAccepted, rec)
+}
+
+// setRetryAfter mirrors the audit plane's Retry-After contract on
+// pipeline admission rejections.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	if secs, ok := serve.RetryAfter(err); ok {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+}

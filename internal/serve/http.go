@@ -125,6 +125,7 @@ func DefaultPolicy() policy.FACTPolicy {
 //
 //	POST /v1/audit       run an audit (sync by default; "async": true for 202 + id)
 //	GET  /v1/audit/{id}  job status / result
+//	/v1/pipelines        staged remediation runs (when Pipelines is mounted)
 //	GET  /healthz        liveness and pool state
 //	GET  /metrics        throughput, cache hit rate, latency quantiles
 //
@@ -158,6 +159,11 @@ type Handler struct {
 	// (internal/report.Handler). Kept as a plain http.Handler so serve
 	// does not depend on the report plane.
 	Tenants http.Handler
+	// Pipelines, when set, handles every /v1/pipelines request — the
+	// staged remediation plane (internal/pipeline.Handler). Kept as a
+	// plain http.Handler so serve does not depend on pipeline (pipeline
+	// builds on serve.Engine).
+	Pipelines http.Handler
 }
 
 // NewHandler wraps the engine in the HTTP API.
@@ -183,6 +189,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.Datasets.ServeHTTP(w, r)
 	case strings.HasPrefix(r.URL.Path, "/v1/tenants") && h.Tenants != nil:
 		h.Tenants.ServeHTTP(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/pipelines") && h.Pipelines != nil:
+		h.Pipelines.ServeHTTP(w, r)
 	case r.URL.Path == "/healthz":
 		h.healthz(w, r)
 	case r.URL.Path == "/metrics":

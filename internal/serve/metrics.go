@@ -7,9 +7,13 @@ import (
 	"time"
 )
 
-// latencyWindow bounds how many recent job latencies the quantile
-// estimates are computed over.
-const latencyWindow = 1024
+// latencyWindow bounds how many recent job latencies the service-wide
+// quantile estimates are computed over; tenantLatencyWindow bounds the
+// per-tenant windows (smaller, because there can be many tenants).
+const (
+	latencyWindow       = 1024
+	tenantLatencyWindow = 256
+)
 
 // latencyRing is a fixed-capacity sliding window of job latencies;
 // callers synchronize access.
@@ -23,10 +27,14 @@ func newLatencyRing() latencyRing {
 	return latencyRing{buf: make([]time.Duration, latencyWindow)}
 }
 
+func newTenantLatencyRing() latencyRing {
+	return latencyRing{buf: make([]time.Duration, tenantLatencyWindow)}
+}
+
 func (r *latencyRing) observe(d time.Duration) {
 	r.buf[r.next] = d
-	r.next = (r.next + 1) % latencyWindow
-	if r.count < latencyWindow {
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
 		r.count++
 	}
 }
@@ -65,20 +73,31 @@ type Metrics struct {
 	jobsRunning   int
 	cacheHits     uint64
 	cacheMisses   uint64
-	all           latencyRing // every finished job, cache hits included
-	exec          latencyRing // executed (non-hit) audits only
+	// Staged-task counters (pipelines). The jobs_* counters above stay
+	// audits-only so the historical /metrics contract is unchanged.
+	tasksSubmitted uint64
+	tasksRejected  uint64
+	tasksCompleted uint64
+	tasksFailed    uint64
+	stagesExecuted uint64
+	all            latencyRing // every finished job, cache hits included
+	exec           latencyRing // executed (non-hit) audits only
 	// tenants holds the per-tenant counter slices, keyed by tenant id;
 	// a tenant appears on its first submission or rejection.
 	tenants map[string]*tenantCounters
 }
 
 // tenantCounters is one tenant's slice of the engine counters: what it
-// submitted, what actually executed for it (cache hits included), and
-// what admission rejected.
+// submitted, what actually executed for it (cache hits included), what
+// admission rejected, its staged-task progress, and a bounded window
+// of its finished-job latencies for the per-tenant quantiles.
 type tenantCounters struct {
 	submitted uint64
 	executed  uint64
 	rejected  uint64
+	stages    uint64
+	tasksDone uint64
+	lat       latencyRing
 }
 
 func newMetrics(workers int) *Metrics {
@@ -94,10 +113,37 @@ func newMetrics(workers int) *Metrics {
 func (m *Metrics) tenantLocked(ten string) *tenantCounters {
 	tc := m.tenants[ten]
 	if tc == nil {
-		tc = &tenantCounters{}
+		tc = &tenantCounters{lat: newTenantLatencyRing()}
 		m.tenants[ten] = tc
 	}
 	return tc
+}
+
+// taskSubmitted / taskRejected / taskFinished / stageExecuted are the
+// staged-task twins of the audit counters. Task latencies land in each
+// tenant's window (they are real work the tenant waited on) but stay
+// out of the audit-only service-wide rings.
+func (m *Metrics) taskSubmitted() { m.mu.Lock(); m.tasksSubmitted++; m.mu.Unlock() }
+func (m *Metrics) taskRejected()  { m.mu.Lock(); m.tasksRejected++; m.mu.Unlock() }
+
+func (m *Metrics) stageExecuted(ten string) {
+	m.mu.Lock()
+	m.stagesExecuted++
+	m.tenantLocked(ten).stages++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) taskFinished(ten string, ok bool, d time.Duration) {
+	m.mu.Lock()
+	if ok {
+		m.tasksCompleted++
+	} else {
+		m.tasksFailed++
+	}
+	tc := m.tenantLocked(ten)
+	tc.tasksDone++
+	tc.lat.observe(d)
+	m.mu.Unlock()
 }
 
 func (m *Metrics) submitted(ten string) {
@@ -123,19 +169,23 @@ func (m *Metrics) stopped()   { m.mu.Lock(); m.jobsRunning--; m.mu.Unlock() }
 func (m *Metrics) completed(ten string, d time.Duration) {
 	m.mu.Lock()
 	m.jobsCompleted++
-	m.tenantLocked(ten).executed++
+	tc := m.tenantLocked(ten)
+	tc.executed++
+	tc.lat.observe(d)
 	m.all.observe(d)
 	m.exec.observe(d)
 	m.mu.Unlock()
 }
 
 // completedHit records a cache-hit job: it counts as completed and
-// lands in the combined window, but stays out of the exec window so
-// the exec quantiles keep measuring real audit latency.
+// lands in the combined and tenant windows, but stays out of the exec
+// window so the exec quantiles keep measuring real audit latency.
 func (m *Metrics) completedHit(ten string, d time.Duration) {
 	m.mu.Lock()
 	m.jobsCompleted++
-	m.tenantLocked(ten).executed++
+	tc := m.tenantLocked(ten)
+	tc.executed++
+	tc.lat.observe(d)
 	m.all.observe(d)
 	m.mu.Unlock()
 }
@@ -144,7 +194,9 @@ func (m *Metrics) completedHit(ten string, d time.Duration) {
 func (m *Metrics) failed(ten string, d time.Duration) {
 	m.mu.Lock()
 	m.jobsFailed++
-	m.tenantLocked(ten).executed++
+	tc := m.tenantLocked(ten)
+	tc.executed++
+	tc.lat.observe(d)
 	m.all.observe(d)
 	m.exec.observe(d)
 	m.mu.Unlock()
@@ -172,6 +224,14 @@ type Snapshot struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"` // hits / (hits+misses), 0 when no lookups
+	// Staged-task (pipeline) counters, additive next to the audit-only
+	// jobs_* counters: submissions, admission rejections, terminal
+	// outcomes, and total stages executed across all tasks.
+	TasksSubmitted uint64 `json:"tasks_submitted"`
+	TasksRejected  uint64 `json:"tasks_rejected"`
+	TasksCompleted uint64 `json:"tasks_completed"`
+	TasksFailed    uint64 `json:"tasks_failed"`
+	StagesExecuted uint64 `json:"stages_executed"`
 	// LatencyWindow is the sliding-window capacity (in jobs) the
 	// latency quantiles are computed over; LatencySamples is how many
 	// finished jobs currently populate the combined window and
@@ -206,6 +266,19 @@ type TenantSnapshot struct {
 	// Rejected counts the tenant's admission rejections (429s and the
 	// tenant's share of 503s).
 	Rejected uint64 `json:"rejected"`
+	// Stages counts pipeline stages executed for the tenant, and Tasks
+	// its finished staged tasks.
+	Stages uint64 `json:"stages,omitempty"`
+	Tasks  uint64 `json:"tasks,omitempty"`
+	// P50Millis/P99Millis are the tenant's finished-work latency
+	// quantiles over a sliding window of tenantLatencyWindow jobs
+	// (audits — cache hits included — and staged tasks). Before these
+	// fields, soak harnesses had to compute per-tenant quantiles
+	// client-side.
+	P50Millis float64 `json:"p50_millis"`
+	P99Millis float64 `json:"p99_millis"`
+	// LatencySamples is how many finished jobs populate the window.
+	LatencySamples int `json:"latency_samples"`
 }
 
 // Snapshot renders the current counters and latency quantiles.
@@ -221,6 +294,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobsRunning:        m.jobsRunning,
 		CacheHits:          m.cacheHits,
 		CacheMisses:        m.cacheMisses,
+		TasksSubmitted:     m.tasksSubmitted,
+		TasksRejected:      m.tasksRejected,
+		TasksCompleted:     m.tasksCompleted,
+		TasksFailed:        m.tasksFailed,
+		StagesExecuted:     m.stagesExecuted,
 		LatencyWindow:      latencyWindow,
 		LatencySamples:     m.all.count,
 		ExecLatencySamples: m.exec.count,
@@ -233,11 +311,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	if len(m.tenants) > 0 {
 		s.Tenants = make(map[string]TenantSnapshot, len(m.tenants))
 		for id, tc := range m.tenants {
-			s.Tenants[id] = TenantSnapshot{
-				Submitted: tc.submitted,
-				Executed:  tc.executed,
-				Rejected:  tc.rejected,
+			ts := TenantSnapshot{
+				Submitted:      tc.submitted,
+				Executed:       tc.executed,
+				Rejected:       tc.rejected,
+				Stages:         tc.stages,
+				Tasks:          tc.tasksDone,
+				LatencySamples: tc.lat.count,
 			}
+			ts.P50Millis, ts.P99Millis = tc.lat.quantiles()
+			s.Tenants[id] = ts
 		}
 	}
 	return s

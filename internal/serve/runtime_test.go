@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/responsible-data-science/rds/internal/core"
+	"github.com/responsible-data-science/rds/internal/synth"
+	"github.com/responsible-data-science/rds/internal/tenant"
+)
+
+// TestLegacyCacheKeysBitIdentical is the refactor's bit-identity pin:
+// these keys were captured from the pre-refactor engine (single-shot
+// audits, no staged runtime) over a fixed synthetic dataset. If the
+// staged-job refactor — or any later change — perturbs the cache key
+// derivation, previously cached reports silently stop hitting and
+// clients re-pay full audits; this test turns that into a loud failure.
+func TestLegacyCacheKeysBitIdentical(t *testing.T) {
+	golden := []string{
+		"f96363d82fb56b22aceb00dcfcd983f11c1b2cf7965924b3c044332684383465",
+		"2ff5f11d74cf049cf493d57a22c7bd454f96c0090ed8ff9082135e416efdf5bf",
+		"0c8300c555324015076a09fe2f72b608ff3ad9f238f4cd7e0da1fb70a3a6fd30",
+	}
+	f, err := synth.Credit(synth.CreditConfig{N: 400, Bias: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []*Request{
+		{Dataset: "dataset", Data: f, Policy: DefaultPolicy(), Seed: 1,
+			Spec: core.TrainSpec{Target: "approved", Sensitive: "group", Protected: "B", Reference: "A"}},
+		{Dataset: "alt", Data: f, Policy: DefaultPolicy(), Seed: 42,
+			Spec: core.TrainSpec{Target: "approved", Sensitive: "group", Protected: "B", Reference: "A", TestFraction: 0.25, Mitigation: core.MitigateReweigh, Epochs: 10, Exclude: []string{"income"}}},
+		{Dataset: "h", Data: f, DataHash: "deadbeef", Policy: DefaultPolicy(), Seed: 3,
+			Spec: core.TrainSpec{Target: "approved", Sensitive: "group", Protected: "B", Reference: "A", Mitigation: core.MitigateThreshold}},
+	}
+	for i, r := range reqs {
+		if got := cacheKey(r); got != golden[i] {
+			t.Errorf("cacheKey(req %d) = %s, want golden %s", i, got, golden[i])
+		}
+	}
+	// The admission class is scheduling state, never identity: the same
+	// audit admitted under a different class must hit the same entry.
+	sys := *reqs[0]
+	sys.Class = ClassSystem
+	if got := cacheKey(&sys); got != golden[0] {
+		t.Errorf("cacheKey with Class=system = %s, want golden %s (class leaked into identity)", got, golden[0])
+	}
+}
+
+// TestSubmitTaskRunsStagesInOrder drives a three-stage task end to end:
+// stages execute strictly in order, each result lands in the history
+// ring with its index and detail, OnStage observes every result before
+// the next stage runs, and OnFinish sees the terminal snapshot once.
+func TestSubmitTaskRunsStagesInOrder(t *testing.T) {
+	e := NewEngine(Config{Workers: 2, QueueSize: 16, CacheSize: -1})
+	defer e.Close()
+
+	var mu sync.Mutex
+	var observed []string
+	var finals []TaskStatus
+	mkStage := func(name string) Stage {
+		return Stage{Name: name, Run: func(ctx context.Context) (any, error) {
+			mu.Lock()
+			observed = append(observed, "run:"+name)
+			mu.Unlock()
+			return name + "-detail", nil
+		}}
+	}
+	id, err := e.SubmitTask(TaskSpec{
+		Name:   "ordered",
+		Stages: []Stage{mkStage("one"), mkStage("two"), mkStage("three")},
+		OnStage: func(res StageResult) {
+			mu.Lock()
+			observed = append(observed, "hook:"+res.Stage)
+			mu.Unlock()
+		},
+		OnFinish: func(final TaskStatus) {
+			mu.Lock()
+			finals = append(finals, final)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := e.WaitTask(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone || final.Stage != 3 || final.Stages != 3 {
+		t.Fatalf("final = %+v, want done at stage 3/3", final)
+	}
+	want := []string{"run:one", "hook:one", "run:two", "hook:two", "run:three", "hook:three"}
+	mu.Lock()
+	got := append([]string(nil), observed...)
+	nFinals := len(finals)
+	mu.Unlock()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("stage/hook order = %v, want %v (OnStage must run before the next stage)", got, want)
+	}
+	if nFinals != 1 {
+		t.Fatalf("OnFinish fired %d times, want exactly once", nFinals)
+	}
+	if len(final.History) != 3 {
+		t.Fatalf("history = %+v, want 3 results", final.History)
+	}
+	for i, res := range final.History {
+		if res.Index != i || res.Status != StatusDone || res.Kind != ClassPipeline {
+			t.Fatalf("history[%d] = %+v, want done pipeline-class at index %d", i, res, i)
+		}
+		if d, ok := res.Detail.(string); !ok || d != res.Stage+"-detail" {
+			t.Fatalf("history[%d].Detail = %v, want %q", i, res.Detail, res.Stage+"-detail")
+		}
+	}
+}
+
+// TestTaskHistoryBounded pins the ring bound: with HistorySize 2 a
+// five-stage task retains only the last two results, oldest dropped.
+func TestTaskHistoryBounded(t *testing.T) {
+	e := NewEngine(Config{Workers: 1, QueueSize: 16, CacheSize: -1})
+	defer e.Close()
+	stages := make([]Stage, 5)
+	for i := range stages {
+		stages[i] = Stage{Run: func(ctx context.Context) (any, error) { return nil, nil }}
+	}
+	id, err := e.SubmitTask(TaskSpec{Stages: stages, HistorySize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := e.WaitTask(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.History) != 2 {
+		t.Fatalf("history length = %d, want ring bound 2", len(final.History))
+	}
+	if final.History[0].Index != 3 || final.History[1].Index != 4 {
+		t.Fatalf("history kept indices %d,%d; want the newest (3,4)", final.History[0].Index, final.History[1].Index)
+	}
+}
+
+// TestTaskStageFailureStopsRun checks a failing stage fails the whole
+// task and no later stage runs.
+func TestTaskStageFailureStopsRun(t *testing.T) {
+	e := NewEngine(Config{Workers: 1, QueueSize: 16, CacheSize: -1})
+	defer e.Close()
+	var ranThird bool
+	id, err := e.SubmitTask(TaskSpec{Stages: []Stage{
+		{Name: "ok", Run: func(ctx context.Context) (any, error) { return nil, nil }},
+		{Name: "boom", Run: func(ctx context.Context) (any, error) { return nil, errors.New("stage exploded") }},
+		{Name: "never", Run: func(ctx context.Context) (any, error) { ranThird = true; return nil, nil }},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := e.WaitTask(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusFailed || final.Error == "" {
+		t.Fatalf("final = %+v, want failed with error", final)
+	}
+	if ranThird {
+		t.Fatal("stage after the failing one ran; failure must stop the task")
+	}
+	last := final.History[len(final.History)-1]
+	if last.Stage != "boom" || last.Status != StatusFailed || last.Error != "stage exploded" {
+		t.Fatalf("failing stage record = %+v", last)
+	}
+}
+
+// TestTaskAuditVisibilityPartition pins the API split the refactor must
+// not blur: audits are visible through Job/Wait only, staged tasks
+// through Task/WaitTask only — neither leaks into the other's surface.
+func TestTaskAuditVisibilityPartition(t *testing.T) {
+	e := NewEngine(Config{Workers: 2, QueueSize: 16, CacheSize: -1})
+	defer e.Close()
+	e.runAudit = func(ctx context.Context, req *Request) (*core.FACTReport, error) {
+		return &core.FACTReport{Pipeline: req.Dataset}, nil
+	}
+	auditID, err := e.Submit(stubRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskID, err := e.SubmitTask(TaskSpec{Stages: []Stage{
+		{Run: func(ctx context.Context) (any, error) { return nil, nil }},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Wait(context.Background(), auditID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitTask(context.Background(), taskID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Job(taskID); ok {
+		t.Fatal("Job() sees a staged task")
+	}
+	if _, ok := e.Task(auditID); ok {
+		t.Fatal("Task() sees an audit")
+	}
+	if _, err := e.Wait(context.Background(), taskID); err == nil {
+		t.Fatal("Wait() accepted a task id")
+	}
+	if _, err := e.WaitTask(context.Background(), auditID); err == nil {
+		t.Fatal("WaitTask() accepted an audit id")
+	}
+}
+
+// TestSubmitTaskValidation covers the rejection paths: no stages, a
+// stage without a body, an unknown admission class, and submit after
+// Close.
+func TestSubmitTaskValidation(t *testing.T) {
+	e := NewEngine(Config{Workers: 1, QueueSize: 4, CacheSize: -1})
+	noop := func(ctx context.Context) (any, error) { return nil, nil }
+	if _, err := e.SubmitTask(TaskSpec{}); err == nil {
+		t.Error("empty stage list accepted")
+	}
+	if _, err := e.SubmitTask(TaskSpec{Stages: []Stage{{Name: "x"}}}); err == nil {
+		t.Error("stage without Run accepted")
+	}
+	if _, err := e.SubmitTask(TaskSpec{Stages: []Stage{{Kind: "bogus", Run: noop}}}); err == nil {
+		t.Error("unknown admission class accepted")
+	}
+	if _, err := e.SubmitTask(TaskSpec{Tenant: "UPPER CASE!", Stages: []Stage{{Run: noop}}}); err == nil {
+		t.Error("invalid tenant accepted")
+	}
+	e.Close()
+	if _, err := e.SubmitTask(TaskSpec{Stages: []Stage{{Run: noop}}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSystemClassBypassesTenantBucket is the satellite regression test:
+// monitor-plane window audits admitted under ClassSystem must not be
+// throttled by the tenant's own rate_per_sec / max_queue quotas — a
+// tenant tightening its interactive budget cannot silence its own
+// drift scoring. Interactive admissions under the same tenant still
+// hit the bucket.
+func TestSystemClassBypassesTenantBucket(t *testing.T) {
+	clock := newFakeClock()
+	quotas := func(string) tenant.Quotas {
+		return tenant.Quotas{RatePerSec: 1, Burst: 1, MaxQueue: 1}
+	}
+	s := newScheduler(100, clock.now, quotas, nil)
+
+	// Interactive: one admit drains the burst, the second rejects.
+	if err := s.admit("a", ClassInteractive, &job{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.admit("a", ClassInteractive, &job{}, false); !errors.Is(err, ErrTenantBusy) {
+		t.Fatalf("interactive over budget: %v, want ErrTenantBusy", err)
+	}
+	// System class: far past both the bucket and MaxQueue, every admit
+	// lands.
+	for i := 0; i < 20; i++ {
+		if err := s.admit("a", ClassSystem, &job{}, false); err != nil {
+			t.Fatalf("system-class admit #%d throttled by tenant quotas: %v", i, err)
+		}
+	}
+	// Only the service-wide aggregate bound applies to system work.
+	small := newScheduler(2, clock.now, quotas, nil)
+	for i := 0; i < 2; i++ {
+		if err := small.admit("a", ClassSystem, &job{}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := small.admit("a", ClassSystem, &job{}, false); !errors.Is(err, ErrBusy) {
+		t.Fatalf("system class past aggregate capacity: %v, want ErrBusy", err)
+	}
+}
+
+// TestReadmitBypassesAdmission pins the once-at-the-front-door rule: a
+// staged job re-entering for its next stage consumes no tokens and
+// ignores queue bounds (it was already admitted), but still queues —
+// depth rises — so it drains in DRR order with everyone else.
+func TestReadmitBypassesAdmission(t *testing.T) {
+	clock := newFakeClock()
+	quotas := func(string) tenant.Quotas {
+		return tenant.Quotas{RatePerSec: 1, Burst: 1, MaxQueue: 1}
+	}
+	s := newScheduler(2, clock.now, quotas, nil)
+	if err := s.admit("a", ClassPipeline, &job{}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket empty, MaxQueue reached, aggregate capacity reached: a
+	// fresh admission fails every gate; the readmit passes all three.
+	if err := s.admit("a", ClassPipeline, &job{}, false); !errors.Is(err, ErrTenantBusy) {
+		t.Fatalf("fresh admit: %v, want ErrTenantBusy", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.admit("a", ClassPipeline, &job{}, true); err != nil {
+			t.Fatalf("readmit #%d rejected: %v", i, err)
+		}
+	}
+	if got := s.queueDepth(); got != 4 {
+		t.Fatalf("queue depth = %d, want 4 (readmits still queue)", got)
+	}
+}
+
+// TestTaskMetricsCounters checks staged tasks land in the tasks_* /
+// stages_executed counters — and never in the jobs_* counters, whose
+// audits-only meaning the /metrics contract preserves.
+func TestTaskMetricsCounters(t *testing.T) {
+	e := NewEngine(Config{Workers: 1, QueueSize: 16, CacheSize: -1})
+	defer e.Close()
+	noop := func(ctx context.Context) (any, error) { return nil, nil }
+	id, err := e.SubmitTask(TaskSpec{Tenant: "acme", Stages: []Stage{
+		{Run: noop}, {Run: noop}, {Run: noop},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitTask(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	fid, err := e.SubmitTask(TaskSpec{Tenant: "acme", Stages: []Stage{
+		{Run: func(ctx context.Context) (any, error) { return nil, errors.New("nope") }},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WaitTask(context.Background(), fid); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := e.MetricsSnapshot()
+	if snap.TasksSubmitted != 2 || snap.TasksCompleted != 1 || snap.TasksFailed != 1 {
+		t.Fatalf("task counters = %d submitted / %d completed / %d failed, want 2/1/1",
+			snap.TasksSubmitted, snap.TasksCompleted, snap.TasksFailed)
+	}
+	if snap.StagesExecuted != 4 {
+		t.Fatalf("stages_executed = %d, want 4", snap.StagesExecuted)
+	}
+	if snap.JobsSubmitted != 0 {
+		t.Fatalf("jobs_submitted = %d; staged tasks leaked into the audits-only counters", snap.JobsSubmitted)
+	}
+	ts := snap.Tenants["acme"]
+	if ts.Stages != 4 || ts.Tasks != 2 {
+		t.Fatalf("tenant slice = %+v, want 4 stages / 2 tasks", ts)
+	}
+	if ts.LatencySamples != 2 || ts.P99Millis < ts.P50Millis {
+		t.Fatalf("tenant latency slice = %+v, want 2 samples with p99 >= p50", ts)
+	}
+}
+
+// TestTenantLatencyQuantiles is the satellite pin for the per-tenant
+// p50/p99 gauges: each tenant's quantiles reflect only its own finished
+// work.
+func TestTenantLatencyQuantiles(t *testing.T) {
+	m := newMetrics(1)
+	for i := 0; i < 10; i++ {
+		m.completed("fast", 10*time.Millisecond)
+		m.completed("slow", time.Second)
+	}
+	snap := m.Snapshot()
+	fast, slow := snap.Tenants["fast"], snap.Tenants["slow"]
+	if fast.LatencySamples != 10 || slow.LatencySamples != 10 {
+		t.Fatalf("samples = %d/%d, want 10/10", fast.LatencySamples, slow.LatencySamples)
+	}
+	if fast.P50Millis <= 0 || fast.P99Millis >= 100 {
+		t.Fatalf("fast tenant quantiles = p50 %v p99 %v, want ~10ms", fast.P50Millis, fast.P99Millis)
+	}
+	if slow.P50Millis < 900 {
+		t.Fatalf("slow tenant p50 = %v, want ~1000ms (cross-tenant bleed?)", slow.P50Millis)
+	}
+}
+
+// TestTaskInterruptedOnClose checks the shutdown story the pipeline
+// plane's resume depends on: closing the engine between stages
+// finalizes the task as failed with Interrupted set, after every
+// completed stage reached OnStage.
+func TestTaskInterruptedOnClose(t *testing.T) {
+	e := NewEngine(Config{Workers: 1, QueueSize: 16, CacheSize: -1})
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	var mu sync.Mutex
+	var persisted []string
+	id, err := e.SubmitTask(TaskSpec{
+		Stages: []Stage{
+			{Name: "first", Run: func(ctx context.Context) (any, error) {
+				close(entered)
+				<-proceed
+				return nil, nil
+			}},
+			{Name: "second", Run: func(ctx context.Context) (any, error) { return nil, nil }},
+		},
+		OnStage: func(res StageResult) {
+			mu.Lock()
+			persisted = append(persisted, res.Stage)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	go func() {
+		// Close blocks until workers drain; release the stage once the
+		// scheduler has stopped admitting so the readmit must fail.
+		time.Sleep(10 * time.Millisecond)
+		close(proceed)
+	}()
+	e.Close()
+	final, err := e.WaitTask(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusFailed || !final.Interrupted {
+		t.Fatalf("final = %+v, want failed + interrupted", final)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(persisted) != 1 || persisted[0] != "first" {
+		t.Fatalf("OnStage saw %v, want exactly the completed stage [first]", persisted)
+	}
+}
+
+// TestCachePartitionChurnerEvictsOwnEntries is the satellite fairness
+// test: a tenant churning unique audits must evict its own older
+// entries once it holds the largest byte share — the quiet tenant's
+// reports stay resident.
+func TestCachePartitionChurnerEvictsOwnEntries(t *testing.T) {
+	c := NewReportCache(4)
+	rep := func(name string) *core.FACTReport { return &core.FACTReport{Pipeline: name} }
+	c.PutAs("quiet", "q1", rep("q1"))
+	c.PutAs("quiet", "q2", rep("q2"))
+	for i := 0; i < 50; i++ {
+		c.PutAs("churner", fmt.Sprintf("c%d", i), rep("c"))
+	}
+	if _, ok := c.Get("q1"); !ok {
+		t.Fatal("churner evicted quiet tenant's q1")
+	}
+	if _, ok := c.Get("q2"); !ok {
+		t.Fatal("churner evicted quiet tenant's q2")
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("cache len = %d, want capacity 4", got)
+	}
+	bytes := c.TenantBytes()
+	if bytes["quiet"] <= 0 || bytes["churner"] <= 0 {
+		t.Fatalf("TenantBytes = %v, want both tenants resident", bytes)
+	}
+}
+
+// TestCacheCrossTenantHitsPreserved pins that partitioning occupancy
+// did not partition lookups: a report inserted by one tenant hits for
+// every tenant (audits are pure functions of their key).
+func TestCacheCrossTenantHitsPreserved(t *testing.T) {
+	c := NewReportCache(4)
+	c.PutAs("a", "shared", &core.FACTReport{Pipeline: "shared"})
+	got, ok := c.Get("shared")
+	if !ok || got.Pipeline != "shared" {
+		t.Fatal("global lookup missed an entry another tenant inserted")
+	}
+	// Re-inserting the same key as another tenant keeps one entry and
+	// the original owner's accounting.
+	c.PutAs("b", "shared", &core.FACTReport{Pipeline: "shared"})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after duplicate-key PutAs, want 1", c.Len())
+	}
+	bytes := c.TenantBytes()
+	if bytes["b"] != 0 {
+		t.Fatalf("TenantBytes = %v; duplicate key must not charge the second tenant", bytes)
+	}
+}
+
+// TestCacheTenantBytesConverge checks the accounting the eviction
+// policy steers by: under sustained mixed load the per-tenant byte
+// shares stay within one report of each other.
+func TestCacheTenantBytesConverge(t *testing.T) {
+	c := NewReportCache(8)
+	for i := 0; i < 200; i++ {
+		ten := fmt.Sprintf("t%d", i%2)
+		c.PutAs(ten, fmt.Sprintf("%s-%d", ten, i), &core.FACTReport{Pipeline: ten})
+	}
+	bytes := c.TenantBytes()
+	if len(bytes) != 2 {
+		t.Fatalf("TenantBytes = %v, want both tenants", bytes)
+	}
+	per := reportSize(&core.FACTReport{Pipeline: "t0"})
+	diff := bytes["t0"] - bytes["t1"]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > per {
+		t.Fatalf("shares diverged: %v (one report ≈ %d bytes)", bytes, per)
+	}
+}

@@ -55,12 +55,16 @@ func RetryAfter(err error) (seconds int, ok bool) {
 	return secs, true
 }
 
-// tenantQueue is one tenant's FIFO of waiting jobs plus its
-// weighted-fair and token-bucket state. All fields are guarded by the
-// owning scheduler's mutex.
+// tenantQueue is one (tenant, admission class) FIFO of waiting jobs
+// plus its weighted-fair and token-bucket state. Each class a tenant
+// uses gets its own queue — own bucket, own ring slot — so interactive
+// audits, pipeline stages, and system monitor re-audits of the same
+// tenant are admitted and drained independently. All fields are
+// guarded by the owning scheduler's mutex.
 type tenantQueue struct {
-	id   string
-	jobs []*job
+	tenant string
+	class  string
+	jobs   []*job
 	// deficit is the DRR credit: each ring visit grants the tenant's
 	// weight, each served job spends 1. Reset when the queue drains so
 	// an idle tenant cannot bank credit.
@@ -142,37 +146,52 @@ func (s *scheduler) refillLocked(q *tenantQueue, quo tenant.Quotas) {
 	}
 }
 
-// enqueue admits j for tenantID or rejects it with a *RetryError. The
-// admission order is tenant-scoped checks first (token bucket, then
-// per-tenant queue bound → ErrTenantBusy) and the aggregate bound last
-// (→ ErrBusy): a tenant over its own budget is told so even when the
-// service is also saturated, because "back off and retry" is the wrong
-// prescription for a client that must slow down.
+// enqueue admits j for tenantID under the interactive class — the
+// historical single-class admission path, kept for the one-shot audit
+// flow and its tests.
 func (s *scheduler) enqueue(tenantID string, j *job) error {
+	return s.admit(tenantID, ClassInteractive, j, false)
+}
+
+// admit places j on the (tenantID, class) queue or rejects it with a
+// *RetryError. The admission order is tenant-scoped checks first
+// (token bucket, then per-tenant queue bound → ErrTenantBusy) and the
+// aggregate bound last (→ ErrBusy): a tenant over its own budget is
+// told so even when the service is also saturated, because "back off
+// and retry" is the wrong prescription for a client that must slow
+// down. A readmit re-enters an already-admitted staged job for its
+// next stage: it bypasses the bucket, the per-tenant bound, and the
+// aggregate bound — admission budget is charged once at the front
+// door, never per stage — but still queues behind the tenant's other
+// work in DRR order, so long pipelines cannot monopolize workers.
+func (s *scheduler) admit(tenantID, class string, j *job, readmit bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	q := s.queues[tenantID]
+	key := tenantID + "\x00" + class
+	q := s.queues[key]
 	if q == nil {
-		q = &tenantQueue{id: tenantID}
-		s.queues[tenantID] = q
+		q = &tenantQueue{tenant: tenantID, class: class}
+		s.queues[key] = q
 	}
-	quo := s.quotas(tenantID)
-	s.refillLocked(q, quo)
-	if quo.RatePerSec > 0 && q.tokens < 1 {
-		wait := time.Duration((1 - q.tokens) / quo.RatePerSec * float64(time.Second))
-		return &RetryError{Err: ErrTenantBusy, After: wait, Tenant: tenantID}
-	}
-	if quo.MaxQueue > 0 && len(q.jobs) >= quo.MaxQueue {
-		return &RetryError{Err: ErrTenantBusy, After: s.busyAfter(len(q.jobs)), Tenant: tenantID}
-	}
-	if s.depth >= s.capacity {
-		return &RetryError{Err: ErrBusy, After: s.busyAfter(s.depth), Tenant: tenantID}
-	}
-	if quo.RatePerSec > 0 {
-		q.tokens--
+	quo := classQuotas(s.quotas, tenantID, class)
+	if !readmit {
+		s.refillLocked(q, quo)
+		if quo.RatePerSec > 0 && q.tokens < 1 {
+			wait := time.Duration((1 - q.tokens) / quo.RatePerSec * float64(time.Second))
+			return &RetryError{Err: ErrTenantBusy, After: wait, Tenant: tenantID}
+		}
+		if quo.MaxQueue > 0 && len(q.jobs) >= quo.MaxQueue {
+			return &RetryError{Err: ErrTenantBusy, After: s.busyAfter(len(q.jobs)), Tenant: tenantID}
+		}
+		if s.depth >= s.capacity {
+			return &RetryError{Err: ErrBusy, After: s.busyAfter(s.depth), Tenant: tenantID}
+		}
+		if quo.RatePerSec > 0 {
+			q.tokens--
+		}
 	}
 	q.jobs = append(q.jobs, j)
 	s.depth++
@@ -218,7 +237,7 @@ func (s *scheduler) popLocked() *job {
 			continue
 		}
 		if q.deficit < 1 {
-			q.deficit += s.quotas(q.id).EffectiveWeight()
+			q.deficit += s.quotas(q.tenant).EffectiveWeight()
 		}
 		j := q.jobs[0]
 		q.jobs = q.jobs[1:]
@@ -261,15 +280,16 @@ func (s *scheduler) queueDepth() int {
 	return s.depth
 }
 
-// tenantDepths returns each tenant's current queued-job count, ordered
-// by tenant id, omitting idle tenants with empty queues.
+// tenantDepths returns each tenant's current queued-job count summed
+// across its admission classes, omitting idle tenants with empty
+// queues.
 func (s *scheduler) tenantDepths() map[string]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := map[string]int{}
-	for id, q := range s.queues {
+	for _, q := range s.queues {
 		if len(q.jobs) > 0 {
-			out[id] = len(q.jobs)
+			out[q.tenant] += len(q.jobs)
 		}
 	}
 	return out

@@ -139,6 +139,12 @@ type Request struct {
 	// the engine a hash that two different datasets share serves
 	// mislabeled cached reports.
 	DataHash string
+	// Class is the admission class the audit is scheduled under
+	// (default ClassInteractive). The monitor plane submits its window
+	// re-audits as ClassSystem so a tenant's own rate limit cannot
+	// starve its drift scoring. Never part of the cache key: class
+	// affects scheduling only, not results.
+	Class string
 }
 
 // Status is a job's lifecycle state.
@@ -170,23 +176,75 @@ type JobStatus struct {
 	ElapsedMillis float64 `json:"elapsed_millis,omitempty"`
 }
 
-// job is the engine-internal mutable state behind a JobStatus.
+// job is the engine-internal mutable state behind one scheduled unit
+// of work: either a legacy one-shot audit (Submit, audit=true, exactly
+// one stage) or a staged task (SubmitTask). Both run through the same
+// scheduler and worker path one stage per dequeue.
 type job struct {
 	id       string
 	tenant   string
 	dataset  string
 	cacheKey string
+	// audit marks the one-shot audit flow: visible via Job/Wait (not
+	// Task/WaitTask), counted in the jobs_* metrics, report cached.
+	audit bool
+	// stages is the ordered work list; audits have exactly one.
+	stages []Stage
+	// histSize bounds history; onStage/onFinish are the task hooks.
+	histSize int
+	onStage  func(StageResult)
+	onFinish func(TaskStatus)
 
-	mu        sync.Mutex
-	req       *Request // nilled once the job finishes, releasing the frame
-	status    Status
-	cacheHit  bool
-	report    *core.FACTReport
-	err       error
-	submitted time.Time
-	finished  time.Time
+	mu       sync.Mutex
+	req      *Request // nilled once the job finishes, releasing the frame
+	status   Status
+	cacheHit bool
+	cur      int // index of the next (or currently running) stage
+	// interrupted marks tasks finalized because the engine closed
+	// between stages (shutdown, not a stage failure): the completed
+	// stages are durable and the task is resumable at the next boot.
+	interrupted bool
+	history     []StageResult
+	report      *core.FACTReport
+	err         error
+	submitted   time.Time
+	finished    time.Time
 
 	done chan struct{}
+}
+
+func (j *job) isAudit() bool { return j.audit }
+
+// pushHistoryLocked appends res to the bounded history ring, dropping
+// the oldest entry when full. Caller holds j.mu.
+func (j *job) pushHistoryLocked(res StageResult) {
+	j.history = append(j.history, res)
+	if j.histSize > 0 && len(j.history) > j.histSize {
+		j.history = j.history[1:]
+	}
+}
+
+// taskSnapshot renders the job as a TaskStatus.
+func (j *job) taskSnapshot() TaskStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := TaskStatus{
+		ID:          j.id,
+		Tenant:      j.tenant,
+		Name:        j.dataset,
+		Status:      j.status,
+		Stage:       j.cur,
+		Stages:      len(j.stages),
+		Interrupted: j.interrupted,
+		History:     append([]StageResult(nil), j.history...),
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if !j.finished.IsZero() {
+		s.ElapsedMillis = float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	return s
 }
 
 func (j *job) snapshot() JobStatus {
@@ -336,6 +394,12 @@ func (e *Engine) Submit(req *Request) (string, error) {
 	if req.Shards <= 0 {
 		req.Shards = e.cfg.Shards
 	}
+	if req.Class == "" {
+		req.Class = ClassInteractive
+	}
+	if !validClass(req.Class) {
+		return "", fmt.Errorf("serve: unknown admission class %q", req.Class)
+	}
 	if err := req.Policy.Validate(); err != nil {
 		return "", err
 	}
@@ -351,10 +415,25 @@ func (e *Engine) Submit(req *Request) (string, error) {
 		dataset:   req.Dataset,
 		req:       req,
 		cacheKey:  cacheKey(req),
+		audit:     true,
 		status:    StatusQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	// The one-shot audit is the trivial one-stage pipeline: the same
+	// worker loop that advances staged tasks runs it to completion in a
+	// single dequeue.
+	j.stages = []Stage{{
+		Name: "audit",
+		Kind: req.Class,
+		Run: func(ctx context.Context) (any, error) {
+			rep, err := e.runAudit(ctx, req)
+			if rep == nil {
+				return nil, err
+			}
+			return rep, err
+		},
+	}}
 	e.metrics.submitted(ten)
 
 	if e.cache != nil {
@@ -375,7 +454,7 @@ func (e *Engine) Submit(req *Request) (string, error) {
 	}
 
 	e.register(j)
-	if err := e.sched.enqueue(ten, j); err != nil {
+	if err := e.sched.admit(ten, req.Class, j, false); err != nil {
 		e.unregister(j.id)
 		if !errors.Is(err, ErrClosed) {
 			e.metrics.rejected(ten)
@@ -385,24 +464,25 @@ func (e *Engine) Submit(req *Request) (string, error) {
 	return j.id, nil
 }
 
-// Job returns a snapshot of the job with the given id.
+// Job returns a snapshot of the audit job with the given id (staged
+// tasks are not visible here; use Task).
 func (e *Engine) Job(id string) (JobStatus, bool) {
 	e.mu.Lock()
 	j, ok := e.jobs[id]
 	e.mu.Unlock()
-	if !ok {
+	if !ok || !j.isAudit() {
 		return JobStatus{}, false
 	}
 	return j.snapshot(), true
 }
 
-// Wait blocks until the job finishes (done or failed) or ctx is
+// Wait blocks until the audit job finishes (done or failed) or ctx is
 // cancelled, returning the final snapshot.
 func (e *Engine) Wait(ctx context.Context, id string) (JobStatus, error) {
 	e.mu.Lock()
 	j, ok := e.jobs[id]
 	e.mu.Unlock()
-	if !ok {
+	if !ok || !j.isAudit() {
 		return JobStatus{}, fmt.Errorf("serve: no job %q", id)
 	}
 	select {
@@ -434,9 +514,15 @@ func (e *Engine) worker() {
 	}
 }
 
+// execute runs exactly one stage of j on the calling worker. Audits
+// (one stage) finish in a single call; staged tasks re-enter the
+// scheduler between stages, so a seven-stage pipeline shares workers
+// at stage granularity with everything else in the ring.
 func (e *Engine) execute(j *job) {
 	j.mu.Lock()
 	j.status = StatusRunning
+	idx := j.cur
+	st := j.stages[idx]
 	j.mu.Unlock()
 	e.metrics.started()
 	defer e.metrics.stopped()
@@ -445,13 +531,14 @@ func (e *Engine) execute(j *job) {
 	defer cancel()
 
 	type outcome struct {
-		rep *core.FACTReport
-		err error
+		detail any
+		err    error
 	}
 	ch := make(chan outcome, 1)
+	started := time.Now()
 	go func() {
-		rep, err := e.runAudit(ctx, j.req)
-		ch <- outcome{rep, err}
+		detail, err := st.Run(ctx)
+		ch <- outcome{detail, err}
 	}()
 
 	var out outcome
@@ -460,33 +547,98 @@ func (e *Engine) execute(j *job) {
 	case out = <-ch:
 	case <-ctx.Done():
 		timedOut = true
-		out.err = fmt.Errorf("serve: job %s timed out after %s: %w", j.id, e.cfg.JobTimeout, ctx.Err())
+		if j.isAudit() {
+			out.err = fmt.Errorf("serve: job %s timed out after %s: %w", j.id, e.cfg.JobTimeout, ctx.Err())
+		} else {
+			out.err = fmt.Errorf("serve: task %s stage %q timed out after %s: %w", j.id, st.Name, e.cfg.JobTimeout, ctx.Err())
+		}
 	}
+
+	res := StageResult{
+		Index:         idx,
+		Stage:         st.Name,
+		Kind:          st.Kind,
+		Status:        StatusDone,
+		ElapsedMillis: float64(time.Since(started)) / float64(time.Millisecond),
+		Detail:        out.detail,
+	}
+	if out.err != nil {
+		res.Status = StatusFailed
+		res.Error = out.err.Error()
+	}
+
+	last := idx == len(j.stages)-1
+	final := out.err != nil || last
 
 	j.mu.Lock()
-	j.finished = time.Now()
-	elapsed := j.finished.Sub(j.submitted)
-	if out.err != nil {
-		j.status = StatusFailed
-		j.err = out.err
+	j.pushHistoryLocked(res)
+	if final {
+		j.finished = time.Now()
+		if out.err != nil {
+			j.status = StatusFailed
+			j.err = out.err
+		} else {
+			j.status = StatusDone
+			j.cur = idx + 1
+			if rep, ok := out.detail.(*core.FACTReport); ok {
+				j.report = rep
+			}
+		}
 	} else {
-		j.status = StatusDone
-		j.report = out.rep
+		j.status = StatusQueued
+		j.cur = idx + 1
 	}
+	elapsed := j.finished.Sub(j.submitted)
 	j.mu.Unlock()
 
-	if out.err != nil {
-		e.metrics.failed(j.tenant, elapsed)
-	} else {
-		if e.cache != nil {
-			e.cache.Put(j.cacheKey, out.rep)
+	// The persistence hook runs synchronously between stage completion
+	// and the next stage's scheduling: state saved here is durable
+	// before any later stage can run.
+	if j.onStage != nil {
+		j.onStage(res)
+	}
+	if !j.isAudit() {
+		e.metrics.stageExecuted(j.tenant)
+	}
+
+	if !final {
+		if err := e.sched.admit(j.tenant, j.stages[idx+1].Kind, j, true); err != nil {
+			// Engine closing mid-task: finalize failed. The stage results
+			// already handed to onStage are durable, so a restart can
+			// resume from the last completed stage.
+			j.mu.Lock()
+			j.finished = time.Now()
+			j.status = StatusFailed
+			j.interrupted = true
+			j.err = fmt.Errorf("serve: task %s interrupted before stage %q: %w", j.id, j.stages[idx+1].Name, err)
+			elapsed = j.finished.Sub(j.submitted)
+			j.mu.Unlock()
+			final = true
+			out.err = j.err
+		} else {
+			return
 		}
-		e.metrics.completed(j.tenant, elapsed)
+	}
+
+	if j.isAudit() {
+		if out.err != nil {
+			e.metrics.failed(j.tenant, elapsed)
+		} else {
+			if e.cache != nil {
+				e.cache.PutAs(j.tenant, j.cacheKey, j.report)
+			}
+			e.metrics.completed(j.tenant, elapsed)
+		}
+	} else {
+		e.metrics.taskFinished(j.tenant, out.err == nil, elapsed)
+		if j.onFinish != nil {
+			j.onFinish(j.taskSnapshot())
+		}
 	}
 	close(j.done)
 
 	// On timeout the waiter is already unblocked (done is closed), but
-	// the audit goroutine cannot be killed — it unwinds at its next ctx
+	// the stage goroutine cannot be killed — it unwinds at its next ctx
 	// check. Hold this worker until it does, so actual concurrency never
 	// exceeds Workers even under a storm of timeouts.
 	if timedOut {
@@ -564,7 +716,14 @@ func specHash(s core.TrainSpec) string {
 		// part, so {"a b"} and {"a","b"} cannot collide.
 		strconv.Itoa(len(s.Exclude)),
 	}
-	return provenance.HashStrings(append(parts, s.Exclude...)...)
+	parts = append(parts, s.Exclude...)
+	// Appended only when set so every legacy spec (TrueGroups empty)
+	// keeps its pre-existing hash — cached reports stay addressable
+	// across the upgrade.
+	if s.TrueGroups != "" {
+		parts = append(parts, "true_groups", s.TrueGroups)
+	}
+	return provenance.HashStrings(parts...)
 }
 
 // RunAudit executes one audit request synchronously on the caller's

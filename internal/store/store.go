@@ -31,7 +31,7 @@ import (
 )
 
 // Kind names one record collection. Adapters accept any ValidKind, but
-// the service uses the three canonical collections below.
+// the service uses the canonical collections below.
 type Kind string
 
 // Canonical record collections.
@@ -48,6 +48,11 @@ const (
 	// tenant id. Restored first at boot — datasets and monitors restore
 	// into a world where every tenant's quotas are already known.
 	KindTenant Kind = "tenants"
+	// KindPipelines holds staged-pipeline run records keyed by pipeline
+	// id: the submitted spec plus every completed stage's result — the
+	// irreducible state from which an interrupted run resumes at its
+	// last completed stage after a restart.
+	KindPipelines Kind = "pipelines"
 )
 
 // ErrCorrupt marks a record whose at-rest bytes fail validation — a

@@ -135,6 +135,9 @@ type Quotas struct {
 	MaxDatasets int `json:"max_datasets,omitempty"`
 	// MaxMonitors bounds the tenant's registered monitor count.
 	MaxMonitors int `json:"max_monitors,omitempty"`
+	// MaxPipelines bounds the tenant's live (unfinished) staged
+	// pipeline runs.
+	MaxPipelines int `json:"max_pipelines,omitempty"`
 }
 
 // EffectiveWeight returns the DRR weight, mapping 0 (and negatives) to 1.
@@ -161,7 +164,8 @@ func (q Quotas) EffectiveBurst() float64 {
 // (unlimited) is the floor for every knob.
 func (q Quotas) Validate() error {
 	if q.Weight < 0 || q.RatePerSec < 0 || q.Burst < 0 || q.MaxQueue < 0 ||
-		q.MaxRegistryBytes < 0 || q.MaxDatasets < 0 || q.MaxMonitors < 0 {
+		q.MaxRegistryBytes < 0 || q.MaxDatasets < 0 || q.MaxMonitors < 0 ||
+		q.MaxPipelines < 0 {
 		return fmt.Errorf("%w: fields must be non-negative", ErrInvalidQuota)
 	}
 	return nil

@@ -38,6 +38,17 @@ type Handler struct {
 	Datasets *dataset.Registry
 	// Monitors supplies the report's audit grades and drift posture.
 	Monitors *monitor.Registry
+	// Pipelines supplies the report's remediation-run counters
+	// (internal/pipeline.Registry).
+	Pipelines PipelineCounter
+}
+
+// PipelineCounter is the slice of the pipeline registry the report
+// needs: per-tenant run counts. Declared here so tenantapi does not
+// depend on the pipeline plane's full surface.
+type PipelineCounter interface {
+	// CountsAs reports ten's total retained and live (unfinished) runs.
+	CountsAs(ten string) (total, live int)
 }
 
 // NewHandler builds the tenants API around the given quota registry.
@@ -154,6 +165,20 @@ type Report struct {
 	Posture  string          `json:"posture"`
 	Datasets []DatasetReport `json:"datasets"`
 	Monitors []MonitorReport `json:"monitors"`
+	// Pipelines counts the tenant's remediation runs. Unlike the other
+	// sections it is a point-in-time gauge — a live run finishes on the
+	// engine's schedule — so it is excluded from the byte-identity
+	// guarantee while runs are in flight; with every run terminal it is
+	// deterministic in the submitted work like everything else.
+	Pipelines *PipelineSection `json:"pipelines,omitempty"`
+}
+
+// PipelineSection is the responsibility report's remediation-plane
+// slice: how many staged runs the tenant has retained and how many are
+// still executing.
+type PipelineSection struct {
+	Total int `json:"total"`
+	Live  int `json:"live"`
 }
 
 // DatasetReport is one resident dataset's slice of the report,
@@ -255,6 +280,10 @@ func (h *Handler) BuildReport(ten string) Report {
 				rep.Posture = "degraded"
 			}
 		}
+	}
+	if h.Pipelines != nil {
+		total, live := h.Pipelines.CountsAs(ten)
+		rep.Pipelines = &PipelineSection{Total: total, Live: live}
 	}
 	return rep
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Process-level durability smoke: boot rds-serve with -state-dir,
-# upload a dataset and register a baseline_ref monitor over HTTP,
-# kill -9 the process, boot a fresh one over the same directory, and
-# assert the dataset and the pinned monitor came back. This is the
-# shell-level twin of internal/e2e TestRestartEndToEnd — it exercises
-# the real binary and a real SIGKILL instead of an in-process stop.
+# upload a dataset, register a baseline_ref monitor, and submit a
+# seven-stage remediation pipeline over HTTP, kill -9 the process,
+# boot a fresh one over the same directory, and assert the dataset and
+# the pinned monitor came back and the pipeline record finishes done
+# with every stage — whether the SIGKILL landed mid-run (the boot path
+# resumes it at its last persisted stage) or after it completed (the
+# boot path finalizes it). This is the shell-level twin of
+# internal/e2e TestRestartEndToEnd and TestPipelineRestartEndToEnd —
+# it exercises the real binary and a real SIGKILL instead of an
+# in-process stop.
 #
 # Usage: scripts/restart_smoke.sh [port]
 set -euo pipefail
@@ -64,7 +69,26 @@ mon=$(curl -fsS "${BASE}/v1/monitors" -H 'Content-Type: application/json' \
   | json_field id)
 [ -n "${mon}" ] || { echo "restart_smoke: monitor registration returned no id" >&2; exit 1; }
 
-echo "restart_smoke: first life registered dataset ${ref} and monitor ${mon}; sending SIGKILL"
+# A larger biased population for the remediation curriculum: group A
+# approves at 80%, group B at 20%, so the unmitigated audit fails and
+# the mitigate/retrain stages do real work.
+pipe_csv="income,group,approved"
+for i in $(seq 1 150); do
+  a=1; b=0
+  if [ $((i % 5)) -eq 0 ]; then a=0; b=1; fi
+  pipe_csv="${pipe_csv}
+$((40000 + i * 13)),A,${a}
+$((30000 + i * 11)),B,${b}"
+done
+pipe_ref=$(curl -fsS "${BASE}/v1/datasets" -H 'Content-Type: text/csv' \
+  --data-binary "${pipe_csv}" | json_field ref)
+[ -n "${pipe_ref}" ] || { echo "restart_smoke: pipeline dataset upload returned no ref" >&2; exit 1; }
+
+pl=$(curl -fsS "${BASE}/v1/pipelines" -H 'Content-Type: application/json' \
+  -d "{\"dataset_ref\":\"${pipe_ref}\",\"epochs\":10,\"seed\":3}" | json_field id)
+[ -n "${pl}" ] || { echo "restart_smoke: pipeline submission returned no id" >&2; exit 1; }
+
+echo "restart_smoke: first life registered dataset ${ref}, monitor ${mon}, pipeline ${pl}; sending SIGKILL"
 kill -9 "${SERVER_PID}"
 wait "${SERVER_PID}" 2>/dev/null || true
 SERVER_PID=""
@@ -82,4 +106,26 @@ echo "${status}" | tr -d ' ' | grep -q '"degraded":true' && {
 curl -fsS "${BASE}/v1/datasets/${ref}" >/dev/null || {
   echo "restart_smoke: baseline dataset did not survive restart" >&2; exit 1; }
 
-echo "restart_smoke: OK — monitor ${mon} and dataset ${ref} survived kill -9"
+# The pipeline record survived and finishes the full curriculum: the
+# boot path resumed it at its last persisted stage if the SIGKILL
+# landed mid-run, or finalized it if the run had already completed.
+# Only the record's top-level status can read running/queued (stage
+# records are written complete), so whitespace-stripped absence of
+# those is the terminal signal.
+rec=""
+for _ in $(seq 1 300); do
+  rec=$(curl -fsS "${BASE}/v1/pipelines/${pl}" | tr -d ' \n\t' || true)
+  case "${rec}" in
+    *'"status":"running"'*|*'"status":"queued"'*|"") sleep 0.1 ;;
+    *) break ;;
+  esac
+done
+case "${rec}" in
+  *'"status":"failed"'*|"")
+    echo "restart_smoke: pipeline ${pl} did not finish done after restart: ${rec}" >&2; exit 1 ;;
+esac
+stages=$(printf '%s' "${rec}" | grep -o '"stage":"' | wc -l)
+[ "${stages}" -eq 7 ] || {
+  echo "restart_smoke: pipeline ${pl} finished with ${stages} stages, want 7: ${rec}" >&2; exit 1; }
+
+echo "restart_smoke: OK — monitor ${mon}, dataset ${ref}, and pipeline ${pl} survived kill -9"
